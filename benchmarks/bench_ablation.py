@@ -1,0 +1,86 @@
+"""Benchmark: design-choice ablations (DESIGN.md §4, last row).
+
+Quantifies each cuTS mechanism in isolation: query ordering, randomized
+placement, chunk size, virtual-warp width.
+"""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.experiments.ablation import (
+    binning_ablation,
+    chunk_size_ablation,
+    ordering_ablation,
+    placement_ablation,
+    virtual_warp_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ordering_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        ordering_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Ablation — query ordering"))
+    by = {r["ordering"]: r for r in rows}
+    assert by["max_degree"]["count"] == by["id"]["count"]
+    # the paper's claim: better ordering shrinks the search
+    assert (
+        by["max_degree"]["dram_read_words"] <= by["id"]["dram_read_words"]
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_placement_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        placement_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Ablation — randomized placement"))
+    by = {bool(r["randomized_placement"]): r for r in rows}
+    assert by[True]["count"] == by[False]["count"]
+    # randomization should not slow the modeled kernel down materially
+    assert by[True]["time_ms"] <= by[False]["time_ms"] * 1.1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_chunk_size_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        chunk_size_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Ablation — chunk size under tight memory"))
+    assert len({r["count"] for r in rows}) == 1
+    by = {r["chunk_size"]: r for r in rows}
+    # smaller chunks -> more kernel launches (the paper's overhead
+    # argument for not making chunks too small)
+    assert by[64]["kernel_launches"] > by[1024]["kernel_launches"]
+    # every configuration stays inside the (tight) trie budget
+    assert all(r["peak_trie_words"] < (1 << 16) for r in rows)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_binning_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        binning_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Ablation — binning vs single-bin virtual warps"))
+    by = {r["strategy"].split(" ")[0]: r for r in rows}
+    # the paper's rejection rationale: bins waste pre-partitioned buffer
+    assert by["binned"]["buffer_waste_fraction"] > 0.0
+    assert by["single-bin"]["buffer_waste_fraction"] == 0.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_virtual_warp_ablation(benchmark, scale):
+    rows = benchmark.pedantic(
+        virtual_warp_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Ablation — virtual warp width"))
+    assert len({r["count"] for r in rows}) == 1
+    by = {str(r["virtual_warp"]): r for r in rows}
+    # full hardware warps waste lanes on low-degree work (§4.1.2)
+    assert by["32"]["idle_lane_cycles"] >= by["4"]["idle_lane_cycles"]

@@ -1,0 +1,32 @@
+"""Benchmark: §5 analysis — predicted vs measured path counts.
+
+Validates the paper's complexity analysis: the strict Eq. (1) bound
+(sigma = 1) must dominate the measured per-depth path counts, and the
+fitted effective branching factor ``ds`` drives both the growth and the
+Table 1 compression behaviour.
+"""
+
+import pytest
+
+from repro.core import CuTSMatcher, fit_branching_factor, predict_vs_measured
+from repro.experiments import load_dataset, render_table
+from repro.graph import clique_graph
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_predicted_vs_measured(benchmark, scale):
+    data = load_dataset("enron", max(scale, 1.0))
+    query = clique_graph(5)
+
+    def run():
+        measured = CuTSMatcher(data).match(query).stats.paths_per_depth
+        return measured, predict_vs_measured(data, query, measured)
+
+    measured, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="§5 — Eq.(1)/(2) predictions vs measured"))
+    ds = fit_branching_factor(measured)
+    print(f"fitted effective branching factor ds = {ds:.2f}")
+    assert all(r["bound_holds"] for r in rows)
+    # Table 1's growing compression requires ds > 1 on this workload
+    assert ds > 1.0

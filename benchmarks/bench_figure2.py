@@ -1,0 +1,19 @@
+"""Benchmark: Figure 2C — storage growth on the mesh/chain illustration."""
+
+import pytest
+
+from repro.experiments import figure2_rows, render_table
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_mesh_chain_storage(benchmark):
+    rows = benchmark.pedantic(figure2_rows, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Figure 2C — mesh 4x4, chain 4"))
+    # the measured counts (paper's illustration ignores injectivity; we
+    # report the true values and record both in EXPERIMENTS.md)
+    assert [r["candidates"] for r in rows] == [16, 48, 104, 232]
+    # storage grows super-linearly for naive, sub-linearly for trie
+    naive = [r["naive_storage_words"] for r in rows]
+    trie = [r["trie_storage_words"] for r in rows]
+    assert naive[-1] / naive[0] > trie[-1] / trie[0]

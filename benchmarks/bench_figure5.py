@@ -1,0 +1,40 @@
+"""Benchmark: Figure 5 — load balance across 4 nodes on wikiTalk.
+
+Asserts the paper's claim: "our node to node runtime variation is very
+low" — per-node busy times stay within a tight band of the mean.
+"""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.experiments.figure5 import run_figure5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_load_balance(benchmark, scale):
+    report = benchmark.pedantic(
+        run_figure5,
+        kwargs={"scale": scale, "num_ranks": 4, "chunk_size": 256},
+        rounds=1,
+        iterations=1,
+    )
+    rows = report.rows()
+    print()
+    print(render_table(rows, title="Figure 5 — per-node runtime (wikiTalk, 4 nodes)"))
+    print(f"max/mean = {report.imbalance:.3f}, cov = {report.cov:.3f}")
+    assert len(rows) == 4
+    assert report.imbalance < 1.5
+    assert report.cov < 0.35
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_balance_improves_with_small_chunks(benchmark, scale):
+    coarse = benchmark.pedantic(
+        run_figure5,
+        kwargs={"scale": scale, "num_ranks": 4, "chunk_size": 100_000},
+        rounds=1,
+        iterations=1,
+    )
+    fine = run_figure5(scale=scale, num_ranks=4, chunk_size=128)
+    # finer chunks -> more steal opportunities -> no worse balance
+    assert fine.imbalance <= coarse.imbalance * 1.25

@@ -1,0 +1,41 @@
+"""Benchmark: §6.3 hardware-counter comparison (the Nsight analysis).
+
+Asserts the directional claims: cuTS moves less DRAM data, issues fewer
+atomics, fewer shared-memory accesses, and prunes more candidates at
+shallow depths than the GSI baseline.
+"""
+
+import pytest
+
+from repro.experiments import render_table, run_hwmetrics
+
+
+@pytest.mark.benchmark(group="hwmetrics")
+def test_hw_counter_reductions(benchmark, scale):
+    comps = benchmark.pedantic(
+        run_hwmetrics, kwargs={"scale": scale}, rounds=1, iterations=1
+    )
+    assert comps
+    rows = []
+    for comp in comps:
+        by = {r.metric: r for r in comp.ratios}
+        rows.append(
+            {
+                "case": f"{comp.dataset}/{comp.query_name}",
+                "dram_read_x": by["dram_read_words"].reduction,
+                "shared_write_x": by["shared_write_words"].reduction,
+                "atomics_x": by["atomic_ops"].reduction,
+                "instr_x": by["instructions"].reduction,
+                "cand_d2_x": comp.candidate_reduction(2),
+                "time_x": by["time_ms"].reduction,
+            }
+        )
+    print()
+    print(render_table(rows, title="§6.3 — counter reductions (GSI / cuTS)"))
+    for comp in comps:
+        by = {r.metric: r for r in comp.ratios}
+        assert by["dram_read_words"].reduction > 1.0
+        assert by["atomic_ops"].reduction >= 1.0
+        assert by["time_ms"].reduction > 1.0
+        # candidate pruning at depth >= 2 (ordering + degree filter)
+        assert comp.candidate_reduction(2) >= 1.0

@@ -1,0 +1,42 @@
+"""Benchmark: §2.2.3 occupancy trade-off for the intersection buffer.
+
+"Holding more data in shared memory, especially when tiling, allows
+better data reuse; however, this may reduce the occupancy."  Sweeps the
+c-intersection shared buffer size and reports the resulting occupancy —
+the design tension cuTS balances when sizing its per-warp buffers.
+"""
+
+import pytest
+
+from repro.experiments import render_table
+from repro.gpusim import V100, max_shared_words_for_full_occupancy, occupancy
+
+
+@pytest.mark.benchmark(group="occupancy")
+def test_intersection_buffer_occupancy_tradeoff(benchmark):
+    def sweep():
+        rows = []
+        for words in (256, 1024, 4096, 8192, 16384, 24576):
+            res = occupancy(
+                V100, threads_per_block=256,
+                shared_words_per_block=words, registers_per_thread=32,
+            )
+            rows.append(
+                {
+                    "buffer_words_per_block": words,
+                    "blocks_per_sm": res.blocks_per_sm,
+                    "occupancy": round(res.occupancy, 3),
+                    "limiter": res.limiter,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="§2.2.3 — shared buffer vs occupancy (V100-sim)"))
+    occs = [r["occupancy"] for r in rows]
+    assert all(a >= b for a, b in zip(occs, occs[1:]))
+    assert occs[-1] < occs[0]  # the trade-off exists
+    free = max_shared_words_for_full_occupancy(V100, 256)
+    print(f"largest full-occupancy buffer: {free} words/block")
+    assert free > 0

@@ -1,0 +1,21 @@
+"""Benchmark: Table 2 — dataset properties (generation cost + the table)."""
+
+import pytest
+
+from repro.experiments import render_table, table2_rows
+from repro.experiments.datasets import load_dataset
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dataset_properties(benchmark, scale):
+    load_dataset.cache_clear()
+    rows = benchmark.pedantic(table2_rows, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Table 2 — dataset properties"))
+    assert len(rows) == 6
+    # class shapes: road networks concentrated, social graphs hubby
+    by = {r["network"]: r for r in rows}
+    assert by["roadNet-PA"]["max_degree"] <= 8
+    assert by["enron"]["max_degree"] > 20
+    sizes = [r["vertices"] for r in rows]
+    assert sizes == sorted(sizes)  # Table 2 ordering preserved

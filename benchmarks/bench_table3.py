@@ -1,0 +1,67 @@
+"""Benchmark: Table 3 — cuTS vs GSI across the evaluation grid.
+
+Default runs a trimmed grid (top-3 queries per size) on both simulated
+machines; set ``REPRO_BENCH_FULL=1`` for the full 33-query grid (the run
+recorded in EXPERIMENTS.md).  Asserts the paper's headline shape:
+
+* cuTS handles at least as many cases as GSI, strictly more on the full
+  grid;
+* cuTS wins the mutually-successful cases (geomean speedup > 1);
+* the A100-sim handles at least as many cuTS cases as the V100-sim.
+"""
+
+import pytest
+
+from repro.experiments import render_table, run_table3
+
+_RESULTS = {}
+
+
+def _run(device, scale, top_k):
+    key = (device, scale, top_k)
+    if key not in _RESULTS:
+        _RESULTS[key] = run_table3(
+            device, scale=scale, top_k=top_k, wall_limit_s=20.0
+        )
+    return _RESULTS[key]
+
+
+@pytest.mark.benchmark(group="table3")
+@pytest.mark.parametrize("device", ["V100", "A100"])
+def test_table3_grid(benchmark, device, scale, top_k):
+    t3 = benchmark.pedantic(
+        _run, args=(device, scale, top_k), rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            t3.summary_rows(),
+            title=f"Table 3 summary — {device}-sim (scale={scale}, top_k={top_k})",
+        )
+    )
+    assert t3.cuts_handled >= t3.gsi_handled
+    assert t3.cuts_handled > 0
+    if t3.geomean_speedup:
+        assert t3.geomean_speedup > 1.0
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_a100_handles_no_fewer_cases(benchmark, scale, top_k):
+    v100 = benchmark.pedantic(_run, args=("V100", scale, top_k), rounds=1, iterations=1)
+    a100 = _run("A100", scale, top_k)
+    assert a100.cuts_handled >= v100.cuts_handled
+    assert a100.gsi_handled >= v100.gsi_handled
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_per_case_rows(benchmark, scale, top_k):
+    t3 = benchmark.pedantic(_run, args=("V100", scale, top_k), rounds=1, iterations=1)
+    rows = t3.rows()
+    print()
+    print(render_table(rows, title="Table 3 — per-case results (V100-sim)"))
+    # every failed cell carries a reason; every successful pair agrees
+    for c in t3.cases:
+        if c.gsi_ms is None:
+            assert c.gsi_failure in ("oom", "timeout")
+        if c.cuts_ms is None:
+            assert c.cuts_failure in ("oom", "timeout")

@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper table or figure and prints the
+paper-shaped rows (captured by pytest unless ``-s`` is given).  Scale is
+controlled by ``REPRO_BENCH_SCALE`` (default 0.5 — roughly quarter-size
+datasets) and ``REPRO_BENCH_FULL=1`` switches the Table 3 grid to the
+full 198-case run recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def full_grid() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def top_k() -> int:
+    return 11 if full_grid() else 3

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Network-motif census — the paper's motivating application.
+
+The cuTS introduction cites Milo et al. (Science 2002): subgraph
+isomorphism identifies "network motifs that can characterize common
+patterns occurring in biological networks".  This example runs a motif
+census: it counts every connected 4-vertex pattern in a (synthetic)
+interaction network and compares against a degree-preserving-ish random
+baseline to flag over-represented motifs.
+
+Run:  python examples/motif_search.py
+"""
+
+import numpy as np
+
+from repro import count_occurrences
+from repro.graph import atlas_graphs, from_undirected_edges, social_graph
+
+
+def random_rewire(graph, seed: int):
+    """A crude configuration-model baseline: shuffle edge endpoints."""
+    rng = np.random.default_rng(seed)
+    edges = graph.edge_list()
+    und = edges[edges[:, 0] < edges[:, 1]]
+    endpoints = und.ravel().copy()
+    rng.shuffle(endpoints)
+    rewired = endpoints.reshape(-1, 2)
+    rewired = rewired[rewired[:, 0] != rewired[:, 1]]
+    return from_undirected_edges(
+        rewired, num_vertices=graph.num_vertices, name="rewired"
+    )
+
+
+def census(data) -> dict[str, int]:
+    """Occurrences of every connected 4-vertex motif in ``data``."""
+    return {
+        motif.name: count_occurrences(data, motif)
+        for motif in atlas_graphs(4)
+    }
+
+
+def main() -> None:
+    data = social_graph(
+        400, 3, community_edges=900, num_communities=50, seed=7,
+        name="interactions",
+    )
+    print(f"network: {data}\n")
+    observed = census(data)
+    baseline = census(random_rewire(data, seed=1))
+
+    print(f"{'motif':<12}{'observed':>12}{'rewired':>12}{'enrichment':>12}")
+    print("-" * 48)
+    for name, count in sorted(observed.items(), key=lambda kv: -kv[1]):
+        base = baseline.get(name, 0)
+        enrich = count / base if base else float("inf") if count else 1.0
+        print(f"{name:<12}{count:>12,}{base:>12,}{enrich:>11.1f}x")
+
+    print(
+        "\nmotifs with enrichment >> 1x are over-represented relative to "
+        "a randomized graph — the paper's intro use case."
+    )
+
+
+if __name__ == "__main__":
+    main()

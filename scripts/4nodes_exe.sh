@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Artifact-style driver: the paper's 2-node distributed runs (Figure 4).
+# Mirrors the cuTS artifact's 4nodes_exe.sh, but drives the simulated
+# cluster through the CLI instead of mpirun.
+set -euo pipefail
+for dataset in enron gowalla wikiTalk; do
+    for query in q5_e10_r0 q5_e6_r8 q6_e11_r10; do
+        echo "=== $dataset x $query @ 4 nodes ==="
+        python -m repro match "$dataset" "$query" --ranks 4 "$@"
+    done
+done

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Artifact-style single-node driver (the cuTS artifact's ``cuts.py``).
+
+Runs the full single-node evaluation grid on one simulated machine and
+prints the Table 3 rows.  Equivalent to ``python -m repro experiments``
+restricted to Table 3.
+
+Usage: python scripts/cuts.py [V100|A100] [scale] [top_k]
+"""
+import sys
+
+from repro.experiments import render_table, run_table3
+
+
+def main() -> int:
+    device = sys.argv[1] if len(sys.argv) > 1 else "V100"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 1.0
+    top_k = int(sys.argv[3]) if len(sys.argv) > 3 else 11
+    t3 = run_table3(device, scale=scale, top_k=top_k, wall_limit_s=20.0)
+    print(render_table(t3.rows(), title=f"Table 3 — {device}-sim"))
+    print()
+    print(render_table(t3.summary_rows(), title="Summary"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""repro — a reproduction of cuTS (SC '21).
+
+cuTS: Scaling Subgraph Isomorphism on Distributed Multi-GPU Systems Using
+Trie Based Data Structure — Xiang, Khan, Serra, Halappanavar,
+Sukumaran-Rajam.
+
+The package implements the paper's full system in pure NumPy on a
+simulated GPU / cluster substrate:
+
+* :mod:`repro.graph` — dual-CSR graphs, generators, query sets, IO;
+* :mod:`repro.storage` — naive / CSF / PA-CA-trie intermediate stores;
+* :mod:`repro.gpusim` — device specs, memory, cost counters, kernels;
+* :mod:`repro.core` — the cuTS engine (ordering, intersections, fused
+  trie expansion, hybrid BFS-DFS chunking);
+* :mod:`repro.baselines` — GSI-style comparator, DFS and networkx oracles;
+* :mod:`repro.distributed` — the Algorithm-3 multi-rank runtime;
+* :mod:`repro.experiments` — drivers regenerating every paper table/figure.
+
+Quickstart::
+
+    from repro import subgraph_isomorphism_search, CuTSConfig
+    from repro.graph import social_graph, clique_graph
+
+    data = social_graph(1000, 3, community_edges=800, seed=1)
+    result = subgraph_isomorphism_search(data, clique_graph(4))
+    print(result.count, result.time_ms)
+"""
+
+from .api import (
+    count_automorphisms,
+    count_embeddings,
+    count_occurrences,
+    subgraph_isomorphism_search,
+)
+from .core import CuTSConfig, CuTSMatcher, MatchResult, SearchTimeout
+from .distributed import DistributedCuTS, DistributedResult
+from .gpusim import A100, V100, DeviceOOMError, DeviceSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "subgraph_isomorphism_search",
+    "count_embeddings",
+    "count_automorphisms",
+    "count_occurrences",
+    "CuTSConfig",
+    "CuTSMatcher",
+    "MatchResult",
+    "SearchTimeout",
+    "DistributedCuTS",
+    "DistributedResult",
+    "DeviceSpec",
+    "DeviceOOMError",
+    "V100",
+    "A100",
+    "__version__",
+]

@@ -1,0 +1,164 @@
+"""High-level search API with the paper's component-composition rules.
+
+cuTS proper assumes (weakly) connected query and data graphs.  Paper §4
+(final paragraph) prescribes the general case:
+
+* disconnected **query**: solve each weakly connected component
+  independently and combine as the cross product of the component
+  solutions;
+* disconnected **data**: solve on each component and take the union of
+  the solutions (a connected query embeds entirely inside one component).
+
+The cross-product count over query components mirrors the paper exactly.
+Note the caveat (inherent to the paper's rule): the cross product admits
+assignments where two query components map to overlapping data vertices,
+so it is an upper bound on the strictly injective embedding count for
+disconnected queries.  For connected queries — every query the paper
+evaluates — the result is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.config import CuTSConfig
+from .core.matcher import CuTSMatcher
+from .core.result import MatchResult
+from .core.stats import SearchStats
+from .graph.components import is_weakly_connected, split_components
+from .graph.csr import CSRGraph
+from .gpusim.cost import CostModel
+
+__all__ = [
+    "subgraph_isomorphism_search",
+    "count_embeddings",
+    "count_automorphisms",
+    "count_occurrences",
+]
+
+
+def _match_on_components(
+    data_parts: list[tuple[CSRGraph, np.ndarray]],
+    query: CSRGraph,
+    config: CuTSConfig,
+    materialize: bool,
+    time_limit_ms: float | None,
+) -> MatchResult:
+    """Union of a connected query's results over the data components."""
+    count = 0
+    time_ms = 0.0
+    mappings: list[np.ndarray] = []
+    cost = CostModel(config.device)
+    stats = SearchStats()
+    order: tuple[int, ...] = ()
+    for dcomp, dmap in data_parts:
+        if query.num_vertices > dcomp.num_vertices:
+            continue
+        res = CuTSMatcher(dcomp, config).match(
+            query, materialize=materialize, time_limit_ms=time_limit_ms
+        )
+        count += res.count
+        time_ms += res.time_ms
+        cost.merge(res.cost)
+        order = res.order
+        for depth, paths in enumerate(res.stats.paths_per_depth):
+            stats.record_depth(depth, paths)
+        stats.chunks_processed += res.stats.chunks_processed
+        if materialize and res.matches is not None and len(res.matches):
+            mappings.append(dmap[res.matches])
+    matches = None
+    if materialize:
+        matches = (
+            np.concatenate(mappings, axis=0)
+            if mappings
+            else np.zeros((0, query.num_vertices), dtype=np.int64)
+        )
+    return MatchResult(
+        count=count, matches=matches, time_ms=time_ms,
+        cost=cost, stats=stats, order=order,
+    )
+
+
+def subgraph_isomorphism_search(
+    data: CSRGraph,
+    query: CSRGraph,
+    config: CuTSConfig | None = None,
+    *,
+    materialize: bool = False,
+    time_limit_ms: float | None = None,
+) -> MatchResult:
+    """Find all embeddings of ``query`` in ``data`` (paper Definition 4).
+
+    Handles disconnected inputs per the paper's composition rules; see
+    the module docstring.  Materialisation is only supported for
+    connected query graphs (the cross-product expansion of disconnected
+    queries is combinatorial by design).
+    """
+    config = config or CuTSConfig()
+    if query.num_vertices == 0:
+        raise ValueError("query graph must have at least one vertex")
+
+    if is_weakly_connected(data):
+        data_parts: list[tuple[CSRGraph, np.ndarray]] = [
+            (data, np.arange(data.num_vertices, dtype=np.int64))
+        ]
+    else:
+        data_parts = split_components(data)
+
+    query_components = split_components(query)
+    if len(query_components) == 1:
+        return _match_on_components(
+            data_parts, query, config, materialize, time_limit_ms
+        )
+
+    if materialize:
+        raise ValueError(
+            "materialize=True requires a weakly connected query graph"
+        )
+    # Cross product over query components (paper's rule).
+    total = 1
+    time_ms = 0.0
+    cost = CostModel(config.device)
+    stats = SearchStats()
+    for qcomp, _ in query_components:
+        res = _match_on_components(
+            data_parts, qcomp, config, False, time_limit_ms
+        )
+        total *= res.count
+        time_ms += res.time_ms
+        cost.merge(res.cost)
+        if total == 0:
+            break
+    return MatchResult(
+        count=total, matches=None, time_ms=time_ms,
+        cost=cost, stats=stats, order=(),
+    )
+
+
+def count_embeddings(
+    data: CSRGraph, query: CSRGraph, config: CuTSConfig | None = None
+) -> int:
+    """Shorthand for the embedding count."""
+    return subgraph_isomorphism_search(data, query, config).count
+
+
+def count_automorphisms(query: CSRGraph, config: CuTSConfig | None = None) -> int:
+    """Automorphism count of a graph (embeddings of it into itself).
+
+    Every distinct subgraph occurrence is found once per automorphism by
+    the enumerator, so this is the normalisation constant between
+    *embeddings* and *occurrences*.
+    """
+    return subgraph_isomorphism_search(query, query, config).count
+
+
+def count_occurrences(
+    data: CSRGraph, query: CSRGraph, config: CuTSConfig | None = None
+) -> int:
+    """Number of distinct subgraphs of ``data`` isomorphic to ``query``
+    (embeddings divided by the query's automorphism count) — the quantity
+    motif-census applications report."""
+    autos = count_automorphisms(query, config)
+    embeddings = count_embeddings(data, query, config)
+    assert embeddings % autos == 0, "embedding count must divide evenly"
+    return embeddings // autos

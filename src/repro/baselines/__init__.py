@@ -1,0 +1,13 @@
+"""Comparator implementations: GSI-style BFS, DFS backtracking, networkx."""
+
+from .dfs import dfs_count, dfs_enumerate
+from .gsi import GSIMatcher
+from .reference import networkx_count, networkx_embeddings
+
+__all__ = [
+    "GSIMatcher",
+    "dfs_count",
+    "dfs_enumerate",
+    "networkx_count",
+    "networkx_embeddings",
+]

@@ -1,0 +1,86 @@
+"""Sequential DFS backtracking matcher (Ullmann-style reference).
+
+The paper's related work (§3) describes the depth-first family (Ullmann,
+VF2, ...): extend a partial embedding one query vertex at a time,
+backtracking when no candidate exists; linear memory in ``|V_Q|``.  This
+is our pure-Python correctness oracle — slow, simple, and obviously
+right — plus the canonical representative of the DFS strategy for the
+BFS-vs-DFS discussion.
+
+Semantics match the cuTS core exactly: injective monomorphism embedding
+enumeration with the Definition-5 degree filter as pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..core.ordering import build_order
+from ..graph.csr import CSRGraph
+
+__all__ = ["dfs_count", "dfs_enumerate"]
+
+
+def dfs_enumerate(
+    data: CSRGraph, query: CSRGraph, *, ordering: str = "max_degree"
+) -> Iterator[dict[int, int]]:
+    """Yield every embedding as a query→data vertex dict.
+
+    Assumes a weakly connected query (as cuTS does); disconnected queries
+    raise via the unconstrained-step guard below only when a step has no
+    matched neighbour — in which case all degree-feasible vertices are
+    tried (correct, exponential, exactly like the BFS engine's fallback).
+    """
+    if query.num_vertices == 0:
+        raise ValueError("query graph must have at least one vertex")
+    if query.num_vertices > data.num_vertices:
+        return
+    order = build_order(query, ordering)
+    seq = order.sequence
+    n = len(seq)
+    q_out = [query.out_degree(q) for q in seq]
+    q_in = [query.in_degree(q) for q in seq]
+
+    assignment = np.full(n, -1, dtype=np.int64)
+    used: set[int] = set()
+
+    def candidates(step: int) -> np.ndarray:
+        fwd, bwd = order.constraints_at(step)
+        pool: np.ndarray | None = None
+        for j in fwd:
+            kids = data.children(int(assignment[j]))
+            pool = kids if pool is None else pool[np.isin(pool, kids)]
+        for j in bwd:
+            pars = data.parents(int(assignment[j]))
+            pool = pars if pool is None else pool[np.isin(pool, pars)]
+        if pool is None:
+            pool = np.arange(data.num_vertices, dtype=np.int64)
+        out_deg = data.indptr[pool + 1] - data.indptr[pool]
+        in_deg = data.rindptr[pool + 1] - data.rindptr[pool]
+        ok = (out_deg >= q_out[step]) & (in_deg >= q_in[step])
+        if data.labels is not None and query.labels is not None:
+            ok &= data.labels[pool] == query.labels[seq[step]]
+        return pool[ok]
+
+    def recurse(step: int) -> Iterator[dict[int, int]]:
+        if step == n:
+            yield {int(seq[i]): int(assignment[i]) for i in range(n)}
+            return
+        for cand in candidates(step):
+            c = int(cand)
+            if c in used:
+                continue
+            assignment[step] = c
+            used.add(c)
+            yield from recurse(step + 1)
+            used.discard(c)
+            assignment[step] = -1
+
+    yield from recurse(0)
+
+
+def dfs_count(data: CSRGraph, query: CSRGraph, **kwargs) -> int:
+    """Number of embeddings, by exhaustive DFS."""
+    return sum(1 for _ in dfs_enumerate(data, query, **kwargs))

@@ -1,0 +1,42 @@
+"""Ground-truth oracle via networkx.
+
+``DiGraphMatcher.subgraph_monomorphisms_iter`` enumerates injective maps
+``data' -> query``... careful: networkx's matcher maps *G1 subgraph* onto
+G2, so we instantiate it as ``DiGraphMatcher(G_data, G_query)`` and each
+monomorphism dict maps data vertices to query vertices; we invert it.
+
+Used only in tests and small-scale validation — this is the independent
+implementation our engines are checked against.
+"""
+
+from __future__ import annotations
+
+from ..graph.build import to_networkx
+from ..graph.csr import CSRGraph
+
+__all__ = ["networkx_count", "networkx_embeddings"]
+
+
+def _matcher(data: CSRGraph, query: CSRGraph):
+    import networkx.algorithms.isomorphism as iso
+
+    gd = to_networkx(data)
+    gq = to_networkx(query)
+    node_match = None
+    if data.labels is not None and query.labels is not None:
+        node_match = iso.categorical_node_match("label", None)
+    return iso.DiGraphMatcher(gd, gq, node_match=node_match)
+
+
+def networkx_embeddings(data: CSRGraph, query: CSRGraph) -> list[dict[int, int]]:
+    """All monomorphism embeddings as query→data dicts."""
+    out = []
+    for mapping in _matcher(data, query).subgraph_monomorphisms_iter():
+        out.append({q: d for d, q in mapping.items()})
+    return out
+
+
+def networkx_count(data: CSRGraph, query: CSRGraph) -> int:
+    """Number of monomorphism embeddings (oracle; label-aware when both
+    graphs are labeled)."""
+    return sum(1 for _ in _matcher(data, query).subgraph_monomorphisms_iter())

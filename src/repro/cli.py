@@ -1,0 +1,159 @@
+"""Command-line interface mirroring the cuTS artifact's entry points.
+
+The paper's artifact exposes ``cuts.py`` (single-node runs),
+``2nodes_exe.sh`` / ``4nodes_exe.sh`` (distributed runs) and
+``convert_ours_to_gsi.py`` (format conversion).  This module provides the
+same operations:
+
+* ``python -m repro match DATA QUERY [--ranks N] ...`` — run a search on
+  graph files (cuTS edge-list format) or named built-in datasets;
+* ``python -m repro convert SRC DST`` — cuTS → GSI format conversion;
+* ``python -m repro experiments [--quick]`` — regenerate all tables and
+  figures (same as ``python -m repro.experiments``).
+
+DATA accepts either a path to a cuTS-format file or one of the built-in
+dataset names (``enron``, ``gowalla``, ...).  QUERY accepts a path, a
+built-in query name like ``q5_e10_r0``, or a pattern shorthand like
+``K5`` (clique), ``C6`` (cycle), ``P4`` (path/chain), ``S5`` (star).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.config import CuTSConfig
+from .core.matcher import CuTSMatcher
+from .distributed.runtime import DistributedCuTS
+from .graph.csr import CSRGraph
+from .graph.generators import chain_graph, clique_graph, cycle_graph, star_graph
+from .graph.io import convert_cuts_to_gsi, read_cuts_format
+from .gpusim.device import A100, V100
+
+__all__ = ["main", "load_data_argument", "load_query_argument"]
+
+_DEVICES = {"V100": V100, "A100": A100}
+
+
+def load_data_argument(spec: str) -> CSRGraph:
+    """Resolve a DATA argument: file path or built-in dataset name."""
+    from .experiments.datasets import DATASET_NAMES, load_dataset
+
+    if spec in DATASET_NAMES:
+        return load_dataset(spec)
+    path = Path(spec)
+    if path.exists():
+        return read_cuts_format(path)
+    raise SystemExit(
+        f"error: {spec!r} is neither a file nor one of {DATASET_NAMES}"
+    )
+
+
+def load_query_argument(spec: str) -> CSRGraph:
+    """Resolve a QUERY argument: file, paper query name, or shorthand."""
+    path = Path(spec)
+    if path.exists():
+        return read_cuts_format(path)
+    makers = {"K": clique_graph, "C": cycle_graph, "P": chain_graph}
+    if len(spec) >= 2 and spec[0] in makers and spec[1:].isdigit():
+        return makers[spec[0]](int(spec[1:]))
+    if len(spec) >= 2 and spec[0] == "S" and spec[1:].isdigit():
+        return star_graph(int(spec[1:]))
+    if spec.startswith("q") and "_" in spec:
+        from .graph.queries import paper_query_set
+
+        try:
+            size = int(spec[1 : spec.index("_")])
+        except ValueError:
+            raise SystemExit(f"error: cannot parse query name {spec!r}")
+        for q in paper_query_set(size):
+            if q.name == spec:
+                return q
+        raise SystemExit(f"error: no paper query named {spec!r}")
+    raise SystemExit(
+        f"error: {spec!r} is not a file, paper query name (q5_e10_r0), or "
+        f"shorthand (K5/C6/P4/S5)"
+    )
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    data = load_data_argument(args.data)
+    query = load_query_argument(args.query)
+    cfg = CuTSConfig(
+        device=_DEVICES[args.device],
+        chunk_size=args.chunk_size,
+        ordering=args.ordering,
+        intersection=args.intersection,
+    )
+    print(f"data : {data}")
+    print(f"query: {query}")
+    if args.ranks > 1:
+        res = DistributedCuTS(data, args.ranks, cfg).match(query)
+        print(f"matches      : {res.count:,}")
+        print(f"runtime      : {res.runtime_ms:.4f} ms on {args.ranks} ranks")
+        print(f"per-rank busy: " + ", ".join(f"{t:.4f}" for t in res.per_rank_busy_ms))
+        print(f"transfers    : {res.work_transfers}")
+    else:
+        r = CuTSMatcher(data, cfg).match(
+            query, time_limit_ms=args.time_limit_ms
+        )
+        print(f"matches      : {r.count:,}")
+        print(f"kernel time  : {r.time_ms:.4f} ms ({args.device}-sim)")
+        print(f"paths/depth  : {r.stats.paths_per_depth}")
+        if args.counters:
+            for k, v in r.cost.snapshot().items():
+                print(f"  {k:<26}{v:>16,.0f}" if isinstance(v, (int,)) else f"  {k:<26}{v:>16.4g}")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    convert_cuts_to_gsi(args.src, args.dst)
+    print(f"wrote {args.dst}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.harness import main as harness_main
+
+    return harness_main(["--quick"] if args.quick else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="cuTS reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    m = sub.add_parser("match", help="run a subgraph isomorphism search")
+    m.add_argument("data", help="data graph file or built-in dataset name")
+    m.add_argument("query", help="query file, paper query name, or K5/C6/P4/S5")
+    m.add_argument("--ranks", type=int, default=1, help="simulated nodes")
+    m.add_argument("--device", choices=("V100", "A100"), default="V100")
+    m.add_argument("--chunk-size", type=int, default=512)
+    m.add_argument("--ordering", choices=("max_degree", "id"), default="max_degree")
+    m.add_argument(
+        "--intersection", choices=("adaptive", "c", "p"), default="adaptive"
+    )
+    m.add_argument("--time-limit-ms", type=float, default=None)
+    m.add_argument("--counters", action="store_true", help="dump hardware counters")
+    m.set_defaults(func=_cmd_match)
+
+    c = sub.add_parser("convert", help="convert cuTS format to GSI format")
+    c.add_argument("src")
+    c.add_argument("dst")
+    c.set_defaults(func=_cmd_convert)
+
+    e = sub.add_parser("experiments", help="regenerate all tables/figures")
+    e.add_argument("--quick", action="store_true")
+    e.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

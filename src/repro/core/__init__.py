@@ -1,0 +1,68 @@
+"""cuTS core: ordering, candidates, intersections, the fused matcher."""
+
+from .candidates import degree_filter_mask, root_candidates
+from .config import CuTSConfig
+from .estimate import (
+    ComplexityEstimate,
+    estimate_path_counts,
+    fit_branching_factor,
+    gpu_complexity,
+    multi_gpu_complexity,
+    predict_vs_measured,
+    sequential_complexity,
+    upper_bound_counts,
+)
+from .intersect import (
+    adaptive_intersection,
+    c_intersection,
+    estimate_c_cost,
+    estimate_p_cost,
+    p_intersection,
+    scatter_vector_intersection,
+)
+from .matcher import CuTSMatcher, SearchTimeout, graph_device_words
+from .ordering import (
+    ORDERING_STRATEGIES,
+    MatchOrder,
+    build_order,
+    id_order,
+    max_constraints_order,
+    max_degree_order,
+    rare_label_order,
+)
+from .result import MatchResult
+from .stats import SearchStats
+from .stream import iter_matches
+
+__all__ = [
+    "CuTSConfig",
+    "CuTSMatcher",
+    "SearchTimeout",
+    "graph_device_words",
+    "MatchResult",
+    "SearchStats",
+    "iter_matches",
+    "MatchOrder",
+    "build_order",
+    "max_degree_order",
+    "id_order",
+    "max_constraints_order",
+    "rare_label_order",
+    "ORDERING_STRATEGIES",
+    "root_candidates",
+    "degree_filter_mask",
+    "scatter_vector_intersection",
+    "c_intersection",
+    "p_intersection",
+    "adaptive_intersection",
+    "estimate_c_cost",
+    "estimate_p_cost",
+    "ComplexityEstimate",
+    "estimate_path_counts",
+    "upper_bound_counts",
+    "fit_branching_factor",
+    "sequential_complexity",
+    "gpu_complexity",
+    "multi_gpu_complexity",
+    "predict_vs_measured",
+]

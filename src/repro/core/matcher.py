@@ -1,0 +1,729 @@
+"""The cuTS single-node matcher.
+
+This is the paper's Algorithm 1 plus the hybrid BFS–DFS chunking of
+§4.1.2, vectorised: partial paths live in the PA/CA
+:class:`~repro.storage.trie.PathTrie`; one *fused* expansion pass per
+level generates the candidate pool from an anchor constraint's adjacency
+(a coalesced CSR gather), then applies the degree filter, the remaining
+edge constraints (the c-/p-intersection membership probes, realised as
+vectorised binary searches), and the injectivity filter (a PA-pointer
+walk), and finally compacts survivors into the next trie level — the
+single-atomic write-location claim of §4.1.1.
+
+There is no two-pass count-then-write anywhere: exactly the property the
+trie buys.  When the projected frontier would overflow the trie buffer
+(half of free device memory, per the paper), the frontier is split into
+chunks (default 512 paths) processed depth-first to completion — the
+hybrid scanning strategy.
+
+All data movement, shared traffic, atomics and instructions are charged
+to a :class:`~repro.gpusim.cost.CostModel`; per-level kernel launches are
+timed with the strided virtual-warp schedule (randomised placement on by
+default, as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.cost import CostModel
+from ..gpusim.kernel import launch_kernel
+from ..gpusim.memory import DeviceMemory, DeviceOOMError
+from ..gpusim.warp import (
+    device_worker_count,
+    idle_lane_cycles,
+    select_virtual_warp_size,
+)
+from ..graph.csr import CSRGraph
+from ..storage.trie import PathTrie
+from .candidates import root_candidates
+from .config import CuTSConfig
+from .ordering import MatchOrder, build_order
+from .result import MatchResult
+from .stats import SearchStats
+
+__all__ = ["CuTSMatcher", "SearchTimeout", "graph_device_words"]
+
+
+class SearchTimeout(RuntimeError):
+    """Raised when the modeled kernel time exceeds the configured limit."""
+
+
+def graph_device_words(graph: CSRGraph) -> int:
+    """Device words a resident CSR graph occupies (dual CSR)."""
+    return 2 * (graph.num_vertices + 1) + 2 * graph.num_edges
+
+
+class CuTSMatcher:
+    """Single-device cuTS engine bound to one data graph.
+
+    ``_POOL_WORKSPACE_LIMIT`` bounds one expansion's streamed candidate
+    pool (a host-memory guard for the vectorised kernel; the modeled GPU
+    streams the pool through shared memory, so it does not count against
+    the trie buffer).
+
+    Parameters
+    ----------
+    data:
+        The data graph (resident in simulated device memory for the
+        lifetime of the matcher).
+    config:
+        Engine tunables; defaults follow the paper.
+
+    Raises
+    ------
+    DeviceOOMError
+        If the data graph itself does not fit on the device.
+    """
+
+    _POOL_WORKSPACE_LIMIT = 8_000_000
+
+    def __init__(self, data: CSRGraph, config: CuTSConfig | None = None) -> None:
+        self.data = data
+        self.config = config or CuTSConfig()
+        self.memory = DeviceMemory(self.config.device)
+        self.memory.alloc("data_graph", graph_device_words(data))
+        # "two big arrays whose size equals half of the free space
+        # available in the GPU" (§4.1.1).
+        self.trie_budget_words = int(
+            self.memory.free_words * self.config.trie_buffer_fraction
+        )
+        self.memory.alloc("trie_buffer", self.trie_budget_words)
+        vw = self.config.virtual_warp_size or select_virtual_warp_size(
+            data.average_out_degree, self.config.device.warp_size
+        )
+        self.virtual_warp_size = vw
+        self.num_workers = device_worker_count(self.config.device, vw)
+        # Mean in-degree is the p-intersection cost estimator's constant.
+        self._mean_in_degree = (
+            data.num_edges / data.num_vertices if data.num_vertices else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        query: CSRGraph,
+        *,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        wall_limit_s: float | None = None,
+    ) -> MatchResult:
+        """Enumerate all monomorphism embeddings of ``query`` in the data.
+
+        Parameters
+        ----------
+        query:
+            The (weakly connected) query graph.
+        materialize:
+            Collect the actual embeddings (possibly capped by
+            ``config.max_materialized``); counting is always exact.
+        time_limit_ms:
+            Abort with :class:`SearchTimeout` when the modeled kernel
+            time exceeds this bound (reproduces the paper's failed
+            cases that are not memory failures).
+        wall_limit_s:
+            Abort with :class:`SearchTimeout` when real elapsed time
+            exceeds this bound (harness safety; no paper analogue).
+
+        Raises
+        ------
+        DeviceOOMError
+            If even a single-path chunk cannot fit its expansion in the
+            trie buffer.
+        SearchTimeout
+            See ``time_limit_ms``.
+        """
+        if query.num_vertices == 0:
+            raise ValueError("query graph must have at least one vertex")
+        cost = CostModel(self.config.device)
+        if self.config.trace_kernels:
+            cost.enable_trace()
+        stats = SearchStats()
+        rng = (
+            np.random.default_rng(self.config.seed)
+            if self.config.randomize_placement
+            else None
+        )
+        order = build_order(query, self.config.ordering)
+        n_steps = order.num_steps
+
+        if query.num_vertices > self.data.num_vertices:
+            empty = (
+                np.zeros((0, order.num_steps), dtype=np.int64)
+                if materialize
+                else None
+            )
+            return MatchResult(
+                count=0, matches=empty, time_ms=cost.time_ms, cost=cost,
+                stats=stats, order=order.sequence,
+            )
+
+        roots = root_candidates(
+            self.data, query, order.sequence[0], cost,
+            neighborhood_filter=self.config.neighborhood_filter,
+        )
+        launch_kernel(
+            cost,
+            "init_match",
+            np.ones(max(1, self.data.num_vertices), dtype=np.float64),
+            device_worker_count(self.config.device, self.config.device.warp_size),
+            2 * self.data.num_vertices + len(roots),
+            rng=None,
+        )
+        stats.record_depth(0, len(roots))
+
+        trie = PathTrie.from_roots(roots)
+        state = _RunState(
+            query=query,
+            order=order,
+            cost=cost,
+            stats=stats,
+            rng=rng,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+            trie_words=2 * len(roots),
+        )
+        state.max_materialized = self.config.max_materialized
+        if wall_limit_s is not None:
+            import time as _time
+
+            state.wall_deadline = _time.monotonic() + wall_limit_s
+        stats.record_trie_words(state.trie_words)
+        if state.trie_words > self.trie_budget_words:
+            raise DeviceOOMError(
+                state.trie_words, self.trie_budget_words, "trie_buffer"
+            )
+
+        if n_steps == 1:
+            matches = roots.reshape(-1, 1).copy() if materialize else None
+            count = len(roots)
+        else:
+            frontier = np.arange(len(roots), dtype=np.int64)
+            count = self._search(trie, 1, frontier, state)
+            matches = state.collected_matrix()
+
+        if matches is not None:
+            # Columns are in matching order; permute to query-vertex order.
+            inv = np.empty(n_steps, dtype=np.int64)
+            inv[np.asarray(order.sequence, dtype=np.int64)] = np.arange(
+                n_steps, dtype=np.int64
+            )
+            matches = np.ascontiguousarray(matches[:, inv])
+
+        return MatchResult(
+            count=count,
+            matches=matches,
+            time_ms=cost.time_ms,
+            cost=cost,
+            stats=stats,
+            order=order.sequence,
+        )
+
+    def count(self, query: CSRGraph, **kwargs) -> int:
+        """Convenience: number of embeddings only."""
+        return self.match(query, **kwargs).count
+
+    # ------------------------------------------------------------------
+    # Stepwise driving API (used by the distributed runtime)
+    # ------------------------------------------------------------------
+    def make_run_state(
+        self,
+        query: CSRGraph,
+        *,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+    ) -> "_RunState":
+        """Create the per-run context for externally-driven expansion.
+
+        The distributed runtime owns its own work stack and calls
+        :meth:`expand_frontier` chunk by chunk; this builds the state
+        (order, cost model, stats, rng) those calls thread through.
+        """
+        rng = (
+            np.random.default_rng(self.config.seed)
+            if self.config.randomize_placement
+            else None
+        )
+        order = build_order(query, self.config.ordering)
+        run_cost = CostModel(self.config.device)
+        if self.config.trace_kernels:
+            run_cost.enable_trace()
+        state = _RunState(
+            query=query,
+            order=order,
+            cost=run_cost,
+            stats=SearchStats(),
+            rng=rng,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+            trie_words=0,
+        )
+        state.max_materialized = self.config.max_materialized
+        return state
+
+    def initial_frontier(
+        self, state: "_RunState", *, part: int = 0, num_parts: int = 1
+    ) -> PathTrie:
+        """Level-0 trie from the root candidates (optionally strided).
+
+        ``part``/``num_parts`` implement the distributed ``init_match``:
+        rank ``r`` of ``P`` keeps candidates ``r::P``.
+        """
+        if not 0 <= part < num_parts:
+            raise ValueError("need 0 <= part < num_parts")
+        roots = root_candidates(
+            self.data, state.query, state.order.sequence[0], state.cost,
+            neighborhood_filter=self.config.neighborhood_filter,
+        )
+        if num_parts > 1:
+            roots = roots[part::num_parts]
+        launch_kernel(
+            state.cost,
+            "init_match",
+            np.ones(max(1, self.data.num_vertices), dtype=np.float64),
+            device_worker_count(self.config.device, self.config.device.warp_size),
+            2 * self.data.num_vertices + len(roots),
+            rng=None,
+        )
+        state.stats.record_depth(0, len(roots))
+        return PathTrie.from_roots(roots)
+
+    def expand_frontier(
+        self,
+        trie: PathTrie,
+        step: int,
+        frontier: np.ndarray,
+        state: "_RunState",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand ``frontier`` (paths at the trie's deepest level) through
+        query step ``step``; returns ``(global parent indices, candidates)``
+        without mutating the trie.  All costs are charged to ``state``."""
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+            )
+        ancestors = trie.paths_at(trie.depth - 1, frontier)
+        fwd, bwd = state.order.constraints_at(step)
+        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state)
+        state.stats.record_depth(step, len(ca))
+        return frontier[pa_local], ca
+
+    # ------------------------------------------------------------------
+    # Hybrid BFS-DFS search
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        trie: PathTrie,
+        step: int,
+        frontier: np.ndarray,
+        state: "_RunState",
+    ) -> int:
+        """Expand ``frontier`` (paths at trie's deepest level) through
+        query step ``step`` and recurse to completion.  Returns the number
+        of full embeddings found below this frontier."""
+        if frontier.size == 0:
+            return 0
+        if (
+            state.time_limit_ms is not None
+            and state.cost.time_ms > state.time_limit_ms
+        ):
+            raise SearchTimeout(
+                f"modeled time {state.cost.time_ms:.1f} ms exceeded limit "
+                f"{state.time_limit_ms:.1f} ms"
+            )
+        if state.wall_deadline is not None:
+            import time as _time
+
+            if _time.monotonic() > state.wall_deadline:
+                raise SearchTimeout("wall-clock limit exceeded")
+
+        ancestors = trie.paths_at(trie.depth - 1, frontier)
+        fwd, bwd = state.order.constraints_at(step)
+
+        # --- memory-pressure chunking (hybrid BFS-DFS, §4.1.2) ---------
+        # The candidate pool streams through shared memory per virtual
+        # warp; only *survivors* land in the trie buffer.  Each level may
+        # claim an equal share of the *remaining* headroom (so deeper
+        # levels of the active DFS branch always keep room), projected
+        # via the survival ratio measured at this step so far
+        # (conservatively 1.0 before the first probe chunk).
+        pool_estimate = self._estimate_pool(ancestors, fwd, bwd)
+        remaining_levels = max(1, state.order.num_steps - step)
+
+        def fits(pool_fraction: float) -> bool:
+            sigma = state.sigma_by_step.get(step, 1.0)
+            headroom = self.trie_budget_words - state.trie_words
+            allowance = headroom / remaining_levels
+            level_words = 2 * pool_estimate * pool_fraction * sigma
+            return (
+                level_words <= allowance
+                and pool_estimate * pool_fraction <= self._POOL_WORKSPACE_LIMIT
+            )
+
+        if not fits(1.0) and frontier.size > 1:
+            # Peel chunks iteratively.  Each processed chunk refines the
+            # measured survival ratio (sigma_by_step), so the remainder
+            # is re-projected with real data every iteration — a run that
+            # merely *looked* oversized proceeds after one probe chunk,
+            # while a genuinely memory-bound run keeps chunking (bounded
+            # recursion: sub-chunks only ever halve).
+            total = 0
+            remaining = frontier
+            while remaining.size:
+                if remaining.size == 1 or fits(remaining.size / frontier.size):
+                    chunk, remaining = remaining, remaining[:0]
+                else:
+                    split = min(
+                        self.config.chunk_size, max(1, remaining.size // 2)
+                    )
+                    chunk, remaining = remaining[:split], remaining[split:]
+                state.stats.record_chunk(step)
+                total += self._search(trie, step, chunk, state)
+            return total
+
+        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state)
+        state.stats.record_depth(step, len(ca))
+        if pool_estimate > 0:
+            # Exponential-moving survival ratio for the chunk projector.
+            observed = len(ca) / pool_estimate
+            prior = state.sigma_by_step.get(step)
+            state.sigma_by_step[step] = (
+                observed if prior is None else 0.5 * prior + 0.5 * observed
+            )
+        if len(ca) == 0:
+            return 0
+
+        new_words = 2 * len(ca)
+        if state.trie_words + new_words > self.trie_budget_words:
+            if frontier.size > 1:
+                # Estimate was too optimistic; fall back to chunking.
+                total = 0
+                for chunk in np.array_split(frontier, 2):
+                    if chunk.size == 0:
+                        continue
+                    state.stats.record_chunk(step)
+                    total += self._search(trie, step, chunk, state)
+                return total
+            raise DeviceOOMError(
+                new_words,
+                self.trie_budget_words - state.trie_words,
+                "trie_buffer",
+            )
+
+        trie.append_level(frontier[pa_local], ca)
+        state.trie_words += new_words
+        state.stats.record_trie_words(state.trie_words)
+        try:
+            if step + 1 == state.order.num_steps:
+                count = len(ca)
+                state.collect(trie, np.arange(len(ca), dtype=np.int64))
+            else:
+                count = self._search(
+                    trie, step + 1, np.arange(len(ca), dtype=np.int64), state
+                )
+        finally:
+            trie.drop_last_level()
+            state.trie_words -= new_words
+        return count
+
+    # ------------------------------------------------------------------
+    # Fused expansion kernel
+    # ------------------------------------------------------------------
+    def _estimate_pool(
+        self,
+        ancestors: np.ndarray,
+        fwd: tuple[int, ...],
+        bwd: tuple[int, ...],
+    ) -> int:
+        """Upper-bound the candidate-pool size for this frontier."""
+        data = self.data
+        best = None
+        for j in fwd:
+            total = int(
+                (data.indptr[ancestors[:, j] + 1] - data.indptr[ancestors[:, j]]).sum()
+            )
+            best = total if best is None else min(best, total)
+        for j in bwd:
+            total = int(
+                (
+                    data.rindptr[ancestors[:, j] + 1]
+                    - data.rindptr[ancestors[:, j]]
+                ).sum()
+            )
+            best = total if best is None else min(best, total)
+        if best is None:
+            # Unconstrained step (disconnected query component).
+            best = ancestors.shape[0] * data.num_vertices
+        return best
+
+    def _extend(
+        self,
+        ancestors: np.ndarray,
+        step: int,
+        fwd: tuple[int, ...],
+        bwd: tuple[int, ...],
+        state: "_RunState",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One fused expansion: returns (local parent indices, candidates).
+
+        ``ancestors`` is the ``(F, step)`` matrix of the frontier's
+        materialised prefixes (columns follow the matching order).
+        """
+        data = self.data
+        cost = state.cost
+        q_next = state.order.sequence[step]
+        num_frontier = ancestors.shape[0]
+        words_before = cost.dram_read_words + cost.dram_write_words
+
+        # ----- anchor selection: cheapest constraint seeds the pool ----
+        anchor_kind, anchor_j, anchor_total = self._select_anchor(
+            ancestors, fwd, bwd
+        )
+
+        if anchor_kind == "none":
+            # Disconnected query step: pool = frontier x all vertices.
+            path_ids = np.repeat(
+                np.arange(num_frontier, dtype=np.int64), data.num_vertices
+            )
+            cands = np.tile(
+                np.arange(data.num_vertices, dtype=np.int64), num_frontier
+            )
+            pool_counts = np.full(
+                num_frontier, data.num_vertices, dtype=np.int64
+            )
+            cost.charge_dram_read(len(cands), segments=num_frontier)
+        else:
+            if anchor_kind == "fwd":
+                indptr, indices = data.indptr, data.indices
+            else:
+                indptr, indices = data.rindptr, data.rindices
+            anchor_vertices = ancestors[:, anchor_j]
+            starts = indptr[anchor_vertices]
+            pool_counts = indptr[anchor_vertices + 1] - starts
+            total = int(pool_counts.sum())
+            path_ids = np.repeat(
+                np.arange(num_frontier, dtype=np.int64), pool_counts
+            )
+            # Flat gather of all anchor adjacency slices in one pass:
+            # offsets[k] = starts[path] + (k - first_k_of_path).
+            cum = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(pool_counts)]
+            )
+            offsets = (
+                np.arange(total, dtype=np.int64)
+                - cum[path_ids]
+                + starts[path_ids]
+            )
+            cands = indices[offsets]
+            cost.charge_dram_read(total, segments=num_frontier)
+            cost.charge_shared(writes=total)
+
+        mask = np.ones(len(cands), dtype=bool)
+
+        # ----- degree filter (Definition 5) -----------------------------
+        q_out = state.query.out_degree(q_next)
+        q_in = state.query.in_degree(q_next)
+        if q_out > 0:
+            mask &= (data.indptr[cands + 1] - data.indptr[cands]) >= q_out
+        if q_in > 0:
+            mask &= (data.rindptr[cands + 1] - data.rindptr[cands]) >= q_in
+        if data.labels is not None and state.query.labels is not None:
+            mask &= data.labels[cands] == state.query.labels[q_next]
+        cost.charge_instructions(2 * len(cands))
+
+        # ----- remaining edge constraints (c-/p-intersection probes) ----
+        rest_fwd = tuple(j for j in fwd if not (anchor_kind == "fwd" and j == anchor_j))
+        rest_bwd = tuple(j for j in bwd if not (anchor_kind == "bwd" and j == anchor_j))
+        num_rest = len(rest_fwd) + len(rest_bwd)
+        if num_rest and mask.any():
+            kind = self._choose_intersection(
+                ancestors, rest_fwd, rest_bwd, int(mask.sum())
+            )
+            state.stats.record_intersection(kind, num_rest)
+            live = np.nonzero(mask)[0]
+            live_paths = path_ids[live]
+            live_cands = cands[live]
+            ok = np.ones(len(live), dtype=bool)
+            for j in rest_fwd:
+                ok &= data.has_edges(ancestors[live_paths, j], live_cands)
+            for j in rest_bwd:
+                ok &= data.has_edges(live_cands, ancestors[live_paths, j])
+            mask[live] = ok
+            self._charge_intersection(
+                kind, ancestors, rest_fwd, rest_bwd, live_paths, live_cands, state
+            )
+
+        # ----- injectivity: candidate must be new on its path -----------
+        if mask.any():
+            live = np.nonzero(mask)[0]
+            dup = np.zeros(len(live), dtype=bool)
+            for col in range(ancestors.shape[1]):
+                dup |= ancestors[path_ids[live], col] == cands[live]
+            mask[live] = ~dup
+            cost.charge_instructions(len(live) * ancestors.shape[1])
+
+        results = int(mask.sum())
+        # ----- write-out: one atomic slot claim per surviving candidate -
+        cost.charge_atomics(results)
+        cost.charge_dram_write(2 * results)
+        cost.charge_idle_lanes(
+            idle_lane_cycles(pool_counts, self.virtual_warp_size)
+        )
+
+        # ----- kernel launch timing --------------------------------------
+        per_path_work = (
+            np.ceil(pool_counts / self.virtual_warp_size) * (1 + num_rest) + 2.0
+        )
+        words_moved = (
+            cost.dram_read_words + cost.dram_write_words - words_before
+        )
+        launch_kernel(
+            cost,
+            f"search_kernel_d{step}",
+            per_path_work,
+            self.num_workers,
+            words_moved,
+            rng=state.rng,
+        )
+
+        return path_ids[mask], cands[mask]
+
+    def _select_anchor(
+        self,
+        ancestors: np.ndarray,
+        fwd: tuple[int, ...],
+        bwd: tuple[int, ...],
+    ) -> tuple[str, int, int]:
+        """Pick the constraint with the smallest total fanout."""
+        data = self.data
+        best: tuple[str, int, int] | None = None
+        for j in fwd:
+            a = ancestors[:, j]
+            total = int((data.indptr[a + 1] - data.indptr[a]).sum())
+            if best is None or total < best[2]:
+                best = ("fwd", j, total)
+        for j in bwd:
+            a = ancestors[:, j]
+            total = int((data.rindptr[a + 1] - data.rindptr[a]).sum())
+            if best is None or total < best[2]:
+                best = ("bwd", j, total)
+        if best is None:
+            return ("none", -1, ancestors.shape[0] * data.num_vertices)
+        return best
+
+    def _choose_intersection(
+        self,
+        ancestors: np.ndarray,
+        rest_fwd: tuple[int, ...],
+        rest_bwd: tuple[int, ...],
+        pool_size: int,
+    ) -> str:
+        """Adaptive c-vs-p choice by modeled movement (§4.1.3)."""
+        if self.config.intersection in ("c", "p"):
+            return self.config.intersection
+        data = self.data
+        cost_c = 0
+        for j in rest_fwd:
+            a = ancestors[:, j]
+            cost_c += int((data.indptr[a + 1] - data.indptr[a]).sum())
+        for j in rest_bwd:
+            a = ancestors[:, j]
+            cost_c += int((data.rindptr[a + 1] - data.rindptr[a]).sum())
+        cost_p = pool_size * self._mean_in_degree * (
+            len(rest_fwd) + len(rest_bwd)
+        )
+        return "p" if cost_p < cost_c else "c"
+
+    def _charge_intersection(
+        self,
+        kind: str,
+        ancestors: np.ndarray,
+        rest_fwd: tuple[int, ...],
+        rest_bwd: tuple[int, ...],
+        live_paths: np.ndarray,
+        live_cands: np.ndarray,
+        state: "_RunState",
+    ) -> None:
+        """Charge the movement of the chosen micro-kernel (paper's
+        complexity expressions, §4.1.3)."""
+        data = self.data
+        cost = state.cost
+        if kind == "c":
+            # The warp streams each constraint's children list once per
+            # *path* (not per pool candidate).
+            upaths = np.unique(live_paths)
+            words = 0
+            for j in rest_fwd:
+                a = ancestors[upaths, j]
+                words += int((data.indptr[a + 1] - data.indptr[a]).sum())
+            for j in rest_bwd:
+                a = ancestors[upaths, j]
+                words += int((data.rindptr[a + 1] - data.rindptr[a]).sum())
+            # Streamed coalesced loads of the other children lists, probed
+            # against the shared-memory pool buffer.
+            cost.charge_dram_read(words, segments=max(1, len(upaths)))
+            cost.charge_shared(reads=words)
+            cost.charge_instructions(words)
+        else:
+            # p-intersection: each live candidate's parent list is walked.
+            words = int(
+                (data.rindptr[live_cands + 1] - data.rindptr[live_cands]).sum()
+            )
+            cost.charge_dram_read(words, segments=max(1, len(live_cands)))
+            cost.charge_shared(reads=len(live_cands))
+            cost.charge_instructions(words)
+
+
+class _RunState:
+    """Mutable per-run context threaded through the recursion."""
+
+    def __init__(
+        self,
+        *,
+        query: CSRGraph,
+        order: MatchOrder,
+        cost: CostModel,
+        stats: SearchStats,
+        rng: np.random.Generator | None,
+        materialize: bool,
+        time_limit_ms: float | None,
+        trie_words: int,
+    ) -> None:
+        self.query = query
+        self.order = order
+        self.cost = cost
+        self.stats = stats
+        self.rng = rng
+        self.materialize = materialize
+        self.time_limit_ms = time_limit_ms
+        self.wall_deadline: float | None = None
+        self.trie_words = trie_words
+        self.sigma_by_step: dict[int, float] = {}
+        self.max_materialized: int | None = None
+        self._collected: list[np.ndarray] = []
+        self._collected_count = 0
+
+    def collect(self, trie: PathTrie, indices: np.ndarray) -> None:
+        """Materialise completed paths (writes results to host)."""
+        if not self.materialize:
+            return
+        cap = self.max_materialized
+        if cap is not None:
+            room = cap - self._collected_count
+            if room <= 0:
+                return
+            indices = indices[:room]
+        paths = trie.paths_at(trie.depth - 1, indices)
+        self._collected.append(paths)
+        self._collected_count += len(paths)
+
+    def collected_matrix(self) -> np.ndarray | None:
+        if not self.materialize:
+            return None
+        if not self._collected:
+            return np.zeros((0, self.order.num_steps), dtype=np.int64)
+        return np.concatenate(self._collected, axis=0)

@@ -1,0 +1,57 @@
+"""Match results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..gpusim.cost import CostModel
+from .stats import SearchStats
+
+__all__ = ["MatchResult"]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of one subgraph-isomorphism search.
+
+    Attributes
+    ----------
+    count:
+        Number of monomorphism embeddings found (always exact).
+    matches:
+        ``(k, |V_Q|)`` matrix when materialisation was requested:
+        ``matches[r, q]`` is the data vertex that query vertex ``q`` maps
+        to in embedding ``r``.  ``None`` when counting only.  ``k`` may be
+        smaller than ``count`` if ``max_materialized`` capped collection.
+    time_ms:
+        Modeled GPU kernel time (the paper's evaluation metric).
+    cost:
+        The full hardware-counter snapshot of the run.
+    stats:
+        Per-depth path counts, chunking activity, peak storage.
+    order:
+        The query-vertex sequence that was matched.
+    """
+
+    count: int
+    matches: np.ndarray | None
+    time_ms: float
+    cost: CostModel
+    stats: SearchStats = field(default_factory=SearchStats)
+    order: tuple[int, ...] = ()
+
+    def mappings(self) -> list[dict[int, int]]:
+        """Materialised matches as query→data dictionaries."""
+        if self.matches is None:
+            raise ValueError("matches were not materialised (count-only run)")
+        return [
+            {q: int(row[q]) for q in range(len(row))} for row in self.matches
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MatchResult(count={self.count}, time_ms={self.time_ms:.3f}, "
+            f"materialized={0 if self.matches is None else len(self.matches)})"
+        )

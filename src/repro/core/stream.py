@@ -1,0 +1,107 @@
+"""Streaming match enumeration.
+
+The hybrid BFS–DFS chunking (§4.1.2) writes each chunk's completed
+matches out before loading the next chunk — which means results can be
+*streamed*: a consumer can process embeddings batch by batch with memory
+bounded by the chunk size, never holding the full (possibly huge) result
+set.  :func:`iter_matches` exposes that as a generator.
+
+The traversal is the same worker-stack formulation the distributed
+runtime uses (structural trie sharing, LIFO = depth-first), driven by the
+matcher's stepwise API, so counts and costs agree with
+:meth:`~repro.core.matcher.CuTSMatcher.match`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..storage.trie import PathTrie, TrieLevel
+from .matcher import CuTSMatcher
+
+__all__ = ["iter_matches"]
+
+
+def iter_matches(
+    matcher: CuTSMatcher,
+    query,
+    *,
+    batch_size: int = 1024,
+) -> Iterator[np.ndarray]:
+    """Yield embeddings of ``query`` as ``(k, |V_Q|)`` batches.
+
+    Batches have at most ``batch_size`` rows (the final one may be
+    smaller); columns are in query-vertex order, exactly like
+    ``MatchResult.matches``.  Peak memory is bounded by the engine's
+    chunk size times the query depth, independent of the total match
+    count.
+
+    Parameters
+    ----------
+    matcher:
+        A :class:`CuTSMatcher` bound to the data graph.
+    query:
+        The (weakly connected) query graph.
+    batch_size:
+        Maximum rows per yielded batch.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if query.num_vertices == 0:
+        raise ValueError("query graph must have at least one vertex")
+    state = matcher.make_run_state(query)
+    n_steps = state.order.num_steps
+    inv = np.empty(n_steps, dtype=np.int64)
+    inv[np.asarray(state.order.sequence, dtype=np.int64)] = np.arange(
+        n_steps, dtype=np.int64
+    )
+
+    if query.num_vertices > matcher.data.num_vertices:
+        return
+
+    trie = matcher.initial_frontier(state)
+    roots = trie.num_paths(0)
+    pending: list[np.ndarray] = []
+    pending_rows = 0
+
+    def flush(force: bool = False) -> Iterator[np.ndarray]:
+        nonlocal pending, pending_rows
+        while pending_rows >= batch_size or (force and pending_rows > 0):
+            stacked = np.concatenate(pending, axis=0)
+            out, rest = stacked[:batch_size], stacked[batch_size:]
+            pending = [rest] if rest.size else []
+            pending_rows = len(rest)
+            yield np.ascontiguousarray(out)
+
+    if n_steps == 1:
+        if roots:
+            pending.append(trie.levels[0].ca.reshape(-1, 1))
+            pending_rows = roots
+        yield from flush(force=True)
+        return
+
+    chunk = matcher.config.chunk_size
+    stack: list[tuple[PathTrie, int, np.ndarray]] = []
+    if roots:
+        stack.append((trie, 1, np.arange(roots, dtype=np.int64)))
+    while stack:
+        item_trie, step, frontier = stack.pop()
+        if frontier.size > chunk:
+            stack.append((item_trie, step, frontier[chunk:]))
+            frontier = frontier[:chunk]
+        pa, ca = matcher.expand_frontier(item_trie, step, frontier, state)
+        if len(ca) == 0:
+            continue
+        child = PathTrie(levels=[*item_trie.levels, TrieLevel(pa=pa, ca=ca)])
+        if step + 1 == n_steps:
+            paths = child.paths_at(child.depth - 1)
+            pending.append(paths[:, inv])
+            pending_rows += len(paths)
+            yield from flush()
+        else:
+            stack.append(
+                (child, step + 1, np.arange(len(ca), dtype=np.int64))
+            )
+    yield from flush(force=True)

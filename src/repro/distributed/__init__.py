@@ -1,0 +1,26 @@
+"""Distributed cuTS: simulated MPI, Algorithm-3 scheduler, load balance."""
+
+from .balance import BalanceReport, balance_report
+from .bulksync import BulkSyncCuTS, BulkSyncResult
+from .comm import Message, NetworkModel, SimComm
+from .partition import block_partition, stride_partition
+from .protocol import FreeNodeRegistry
+from .runtime import DistributedCuTS, DistributedResult
+from .worker import RankWorker, WorkItem
+
+__all__ = [
+    "DistributedCuTS",
+    "DistributedResult",
+    "BulkSyncCuTS",
+    "BulkSyncResult",
+    "RankWorker",
+    "WorkItem",
+    "SimComm",
+    "Message",
+    "NetworkModel",
+    "FreeNodeRegistry",
+    "stride_partition",
+    "block_partition",
+    "BalanceReport",
+    "balance_report",
+]

@@ -1,0 +1,51 @@
+"""Load-balance reporting (Figure 5).
+
+Figure 5 plots per-node runtimes T1..T4 on the 4-node wikiTalk runs and
+argues "our node to node runtime variation is very low".  This module
+turns a :class:`~repro.distributed.runtime.DistributedResult` into that
+table plus summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .runtime import DistributedResult
+
+__all__ = ["BalanceReport", "balance_report"]
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Per-node runtime spread of one distributed run."""
+
+    per_rank_ms: tuple[float, ...]
+    mean_ms: float
+    max_ms: float
+    min_ms: float
+    imbalance: float  # max / mean
+    cov: float  # coefficient of variation
+
+    def rows(self) -> list[dict]:
+        """One row per node, Figure-5 style (T1, T2, ...)."""
+        return [
+            {"node": f"T{i + 1}", "runtime_ms": t}
+            for i, t in enumerate(self.per_rank_ms)
+        ]
+
+
+def balance_report(result: DistributedResult) -> BalanceReport:
+    """Summarise per-rank busy times of a distributed run."""
+    busy = np.asarray(result.per_rank_busy_ms, dtype=np.float64)
+    mean = float(busy.mean()) if busy.size else 0.0
+    std = float(busy.std()) if busy.size else 0.0
+    return BalanceReport(
+        per_rank_ms=tuple(float(t) for t in busy),
+        mean_ms=mean,
+        max_ms=float(busy.max()) if busy.size else 0.0,
+        min_ms=float(busy.min()) if busy.size else 0.0,
+        imbalance=float(busy.max() / mean) if mean > 0 else 1.0,
+        cov=std / mean if mean > 0 else 0.0,
+    )

@@ -1,0 +1,265 @@
+"""The rejected distributed strategy: bulk-synchronous rebalancing.
+
+Paper §4.2 considers and rejects a first strategy before arriving at the
+asynchronous protocol:
+
+    "The first strategy is to synchronize all the compute nodes after
+    each outer iteration ... exchange the number of remaining partial
+    paths ... and then distribute the partial paths evenly across each
+    node.  However, this strategy has two main disadvantages: i) wasted
+    compute cycles [waiting at the barrier] and ii) incompatibility with
+    the cuTS representation [whole tries must be shipped]."
+
+This module implements exactly that scheme so the reproduction can
+measure the argument: every rank expands its frontier one level, all
+ranks barrier at the slowest rank's clock, path counts are exchanged,
+and paths are redistributed evenly (shipping serialized sub-tries
+whenever a rank holds more than the average).  The comparison benchmark
+shows the async work-stealing runtime beating it, and the per-level
+barrier time quantifies disadvantage (i) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import CuTSConfig
+from ..graph.csr import CSRGraph
+from ..storage.serialize import deserialize_trie, serialize_trie
+from ..storage.trie import PathTrie, TrieLevel
+from .comm import NetworkModel
+from .runtime import DistributedResult
+
+__all__ = ["BulkSyncResult", "BulkSyncCuTS"]
+
+
+@dataclass(frozen=True)
+class BulkSyncResult:
+    """Outcome of a bulk-synchronous distributed run."""
+
+    count: int
+    runtime_ms: float
+    per_rank_busy_ms: tuple[float, ...]
+    barrier_wait_ms: tuple[float, ...]
+    words_transferred: int
+    levels: int
+
+    @property
+    def num_ranks(self) -> int:
+        return len(self.per_rank_busy_ms)
+
+    @property
+    def total_barrier_waste_ms(self) -> float:
+        """Disadvantage (i): compute cycles wasted waiting at barriers."""
+        return float(sum(self.barrier_wait_ms))
+
+    def as_distributed_result(self) -> DistributedResult:
+        """Adapter for code that consumes the async result type."""
+        return DistributedResult(
+            count=self.count,
+            runtime_ms=self.runtime_ms,
+            per_rank_clock_ms=tuple(
+                b + w
+                for b, w in zip(self.per_rank_busy_ms, self.barrier_wait_ms)
+            ),
+            per_rank_busy_ms=self.per_rank_busy_ms,
+            chunks_processed=(0,) * self.num_ranks,
+            work_transfers=0,
+            words_transferred=self.words_transferred,
+        )
+
+
+class BulkSyncCuTS:
+    """Level-synchronous distributed cuTS (the §4.2 strawman)."""
+
+    def __init__(
+        self,
+        data: CSRGraph,
+        num_ranks: int,
+        config: CuTSConfig | None = None,
+        network: NetworkModel | None = None,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.data = data
+        self.num_ranks = num_ranks
+        self.config = config or CuTSConfig()
+        self.network = network or NetworkModel()
+
+    def match(self, query: CSRGraph) -> BulkSyncResult:
+        """Run the level-synchronous search to completion."""
+        if query.num_vertices == 0:
+            raise ValueError("query graph must have at least one vertex")
+        from ..core.matcher import CuTSMatcher
+
+        matchers = [
+            CuTSMatcher(self.data, self.config) for _ in range(self.num_ranks)
+        ]
+        states = [m.make_run_state(query) for m in matchers]
+        n_steps = states[0].order.num_steps
+
+        # init_match: strided partition, as in the async engine.
+        tries: list[PathTrie | None] = []
+        clocks = np.zeros(self.num_ranks)
+        busy = np.zeros(self.num_ranks)
+        waits = np.zeros(self.num_ranks)
+        words_transferred = 0
+        count = 0
+        for r, (m, s) in enumerate(zip(matchers, states)):
+            t0 = s.cost.time_ms
+            trie = m.initial_frontier(s, part=r, num_parts=self.num_ranks)
+            dt = s.cost.time_ms - t0
+            clocks[r] += dt
+            busy[r] += dt
+            tries.append(trie if trie.num_paths(0) else None)
+
+        if n_steps == 1:
+            count = sum(t.num_paths(0) for t in tries if t is not None)
+            return BulkSyncResult(
+                count=count,
+                runtime_ms=float(clocks.max()),
+                per_rank_busy_ms=tuple(busy),
+                barrier_wait_ms=tuple(waits),
+                words_transferred=0,
+                levels=1,
+            )
+
+        levels = 0
+        for step in range(1, n_steps):
+            levels += 1
+            # --- each rank expands its frontier one level, chunk by
+            # chunk (the memory constraint applies to every strategy, so
+            # per-chunk launch costs are identical to the async engine's)
+            chunk = self.config.chunk_size
+            for r, (m, s) in enumerate(zip(matchers, states)):
+                trie = tries[r]
+                if trie is None:
+                    continue
+                size = trie.num_paths(trie.depth - 1)
+                pa_parts: list[np.ndarray] = []
+                ca_parts: list[np.ndarray] = []
+                t0 = s.cost.time_ms
+                for lo in range(0, size, chunk):
+                    frontier = np.arange(
+                        lo, min(lo + chunk, size), dtype=np.int64
+                    )
+                    pa, ca = m.expand_frontier(trie, step, frontier, s)
+                    if len(ca):
+                        pa_parts.append(pa)
+                        ca_parts.append(ca)
+                dt = s.cost.time_ms - t0
+                clocks[r] += dt
+                busy[r] += dt
+                if not ca_parts:
+                    tries[r] = None
+                else:
+                    tries[r] = PathTrie(
+                        levels=[
+                            *trie.levels,
+                            TrieLevel(
+                                pa=np.concatenate(pa_parts),
+                                ca=np.concatenate(ca_parts),
+                            ),
+                        ]
+                    )
+            # --- barrier: everyone waits for the slowest ----------------
+            barrier = float(clocks.max())
+            waits += barrier - clocks
+            clocks[:] = barrier
+            if step == n_steps - 1:
+                break
+            # --- even redistribution (ships whole sub-tries) ------------
+            words = self._rebalance(tries, step)
+            words_transferred += words
+            transfer = self.network.transfer_ms(words)
+            clocks += transfer  # all ranks participate in the exchange
+
+        count = sum(
+            t.num_paths(t.depth - 1) for t in tries if t is not None
+        )
+        return BulkSyncResult(
+            count=count,
+            runtime_ms=float(clocks.max()),
+            per_rank_busy_ms=tuple(busy),
+            barrier_wait_ms=tuple(waits),
+            words_transferred=words_transferred,
+            levels=levels,
+        )
+
+    # ------------------------------------------------------------------
+    def _rebalance(self, tries: list[PathTrie | None], step: int) -> int:
+        """Redistribute frontier paths evenly; returns words shipped.
+
+        Surplus ranks extract sub-tries for their excess paths, deficit
+        ranks absorb them; each shipped path costs its serialized trie
+        prefix — disadvantage (ii) made concrete.
+        """
+        sizes = np.array(
+            [
+                0 if t is None else t.num_paths(t.depth - 1)
+                for t in tries
+            ],
+            dtype=np.int64,
+        )
+        total = int(sizes.sum())
+        if total == 0:
+            return 0
+        target = np.full(self.num_ranks, total // self.num_ranks, dtype=np.int64)
+        target[: total % self.num_ranks] += 1
+        words = 0
+        surplus_buffers: list[np.ndarray] = []
+        for r in range(self.num_ranks):
+            excess = int(sizes[r] - target[r])
+            if excess > 0 and tries[r] is not None:
+                t = tries[r]
+                level = t.depth - 1
+                keep = np.arange(sizes[r] - excess, dtype=np.int64)
+                give = np.arange(sizes[r] - excess, sizes[r], dtype=np.int64)
+                sub_give = t.extract_subtrie(level, give)
+                buf = serialize_trie(sub_give)
+                words += len(buf)
+                surplus_buffers.append(buf)
+                tries[r] = t.extract_subtrie(level, keep)
+        # deficit ranks absorb whole buffers greedily (close enough to
+        # even; exactness of the split is not what the comparison tests)
+        for r in range(self.num_ranks):
+            need = int(target[r] - sizes[r])
+            while need > 0 and surplus_buffers:
+                buf = surplus_buffers.pop()
+                sub = deserialize_trie(buf)
+                moved = sub.num_paths(sub.depth - 1)
+                if tries[r] is None:
+                    tries[r] = sub
+                else:
+                    tries[r] = _merge_tries(tries[r], sub)
+                need -= moved
+        # anything left lands on the last rank
+        for buf in surplus_buffers:
+            sub = deserialize_trie(buf)
+            last = self.num_ranks - 1
+            tries[last] = (
+                sub if tries[last] is None else _merge_tries(tries[last], sub)
+            )
+        return words
+
+
+def _merge_tries(a: PathTrie, b: PathTrie) -> PathTrie:
+    """Concatenate two tries of equal depth (disjoint path sets)."""
+    if a.depth != b.depth:
+        raise ValueError(f"cannot merge tries of depth {a.depth} and {b.depth}")
+    levels = []
+    offset_prev = 0
+    for lv in range(a.depth):
+        pa_b = b.levels[lv].pa.copy()
+        if lv > 0:
+            pa_b += offset_prev
+        levels.append(
+            TrieLevel(
+                pa=np.concatenate([a.levels[lv].pa, pa_b]),
+                ca=np.concatenate([a.levels[lv].ca, b.levels[lv].ca]),
+            )
+        )
+        offset_prev = a.levels[lv].num_paths
+    return PathTrie(levels=levels)

@@ -1,0 +1,142 @@
+"""Simulated MPI communication substrate.
+
+A minimal discrete-event message layer standing in for OpenMPI: ranks
+exchange tagged messages whose delivery time is ``send_time + latency +
+words / bandwidth``.  The distributed scheduler (Algorithm 3) runs
+unmodified on top; the network model's parameters default to an
+InfiniBand-class interconnect.
+
+Messages carry an arbitrary payload (we ship serialised tries as flat
+int64 buffers, mirroring an ``MPI.Send`` of one contiguous array) plus an
+explicit ``words`` size used for the transfer-time model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["NetworkModel", "Message", "SimComm"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point network cost model.
+
+    Defaults approximate EDR InfiniBand: ~20 µs effective latency
+    (including the MPI stack) and ~12.5 GB/s ⇒ ~3.1e6 words/ms.
+    """
+
+    latency_ms: float = 0.02
+    words_per_ms: float = 3.1e6
+
+    def transfer_ms(self, words: int) -> float:
+        """Modeled time to move ``words`` 4-byte words."""
+        if words < 0:
+            raise ValueError("words must be non-negative")
+        return self.latency_ms + words / self.words_per_ms
+
+
+@dataclass(frozen=True)
+class Message:
+    """One in-flight message."""
+
+    seq: int
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    words: int
+    send_time: float
+    arrival_time: float
+
+
+@dataclass
+class SimComm:
+    """Per-cluster message exchange with simulated delivery times."""
+
+    num_ranks: int
+    network: NetworkModel = field(default_factory=NetworkModel)
+
+    def __post_init__(self) -> None:
+        if self.num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self._inboxes: list[list[Message]] = [[] for _ in range(self.num_ranks)]
+        self._seq = itertools.count()
+        self.messages_sent = 0
+        self.words_sent = 0
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tag: str,
+        payload: Any,
+        words: int,
+        time: float,
+    ) -> float:
+        """Post a message; returns its arrival time at ``dst``."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError("self-sends are not modeled")
+        arrival = time + self.network.transfer_ms(words)
+        msg = Message(
+            seq=next(self._seq),
+            src=src,
+            dst=dst,
+            tag=tag,
+            payload=payload,
+            words=words,
+            send_time=time,
+            arrival_time=arrival,
+        )
+        self._inboxes[dst].append(msg)
+        self.messages_sent += 1
+        self.words_sent += words
+        return arrival
+
+    def broadcast(
+        self, src: int, tag: str, payload: Any, words: int, time: float
+    ) -> float:
+        """Send to every other rank; returns the latest arrival time."""
+        self._check_rank(src)
+        latest = time
+        for dst in range(self.num_ranks):
+            if dst != src:
+                latest = max(
+                    latest, self.send(src, dst, tag, payload, words, time)
+                )
+        return latest
+
+    def receive(
+        self, dst: int, time: float, tag: str | None = None
+    ) -> list[Message]:
+        """Drain messages that have arrived at ``dst`` by ``time``.
+
+        Messages are returned in arrival order; an optional tag filter
+        leaves non-matching messages queued.
+        """
+        self._check_rank(dst)
+        inbox = self._inboxes[dst]
+        ready = [
+            m
+            for m in inbox
+            if m.arrival_time <= time and (tag is None or m.tag == tag)
+        ]
+        ready.sort(key=lambda m: (m.arrival_time, m.seq))
+        for m in ready:
+            inbox.remove(m)
+        return ready
+
+    def peek(self, dst: int, tag: str | None = None) -> list[Message]:
+        """All queued messages for ``dst`` (any arrival time), unremoved."""
+        self._check_rank(dst)
+        return [
+            m for m in self._inboxes[dst] if tag is None or m.tag == tag
+        ]

@@ -1,0 +1,71 @@
+"""Free/busy bookkeeping of the mini asynchronous protocol (§4.2).
+
+The paper: "we developed a mini asynchronous protocol, built on top of
+the MPI framework ... we ensure that only one busy node sends data to a
+given free node, and a given busy node only sends data to one free node."
+
+:class:`FreeNodeRegistry` enforces exactly that pairing: a free node can
+be *claimed* by at most one busy sender until it receives the work and is
+marked busy again, and a busy sender holding an outstanding claim may not
+claim a second target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FreeNodeRegistry"]
+
+
+@dataclass
+class FreeNodeRegistry:
+    """Cluster-wide free/busy state (the protocol's shared knowledge)."""
+
+    num_ranks: int
+    free_since: dict[int, float] = field(default_factory=dict)
+    claimed_by: dict[int, int] = field(default_factory=dict)
+    outstanding_claim: dict[int, int] = field(default_factory=dict)
+    transfers: int = 0
+
+    def announce_free(self, rank: int, time: float) -> None:
+        """A rank broadcast that it finished all its work."""
+        self._check(rank)
+        self.free_since.setdefault(rank, time)
+
+    def is_free(self, rank: int) -> bool:
+        return rank in self.free_since
+
+    def claim_free(self, sender: int, time: float) -> int | None:
+        """A busy ``sender`` claims the earliest-free unclaimed rank.
+
+        Returns the claimed rank, or ``None`` when no free rank is
+        visible at ``time`` (broadcast latency is approximated by the
+        announcement time itself) or the sender already holds a claim.
+        """
+        self._check(sender)
+        if sender in self.outstanding_claim:
+            return None
+        candidates = [
+            (t, r)
+            for r, t in self.free_since.items()
+            if r != sender and r not in self.claimed_by and t <= time
+        ]
+        if not candidates:
+            return None
+        _, target = min(candidates)
+        self.claimed_by[target] = sender
+        self.outstanding_claim[sender] = target
+        self.transfers += 1
+        return target
+
+    def mark_busy(self, rank: int) -> None:
+        """A rank received work: it is no longer free; claims resolve."""
+        self._check(rank)
+        self.free_since.pop(rank, None)
+        sender = self.claimed_by.pop(rank, None)
+        if sender is not None:
+            self.outstanding_claim.pop(sender, None)
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.num_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")

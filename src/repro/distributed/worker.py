@@ -1,0 +1,222 @@
+"""Per-rank worker: a chunked, stealable cuTS search.
+
+Each rank owns a full copy of the data graph (paper §4.2 — only partial
+paths move between nodes), a simulated device, and a LIFO stack of
+:class:`WorkItem` chunks.  Popping from the deep end gives the DFS side
+of the hybrid scan (bounded memory); every processed chunk is a natural
+point to check for free ranks, exactly Algorithm 3's chunk loop.
+
+Work shipping uses structural sharing: a :class:`~repro.storage.trie
+.PathTrie` level list is immutable, so a child work item extends its
+parent's trie by one level without copying, and
+:meth:`~repro.storage.trie.PathTrie.extract_subtrie` +
+:func:`~repro.storage.serialize.serialize_trie` produce the flat buffer
+that "sends the trie along with the work".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher
+from ..graph.csr import CSRGraph
+from ..storage.serialize import deserialize_trie, serialize_trie
+from ..storage.trie import PathTrie, TrieLevel
+
+__all__ = ["WorkItem", "RankWorker"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """A frontier chunk awaiting expansion.
+
+    Invariant: ``trie.depth == step`` — the deepest trie level holds the
+    paths of query step ``step - 1`` and ``frontier`` indexes into it.
+    """
+
+    trie: PathTrie
+    step: int
+    frontier: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.trie.depth != self.step:
+            raise ValueError(
+                f"work item invariant violated: trie depth {self.trie.depth}"
+                f" != step {self.step}"
+            )
+
+
+@dataclass
+class RankWorker:
+    """One simulated compute node of the distributed run.
+
+    ``steal_fraction`` controls how much pending work a busy rank ships
+    to a free one (paper: "a portion of its work"; default half).
+    ``steal_order`` picks which end of the stack is shipped: ``"shallow"``
+    (big subtrees, the default — they amortise the transfer) or
+    ``"deep"`` (small, nearly-finished chunks; kept for the ablation).
+    """
+
+    rank: int
+    data: CSRGraph
+    query: CSRGraph
+    config: CuTSConfig
+    steal_fraction: float = 0.5
+    steal_order: str = "shallow"
+    clock_ms: float = 0.0
+    busy_ms: float = 0.0
+    count: int = 0
+    chunks_processed: int = 0
+    chunks_received: int = 0
+    chunks_sent: int = 0
+    stack: list[WorkItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.steal_fraction < 1.0:
+            raise ValueError("steal_fraction must be in (0, 1)")
+        if self.steal_order not in ("shallow", "deep"):
+            raise ValueError("steal_order must be 'shallow' or 'deep'")
+        self.matcher = CuTSMatcher(self.data, self.config)
+        self.state = self.matcher.make_run_state(self.query)
+        self._num_steps = self.state.order.num_steps
+
+    # ------------------------------------------------------------------
+    def init_partition(self, num_ranks: int) -> None:
+        """``init_match``: compute root candidates, keep the rank stride."""
+        t0 = self.state.cost.time_ms
+        trie = self.matcher.initial_frontier(
+            self.state, part=self.rank, num_parts=num_ranks
+        )
+        self._advance(t0)
+        roots = trie.num_paths(0)
+        if roots == 0:
+            return
+        if self._num_steps == 1:
+            self.count += roots
+            return
+        self.stack.append(
+            WorkItem(
+                trie=trie,
+                step=1,
+                frontier=np.arange(roots, dtype=np.int64),
+            )
+        )
+
+    def has_work(self) -> bool:
+        return bool(self.stack)
+
+    # ------------------------------------------------------------------
+    def process_one_chunk(self) -> None:
+        """Pop one chunk (≤ chunk_size paths), expand it one level."""
+        if not self.stack:
+            raise RuntimeError(f"rank {self.rank} has no work")
+        item = self.stack.pop()
+        chunk_size = self.config.chunk_size
+        if item.frontier.size > chunk_size:
+            # Take the first chunk, push the remainder back (deep end).
+            rest = WorkItem(
+                trie=item.trie,
+                step=item.step,
+                frontier=item.frontier[chunk_size:],
+            )
+            self.stack.append(rest)
+            item = WorkItem(
+                trie=item.trie,
+                step=item.step,
+                frontier=item.frontier[:chunk_size],
+            )
+        t0 = self.state.cost.time_ms
+        pa, ca = self.matcher.expand_frontier(
+            item.trie, item.step, item.frontier, self.state
+        )
+        self._advance(t0)
+        self.chunks_processed += 1
+        if len(ca) == 0:
+            return
+        if item.step + 1 == self._num_steps:
+            self.count += len(ca)
+            return
+        child = PathTrie(
+            levels=[*item.trie.levels, TrieLevel(pa=pa, ca=ca)]
+        )
+        self.stack.append(
+            WorkItem(
+                trie=child,
+                step=item.step + 1,
+                frontier=np.arange(len(ca), dtype=np.int64),
+            )
+        )
+
+    def _advance(self, t0: float) -> None:
+        dt = self.state.cost.time_ms - t0
+        self.clock_ms += dt
+        self.busy_ms += dt
+
+    # ------------------------------------------------------------------
+    # Work shipping
+    # ------------------------------------------------------------------
+    def has_surplus(self) -> bool:
+        """Whether this rank can spare work for a free node."""
+        return len(self.stack) > 1 or (
+            len(self.stack) == 1
+            and self.stack[0].frontier.size > self.config.chunk_size
+        )
+
+    def pop_surplus(self) -> list[np.ndarray]:
+        """Extract ~``steal_fraction`` of pending work as serialised trie
+        buffers.
+
+        Returns flat int64 buffers; the matching steps are implicit
+        (``trie.depth`` of each buffer).
+        """
+        if not self.stack:
+            return []
+        if len(self.stack) == 1:
+            # Split the lone item's frontier.
+            item = self.stack.pop()
+            give_n = max(1, int(item.frontier.size * self.steal_fraction))
+            give_n = min(give_n, item.frontier.size - 1)
+            keep = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[give_n:]
+            )
+            give = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[:give_n]
+            )
+            self.stack.append(keep)
+            outgoing = [give]
+        else:
+            num_give = max(1, int(len(self.stack) * self.steal_fraction))
+            num_give = min(num_give, len(self.stack) - 1)
+            if self.steal_order == "shallow":
+                outgoing = self.stack[:num_give]  # big subtrees
+                self.stack = self.stack[num_give:]
+            else:
+                outgoing = self.stack[-num_give:]  # nearly-done chunks
+                self.stack = self.stack[:-num_give]
+        buffers = []
+        for item in outgoing:
+            sub = item.trie.extract_subtrie(item.trie.depth - 1, item.frontier)
+            buffers.append(serialize_trie(sub))
+        self.chunks_sent += len(buffers)
+        return buffers
+
+    def receive_work(self, buffers: list[np.ndarray]) -> None:
+        """Integrate shipped tries: "adjust depth and other parameters and
+        begin processing of received work" (Algorithm 3)."""
+        for buf in buffers:
+            trie = deserialize_trie(buf)
+            step = trie.depth
+            frontier = np.arange(
+                trie.num_paths(trie.depth - 1), dtype=np.int64
+            )
+            if frontier.size == 0:
+                continue
+            if step >= self._num_steps:
+                # Shipped completed embeddings (shouldn't happen; guard).
+                self.count += frontier.size
+                continue
+            self.stack.append(WorkItem(trie=trie, step=step, frontier=frontier))
+            self.chunks_received += 1

@@ -1,0 +1,59 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md)."""
+
+from .ablation import (
+    binning_ablation,
+    chunk_size_ablation,
+    filter_ablation,
+    intersection_ablation,
+    ordering_ablation,
+    placement_ablation,
+    virtual_warp_ablation,
+)
+from .datasets import DATASET_NAMES, all_datasets, dataset_table, load_dataset
+from .figure2 import figure2_rows
+from .figure4 import ScalingPoint, figure4_rows, run_figure4
+from .figure5 import figure5_rows, run_figure5
+from .harness import run_all
+from .hwmetrics import HwComparison, hwmetrics_rows, run_hwmetrics
+from .report import geomean, render_table
+from .table1 import run_table1, table1_rows
+from .table2 import table2_rows
+from .table3 import CaseResult, Table3Result, run_case, run_table3, table3_rows
+from .workloads import Case, paper_cases, query_workload
+
+__all__ = [
+    "DATASET_NAMES",
+    "load_dataset",
+    "all_datasets",
+    "dataset_table",
+    "Case",
+    "paper_cases",
+    "query_workload",
+    "run_table1",
+    "table1_rows",
+    "table2_rows",
+    "figure2_rows",
+    "run_table3",
+    "table3_rows",
+    "run_case",
+    "CaseResult",
+    "Table3Result",
+    "run_figure4",
+    "figure4_rows",
+    "ScalingPoint",
+    "run_figure5",
+    "figure5_rows",
+    "run_hwmetrics",
+    "hwmetrics_rows",
+    "HwComparison",
+    "ordering_ablation",
+    "binning_ablation",
+    "filter_ablation",
+    "intersection_ablation",
+    "placement_ablation",
+    "chunk_size_ablation",
+    "virtual_warp_ablation",
+    "render_table",
+    "geomean",
+    "run_all",
+]

@@ -1,0 +1,254 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+The paper motivates several mechanisms without a dedicated table; these
+sweeps quantify each on the reproduction:
+
+* **ordering** — max-degree-first vs GSI-style id order (§4, §6.3);
+* **intersection micro-kernel** — adaptive vs pinned c- vs pinned p-
+  (§4.1.3);
+* **randomised placement** — on vs off (§4.1.2's load-balance fix);
+* **chunk size** — the hybrid BFS-DFS granularity (512 in the paper);
+* **virtual-warp width** — fixed widths vs the average-degree heuristic.
+
+Each function returns rows for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher
+from ..graph.csr import CSRGraph
+from ..graph.queries import paper_query_set
+from ..gpusim.device import V100
+from .datasets import load_dataset
+
+__all__ = [
+    "ordering_ablation",
+    "intersection_ablation",
+    "placement_ablation",
+    "chunk_size_ablation",
+    "virtual_warp_ablation",
+    "binning_ablation",
+    "filter_ablation",
+]
+
+
+def _default_case(scale: float) -> tuple[CSRGraph, CSRGraph]:
+    return load_dataset("enron", scale), paper_query_set(5)[1]
+
+
+def ordering_ablation(
+    scale: float = 1.0, query: CSRGraph | None = None
+) -> list[dict]:
+    """max_degree vs id ordering: candidates per depth and time."""
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    rows = []
+    for ordering in ("max_degree", "id"):
+        cfg = CuTSConfig(ordering=ordering)
+        r = CuTSMatcher(data, cfg).match(query)
+        rows.append(
+            {
+                "ordering": ordering,
+                "count": r.count,
+                "time_ms": r.time_ms,
+                "paths_depth1": (
+                    r.stats.paths_per_depth[0]
+                    if r.stats.paths_per_depth
+                    else 0
+                ),
+                "peak_frontier": r.stats.peak_frontier,
+                "dram_read_words": r.cost.dram_read_words,
+            }
+        )
+    return rows
+
+
+def intersection_ablation(
+    scale: float = 1.0, query: CSRGraph | None = None
+) -> list[dict]:
+    """adaptive vs pinned c- vs pinned p-intersection."""
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    rows = []
+    for strategy in ("adaptive", "c", "p"):
+        cfg = CuTSConfig(intersection=strategy)
+        r = CuTSMatcher(data, cfg).match(query)
+        rows.append(
+            {
+                "intersection": strategy,
+                "count": r.count,
+                "time_ms": r.time_ms,
+                "dram_read_words": r.cost.dram_read_words,
+                "c_calls": r.stats.intersection_calls.get("c", 0),
+                "p_calls": r.stats.intersection_calls.get("p", 0),
+            }
+        )
+    return rows
+
+
+def placement_ablation(
+    scale: float = 1.0, query: CSRGraph | None = None
+) -> list[dict]:
+    """Randomised vs id-order partial-path placement."""
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    rows = []
+    for randomize in (True, False):
+        cfg = CuTSConfig(randomize_placement=randomize)
+        r = CuTSMatcher(data, cfg).match(query)
+        rows.append(
+            {
+                "randomized_placement": randomize,
+                "count": r.count,
+                "time_ms": r.time_ms,
+                "cycles": r.cost.cycles,
+            }
+        )
+    return rows
+
+
+def chunk_size_ablation(
+    scale: float = 1.0,
+    query: CSRGraph | None = None,
+    chunk_sizes: tuple[int, ...] = (64, 128, 256, 512, 1024, 4096),
+    memory_words: int = 1 << 16,
+) -> list[dict]:
+    """Chunk-size sweep under a tight memory budget (forces chunking)."""
+    from ..gpusim.device import scaled_device
+
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    device = scaled_device(V100, memory_words)
+    rows = []
+    for cs in chunk_sizes:
+        cfg = CuTSConfig(device=device, chunk_size=cs)
+        r = CuTSMatcher(data, cfg).match(query)
+        rows.append(
+            {
+                "chunk_size": cs,
+                "count": r.count,
+                "time_ms": r.time_ms,
+                "chunks": r.stats.chunks_processed,
+                "kernel_launches": r.cost.kernel_launches,
+                "peak_trie_words": r.stats.peak_trie_words,
+            }
+        )
+    return rows
+
+
+def filter_ablation(
+    scale: float = 1.0, query: CSRGraph | None = None
+) -> list[dict]:
+    """Degree filter vs degree + neighbourhood-dominance filter.
+
+    The optional GraphQL/GADDI-style extension (§3): counts must match;
+    the interesting columns are the root candidate set size and the
+    total data movement.
+    """
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    rows = []
+    for nf in (False, True):
+        cfg = CuTSConfig(neighborhood_filter=nf)
+        r = CuTSMatcher(data, cfg).match(query)
+        rows.append(
+            {
+                "filter": "degree+neighborhood" if nf else "degree",
+                "count": r.count,
+                "root_candidates": (
+                    r.stats.paths_per_depth[0] if r.stats.paths_per_depth else 0
+                ),
+                "time_ms": r.time_ms,
+                "dram_read_words": r.cost.dram_read_words,
+            }
+        )
+    return rows
+
+
+def binning_ablation(
+    scale: float = 1.0, query: CSRGraph | None = None
+) -> list[dict]:
+    """The §4.1.2 rejected strategy: work bins vs one adaptive bin.
+
+    cuTS considered grouping partial paths into power-of-two work bins
+    (each processed by a matching virtual-warp width) but rejected it:
+    "we have to predict the amount of space assigned to each bin ...
+    most of the bins may be empty.  The memory space assigned to empty
+    bins is wasted."  This ablation measures exactly that: for each BFS
+    level's true work distribution, the fraction of a uniformly-split
+    buffer that the binned strategy wastes, against the single-bin
+    scheme's idle-lane cost.
+    """
+    from ..gpusim.warp import bin_paths_by_work, idle_lane_cycles, select_virtual_warp_size
+
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    matcher = CuTSMatcher(data)
+    r = matcher.match(query, materialize=True)
+    rows: list[dict] = []
+    # Reconstruct a representative per-path work distribution: the
+    # out-degree of the vertex each path would expand through.
+    if r.matches is not None and len(r.matches):
+        work = (
+            data.indptr[r.matches[:, 0] + 1] - data.indptr[r.matches[:, 0]]
+        )
+    else:
+        work = data.out_degrees
+    warp = matcher.config.device.warp_size
+    bins = bin_paths_by_work(np.asarray(work), warp)
+    num_bins = max(1, len(bins))
+    # Uniform buffer split across all possible bin classes (1..32 pow2s).
+    possible_bins = 6  # widths 1,2,4,8,16,32
+    occupied = len(bins)
+    wasted_fraction = (possible_bins - occupied) / possible_bins
+    rows.append(
+        {
+            "strategy": "binned",
+            "bins_occupied": occupied,
+            "buffer_waste_fraction": round(wasted_fraction, 3),
+            "idle_lane_cycles": int(
+                sum(
+                    idle_lane_cycles(np.asarray(work)[idx], width)
+                    for width, idx in bins.items()
+                )
+            ),
+        }
+    )
+    vw = select_virtual_warp_size(data.average_out_degree, warp)
+    rows.append(
+        {
+            "strategy": f"single-bin (vw={vw})",
+            "bins_occupied": 1,
+            "buffer_waste_fraction": 0.0,
+            "idle_lane_cycles": int(idle_lane_cycles(np.asarray(work), vw)),
+        }
+    )
+    return rows
+
+
+def virtual_warp_ablation(
+    scale: float = 1.0,
+    query: CSRGraph | None = None,
+    widths: tuple[int, ...] = (0, 2, 4, 8, 16, 32),
+) -> list[dict]:
+    """Virtual-warp width sweep (0 = the average-degree heuristic)."""
+    data, default_q = _default_case(scale)
+    query = query or default_q
+    rows = []
+    for w in widths:
+        cfg = CuTSConfig(virtual_warp_size=w)
+        m = CuTSMatcher(data, cfg)
+        r = m.match(query)
+        rows.append(
+            {
+                "virtual_warp": w or f"auto({m.virtual_warp_size})",
+                "count": r.count,
+                "time_ms": r.time_ms,
+                "idle_lane_cycles": r.cost.idle_lane_cycles,
+                "workers": m.num_workers,
+            }
+        )
+    return rows

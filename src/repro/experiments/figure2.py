@@ -1,0 +1,37 @@
+"""Figure 2 reproduction: storage growth for mesh data + chain query.
+
+The paper's illustrative table (Fig. 2C) lists the candidate counts and
+naive storage words per partial-path depth for a 4x4 mesh and a 4-vertex
+chain.  We measure the real counts with the engine (the paper's printed
+numbers are approximate — they ignore the injectivity exclusion — so
+EXPERIMENTS.md reports both) and emit the same columns.
+"""
+
+from __future__ import annotations
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher
+from ..graph.generators import chain_graph, mesh_graph
+from ..storage.accounting import compare_storage
+
+__all__ = ["figure2_rows"]
+
+
+def figure2_rows(rows: int = 4, cols: int = 4, chain_len: int = 4) -> list[dict]:
+    """One row per depth: candidates, naive words, trie words."""
+    data = mesh_graph(rows, cols)
+    query = chain_graph(chain_len)
+    result = CuTSMatcher(data, CuTSConfig()).match(query)
+    counts = result.stats.paths_per_depth
+    comparison = compare_storage(counts)
+    out = []
+    for depth, count in enumerate(counts, start=1):
+        out.append(
+            {
+                "partial_path_depth": depth,
+                "candidates": count,
+                "naive_storage_words": comparison.naive[depth - 1],
+                "trie_storage_words": comparison.trie[depth - 1],
+            }
+        )
+    return out

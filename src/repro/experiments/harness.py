@@ -1,0 +1,116 @@
+"""Top-level experiment harness.
+
+``python -m repro.experiments`` regenerates every paper table and figure
+at a chosen scale and prints paper-shaped text tables.  The benchmark
+suite calls the same drivers; EXPERIMENTS.md records a full run.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .ablation import (
+    binning_ablation,
+    chunk_size_ablation,
+    intersection_ablation,
+    ordering_ablation,
+    placement_ablation,
+    virtual_warp_ablation,
+)
+from .figure2 import figure2_rows
+from .figure4 import figure4_rows
+from .figure5 import figure5_rows
+from .hwmetrics import hwmetrics_rows
+from .report import render_table
+from .table1 import table1_rows
+from .table2 import table2_rows
+from .table3 import run_table3
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(
+    *,
+    scale: float = 1.0,
+    top_k: int = 11,
+    devices: tuple[str, ...] = ("V100", "A100"),
+    wall_limit_s: float | None = 20.0,
+    stream=None,
+) -> dict:
+    """Run every experiment; returns the raw row collections."""
+    out = stream or sys.stdout
+
+    def emit(text: str) -> None:
+        print(text, file=out)
+        print("", file=out)
+
+    results: dict = {}
+
+    results["table1"] = table1_rows(scale)
+    emit(render_table(results["table1"], title="Table 1 — storage: naive vs cuTS trie (enron-sim, K5)"))
+
+    results["figure2"] = figure2_rows()
+    emit(render_table(results["figure2"], title="Figure 2C — storage growth (4x4 mesh, 4-chain)"))
+
+    results["table2"] = table2_rows(scale)
+    emit(render_table(results["table2"], title="Table 2 — dataset properties (synthetic stand-ins)"))
+
+    results["table3"] = {}
+    for device in devices:
+        t3 = run_table3(
+            device, scale=scale, top_k=top_k, wall_limit_s=wall_limit_s
+        )
+        results["table3"][device] = t3
+        emit(
+            render_table(
+                t3.summary_rows(),
+                title=(
+                    f"Table 3 summary — {device}-sim: cases handled & geomean "
+                    f"speedup (cuTS vs GSI)"
+                ),
+            )
+        )
+
+    results["hwmetrics"] = hwmetrics_rows(scale=scale)
+    emit(
+        render_table(
+            results["hwmetrics"][:14],
+            title="§6.3 — hardware counters, first case (GSI vs cuTS)",
+        )
+    )
+
+    results["figure4"] = figure4_rows(scale=scale)
+    emit(render_table(results["figure4"], title="Figure 4 — distributed speedup vs single node"))
+
+    results["figure5"] = figure5_rows(scale=scale)
+    emit(render_table(results["figure5"], title="Figure 5 — per-node runtime, wikiTalk-sim @ 4 nodes"))
+
+    results["ablation_ordering"] = ordering_ablation(scale)
+    emit(render_table(results["ablation_ordering"], title="Ablation — query ordering"))
+    results["ablation_intersection"] = intersection_ablation(scale)
+    emit(render_table(results["ablation_intersection"], title="Ablation — intersection micro-kernel"))
+    results["ablation_placement"] = placement_ablation(scale)
+    emit(render_table(results["ablation_placement"], title="Ablation — randomized placement"))
+    results["ablation_chunk"] = chunk_size_ablation(scale)
+    emit(render_table(results["ablation_chunk"], title="Ablation — chunk size (tight memory)"))
+    results["ablation_vw"] = virtual_warp_ablation(scale)
+    emit(render_table(results["ablation_vw"], title="Ablation — virtual warp width"))
+    results["ablation_binning"] = binning_ablation(scale)
+    emit(
+        render_table(
+            results["ablation_binning"],
+            title="Ablation — binning vs single-bin virtual warps (§4.1.2)",
+        )
+    )
+
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.experiments [--quick]``."""
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    scale = 0.5 if quick else 1.0
+    top_k = 3 if quick else 11
+    run_all(scale=scale, top_k=top_k)
+    return 0

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment outputs.
+
+Every experiment driver returns ``list[dict]`` rows; this module renders
+them as fixed-width tables (the form the paper's tables take) so the
+benchmark harness can print paper-shaped output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "format_value", "geomean"]
+
+
+def format_value(v: Any) -> str:
+    """Human-friendly cell formatting."""
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e6 or abs(v) < 1e-3:
+            return f"{v:.3g}"
+        return f"{v:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(v, int):
+        return f"{v:,}"
+    return str(v)
+
+
+def render_table(
+    rows: Sequence[dict],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[format_value(r.get(c)) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's speedup aggregation); 0 on empty."""
+    import math
+
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

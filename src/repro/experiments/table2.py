@@ -1,0 +1,17 @@
+"""Table 2 reproduction: dataset properties.
+
+Trivial but kept symmetric with the other drivers: one row per data
+graph with vertex and edge counts (ours are the scaled synthetic
+stand-ins; DESIGN.md documents the substitution).
+"""
+
+from __future__ import annotations
+
+from .datasets import dataset_table
+
+__all__ = ["table2_rows"]
+
+
+def table2_rows(scale: float = 1.0) -> list[dict]:
+    """Rows of the Table 2 analogue."""
+    return dataset_table(scale)

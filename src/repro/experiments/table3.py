@@ -1,0 +1,217 @@
+"""Table 3 reproduction: single-node cuTS vs GSI over the full grid.
+
+The paper's headline table: for every (data graph × query graph) case and
+both machines (V100, A100), the GSI and cuTS kernel times in
+milliseconds, with "-" marking runs that "did not complete successfully";
+summarised by cases-handled counts and geometric-mean speedups (e.g. 386x
+on A100, 312x on V100 overall; 250–430x on the road networks).
+
+Failures here arise the same ways they do on hardware: simulated device
+OOM (GSI's flat table; the dominant mode), modeled-time limits, and a
+wall-clock harness guard.  Every mutually-successful case's counts are
+asserted equal between the two engines — the comparison is apples to
+apples by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher, SearchTimeout
+from ..baselines.gsi import GSIMatcher
+from ..gpusim.device import A100, V100, DeviceSpec
+from ..gpusim.memory import DeviceOOMError
+from .report import geomean
+from .workloads import Case, paper_cases
+
+__all__ = ["CaseResult", "Table3Result", "run_table3", "table3_rows"]
+
+DEVICES: dict[str, DeviceSpec] = {"V100": V100, "A100": A100}
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """One grid cell: both systems on one (dataset, query) case."""
+
+    dataset: str
+    query_name: str
+    gsi_ms: float | None
+    cuts_ms: float | None
+    gsi_failure: str | None
+    cuts_failure: str | None
+    count: int | None
+
+    @property
+    def speedup(self) -> float | None:
+        if self.gsi_ms is None or self.cuts_ms is None or self.cuts_ms == 0:
+            return None
+        return self.gsi_ms / self.cuts_ms
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """The full grid plus the paper's summary statistics."""
+
+    device: str
+    cases: tuple[CaseResult, ...]
+
+    @property
+    def total_cases(self) -> int:
+        return len(self.cases)
+
+    @property
+    def cuts_handled(self) -> int:
+        return sum(1 for c in self.cases if c.cuts_ms is not None)
+
+    @property
+    def gsi_handled(self) -> int:
+        return sum(1 for c in self.cases if c.gsi_ms is not None)
+
+    @property
+    def geomean_speedup(self) -> float:
+        """Geomean over the mutually successful cases (paper's metric)."""
+        return geomean([c.speedup for c in self.cases if c.speedup])
+
+    def geomean_speedup_for(self, dataset: str) -> float:
+        return geomean(
+            [
+                c.speedup
+                for c in self.cases
+                if c.dataset == dataset and c.speedup
+            ]
+        )
+
+    def rows(self) -> list[dict]:
+        out = []
+        for c in self.cases:
+            out.append(
+                {
+                    "dataset": c.dataset,
+                    "query": c.query_name,
+                    "GSI_ms": c.gsi_ms,
+                    "cuTS_ms": c.cuts_ms,
+                    "speedup": c.speedup,
+                    "gsi_failure": c.gsi_failure,
+                    "cuts_failure": c.cuts_failure,
+                }
+            )
+        return out
+
+    def summary_rows(self) -> list[dict]:
+        datasets = sorted({c.dataset for c in self.cases})
+        rows = [
+            {
+                "dataset": d,
+                "cases": sum(1 for c in self.cases if c.dataset == d),
+                "cuTS_handled": sum(
+                    1
+                    for c in self.cases
+                    if c.dataset == d and c.cuts_ms is not None
+                ),
+                "GSI_handled": sum(
+                    1
+                    for c in self.cases
+                    if c.dataset == d and c.gsi_ms is not None
+                ),
+                "geomean_speedup": self.geomean_speedup_for(d),
+            }
+            for d in datasets
+        ]
+        rows.append(
+            {
+                "dataset": "ALL",
+                "cases": self.total_cases,
+                "cuTS_handled": self.cuts_handled,
+                "GSI_handled": self.gsi_handled,
+                "geomean_speedup": self.geomean_speedup,
+            }
+        )
+        return rows
+
+
+def _failure_name(exc: Exception) -> str:
+    if isinstance(exc, DeviceOOMError):
+        return "oom"
+    if isinstance(exc, SearchTimeout):
+        return "timeout"
+    raise exc
+
+
+def run_case(
+    case: Case,
+    device: DeviceSpec,
+    *,
+    time_limit_ms: float = 60_000.0,
+    wall_limit_s: float | None = 20.0,
+    check_counts: bool = True,
+) -> CaseResult:
+    """Run both systems on one case, classifying failures."""
+    cuts_ms = gsi_ms = None
+    cuts_failure = gsi_failure = None
+    cuts_count = gsi_count = None
+
+    cfg = CuTSConfig(device=device)
+    try:
+        r = CuTSMatcher(case.data, cfg).match(
+            case.query, time_limit_ms=time_limit_ms, wall_limit_s=wall_limit_s
+        )
+        cuts_ms, cuts_count = r.time_ms, r.count
+    except (DeviceOOMError, SearchTimeout) as exc:
+        cuts_failure = _failure_name(exc)
+
+    try:
+        r = GSIMatcher(case.data, device).match(
+            case.query, time_limit_ms=time_limit_ms, wall_limit_s=wall_limit_s
+        )
+        gsi_ms, gsi_count = r.time_ms, r.count
+    except (DeviceOOMError, SearchTimeout) as exc:
+        gsi_failure = _failure_name(exc)
+
+    if (
+        check_counts
+        and cuts_count is not None
+        and gsi_count is not None
+        and cuts_count != gsi_count
+    ):
+        raise AssertionError(
+            f"count mismatch on {case.key}: cuTS={cuts_count} GSI={gsi_count}"
+        )
+    return CaseResult(
+        dataset=case.dataset,
+        query_name=case.query_name,
+        gsi_ms=gsi_ms,
+        cuts_ms=cuts_ms,
+        gsi_failure=gsi_failure,
+        cuts_failure=cuts_failure,
+        count=cuts_count if cuts_count is not None else gsi_count,
+    )
+
+
+def run_table3(
+    device_name: str = "V100",
+    *,
+    scale: float = 1.0,
+    top_k: int = 11,
+    time_limit_ms: float = 60_000.0,
+    wall_limit_s: float | None = 20.0,
+    datasets: tuple[str, ...] | None = None,
+) -> Table3Result:
+    """Run the (possibly trimmed) Table 3 grid on one simulated machine."""
+    device = DEVICES[device_name]
+    kwargs = {"scale": scale, "top_k": top_k}
+    if datasets is not None:
+        kwargs["datasets"] = datasets
+    cases = paper_cases(**kwargs)
+    results = tuple(
+        run_case(
+            c, device, time_limit_ms=time_limit_ms, wall_limit_s=wall_limit_s
+        )
+        for c in cases
+    )
+    return Table3Result(device=device_name, cases=results)
+
+
+def table3_rows(device_name: str = "V100", **kwargs) -> list[dict]:
+    """Paper-shaped per-case rows."""
+    return run_table3(device_name, **kwargs).rows()

@@ -1,0 +1,60 @@
+"""Evaluation workloads: the paper's 198-case grid and quick subsets.
+
+§6.2: 33 query graphs (top-11 densest connected 5-, 6-, 7-vertex graphs)
+× 6 data graphs = 198 cases.  ``quick=True`` trims to the top-3 queries
+per size for fast CI-style runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+from ..graph.queries import QUERY_SIZES, paper_query_set
+from .datasets import DATASET_NAMES, load_dataset
+
+__all__ = ["Case", "paper_cases", "query_workload"]
+
+
+@dataclass(frozen=True)
+class Case:
+    """One (data graph, query graph) evaluation case."""
+
+    dataset: str
+    query_name: str
+    data: CSRGraph
+    query: CSRGraph
+
+    @property
+    def key(self) -> str:
+        return f"{self.dataset}/{self.query_name}"
+
+
+def query_workload(
+    top_k: int = 11, seed: int = 0, sizes: tuple[int, ...] = QUERY_SIZES
+) -> list[CSRGraph]:
+    """The flat 33-query list (or a trimmed variant)."""
+    queries: list[CSRGraph] = []
+    for n in sizes:
+        queries.extend(paper_query_set(n, top_k=top_k, seed=seed))
+    return queries
+
+
+def paper_cases(
+    *,
+    scale: float = 1.0,
+    top_k: int = 11,
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    sizes: tuple[int, ...] = QUERY_SIZES,
+    seed: int = 0,
+) -> list[Case]:
+    """The full evaluation grid (198 cases at defaults)."""
+    queries = query_workload(top_k=top_k, seed=seed, sizes=sizes)
+    cases = []
+    for name in datasets:
+        data = load_dataset(name, scale)
+        for q in queries:
+            cases.append(
+                Case(dataset=name, query_name=q.name, data=data, query=q)
+            )
+    return cases

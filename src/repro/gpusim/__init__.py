@@ -1,0 +1,59 @@
+"""Simulated GPU substrate: device specs, memory, cost model, kernels."""
+
+from .cost import CostModel
+from .device import A100, V100, DeviceSpec, scaled_device
+from .kernel import LAUNCH_OVERHEAD_CYCLES, KernelLaunch, launch_kernel
+from .memory import DeviceMemory, DeviceOOMError
+from .occupancy import (
+    OccupancyResult,
+    max_shared_words_for_full_occupancy,
+    occupancy,
+)
+from .metrics import MetricRatio, compare_counters, format_metric_report
+from .trace import (
+    KernelGroupStats,
+    bound_split,
+    format_trace_report,
+    group_by_kernel,
+    hottest_launches,
+)
+from .warp import (
+    bin_paths_by_work,
+    device_worker_count,
+    idle_lane_cycles,
+    load_imbalance,
+    select_virtual_warp_size,
+    shuffled_worker_loads,
+    strided_worker_loads,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "V100",
+    "A100",
+    "scaled_device",
+    "DeviceMemory",
+    "DeviceOOMError",
+    "CostModel",
+    "KernelLaunch",
+    "launch_kernel",
+    "LAUNCH_OVERHEAD_CYCLES",
+    "MetricRatio",
+    "compare_counters",
+    "format_metric_report",
+    "OccupancyResult",
+    "occupancy",
+    "max_shared_words_for_full_occupancy",
+    "KernelGroupStats",
+    "group_by_kernel",
+    "hottest_launches",
+    "bound_split",
+    "format_trace_report",
+    "select_virtual_warp_size",
+    "strided_worker_loads",
+    "shuffled_worker_loads",
+    "load_imbalance",
+    "bin_paths_by_work",
+    "idle_lane_cycles",
+    "device_worker_count",
+]

@@ -1,0 +1,116 @@
+"""Simulated GPU device specifications.
+
+The reproduction has no CUDA device, so "kernel time" is produced by a
+deterministic cost model (see :mod:`repro.gpusim.cost`).  A
+:class:`DeviceSpec` carries the architecture parameters that model uses:
+SM count and clock (taken from the paper's V100/A100 machines), warp
+width, memory-transaction width, DRAM bandwidth, and the device-memory
+capacity in 4-byte words.
+
+Capacities are **scaled** relative to the real cards: the synthetic data
+graphs are ~1/40th the size of the SNAP originals, and intermediate-result
+growth is what produces the paper's out-of-memory failures, so the default
+capacities are chosen to keep the cuTS-vs-GSI OOM behaviour in the same
+regime (GSI dies on the hard cases, cuTS + chunking survives).  The
+V100:A100 ratio (32 GB : 40 GB) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "V100", "A100", "scaled_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architecture parameters of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"V100-sim"``.
+    num_sms:
+        Streaming multiprocessor count (84 for the paper's V100 machine,
+        108 for A100).
+    clock_ghz:
+        SM clock used to convert modeled cycles into milliseconds.
+    warp_size:
+        Hardware warp width (32).
+    max_warps_per_sm:
+        Resident-warp capacity per SM (64 on Volta/Ampere ⇒ 2048 threads).
+    transaction_words:
+        Words per coalesced memory transaction (128 B / 4 B = 32).
+    dram_words_per_cycle:
+        Aggregate DRAM bandwidth in words per SM-clock cycle.
+    memory_words:
+        Device global-memory capacity in words (scaled, see module doc).
+    shared_words_per_sm:
+        Shared-memory capacity per SM in words.
+    """
+
+    name: str
+    num_sms: int
+    clock_ghz: float
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    transaction_words: int = 32
+    dram_words_per_cycle: float = 160.0
+    memory_words: int = 1 << 23
+    shared_words_per_sm: int = 24_576  # 96 KiB / 4 B
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.warp_size <= 0 or self.warp_size & (self.warp_size - 1):
+            raise ValueError("warp_size must be a positive power of two")
+        if self.memory_words <= 0:
+            raise ValueError("memory_words must be positive")
+
+    @property
+    def max_resident_warps(self) -> int:
+        """Device-wide resident warp capacity."""
+        return self.num_sms * self.max_warps_per_sm
+
+    def virtual_warp_capacity(self, virtual_warp_size: int) -> int:
+        """How many virtual warps of the given width run concurrently.
+
+        A virtual warp is a sub-warp slice (paper §4.1.2); ``warp_size //
+        vw`` of them pack into one hardware warp.
+        """
+        if virtual_warp_size <= 0:
+            raise ValueError("virtual_warp_size must be positive")
+        vw = min(virtual_warp_size, self.warp_size)
+        return self.max_resident_warps * (self.warp_size // vw)
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert modeled SM cycles to milliseconds."""
+        return cycles / (self.clock_ghz * 1e6)
+
+
+V100 = DeviceSpec(
+    name="V100-sim",
+    num_sms=84,  # paper's V100 machine reports 84 SMs
+    clock_ghz=1.38,
+    dram_words_per_cycle=160.0,  # ~900 GB/s at 1.38 GHz
+    memory_words=1 << 23,  # scaled stand-in for 32 GB
+)
+
+A100 = DeviceSpec(
+    name="A100-sim",
+    num_sms=108,
+    clock_ghz=1.41,
+    dram_words_per_cycle=275.0,  # ~1.6 TB/s at 1.41 GHz
+    memory_words=(1 << 23) + (1 << 21),  # 1.25x V100, preserving 32:40
+)
+
+
+def scaled_device(base: DeviceSpec, memory_words: int) -> DeviceSpec:
+    """A copy of ``base`` with a different memory capacity.
+
+    Experiments use this to sweep the memory budget (e.g. to locate the
+    OOM crossover between cuTS and the GSI baseline).
+    """
+    return replace(base, memory_words=memory_words)

@@ -1,0 +1,98 @@
+"""Kernel-launch timing model.
+
+Converts the per-item work of one simulated kernel launch into cycles:
+
+* **compute** — items are laid onto workers with the static strided
+  schedule (or a shuffled one); the launch's compute time is the busiest
+  worker's total, i.e. load imbalance directly lengthens the kernel
+  exactly as it does on hardware;
+* **memory** — the DRAM words the launch moves divided by device
+  bandwidth (the memory-bound roofline; the paper stresses subgraph
+  isomorphism is memory bound);
+* a fixed launch overhead.
+
+``cycles = overhead + max(compute, memory)`` is accumulated into the
+:class:`~repro.gpusim.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cost import CostModel
+from .warp import load_imbalance, shuffled_worker_loads, strided_worker_loads
+
+__all__ = ["KernelLaunch", "launch_kernel", "LAUNCH_OVERHEAD_CYCLES"]
+
+LAUNCH_OVERHEAD_CYCLES = 2_000.0
+"""Fixed per-launch overhead (driver + scheduling), in SM cycles."""
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Record of one simulated kernel launch."""
+
+    name: str
+    num_items: int
+    num_workers: int
+    compute_cycles: float
+    memory_cycles: float
+    imbalance: float
+
+    @property
+    def cycles(self) -> float:
+        return LAUNCH_OVERHEAD_CYCLES + max(self.compute_cycles, self.memory_cycles)
+
+
+def launch_kernel(
+    cost: CostModel,
+    name: str,
+    item_cycles: np.ndarray,
+    num_workers: int,
+    dram_words: int,
+    *,
+    rng: np.random.Generator | None = None,
+) -> KernelLaunch:
+    """Simulate one kernel launch and charge its time to ``cost``.
+
+    Parameters
+    ----------
+    cost:
+        The cost model accumulating this device's activity.
+    name:
+        Kernel label (for traces).
+    item_cycles:
+        Per-item compute cost in cycles (one entry per partial path or
+        candidate processed by the launch).
+    num_workers:
+        Concurrent (virtual-)warp count available to the launch.
+    dram_words:
+        DRAM words this launch moves (already charged to the counters by
+        the caller; used here only for the bandwidth roofline).
+    rng:
+        If given, items are placed randomly before the strided schedule —
+        the paper's randomized-placement optimisation.  If ``None`` the
+        id-order static schedule is used.
+    """
+    item_cycles = np.asarray(item_cycles, dtype=np.float64)
+    if rng is None:
+        loads = strided_worker_loads(item_cycles, num_workers)
+    else:
+        loads = shuffled_worker_loads(item_cycles, num_workers, rng)
+    compute = float(loads.max()) if loads.size else 0.0
+    memory = dram_words / cost.device.dram_words_per_cycle
+    launch = KernelLaunch(
+        name=name,
+        num_items=int(item_cycles.size),
+        num_workers=num_workers,
+        compute_cycles=compute,
+        memory_cycles=memory,
+        imbalance=load_imbalance(loads),
+    )
+    cost.cycles += launch.cycles
+    cost.kernel_launches += 1
+    if cost.trace is not None:
+        cost.trace.append(launch)
+    return launch

@@ -1,0 +1,92 @@
+"""Simulated device-memory manager.
+
+Tracks named allocations against a :class:`~repro.gpusim.device.DeviceSpec`
+capacity and raises :class:`DeviceOOMError` when an allocation cannot be
+satisfied — the signal that turns into a "-" (failed case) entry in the
+Table 3 reproduction, exactly as real GSI runs die with cudaMalloc /
+kernel-launch failures.
+
+``free_words`` is the ``cudaMemGetInfo`` analogue the paper uses to size
+the trie arrays ("two big arrays whose size equals half of the free space
+available in the GPU", §4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import DeviceSpec
+
+__all__ = ["DeviceOOMError", "DeviceMemory"]
+
+
+class DeviceOOMError(MemoryError):
+    """Raised when a simulated device allocation exceeds free memory."""
+
+    def __init__(self, requested: int, free: int, label: str) -> None:
+        super().__init__(
+            f"device OOM allocating {requested} words for {label!r} "
+            f"({free} words free)"
+        )
+        self.requested = requested
+        self.free = free
+        self.label = label
+
+
+@dataclass
+class DeviceMemory:
+    """Allocation ledger for one simulated device."""
+
+    spec: DeviceSpec
+    allocations: dict[str, int] = field(default_factory=dict)
+    peak_words: int = 0
+
+    @property
+    def capacity_words(self) -> int:
+        return self.spec.memory_words
+
+    @property
+    def used_words(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def free_words(self) -> int:
+        """The ``cudaMemGetInfo`` analogue."""
+        return self.capacity_words - self.used_words
+
+    def alloc(self, label: str, words: int) -> None:
+        """Allocate ``words`` under ``label``; grows an existing label.
+
+        Raises
+        ------
+        DeviceOOMError
+            If the allocation does not fit in free memory.
+        """
+        if words < 0:
+            raise ValueError("allocation size must be non-negative")
+        if words > self.free_words:
+            raise DeviceOOMError(words, self.free_words, label)
+        self.allocations[label] = self.allocations.get(label, 0) + words
+        self.peak_words = max(self.peak_words, self.used_words)
+
+    def resize(self, label: str, words: int) -> None:
+        """Set ``label``'s allocation to exactly ``words``."""
+        if words < 0:
+            raise ValueError("allocation size must be non-negative")
+        current = self.allocations.get(label, 0)
+        grow = words - current
+        if grow > self.free_words:
+            raise DeviceOOMError(grow, self.free_words, label)
+        if words == 0:
+            self.allocations.pop(label, None)
+        else:
+            self.allocations[label] = words
+        self.peak_words = max(self.peak_words, self.used_words)
+
+    def free(self, label: str) -> None:
+        """Release an allocation (no-op if absent)."""
+        self.allocations.pop(label, None)
+
+    def reset(self) -> None:
+        """Release everything (keeps the peak statistic)."""
+        self.allocations.clear()

@@ -1,0 +1,69 @@
+"""Nsight-Compute-style metric reports.
+
+The paper's §6.3 attributes the cuTS speedup to counter ratios measured
+with Nvidia Nsight Compute (DRAM traffic, shared-memory traffic, atomics,
+instructions).  :func:`compare_counters` renders the same comparison for
+two :class:`~repro.gpusim.cost.CostModel` snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import CostModel
+
+__all__ = ["MetricRatio", "compare_counters", "format_metric_report"]
+
+_REPORTED = (
+    "dram_read_words",
+    "dram_write_words",
+    "dram_read_transactions",
+    "dram_write_transactions",
+    "shared_read_words",
+    "shared_write_words",
+    "atomic_ops",
+    "instructions",
+    "idle_lane_cycles",
+    "kernel_launches",
+    "cycles",
+    "time_ms",
+)
+
+
+@dataclass(frozen=True)
+class MetricRatio:
+    """One counter compared across two implementations."""
+
+    metric: str
+    baseline: float
+    ours: float
+
+    @property
+    def reduction(self) -> float:
+        """baseline / ours — "Nx lower" in the paper's phrasing."""
+        if self.ours == 0:
+            return float("inf") if self.baseline > 0 else 1.0
+        return self.baseline / self.ours
+
+
+def compare_counters(baseline: CostModel, ours: CostModel) -> list[MetricRatio]:
+    """Compare every reported counter of two cost models."""
+    b = baseline.snapshot()
+    o = ours.snapshot()
+    return [MetricRatio(m, float(b[m]), float(o[m])) for m in _REPORTED]
+
+
+def format_metric_report(
+    ratios: list[MetricRatio],
+    baseline_name: str = "GSI",
+    ours_name: str = "cuTS",
+) -> str:
+    """Render a fixed-width text table of counter reductions."""
+    header = f"{'metric':<28}{baseline_name:>16}{ours_name:>16}{'reduction':>12}"
+    lines = [header, "-" * len(header)]
+    for r in ratios:
+        red = "inf" if r.reduction == float("inf") else f"{r.reduction:.2f}x"
+        lines.append(
+            f"{r.metric:<28}{r.baseline:>16.3g}{r.ours:>16.3g}{red:>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Occupancy calculation (§2.2.3).
+
+The paper's performance-factors discussion: "Occupancy ... is defined as
+the ratio of the active threads to the maximum number of threads that an
+SMP can support (1024 or 2048 in modern GPUs) ... affected by
+shared-memory usage, register usage, and thread block size.  Holding
+more data in shared memory ... allows better data reuse; however, this
+may reduce the occupancy."
+
+:func:`occupancy` reproduces the standard calculator: resident blocks
+per SM are limited by the thread budget, the shared-memory budget, the
+register file, and the hardware block slots; occupancy is the resulting
+active-warp fraction.  The shared-memory-vs-occupancy trade-off benchmark
+uses it to quantify the §2.2.3 tension for the intersection buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["OccupancyResult", "occupancy", "max_shared_words_for_full_occupancy"]
+
+MAX_BLOCKS_PER_SM = 32
+REGISTER_FILE_PER_SM = 65_536
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel config."""
+
+    blocks_per_sm: int
+    active_warps_per_sm: int
+    occupancy: float
+    limiter: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.occupancy:.0%} ({self.active_warps_per_sm} warps/SM, "
+            f"limited by {self.limiter})"
+        )
+
+
+def occupancy(
+    device: DeviceSpec,
+    threads_per_block: int,
+    shared_words_per_block: int = 0,
+    registers_per_thread: int = 32,
+) -> OccupancyResult:
+    """Active-warp occupancy for a kernel configuration.
+
+    Parameters
+    ----------
+    device:
+        The simulated device.
+    threads_per_block:
+        Launch block size (must be a positive multiple of the warp size
+        to avoid padding waste; non-multiples are rounded up to whole
+        warps, as hardware does).
+    shared_words_per_block:
+        Shared-memory words each block allocates (e.g. the intersection
+        buffer of §4.1.3's c-kernel).
+    registers_per_thread:
+        Register footprint per thread.
+    """
+    if threads_per_block <= 0:
+        raise ValueError("threads_per_block must be positive")
+    if shared_words_per_block < 0 or registers_per_thread < 0:
+        raise ValueError("resource usage must be non-negative")
+    warps_per_block = -(-threads_per_block // device.warp_size)
+    max_warps = device.max_warps_per_sm
+
+    limits: dict[str, int] = {}
+    limits["threads"] = max_warps // warps_per_block
+    limits["block_slots"] = MAX_BLOCKS_PER_SM
+    if shared_words_per_block > 0:
+        limits["shared_memory"] = (
+            device.shared_words_per_sm // shared_words_per_block
+        )
+    if registers_per_thread > 0:
+        regs_per_block = registers_per_thread * warps_per_block * device.warp_size
+        limits["registers"] = REGISTER_FILE_PER_SM // regs_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    active_warps = min(blocks * warps_per_block, max_warps)
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        active_warps_per_sm=active_warps,
+        occupancy=active_warps / max_warps,
+        limiter=limiter if blocks * warps_per_block <= max_warps else "threads",
+    )
+
+
+def max_shared_words_for_full_occupancy(
+    device: DeviceSpec, threads_per_block: int, registers_per_thread: int = 32
+) -> int:
+    """Largest per-block shared allocation that keeps occupancy at 1.0.
+
+    The §2.2.3 design question for the intersection buffer: how big may
+    the shared-memory tile grow before it starts evicting resident
+    blocks?
+    """
+    warps_per_block = -(-threads_per_block // device.warp_size)
+    blocks_needed = -(-device.max_warps_per_sm // warps_per_block)
+    return device.shared_words_per_sm // blocks_needed

@@ -1,0 +1,137 @@
+"""Warp, virtual-warp, and work-scheduling models.
+
+Paper §4.1.2: assigning one hardware warp per partial path wastes lanes on
+low-degree graphs, so cuTS processes paths with **virtual warps** whose
+width is chosen from the average degree; paths are distributed across
+workers with the grid-stride pattern ``for (m = start; m < N; m +=
+workers)``.  This module reproduces those mechanisms:
+
+* :func:`select_virtual_warp_size` — the width heuristic;
+* :func:`strided_worker_loads` — per-worker cycle totals for the static
+  strided distribution (this is where intra-warp/intra-block imbalance
+  shows up, and why the paper shuffles path placement);
+* :func:`bin_paths_by_work` — the *rejected* binning strategy, kept for
+  the ablation benchmark;
+* :func:`idle_lane_cycles` — wasted lanes for a given warp width vs the
+  real work widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import DeviceSpec
+
+__all__ = [
+    "select_virtual_warp_size",
+    "strided_worker_loads",
+    "shuffled_worker_loads",
+    "load_imbalance",
+    "bin_paths_by_work",
+    "idle_lane_cycles",
+    "device_worker_count",
+]
+
+
+def select_virtual_warp_size(average_degree: float, warp_size: int = 32) -> int:
+    """Virtual-warp width from the data graph's average degree.
+
+    The paper sizes virtual warps "determined by the average degree of the
+    node": round the average degree up to the next power of two, clamped
+    to ``[2, warp_size]`` (one lane is never a warp; more than a hardware
+    warp cannot be a sub-warp).
+    """
+    if average_degree < 0:
+        raise ValueError("average_degree must be non-negative")
+    width = 2
+    while width < average_degree and width < warp_size:
+        width <<= 1
+    return min(width, warp_size)
+
+
+def strided_worker_loads(costs: np.ndarray, num_workers: int) -> np.ndarray:
+    """Per-worker totals of the grid-stride static schedule.
+
+    Item ``m`` goes to worker ``m % num_workers`` (the kernel's
+    ``start/stride`` loop).  Returns an array of length
+    ``min(num_workers, ...)`` with each worker's summed cost.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    costs = np.asarray(costs, dtype=np.float64)
+    if costs.size == 0:
+        return np.zeros(num_workers, dtype=np.float64)
+    owners = np.arange(costs.size, dtype=np.int64) % num_workers
+    return np.bincount(owners, weights=costs, minlength=num_workers)
+
+
+def shuffled_worker_loads(
+    costs: np.ndarray, num_workers: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Strided schedule after randomised path placement.
+
+    The paper's fix for the id-order clustering artifact: "We randomized
+    the partial path placement, and this simple strategy helped us achieve
+    good intra-warp and intra thread block load balance."
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    return strided_worker_loads(rng.permutation(costs), num_workers)
+
+
+def load_imbalance(worker_loads: np.ndarray) -> float:
+    """Max-over-mean imbalance of a schedule (1.0 = perfectly balanced)."""
+    loads = np.asarray(worker_loads, dtype=np.float64)
+    if loads.size == 0:
+        return 1.0
+    mean = loads.mean()
+    if mean == 0:
+        return 1.0
+    return float(loads.max() / mean)
+
+
+def bin_paths_by_work(work: np.ndarray, warp_size: int = 32) -> dict[int, np.ndarray]:
+    """The binning strategy cuTS evaluated and rejected (§4.1.2).
+
+    Groups path indices into power-of-two work bins; bin ``w`` would be
+    processed by virtual warps of width ``w``.  Kept for the ablation
+    benchmark that shows why a single adaptive width won.
+    """
+    work = np.asarray(work, dtype=np.int64)
+    bins: dict[int, np.ndarray] = {}
+    if work.size == 0:
+        return bins
+    width = np.ones_like(work)
+    clipped = np.clip(work, 1, warp_size)
+    # Round each item's work up to a power of two <= warp_size.
+    width = 2 ** np.ceil(np.log2(clipped)).astype(np.int64)
+    width = np.clip(width, 1, warp_size)
+    for w in np.unique(width):
+        bins[int(w)] = np.nonzero(width == w)[0].astype(np.int64)
+    return bins
+
+
+def idle_lane_cycles(
+    work_widths: np.ndarray, virtual_warp_size: int
+) -> int:
+    """Lane-cycles idle when items of the given work widths run on
+    virtual warps of fixed width.
+
+    An item touching ``w`` elements occupies ``ceil(w / vw)`` virtual-warp
+    steps of ``vw`` lanes; the idle portion is ``steps * vw - w``.
+    """
+    if virtual_warp_size <= 0:
+        raise ValueError("virtual_warp_size must be positive")
+    w = np.asarray(work_widths, dtype=np.int64)
+    if w.size == 0:
+        return 0
+    steps = np.ceil(np.maximum(w, 1) / virtual_warp_size)
+    return int((steps * virtual_warp_size - w).sum())
+
+
+def device_worker_count(
+    device: DeviceSpec, virtual_warp_size: int, occupancy: float = 1.0
+) -> int:
+    """Concurrent virtual-warp count at the given occupancy."""
+    if not 0.0 < occupancy <= 1.0:
+        raise ValueError("occupancy must be in (0, 1]")
+    return max(1, int(device.virtual_warp_capacity(virtual_warp_size) * occupancy))

@@ -1,0 +1,72 @@
+"""Graph substrate: CSR representation, builders, generators, IO.
+
+Public surface re-exported here; see the individual modules for details.
+"""
+
+from .build import (
+    empty_graph,
+    from_edges,
+    from_networkx,
+    from_undirected_edges,
+    to_networkx,
+)
+from .components import (
+    induced_subgraph,
+    is_weakly_connected,
+    split_components,
+    weakly_connected_components,
+)
+from .csr import CSRGraph
+from .degree import DegreeSummary, degree_histogram, degree_summary, total_degrees
+from .generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    mesh_graph,
+    random_graph,
+    road_network_graph,
+    social_graph,
+    star_graph,
+)
+from .io import (
+    convert_cuts_to_gsi,
+    read_cuts_format,
+    read_gsi_format,
+    write_cuts_format,
+    write_gsi_format,
+)
+from .queries import QUERY_SIZES, all_query_sets, atlas_graphs, paper_query_set
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_undirected_edges",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+    "weakly_connected_components",
+    "is_weakly_connected",
+    "split_components",
+    "induced_subgraph",
+    "DegreeSummary",
+    "degree_summary",
+    "degree_histogram",
+    "total_degrees",
+    "mesh_graph",
+    "chain_graph",
+    "clique_graph",
+    "star_graph",
+    "cycle_graph",
+    "social_graph",
+    "road_network_graph",
+    "random_graph",
+    "write_cuts_format",
+    "read_cuts_format",
+    "write_gsi_format",
+    "read_gsi_format",
+    "convert_cuts_to_gsi",
+    "QUERY_SIZES",
+    "all_query_sets",
+    "atlas_graphs",
+    "paper_query_set",
+]

@@ -1,0 +1,159 @@
+"""Constructors for :class:`~repro.graph.csr.CSRGraph`.
+
+The paper (§2.1) works on directed graphs and converts an undirected graph
+to a directed one "by adding an edge (v, u) for every edge (u, v)".  These
+builders implement that convention, deduplicate parallel edges, drop
+self-loops (a vertex can never match itself twice in an injective
+embedding, and the paper's query generation produces simple graphs), and
+produce sorted dual-CSR arrays in one vectorised pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edges",
+    "from_undirected_edges",
+    "from_networkx",
+    "to_networkx",
+    "empty_graph",
+]
+
+
+def _normalise_edges(
+    edges: Iterable[Sequence[int]] | np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Coerce an edge iterable to a deduplicated ``(E, 2)`` int64 array.
+
+    Self-loops are removed; duplicates collapse to one edge.  Returns the
+    array plus the inferred vertex count (``max id + 1`` over the *raw*
+    edges, so a vertex mentioned only in a dropped self-loop still
+    counts).
+    """
+    arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if arr.size == 0:
+        return np.zeros((0, 2), dtype=np.int64), 0
+    arr = arr.reshape(-1, 2).astype(np.int64, copy=False)
+    if arr.min() < 0:
+        raise ValueError("vertex ids must be non-negative")
+    inferred_n = int(arr.max()) + 1
+    arr = arr[arr[:, 0] != arr[:, 1]]  # drop self loops
+    if arr.size == 0:
+        return np.zeros((0, 2), dtype=np.int64), inferred_n
+    return np.unique(arr, axis=0), inferred_n
+
+
+def _csr_from_sorted_edges(
+    edges: np.ndarray, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) from an edge array sorted by (src, dst)."""
+    counts = np.bincount(edges[:, 0], minlength=num_vertices).astype(np.int64)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, np.ascontiguousarray(edges[:, 1])
+
+
+def from_edges(
+    edges: Iterable[Sequence[int]] | np.ndarray,
+    num_vertices: int | None = None,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a directed :class:`CSRGraph` from an edge list.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs or an ``(E, 2)`` array.  Duplicates
+        and self-loops are removed.
+    num_vertices:
+        Explicit vertex count; defaults to ``max id + 1``.
+    name:
+        Dataset name carried into experiment tables.
+    """
+    arr, inferred_n = _normalise_edges(edges)
+    if num_vertices is None:
+        num_vertices = inferred_n
+    elif arr.size and int(arr.max()) >= num_vertices:
+        raise ValueError(
+            f"edge references vertex {int(arr.max())} but num_vertices="
+            f"{num_vertices}"
+        )
+    # Out-CSR: sort by (src, dst) — np.unique in _normalise_edges already
+    # produced lexicographic order, so rows are ready as-is.
+    indptr, indices = _csr_from_sorted_edges(arr, num_vertices)
+    # In-CSR: sort the flipped edges.
+    flipped = arr[:, ::-1]
+    order = np.lexsort((flipped[:, 1], flipped[:, 0]))
+    flipped = flipped[order]
+    rindptr, rindices = _csr_from_sorted_edges(flipped, num_vertices)
+    return CSRGraph(
+        num_vertices=num_vertices,
+        indptr=indptr,
+        indices=indices,
+        rindptr=rindptr,
+        rindices=rindices,
+        name=name,
+    )
+
+
+def from_undirected_edges(
+    edges: Iterable[Sequence[int]] | np.ndarray,
+    num_vertices: int | None = None,
+    name: str = "graph",
+) -> CSRGraph:
+    """Build a bidirected :class:`CSRGraph` from an undirected edge list.
+
+    Implements the paper's §2.1 conversion: every undirected edge
+    ``{u, v}`` becomes the directed pair ``(u, v)`` and ``(v, u)``.
+    """
+    arr, inferred_n = _normalise_edges(edges)
+    if arr.size:
+        arr = np.concatenate([arr, arr[:, ::-1]], axis=0)
+    if num_vertices is None:
+        num_vertices = inferred_n
+    return from_edges(arr, num_vertices=num_vertices, name=name)
+
+
+def from_networkx(g, name: str | None = None) -> CSRGraph:
+    """Convert a networkx (Di)Graph with integer-labelled nodes.
+
+    Non-integer or sparse labellings are compacted to ``0..n-1`` in sorted
+    node order.
+    """
+    import networkx as nx
+
+    nodes = sorted(g.nodes())
+    relabel = {v: i for i, v in enumerate(nodes)}
+    edges = np.asarray(
+        [(relabel[u], relabel[v]) for u, v in g.edges()], dtype=np.int64
+    ).reshape(-1, 2)
+    build = from_edges if isinstance(g, nx.DiGraph) else from_undirected_edges
+    return build(edges, num_vertices=len(nodes), name=name or "networkx")
+
+
+def to_networkx(graph: CSRGraph):
+    """Convert to a ``networkx.DiGraph`` (for oracle cross-checks).
+
+    Vertex labels, when present, become a ``label`` node attribute.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_vertices))
+    g.add_edges_from(map(tuple, graph.edge_list()))
+    if graph.labels is not None:
+        nx.set_node_attributes(
+            g, {v: int(graph.labels[v]) for v in range(graph.num_vertices)},
+            "label",
+        )
+    return g
+
+
+def empty_graph(num_vertices: int = 0, name: str = "empty") -> CSRGraph:
+    """An edgeless graph on ``num_vertices`` vertices."""
+    return from_edges(np.zeros((0, 2), dtype=np.int64), num_vertices, name)

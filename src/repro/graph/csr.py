@@ -1,0 +1,295 @@
+"""Compressed Sparse Row graph representation.
+
+This is the data-graph substrate of the cuTS reproduction.  The paper
+(§4.1.2) stores the data graph in CSR so that "finding the neighbors for
+performing the intersection can be done with O(1) time cost".  We keep
+*both* orientations:
+
+* the **out**-CSR (``indptr`` / ``indices``) — the children lists used by
+  the c-intersection micro-kernel and the BFS expansion, and
+* the **in**-CSR (``rindptr`` / ``rindices``) — the parent lists used by
+  the p-intersection micro-kernel.
+
+Neighbour lists are kept **sorted** so that edge-existence queries are a
+vectorised ``searchsorted`` (the NumPy analogue of a warp doing a binary
+probe into a coalesced adjacency segment).
+
+All arrays are contiguous ``int64`` NumPy arrays; every accessor returns
+views, never copies, per the HPC guide's "views, not copies" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph in dual (out + in) CSR form.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices ``|V|``; vertex ids are ``0 .. |V|-1``.
+    indptr, indices:
+        Out-adjacency in CSR form.  ``indices[indptr[u]:indptr[u+1]]`` is
+        the sorted list of children of ``u``.
+    rindptr, rindices:
+        In-adjacency in CSR form.  ``rindices[rindptr[u]:rindptr[u+1]]``
+        is the sorted list of parents of ``u``.
+    name:
+        Optional human-readable dataset name (used in experiment tables).
+    labels:
+        Optional per-vertex integer labels (length ``|V|``).  When both
+        data and query graphs carry labels, matchers additionally require
+        label equality (the labeled subgraph isomorphism of GSI's
+        domain); ``None`` means unlabeled, the regime the paper
+        evaluates.
+    """
+
+    num_vertices: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    rindptr: np.ndarray
+    rindices: np.ndarray
+    name: str = field(default="graph", compare=False)
+    labels: np.ndarray | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        n = self.num_vertices
+        if n < 0:
+            raise ValueError(f"num_vertices must be >= 0, got {n}")
+        if self.labels is not None and self.labels.shape != (n,):
+            raise ValueError(
+                f"labels must have shape ({n},), got {self.labels.shape}"
+            )
+        if self.indptr.shape != (n + 1,):
+            raise ValueError(
+                f"indptr must have shape ({n + 1},), got {self.indptr.shape}"
+            )
+        if self.rindptr.shape != (n + 1,):
+            raise ValueError(
+                f"rindptr must have shape ({n + 1},), got {self.rindptr.shape}"
+            )
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr endpoints inconsistent with indices")
+        if self.rindptr[0] != 0 or self.rindptr[-1] != len(self.rindices):
+            raise ValueError("rindptr endpoints inconsistent with rindices")
+        if len(self.indices) != len(self.rindices):
+            raise ValueError(
+                "out- and in-CSR must describe the same edge set: "
+                f"{len(self.indices)} != {len(self.rindices)} edges"
+            )
+        if len(self.indices) and n:
+            if self.indices.min() < 0 or self.indices.max() >= n:
+                raise ValueError("indices contain out-of-range vertex ids")
+            if self.rindices.min() < 0 or self.rindices.max() >= n:
+                raise ValueError("rindices contain out-of-range vertex ids")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(len(self.indices))
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex (a fresh small array, O(|V|))."""
+        return np.diff(self.indptr)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex."""
+        return np.diff(self.rindptr)
+
+    @property
+    def max_out_degree(self) -> int:
+        """Maximum out-degree (``0`` for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.out_degrees.max())
+
+    @property
+    def max_in_degree(self) -> int:
+        """Maximum in-degree (``0`` for an empty graph)."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.in_degrees.max())
+
+    @property
+    def average_out_degree(self) -> float:
+        """Mean out-degree; 0.0 for the empty graph."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Neighbourhood access (views)
+    # ------------------------------------------------------------------
+    def children(self, u: int) -> np.ndarray:
+        """Sorted out-neighbours of ``u`` (a view, not a copy)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def parents(self, u: int) -> np.ndarray:
+        """Sorted in-neighbours of ``u`` (a view, not a copy)."""
+        return self.rindices[self.rindptr[u] : self.rindptr[u + 1]]
+
+    def out_degree(self, u: int) -> int:
+        """Out-degree of a single vertex."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def in_degree(self, u: int) -> int:
+        """In-degree of a single vertex."""
+        return int(self.rindptr[u + 1] - self.rindptr[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the directed edge ``(u, v)`` exists (binary search)."""
+        row = self.children(u)
+        pos = int(np.searchsorted(row, v))
+        return pos < len(row) and int(row[pos]) == v
+
+    # ------------------------------------------------------------------
+    # Vectorised edge-existence probe — the heart of the fused kernel
+    # ------------------------------------------------------------------
+    def has_edges(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorised edge-existence: does ``(sources[i], targets[i])`` exist?
+
+        This models a virtual warp probing the coalesced adjacency segment
+        of each source vertex; it is the inner operation of both the
+        c-intersection membership check and the fused search kernel.
+
+        Parameters
+        ----------
+        sources, targets:
+            Equal-length integer arrays of vertex ids.
+
+        Returns
+        -------
+        A boolean array ``mask`` with ``mask[i] == has_edge(sources[i],
+        targets[i])``.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have equal shape")
+        if sources.size == 0:
+            return np.zeros(0, dtype=bool)
+        starts = self.indptr[sources]
+        ends = self.indptr[sources + 1]
+        # Binary-search each target inside its source's sorted segment.
+        # searchsorted over the global indices array with per-row bounds:
+        # positions are found in the full array restricted via sorter-free
+        # trick — each row is already sorted and rows are disjoint slices,
+        # so a per-row search is emulated by searching the whole array and
+        # clamping: we instead iterate in a vectorised fashion using
+        # np.searchsorted on the flat array per unique row would be O(rows);
+        # the standard approach below does one searchsorted per call using
+        # the "offset" technique.
+        pos = _segmented_searchsorted(self.indices, starts, ends, targets)
+        in_range = pos < ends
+        found = np.zeros(sources.shape, dtype=bool)
+        # Guard the gather: only compare where pos is a valid slot.
+        safe = np.minimum(pos, len(self.indices) - 1 if len(self.indices) else 0)
+        if len(self.indices):
+            found = in_range & (self.indices[safe] == targets)
+        return found
+
+    def has_redges(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorised reverse-edge existence: does ``(targets[i], sources[i])``
+        exist, probed through the in-CSR of ``sources[i]``?
+
+        Equivalent to ``has_edges(targets, sources)`` but reads the parent
+        lists — this is what the p-intersection micro-kernel does.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have equal shape")
+        if sources.size == 0:
+            return np.zeros(0, dtype=bool)
+        starts = self.rindptr[sources]
+        ends = self.rindptr[sources + 1]
+        pos = _segmented_searchsorted(self.rindices, starts, ends, targets)
+        in_range = pos < ends
+        found = np.zeros(sources.shape, dtype=bool)
+        safe = np.minimum(pos, len(self.rindices) - 1 if len(self.rindices) else 0)
+        if len(self.rindices):
+            found = in_range & (self.rindices[safe] == targets)
+        return found
+
+    # ------------------------------------------------------------------
+    # Conversions / dunder
+    # ------------------------------------------------------------------
+    def edge_list(self) -> np.ndarray:
+        """Return an ``(E, 2)`` array of directed edges, CSR order."""
+        src = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees)
+        return np.column_stack([src, self.indices])
+
+    def reverse(self) -> "CSRGraph":
+        """The transpose graph (every edge flipped); O(1), swaps views."""
+        return CSRGraph(
+            num_vertices=self.num_vertices,
+            indptr=self.rindptr,
+            indices=self.rindices,
+            rindptr=self.indptr,
+            rindices=self.indices,
+            name=f"{self.name}^T",
+            labels=self.labels,
+        )
+
+    def with_labels(self, labels) -> "CSRGraph":
+        """A copy of this graph carrying per-vertex integer labels."""
+        arr = np.ascontiguousarray(labels, dtype=np.int64)
+        return CSRGraph(
+            num_vertices=self.num_vertices,
+            indptr=self.indptr,
+            indices=self.indices,
+            rindptr=self.rindptr,
+            rindices=self.rindices,
+            name=self.name,
+            labels=arr,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRGraph(name={self.name!r}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges})"
+        )
+
+
+def _segmented_searchsorted(
+    flat: np.ndarray, starts: np.ndarray, ends: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Binary-search ``values[i]`` inside ``flat[starts[i]:ends[i]]``.
+
+    Each segment of ``flat`` is sorted.  Returns the *global* insertion
+    position within ``flat`` (clamped to ``[starts[i], ends[i]]``).
+
+    Implemented as a branch-free vectorised binary search so one call
+    services every lane of the virtual warp at once.
+    """
+    lo = starts.astype(np.int64).copy()
+    hi = ends.astype(np.int64).copy()
+    if flat.size == 0:
+        return lo
+    # Classic vectorised binary search: ~log2(max segment length) rounds.
+    # Each round is one coalesced gather + compare across all lanes.
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        mid = (lo + hi) >> 1
+        # Gather is safe: mid < hi <= len(flat) wherever active.
+        mid_safe = np.where(active, mid, 0)
+        less = flat[mid_safe] < values
+        go_right = active & less
+        go_left = active & ~less
+        lo[go_right] = mid[go_right] + 1
+        hi[go_left] = mid[go_left]
+    return lo

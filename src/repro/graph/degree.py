@@ -1,0 +1,84 @@
+"""Degree statistics and degree-distribution summaries.
+
+The cuTS candidate filter (paper Definition 5) and the virtual-warp sizing
+heuristic (§4.1.2: "the size of the virtual warp is determined by the
+average degree of the node") both consume degree information; this module
+centralises those computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["DegreeSummary", "degree_summary", "total_degrees", "degree_histogram"]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary statistics of a graph's degree distribution."""
+
+    num_vertices: int
+    num_edges: int
+    max_out: int
+    max_in: int
+    mean_out: float
+    median_out: float
+    p99_out: float
+    gini: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"|V|={self.num_vertices} |E|={self.num_edges} "
+            f"max_out={self.max_out} mean_out={self.mean_out:.2f} "
+            f"p99_out={self.p99_out:.1f} gini={self.gini:.3f}"
+        )
+
+
+def total_degrees(graph: CSRGraph) -> np.ndarray:
+    """Total degree (in + out) per vertex.
+
+    The paper's root selection uses "the node with the maximum degree (in
+    degree and out degree)".
+    """
+    return graph.out_degrees + graph.in_degrees
+
+
+def degree_histogram(graph: CSRGraph) -> np.ndarray:
+    """``hist[d]`` = number of vertices with out-degree ``d``."""
+    if graph.num_vertices == 0:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(graph.out_degrees)
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample (0 = uniform)."""
+    if values.size == 0:
+        return 0.0
+    v = np.sort(values.astype(np.float64))
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = v.size
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / total).sum()) / n)
+
+
+def degree_summary(graph: CSRGraph) -> DegreeSummary:
+    """Compute a :class:`DegreeSummary` for ``graph``."""
+    outs = graph.out_degrees
+    if graph.num_vertices == 0:
+        return DegreeSummary(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    return DegreeSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_out=int(outs.max()),
+        max_in=graph.max_in_degree,
+        mean_out=float(outs.mean()),
+        median_out=float(np.median(outs)),
+        p99_out=float(np.percentile(outs, 99)),
+        gini=_gini(outs),
+    )

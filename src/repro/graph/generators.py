@@ -1,0 +1,222 @@
+"""Synthetic graph generators.
+
+Two families:
+
+1. **Toy structures** used by the paper's expository figures — the 4x4 mesh
+   and linear-chain query of Fig. 2, cliques, stars, cycles.
+2. **Dataset-class generators** standing in for the SNAP graphs of Table 2
+   (enron, gowalla, wikiTalk, roadNet-PA/TX/CA), which are not available
+   offline.  Each generator reproduces the *class* of degree distribution
+   that drives the paper's phenomena:
+
+   * email/social/communication graphs → heavy-tailed degrees via a
+     preferential-attachment core plus random "community" edges;
+   * road networks → near-planar lattices with unit-ish degrees and a
+     sprinkling of diagonal shortcuts.
+
+All generators are seeded and deterministic.  They return *undirected*
+edge lists as ``(E, 2)`` arrays; callers bidirect them via
+:func:`repro.graph.build.from_undirected_edges` (paper §2.1 convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .build import from_undirected_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "mesh_graph",
+    "chain_graph",
+    "clique_graph",
+    "star_graph",
+    "cycle_graph",
+    "preferential_attachment_edges",
+    "community_noise_edges",
+    "social_graph",
+    "road_network_graph",
+    "random_graph",
+]
+
+
+# ----------------------------------------------------------------------
+# Toy structures (paper Figures 1 and 2)
+# ----------------------------------------------------------------------
+def mesh_graph(rows: int, cols: int, name: str | None = None) -> CSRGraph:
+    """A ``rows x cols`` grid mesh (Fig. 2A uses 4x4), bidirected."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("mesh dimensions must be positive")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    edges = np.concatenate([horiz, vert], axis=0)
+    return from_undirected_edges(
+        edges, num_vertices=rows * cols, name=name or f"mesh{rows}x{cols}"
+    )
+
+
+def chain_graph(length: int, name: str | None = None) -> CSRGraph:
+    """A simple path on ``length`` vertices (Fig. 2B query), bidirected."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    v = np.arange(length, dtype=np.int64)
+    edges = np.column_stack([v[:-1], v[1:]])
+    return from_undirected_edges(edges, num_vertices=length, name=name or f"chain{length}")
+
+
+def clique_graph(n: int, name: str | None = None) -> CSRGraph:
+    """The complete graph K_n, bidirected (Table 1 uses K_5)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    i, j = np.triu_indices(n, k=1)
+    edges = np.column_stack([i, j]).astype(np.int64)
+    return from_undirected_edges(edges, num_vertices=n, name=name or f"K{n}")
+
+
+def star_graph(leaves: int, name: str | None = None) -> CSRGraph:
+    """A star with one hub and ``leaves`` leaves, bidirected."""
+    if leaves < 0:
+        raise ValueError("leaves must be >= 0")
+    hub = np.zeros(leaves, dtype=np.int64)
+    leaf = np.arange(1, leaves + 1, dtype=np.int64)
+    return from_undirected_edges(
+        np.column_stack([hub, leaf]), num_vertices=leaves + 1,
+        name=name or f"star{leaves}",
+    )
+
+
+def cycle_graph(n: int, name: str | None = None) -> CSRGraph:
+    """A cycle on ``n`` vertices, bidirected."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    v = np.arange(n, dtype=np.int64)
+    edges = np.column_stack([v, np.roll(v, -1)])
+    return from_undirected_edges(edges, num_vertices=n, name=name or f"cycle{n}")
+
+
+# ----------------------------------------------------------------------
+# Dataset-class generators
+# ----------------------------------------------------------------------
+def preferential_attachment_edges(
+    n: int, m: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Barabási–Albert style undirected edges: each new vertex attaches to
+    ``m`` existing vertices chosen proportionally to current degree.
+
+    Produces the heavy-tailed degree distribution characteristic of the
+    email/social/communication graphs in Table 2.
+    """
+    if n < m + 1:
+        raise ValueError(f"need n >= m+1 (n={n}, m={m})")
+    # Repeated-nodes trick: targets drawn uniformly from the multiset of
+    # edge endpoints ~ degree-proportional sampling, fully O(E).
+    edges = np.zeros((m * (n - m), 2), dtype=np.int64)
+    # Seed: a small clique on the first m+1 vertices keeps the core dense.
+    repeated: list[int] = list(range(m + 1)) * m
+    pos = 0
+    for v in range(m + 1, n):
+        pool = np.asarray(repeated, dtype=np.int64)
+        sampled = rng.choice(pool, size=4 * m, replace=True)
+        # Deduplicate in sampled order (np.unique would sort by id and
+        # bias attachment towards the oldest vertices).
+        _, first_pos = np.unique(sampled, return_index=True)
+        targets = sampled[np.sort(first_pos)][:m]
+        while len(targets) < m:  # rare fallback for tiny pools
+            extra = int(rng.integers(0, v))
+            if extra not in targets:
+                targets = np.append(targets, extra)
+        for t in targets:
+            edges[pos] = (v, t)
+            pos += 1
+            repeated.append(v)
+            repeated.append(int(t))
+    seed_i, seed_j = np.triu_indices(m + 1, k=1)
+    seed_edges = np.column_stack([seed_i, seed_j]).astype(np.int64)
+    return np.concatenate([seed_edges, edges[:pos]], axis=0)
+
+
+def community_noise_edges(
+    n: int, num_edges: int, num_communities: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Random intra-community edges adding clustering/triangles.
+
+    Vertices are assigned round-robin to communities; edges are sampled
+    uniformly inside a random community.  This bumps the triangle and
+    small-clique counts so that dense query graphs have matches, as they
+    do in the real social datasets.
+    """
+    if num_communities <= 0 or n <= 1:
+        return np.zeros((0, 2), dtype=np.int64)
+    comm = rng.integers(0, num_communities, size=num_edges)
+    size = n // num_communities
+    if size < 2:
+        return np.zeros((0, 2), dtype=np.int64)
+    a = comm * size + rng.integers(0, size, size=num_edges)
+    b = comm * size + rng.integers(0, size, size=num_edges)
+    edges = np.column_stack([a, b]).astype(np.int64)
+    return edges[(edges[:, 0] != edges[:, 1]) & (edges.max(axis=1) < n)]
+
+
+def social_graph(
+    n: int,
+    m: int,
+    *,
+    community_edges: int = 0,
+    num_communities: int = 32,
+    seed: int = 0,
+    name: str = "social",
+) -> CSRGraph:
+    """Heavy-tailed social/communication graph (enron/gowalla/wikiTalk class)."""
+    rng = np.random.default_rng(seed)
+    edges = preferential_attachment_edges(n, m, rng)
+    if community_edges:
+        noise = community_noise_edges(n, community_edges, num_communities, rng)
+        edges = np.concatenate([edges, noise], axis=0)
+    return from_undirected_edges(edges, num_vertices=n, name=name)
+
+
+def road_network_graph(
+    rows: int,
+    cols: int,
+    *,
+    drop_fraction: float = 0.1,
+    shortcut_fraction: float = 0.02,
+    seed: int = 0,
+    name: str = "road",
+) -> CSRGraph:
+    """Near-planar road-network-class graph (roadNet-PA/TX/CA class).
+
+    A grid with a fraction of edges removed (dead ends, irregular blocks)
+    and a few diagonal shortcuts; mean degree lands near the real road
+    networks' ~2.8 and the degree distribution is tightly concentrated.
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    vert = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    edges = np.concatenate([horiz, vert], axis=0)
+    keep = rng.random(len(edges)) >= drop_fraction
+    edges = edges[keep]
+    num_short = int(shortcut_fraction * len(edges))
+    if num_short and rows > 1 and cols > 1:
+        r = rng.integers(0, rows - 1, size=num_short)
+        c = rng.integers(0, cols - 1, size=num_short)
+        diag = np.column_stack([ids[r, c], ids[r + 1, c + 1]])
+        edges = np.concatenate([edges, diag], axis=0)
+    return from_undirected_edges(edges, num_vertices=rows * cols, name=name)
+
+
+def random_graph(
+    n: int, p: float, *, seed: int = 0, name: str = "gnp"
+) -> CSRGraph:
+    """Erdős–Rényi G(n, p), bidirected — used in property tests."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    i, j = np.triu_indices(n, k=1)
+    mask = rng.random(len(i)) < p
+    edges = np.column_stack([i[mask], j[mask]]).astype(np.int64)
+    return from_undirected_edges(edges, num_vertices=n, name=name)

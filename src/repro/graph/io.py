@@ -1,0 +1,109 @@
+"""Graph text formats.
+
+The cuTS artifact distributes graphs in a simple edge-list text format and
+ships ``convert_ours_to_gsi.py`` to translate to GSI's format.  We
+reproduce both:
+
+* **cuTS format**: first line ``<num_vertices> <num_edges>``, then one
+  ``u v`` directed edge per line.
+* **GSI format** (simplified, unlabeled): a header line ``t <n> <m>``,
+  one ``v <id> <label>`` line per vertex and one ``e <u> <v> <label>``
+  line per edge — the structure of GSI's ``.g`` files with all labels 0.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .build import from_edges
+from .csr import CSRGraph
+
+__all__ = [
+    "write_cuts_format",
+    "read_cuts_format",
+    "write_gsi_format",
+    "read_gsi_format",
+    "convert_cuts_to_gsi",
+]
+
+
+def write_cuts_format(graph: CSRGraph, path: str | Path) -> None:
+    """Write a graph in the cuTS edge-list format."""
+    path = Path(path)
+    edges = graph.edge_list()
+    with path.open("w") as fh:
+        fh.write(f"{graph.num_vertices} {graph.num_edges}\n")
+        np.savetxt(fh, edges, fmt="%d")
+
+
+def read_cuts_format(path: str | Path, name: str | None = None) -> CSRGraph:
+    """Read a graph written by :func:`write_cuts_format`."""
+    path = Path(path)
+    with path.open() as fh:
+        header = fh.readline().split()
+        if len(header) != 2:
+            raise ValueError(f"{path}: malformed header {header!r}")
+        n, m = int(header[0]), int(header[1])
+        if m > 0:
+            edges = np.loadtxt(fh, dtype=np.int64, ndmin=2)
+        else:
+            edges = np.zeros((0, 2), dtype=np.int64)
+    if edges.size == 0:
+        edges = edges.reshape(0, 2)
+    if len(edges) != m:
+        raise ValueError(f"{path}: header says {m} edges, found {len(edges)}")
+    return from_edges(edges, num_vertices=n, name=name or path.stem)
+
+
+def write_gsi_format(graph: CSRGraph, path: str | Path) -> None:
+    """Write a graph in the (simplified) GSI format.
+
+    Vertex labels are emitted when present; unlabeled graphs write 0s
+    (GSI's files always carry a label column).
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+        for v in range(graph.num_vertices):
+            lab = int(graph.labels[v]) if graph.labels is not None else 0
+            fh.write(f"v {v} {lab}\n")
+        for u, v in graph.edge_list():
+            fh.write(f"e {u} {v} 0\n")
+
+
+def read_gsi_format(path: str | Path, name: str | None = None) -> CSRGraph:
+    """Read a graph written by :func:`write_gsi_format`.
+
+    A nonzero label column is attached as vertex labels; an all-zero
+    column is treated as unlabeled (our ``labels=None`` convention).
+    """
+    path = Path(path)
+    n = 0
+    edges: list[tuple[int, int]] = []
+    labels: dict[int, int] = {}
+    with path.open() as fh:
+        for line in fh:
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "t":
+                n = int(parts[1])
+            elif parts[0] == "v":
+                labels[int(parts[1])] = int(parts[2])
+            elif parts[0] == "e":
+                edges.append((int(parts[1]), int(parts[2])))
+    arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    g = from_edges(arr, num_vertices=n, name=name or path.stem)
+    if any(labels.values()):
+        lab = np.zeros(n, dtype=np.int64)
+        for v, l in labels.items():
+            lab[v] = l
+        g = g.with_labels(lab)
+    return g
+
+
+def convert_cuts_to_gsi(src: str | Path, dst: str | Path) -> None:
+    """File-to-file conversion, mirroring the artifact's converter script."""
+    write_gsi_format(read_cuts_format(src), dst)

@@ -1,0 +1,84 @@
+"""Query-graph generation following the paper's §6.2 procedure.
+
+    "Query graphs with lots of edges are the most difficult ones to solve
+    efficiently.  Hence we generated all possible five node graphs and
+    then sorted them by the total number of edges in decreasing order and
+    selected the top 11 as the query graphs.  For graphs with the same
+    number of edges, we broke the tie randomly.  A similar procedure was
+    carried out for six node and seven node query graphs."
+
+We enumerate all non-isomorphic simple graphs on ``n`` vertices via the
+networkx Graph Atlas (complete up to 7 vertices — exactly the sizes the
+paper uses), keep the connected ones (cuTS assumes connected query
+graphs), sort by edge count descending, and break ties with a seeded
+shuffle so the selection is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from .build import from_networkx
+from .csr import CSRGraph
+
+__all__ = ["atlas_graphs", "paper_query_set", "all_query_sets", "QUERY_SIZES"]
+
+QUERY_SIZES = (5, 6, 7)
+"""Query-vertex counts evaluated in the paper (11 queries each)."""
+
+
+@lru_cache(maxsize=None)
+def _atlas_by_size(n: int) -> tuple:
+    """All connected non-isomorphic simple graphs on exactly ``n`` vertices.
+
+    Returns a tuple of networkx Graphs, atlas order.  Only defined for
+    ``n <= 7`` (the Graph Atlas bound, which covers the paper's sizes).
+    """
+    if n > 7:
+        raise ValueError("the Graph Atlas only covers graphs up to 7 vertices")
+    import networkx as nx
+    from networkx.generators.atlas import graph_atlas_g
+
+    out = []
+    for g in graph_atlas_g():
+        if g.number_of_nodes() != n or g.number_of_nodes() == 0:
+            continue
+        if nx.is_connected(g):
+            out.append(g)
+    return tuple(out)
+
+
+def atlas_graphs(n: int) -> list[CSRGraph]:
+    """All connected ``n``-vertex graphs as bidirected CSR graphs."""
+    return [
+        from_networkx(g, name=f"q{n}v{g.number_of_edges()}e#{i}")
+        for i, g in enumerate(_atlas_by_size(n))
+    ]
+
+
+def paper_query_set(n: int, top_k: int = 11, seed: int = 0) -> list[CSRGraph]:
+    """The paper's query set for ``n``-vertex queries.
+
+    All connected ``n``-vertex graphs sorted by undirected edge count
+    descending, ties broken by a seeded random shuffle, top ``top_k``
+    selected.  Graph names encode size/edges/rank, e.g. ``q5_e10_r0``.
+    """
+    graphs = _atlas_by_size(n)
+    edge_counts = np.array([g.number_of_edges() for g in graphs])
+    rng = np.random.default_rng(seed)
+    tiebreak = rng.permutation(len(graphs))
+    # Sort by (-edges, tiebreak): densest first, random within a tie class.
+    order = np.lexsort((tiebreak, -edge_counts))
+    chosen = order[:top_k]
+    out = []
+    for rank, idx in enumerate(chosen):
+        g = from_networkx(graphs[idx], name=f"q{n}_e{edge_counts[idx]}_r{rank}")
+        out.append(g)
+    return out
+
+
+def all_query_sets(top_k: int = 11, seed: int = 0) -> dict[int, list[CSRGraph]]:
+    """The full 33-query workload: top-``top_k`` for each size in 5/6/7."""
+    return {n: paper_query_set(n, top_k=top_k, seed=seed) for n in QUERY_SIZES}

@@ -1,0 +1,33 @@
+"""Intermediate-result stores: naive flat, CSF, and the cuTS PA/CA trie."""
+
+from .accounting import (
+    StorageComparison,
+    compare_storage,
+    csf_words,
+    naive_words,
+    theoretical_reduction_factor,
+    theoretical_trie_bound,
+    trie_words,
+)
+from .csf import CSFLevel, CSFStore
+from .naive import NaivePathStore
+from .serialize import deserialize_trie, serialize_trie, serialized_words
+from .trie import PathTrie, TrieLevel
+
+__all__ = [
+    "PathTrie",
+    "TrieLevel",
+    "NaivePathStore",
+    "CSFStore",
+    "CSFLevel",
+    "StorageComparison",
+    "compare_storage",
+    "naive_words",
+    "trie_words",
+    "csf_words",
+    "theoretical_trie_bound",
+    "theoretical_reduction_factor",
+    "serialize_trie",
+    "deserialize_trie",
+    "serialized_words",
+]

@@ -1,0 +1,123 @@
+"""Compressed Sparse Fibre (CSF) partial-path storage.
+
+The middle representation of paper Fig. 3(B): a trie laid out like nested
+CSR — per level a *nodeid* array plus an *index* array giving the start
+of each node's children in the next level.  Space-wise it is the tightest
+of the three, but children of a node must be **contiguous**, so building
+a level in parallel needs either per-path serialisation or a two-pass
+count-then-write — the exact drawbacks (§4.1.1) that motivated the PA/CA
+trie.  We keep it for the storage-accounting comparison and as a frozen
+index structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trie import PathTrie
+
+__all__ = ["CSFLevel", "CSFStore"]
+
+
+@dataclass(frozen=True)
+class CSFLevel:
+    """One CSF level.
+
+    ``node_ids[i]`` is the data vertex of entry ``i``; ``child_index``
+    (length ``len(node_ids) + 1``) gives the slice of entry ``i``'s
+    children in the *next* level's ``node_ids``.
+    """
+
+    node_ids: np.ndarray
+    child_index: np.ndarray
+
+    @property
+    def num_entries(self) -> int:
+        return int(len(self.node_ids))
+
+    @property
+    def storage_words(self) -> int:
+        """nodeid array + index array."""
+        return int(len(self.node_ids) + len(self.child_index))
+
+
+@dataclass
+class CSFStore:
+    """A frozen CSF trie built from a :class:`PathTrie`.
+
+    Because CSF requires contiguous children, we *convert* from the PA/CA
+    trie after a level is complete (the two-pass strategy prior work used
+    at every step); sorting each level by parent index groups children.
+    """
+
+    levels: list[CSFLevel]
+
+    @classmethod
+    def from_path_trie(cls, trie: PathTrie) -> "CSFStore":
+        """Convert a PA/CA trie into contiguous-children CSF form."""
+        levels: list[CSFLevel] = []
+        # Permutation applied to each level when sorting by parent; child
+        # PA values must be remapped through the previous level's perm.
+        prev_perm_inv: np.ndarray | None = None
+        sorted_pas: list[np.ndarray] = []
+        sorted_cas: list[np.ndarray] = []
+        for lv, level in enumerate(trie.levels):
+            pa = level.pa
+            if lv > 0 and prev_perm_inv is not None:
+                pa = prev_perm_inv[pa]
+            order = np.argsort(pa, kind="stable")
+            sorted_pas.append(pa[order])
+            sorted_cas.append(level.ca[order])
+            perm_inv = np.empty(len(order), dtype=np.int64)
+            perm_inv[order] = np.arange(len(order), dtype=np.int64)
+            prev_perm_inv = perm_inv
+        for lv in range(len(sorted_cas)):
+            node_ids = sorted_cas[lv]
+            if lv + 1 < len(sorted_cas):
+                counts = np.bincount(
+                    sorted_pas[lv + 1], minlength=len(node_ids)
+                ).astype(np.int64)
+            else:
+                counts = np.zeros(len(node_ids), dtype=np.int64)
+            child_index = np.zeros(len(node_ids) + 1, dtype=np.int64)
+            np.cumsum(counts, out=child_index[1:])
+            levels.append(CSFLevel(node_ids=node_ids, child_index=child_index))
+        return cls(levels=levels)
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    @property
+    def total_storage_words(self) -> int:
+        return sum(lv.storage_words for lv in self.levels)
+
+    def paths(self) -> np.ndarray:
+        """Materialise all deepest-level paths as a ``(P, depth)`` matrix."""
+        if not self.levels:
+            return np.zeros((0, 0), dtype=np.int64)
+        # Reconstruct parent pointers from the child_index runs, then walk.
+        parents: list[np.ndarray] = []
+        for lv in range(self.depth):
+            if lv == 0:
+                parents.append(
+                    np.full(self.levels[0].num_entries, -1, dtype=np.int64)
+                )
+            else:
+                prev = self.levels[lv - 1]
+                counts = np.diff(prev.child_index)
+                parents.append(
+                    np.repeat(
+                        np.arange(prev.num_entries, dtype=np.int64), counts
+                    )
+                )
+        deepest = self.depth - 1
+        k = self.levels[deepest].num_entries
+        out = np.empty((k, self.depth), dtype=np.int64)
+        cur = np.arange(k, dtype=np.int64)
+        for lv in range(deepest, -1, -1):
+            out[:, lv] = self.levels[lv].node_ids[cur]
+            cur = parents[lv][cur]
+        return out

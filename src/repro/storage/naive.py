@@ -1,0 +1,70 @@
+"""Naive (traditional) flat partial-path storage.
+
+The baseline representation the paper compares against in Table 1 and
+Eq. (3): every partial path of depth *l* is materialised as *l* words, so
+level *l* costs ``l × |P_l|`` words and shared prefixes are duplicated.
+GSI-style matchers keep their intermediate table in this form; it is what
+makes them hit the memory wall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["NaivePathStore"]
+
+
+@dataclass
+class NaivePathStore:
+    """A flat matrix of partial paths, one level at a time.
+
+    ``paths`` is a ``(P, l)`` int64 matrix at depth ``l``; extending to
+    depth ``l + 1`` rewrites the whole table (the repeated-copy behaviour
+    that the trie avoids).
+    """
+
+    paths: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 0), dtype=np.int64)
+    )
+
+    @classmethod
+    def from_roots(cls, roots: np.ndarray) -> "NaivePathStore":
+        """Start from the level-0 candidate set (depth-1 paths)."""
+        roots = np.asarray(roots, dtype=np.int64)
+        return cls(paths=roots.reshape(-1, 1).copy())
+
+    @property
+    def depth(self) -> int:
+        """Current path length (number of matched vertices)."""
+        return int(self.paths.shape[1])
+
+    @property
+    def num_paths(self) -> int:
+        return int(self.paths.shape[0])
+
+    @property
+    def storage_words(self) -> int:
+        """Words consumed: ``depth × num_paths`` (paper Eq. 3)."""
+        return self.num_paths * self.depth
+
+    def extend(self, parent_indices: np.ndarray, candidates: np.ndarray) -> None:
+        """Extend to the next depth.
+
+        ``parent_indices[i]`` selects the row to copy; ``candidates[i]``
+        is appended to it.  The entire prefix is *copied*, which is
+        exactly the duplication the trie representation removes.
+        """
+        parent_indices = np.asarray(parent_indices, dtype=np.int64)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if parent_indices.shape != candidates.shape:
+            raise ValueError("parent_indices and candidates must align")
+        new = np.empty((len(candidates), self.depth + 1), dtype=np.int64)
+        new[:, : self.depth] = self.paths[parent_indices]
+        new[:, self.depth] = candidates
+        self.paths = new
+
+    def materialize(self) -> np.ndarray:
+        """All current paths as a ``(P, depth)`` matrix (a view)."""
+        return self.paths

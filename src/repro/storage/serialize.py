@@ -1,0 +1,62 @@
+"""Trie (de)serialisation for the distributed work-shipping protocol.
+
+Paper §4.2: when a busy rank hands work to a free rank it must send "a
+portion of its work ... along with the trie".  We serialise a
+:class:`~repro.storage.trie.PathTrie` into a single flat int64 buffer —
+the shape an MPI ``Send`` of one contiguous array would take — and count
+its word size for the communication-cost model.
+
+Layout: ``[depth, n_0, .., n_{d-1}, pa_0.., ca_0.., pa_1.., ca_1.., ...]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trie import PathTrie, TrieLevel
+
+__all__ = ["serialize_trie", "deserialize_trie", "serialized_words"]
+
+
+def serialize_trie(trie: PathTrie) -> np.ndarray:
+    """Flatten a trie into one contiguous int64 buffer."""
+    parts: list[np.ndarray] = [
+        np.asarray([trie.depth], dtype=np.int64),
+        np.asarray([lv.num_paths for lv in trie.levels], dtype=np.int64),
+    ]
+    for lv in trie.levels:
+        parts.append(lv.pa)
+        parts.append(lv.ca)
+    if len(parts) == 2 and parts[1].size == 0:
+        return parts[0].copy()
+    return np.concatenate(parts)
+
+
+def deserialize_trie(buffer: np.ndarray) -> PathTrie:
+    """Rebuild a :class:`PathTrie` from :func:`serialize_trie` output."""
+    buffer = np.asarray(buffer, dtype=np.int64)
+    if buffer.size < 1:
+        raise ValueError("buffer too short to contain a trie header")
+    depth = int(buffer[0])
+    if depth < 0:
+        raise ValueError(f"negative depth {depth} in trie buffer")
+    sizes = buffer[1 : 1 + depth].astype(np.int64)
+    expected = 1 + depth + int(2 * sizes.sum())
+    if buffer.size != expected:
+        raise ValueError(
+            f"trie buffer has {buffer.size} words, header implies {expected}"
+        )
+    levels: list[TrieLevel] = []
+    pos = 1 + depth
+    for n in sizes:
+        n = int(n)
+        pa = buffer[pos : pos + n].copy()
+        ca = buffer[pos + n : pos + 2 * n].copy()
+        pos += 2 * n
+        levels.append(TrieLevel(pa=pa, ca=ca))
+    return PathTrie(levels=levels)
+
+
+def serialized_words(trie: PathTrie) -> int:
+    """Words an MPI transfer of this trie would move (header included)."""
+    return 1 + trie.depth + trie.total_storage_words

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    from_edges,
+    from_undirected_edges,
+    mesh_graph,
+    random_graph,
+    social_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def mesh44() -> CSRGraph:
+    """The paper's Figure 2 data graph: a 4x4 mesh."""
+    return mesh_graph(4, 4)
+
+
+@pytest.fixture
+def chain4() -> CSRGraph:
+    """The paper's Figure 2 query graph: a 4-vertex chain."""
+    return chain_graph(4)
+
+
+@pytest.fixture
+def k5() -> CSRGraph:
+    return clique_graph(5)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return clique_graph(3)
+
+
+@pytest.fixture
+def small_social() -> CSRGraph:
+    """A small heavy-tailed graph with triangles (seeded)."""
+    return social_graph(120, 3, community_edges=240, num_communities=15, seed=7)
+
+
+@pytest.fixture
+def small_gnp() -> CSRGraph:
+    return random_graph(30, 0.2, seed=11)
+
+
+@pytest.fixture
+def directed_diamond() -> CSRGraph:
+    """A genuinely directed graph: 0->1, 0->2, 1->3, 2->3."""
+    return from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+def oracle_count(data: CSRGraph, query: CSRGraph) -> int:
+    """networkx monomorphism count (the ground truth)."""
+    from repro.baselines.reference import networkx_count
+
+    return networkx_count(data, query)
+
+
+def assert_valid_embeddings(
+    data: CSRGraph, query: CSRGraph, matches: np.ndarray
+) -> None:
+    """Every row must be an injective, edge-preserving map."""
+    for row in matches:
+        assert len(set(row.tolist())) == len(row), f"not injective: {row}"
+        for u, v in query.edge_list():
+            assert data.has_edge(int(row[u]), int(row[v])), (
+                f"edge ({u},{v}) not preserved by {row}"
+            )

@@ -1,0 +1,95 @@
+"""Tests for the high-level API and component-composition rules."""
+
+import numpy as np
+import pytest
+
+from repro import count_embeddings, subgraph_isomorphism_search
+from repro.baselines import networkx_count
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    from_edges,
+    from_undirected_edges,
+    mesh_graph,
+)
+from tests.conftest import assert_valid_embeddings
+
+
+def test_connected_case_matches_oracle(mesh44, chain4):
+    r = subgraph_isomorphism_search(mesh44, chain4)
+    assert r.count == networkx_count(mesh44, chain4)
+
+
+def test_count_embeddings_shorthand(mesh44, triangle):
+    assert count_embeddings(mesh44, triangle) == 0  # meshes are triangle-free
+
+
+def test_disconnected_data_union_exact():
+    # two disjoint triangles: query triangle matches in each
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    data = from_undirected_edges(edges)
+    q = clique_graph(3)
+    r = subgraph_isomorphism_search(data, q)
+    assert r.count == networkx_count(data, q)  # 6 + 6
+
+
+def test_disconnected_data_materialize():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    data = from_undirected_edges(edges)
+    q = clique_graph(3)
+    r = subgraph_isomorphism_search(data, q, materialize=True)
+    assert len(r.matches) == r.count == 12
+    assert_valid_embeddings(data, q, r.matches)
+    # matches must reference original vertex ids from both components
+    assert r.matches.max() == 5
+
+
+def test_disconnected_query_cross_product():
+    data = mesh_graph(3, 3)
+    # query: one edge plus one isolated-pair edge (two components)
+    query = from_undirected_edges([(0, 1), (2, 3)])
+    r = subgraph_isomorphism_search(data, query)
+    single = subgraph_isomorphism_search(data, from_undirected_edges([(0, 1)]))
+    # paper rule: cross product of per-component counts
+    assert r.count == single.count**2
+
+
+def test_disconnected_query_zero_component_short_circuits():
+    data = mesh_graph(3, 3)  # triangle-free
+    query = from_undirected_edges([(0, 1), (2, 3), (3, 4), (2, 4)])  # edge + triangle
+    r = subgraph_isomorphism_search(data, query)
+    assert r.count == 0
+
+
+def test_disconnected_query_materialize_rejected():
+    data = mesh_graph(3, 3)
+    query = from_undirected_edges([(0, 1), (2, 3)])
+    with pytest.raises(ValueError, match="connected"):
+        subgraph_isomorphism_search(data, query, materialize=True)
+
+
+def test_empty_query_rejected(mesh44):
+    with pytest.raises(ValueError):
+        subgraph_isomorphism_search(mesh44, from_edges([], num_vertices=0))
+
+
+def test_query_component_larger_than_data_component():
+    # data: triangle + isolated edge; query K3 fits only the triangle
+    data = from_undirected_edges([(0, 1), (1, 2), (0, 2), (3, 4)])
+    q = clique_graph(3)
+    r = subgraph_isomorphism_search(data, q)
+    assert r.count == 6
+
+
+def test_cost_and_time_merged():
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    data = from_undirected_edges(edges)
+    r = subgraph_isomorphism_search(data, clique_graph(3))
+    assert r.time_ms > 0
+    assert r.cost.kernel_launches > 0
+
+
+def test_isolated_data_vertices_ignored():
+    data = from_undirected_edges([(0, 1), (1, 2), (0, 2)], num_vertices=10)
+    r = subgraph_isomorphism_search(data, clique_graph(3))
+    assert r.count == 6

@@ -1,0 +1,37 @@
+"""Tests for occurrence counting (embeddings / automorphisms)."""
+
+import pytest
+
+from repro import count_automorphisms, count_embeddings, count_occurrences
+from repro.graph import chain_graph, clique_graph, cycle_graph, mesh_graph, star_graph
+
+
+def test_automorphisms_known_values():
+    assert count_automorphisms(clique_graph(4)) == 24  # S4
+    assert count_automorphisms(cycle_graph(5)) == 10  # dihedral D5
+    assert count_automorphisms(chain_graph(3)) == 2
+    assert count_automorphisms(star_graph(3)) == 6  # 3! leaf permutations
+
+
+def test_occurrences_triangle_in_k4():
+    # K4 contains C(4,3) = 4 triangles
+    assert count_occurrences(clique_graph(4), clique_graph(3)) == 4
+
+
+def test_occurrences_edges_in_mesh():
+    # 4x4 mesh has 24 undirected edges = 24 K2 occurrences
+    assert count_occurrences(mesh_graph(4, 4), clique_graph(2)) == 24
+
+
+def test_occurrences_cycles_in_mesh():
+    # the 4-cycles of a 4x4 grid: 9 unit squares (plus no others)
+    assert count_occurrences(mesh_graph(4, 4), cycle_graph(4)) == 9
+
+
+def test_occurrences_divides_embeddings():
+    data = mesh_graph(4, 4)
+    q = chain_graph(3)
+    assert (
+        count_occurrences(data, q) * count_automorphisms(q)
+        == count_embeddings(data, q)
+    )

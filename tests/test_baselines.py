@@ -1,0 +1,180 @@
+"""Tests for the GSI baseline, DFS reference and oracle agreement."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GSIMatcher,
+    dfs_count,
+    dfs_enumerate,
+    networkx_count,
+    networkx_embeddings,
+)
+from repro.core import CuTSConfig, CuTSMatcher, SearchTimeout
+from repro.gpusim import DeviceOOMError, V100, scaled_device
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    from_edges,
+    mesh_graph,
+    random_graph,
+    social_graph,
+    star_graph,
+)
+
+CASES = [
+    (mesh_graph(4, 4), chain_graph(4)),
+    (clique_graph(6), clique_graph(4)),
+    (random_graph(25, 0.25, seed=1), cycle_graph(4)),
+    (social_graph(60, 3, community_edges=60, seed=3), clique_graph(3)),
+    (star_graph(6), star_graph(3)),
+]
+
+
+# ------------------------------------------------------------------ GSI
+@pytest.mark.parametrize("data,query", CASES, ids=lambda g: g.name)
+def test_gsi_count_equals_cuts(data, query):
+    a = CuTSMatcher(data).match(query).count
+    b = GSIMatcher(data).match(query).count
+    assert a == b == networkx_count(data, query)
+
+
+def test_gsi_materialize_valid():
+    from tests.conftest import assert_valid_embeddings
+
+    data = random_graph(20, 0.3, seed=2)
+    q = cycle_graph(4)
+    r = GSIMatcher(data).match(q, materialize=True)
+    assert len(r.matches) == r.count
+    assert_valid_embeddings(data, q, r.matches)
+
+
+def test_gsi_unfiltered_roots():
+    """Without labels, GSI's signature filter passes every vertex."""
+    data = mesh_graph(4, 4)
+    r = GSIMatcher(data).match(clique_graph(5))
+    assert r.stats.paths_per_depth[0] == 16  # all |V|, not the 4 cuTS keeps
+
+
+def test_gsi_root_degree_filter_flag():
+    data = mesh_graph(4, 4)
+    r = GSIMatcher(data, root_degree_filter=True).match(clique_graph(5))
+    assert r.stats.paths_per_depth[0] == 4
+
+
+def test_gsi_step_degree_filter_flag_same_count():
+    data = random_graph(30, 0.25, seed=5)
+    q = cycle_graph(4)
+    a = GSIMatcher(data).match(q).count
+    b = GSIMatcher(data, step_degree_filter=True).match(q).count
+    assert a == b
+
+
+def test_gsi_two_pass_costs_more_reads():
+    data = social_graph(80, 3, community_edges=100, seed=4)
+    q = clique_graph(3)
+    gsi = GSIMatcher(data).match(q)
+    cuts = CuTSMatcher(data).match(q)
+    assert gsi.cost.dram_read_words > cuts.cost.dram_read_words
+    assert gsi.cost.atomic_ops >= 2 * cuts.cost.atomic_ops * 0.5  # two passes
+
+
+def test_gsi_flat_table_oom():
+    data = social_graph(120, 4, community_edges=200, seed=6)
+    device = scaled_device(V100, 30_000)  # graph fits, table won't
+    with pytest.raises(DeviceOOMError):
+        GSIMatcher(data, device).match(chain_graph(5))
+
+
+def test_gsi_cuts_survives_same_memory():
+    """The headline behaviour: same budget, cuTS chunks through while
+    GSI's flat table overflows."""
+    data = social_graph(120, 4, community_edges=200, seed=6)
+    device = scaled_device(V100, 30_000)
+    q = chain_graph(5)
+    with pytest.raises(DeviceOOMError):
+        GSIMatcher(data, device).match(q)
+    r = CuTSMatcher(data, CuTSConfig(device=device, chunk_size=64)).match(q)
+    assert r.count == networkx_count(data, q)
+
+
+def test_gsi_sliced_join_equivalent():
+    data = social_graph(80, 3, community_edges=100, seed=4)
+    q = cycle_graph(4)
+    g = GSIMatcher(data)
+    g._SLICE_POOL_LIMIT = 500
+    assert g.match(q).count == networkx_count(data, q)
+
+
+def test_gsi_time_limit():
+    data = social_graph(120, 4, community_edges=200, seed=6)
+    with pytest.raises(SearchTimeout):
+        GSIMatcher(data).match(clique_graph(3), time_limit_ms=1e-12)
+
+
+def test_gsi_wall_limit():
+    data = social_graph(120, 4, community_edges=200, seed=6)
+    with pytest.raises(SearchTimeout):
+        GSIMatcher(data).match(chain_graph(5), wall_limit_s=0.0)
+
+
+def test_gsi_single_vertex_query():
+    data = mesh_graph(3, 3)
+    r = GSIMatcher(data).match(from_edges([], num_vertices=1))
+    assert r.count == 9
+
+
+def test_gsi_query_larger_than_data():
+    assert GSIMatcher(clique_graph(3)).match(clique_graph(5)).count == 0
+
+
+def test_gsi_empty_query_rejected():
+    with pytest.raises(ValueError):
+        GSIMatcher(clique_graph(3)).match(from_edges([], num_vertices=0))
+
+
+def test_gsi_count_convenience():
+    data = clique_graph(4)
+    assert GSIMatcher(data).count(clique_graph(3)) == 24
+
+
+# ------------------------------------------------------------------ DFS
+@pytest.mark.parametrize("data,query", CASES, ids=lambda g: g.name)
+def test_dfs_matches_networkx(data, query):
+    assert dfs_count(data, query) == networkx_count(data, query)
+
+
+def test_dfs_enumerate_yields_valid_maps():
+    data = clique_graph(4)
+    q = clique_graph(3)
+    seen = set()
+    for mapping in dfs_enumerate(data, q):
+        assert set(mapping.keys()) == {0, 1, 2}
+        values = tuple(mapping[k] for k in sorted(mapping))
+        assert len(set(values)) == 3
+        seen.add(values)
+    assert len(seen) == 24
+
+
+def test_dfs_empty_when_query_too_big():
+    assert dfs_count(clique_graph(3), clique_graph(4)) == 0
+
+
+def test_dfs_rejects_empty_query():
+    with pytest.raises(ValueError):
+        list(dfs_enumerate(clique_graph(3), from_edges([], num_vertices=0)))
+
+
+def test_dfs_id_ordering_same_count():
+    data = random_graph(20, 0.3, seed=8)
+    q = cycle_graph(4)
+    assert dfs_count(data, q, ordering="id") == dfs_count(data, q)
+
+
+# --------------------------------------------------------------- oracle
+def test_networkx_embeddings_are_query_to_data():
+    data = from_edges([(0, 1)])
+    q = from_edges([(0, 1)])
+    embs = networkx_embeddings(data, q)
+    assert embs == [{0: 0, 1: 1}]

@@ -1,0 +1,61 @@
+"""Regression tests for the sigma-probe chunking heuristic.
+
+An over-conservative pool projection must not shatter the search into
+hundreds of chunks (the kernel-launch overhead regression): one probe
+chunk refines the survival ratio and the remainder proceeds whole when
+it genuinely fits.
+"""
+
+import pytest
+
+from repro.baselines import networkx_count
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.gpusim import V100, scaled_device
+from repro.graph import clique_graph, cycle_graph, social_graph
+
+
+@pytest.fixture(scope="module")
+def dense_social():
+    return social_graph(
+        400, 4, community_edges=3000, num_communities=50, seed=17
+    )
+
+
+def test_probe_keeps_chunk_count_small(dense_social):
+    """A run whose trie comfortably fits must use at most a few probe
+    chunks even when the pool projection looks scary."""
+    r = CuTSMatcher(dense_social).match(clique_graph(4))
+    assert r.stats.chunks_processed <= 8
+
+
+def test_probe_count_correct(dense_social):
+    r = CuTSMatcher(dense_social).match(clique_graph(4))
+    assert r.count == networkx_count(dense_social, clique_graph(4))
+
+
+def test_memory_bound_run_still_chunks(dense_social):
+    tight = scaled_device(V100, 60_000)
+    cfg = CuTSConfig(device=tight, chunk_size=64)
+    r = CuTSMatcher(dense_social, cfg).match(cycle_graph(4))
+    assert r.stats.chunks_processed > 4
+    assert r.stats.peak_trie_words <= CuTSMatcher(dense_social, cfg).trie_budget_words
+    assert r.count == networkx_count(dense_social, cycle_graph(4))
+
+
+def test_chunked_and_unchunked_counts_agree(dense_social):
+    q = cycle_graph(4)
+    big = CuTSMatcher(
+        dense_social, CuTSConfig(device=scaled_device(V100, 1 << 26))
+    ).match(q)
+    tight = CuTSMatcher(
+        dense_social, CuTSConfig(device=scaled_device(V100, 60_000), chunk_size=32)
+    ).match(q)
+    assert big.count == tight.count
+
+
+def test_single_path_chunks_never_infinite(dense_social):
+    """chunk_size=1 forces maximal splitting; must terminate correctly."""
+    cfg = CuTSConfig(device=scaled_device(V100, 60_000), chunk_size=1)
+    small = social_graph(60, 3, community_edges=60, seed=3)
+    r = CuTSMatcher(small, cfg).match(clique_graph(3))
+    assert r.count == networkx_count(small, clique_graph(3))

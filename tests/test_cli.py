@@ -1,0 +1,84 @@
+"""Tests for the artifact-style CLI."""
+
+import pytest
+
+from repro.cli import build_parser, load_data_argument, load_query_argument, main
+from repro.graph import mesh_graph, write_cuts_format
+
+
+def test_query_shorthands():
+    assert load_query_argument("K5").num_vertices == 5
+    assert load_query_argument("C6").num_vertices == 6
+    assert load_query_argument("P4").num_vertices == 4
+    assert load_query_argument("S5").num_vertices == 6  # hub + 5 leaves
+
+
+def test_query_paper_name():
+    q = load_query_argument("q5_e10_r0")
+    assert q.num_vertices == 5
+    assert q.num_edges == 20  # K5 bidirected
+
+
+def test_query_from_file(tmp_path):
+    p = tmp_path / "q.txt"
+    write_cuts_format(mesh_graph(2, 2), p)
+    q = load_query_argument(str(p))
+    assert q.num_vertices == 4
+
+
+def test_query_bad_spec():
+    with pytest.raises(SystemExit):
+        load_query_argument("nonsense")
+    with pytest.raises(SystemExit):
+        load_query_argument("q5_nope")
+
+
+def test_data_builtin_name():
+    g = load_data_argument("roadNet-PA")
+    assert g.name == "roadNet-PA"
+
+
+def test_data_bad_spec():
+    with pytest.raises(SystemExit):
+        load_data_argument("/no/such/file")
+
+
+def test_match_command(tmp_path, capsys):
+    data_file = tmp_path / "d.txt"
+    write_cuts_format(mesh_graph(4, 4), data_file)
+    rc = main(["match", str(data_file), "P3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "matches" in out
+    assert "kernel time" in out
+
+
+def test_match_command_counters(tmp_path, capsys):
+    data_file = tmp_path / "d.txt"
+    write_cuts_format(mesh_graph(3, 3), data_file)
+    rc = main(["match", str(data_file), "P2", "--counters"])
+    assert rc == 0
+    assert "dram_read_words" in capsys.readouterr().out
+
+
+def test_match_distributed(tmp_path, capsys):
+    data_file = tmp_path / "d.txt"
+    write_cuts_format(mesh_graph(4, 4), data_file)
+    rc = main(["match", str(data_file), "P3", "--ranks", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "per-rank busy" in out
+
+
+def test_convert_command(tmp_path, capsys):
+    src = tmp_path / "in.txt"
+    dst = tmp_path / "out.g"
+    write_cuts_format(mesh_graph(2, 2), src)
+    rc = main(["convert", str(src), str(dst)])
+    assert rc == 0
+    assert dst.exists()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

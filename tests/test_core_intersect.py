@@ -1,0 +1,139 @@
+"""Tests for the three intersection micro-kernels (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    adaptive_intersection,
+    c_intersection,
+    estimate_c_cost,
+    estimate_p_cost,
+    p_intersection,
+    scatter_vector_intersection,
+)
+from repro.gpusim import CostModel, V100
+from repro.graph import clique_graph, from_edges, mesh_graph, random_graph, star_graph
+
+
+def reference_intersection(graph, verts):
+    """Ground truth: plain set intersection of children."""
+    sets = [set(graph.children(int(v)).tolist()) for v in verts]
+    out = set.intersection(*sets)
+    return sorted(out)
+
+
+KERNELS = [scatter_vector_intersection, c_intersection, p_intersection, adaptive_intersection]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_match_reference_mesh(kernel):
+    g = mesh_graph(4, 4)
+    for verts in ([0], [0, 5], [1, 4], [0, 2], [1, 4, 6]):
+        got = sorted(kernel(g, np.array(verts)).tolist())
+        assert got == reference_intersection(g, verts), verts
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_match_reference_random(kernel):
+    g = random_graph(40, 0.3, seed=9)
+    rng = np.random.default_rng(4)
+    for _ in range(20):
+        chi = int(rng.integers(1, 5))
+        verts = rng.choice(40, size=chi, replace=False)
+        got = sorted(kernel(g, verts).tolist())
+        assert got == reference_intersection(g, verts)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_empty_result(kernel):
+    g = star_graph(3)  # leaves share only the hub as neighbour
+    # children(1) = {0}, children(0) = {1,2,3}: intersection empty
+    got = kernel(g, np.array([0, 1]))
+    assert got.tolist() == []
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_single_vertex(kernel):
+    g = clique_graph(4)
+    got = sorted(kernel(g, np.array([2])).tolist())
+    assert got == [0, 1, 3]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_kernels_reject_empty_input(kernel):
+    g = clique_graph(3)
+    with pytest.raises(ValueError):
+        kernel(g, np.array([], dtype=np.int64))
+
+
+def test_results_sorted():
+    g = random_graph(30, 0.4, seed=2)
+    for kernel in (c_intersection, p_intersection):
+        out = kernel(g, np.array([0, 1]))
+        assert np.all(np.diff(out) > 0)
+
+
+def test_sv_scatter_buffer_reuse():
+    g = clique_graph(5)
+    scatter = np.zeros(5, dtype=np.int64)
+    out1 = scatter_vector_intersection(g, np.array([0, 1]), scatter=scatter)
+    assert np.all(scatter == 0)  # restored
+    out2 = scatter_vector_intersection(g, np.array([0, 1]), scatter=scatter)
+    assert np.array_equal(out1, out2)
+
+
+def test_sv_scatter_buffer_wrong_size():
+    g = clique_graph(5)
+    with pytest.raises(ValueError):
+        scatter_vector_intersection(g, np.array([0]), scatter=np.zeros(3, dtype=np.int64))
+
+
+def test_sv_space_cost_is_graph_sized():
+    """The paper's point: SV needs O(|V|) per worker."""
+    g = mesh_graph(10, 10)
+    scatter = np.zeros(g.num_vertices, dtype=np.int64)
+    assert scatter.nbytes >= g.num_vertices * 8
+
+
+def test_cost_charging_c_vs_sv():
+    g = random_graph(60, 0.3, seed=5)
+    c1, c2 = CostModel(V100), CostModel(V100)
+    verts = np.array([0, 1, 2])
+    c_intersection(g, verts, c1)
+    scatter_vector_intersection(g, verts, c2)
+    assert c1.dram_read_words > 0
+    # SV's scattered writes dominate its transaction count.
+    assert c2.dram_write_transactions > c1.dram_write_transactions
+
+
+def test_cost_charging_p():
+    g = random_graph(60, 0.3, seed=5)
+    cost = CostModel(V100)
+    p_intersection(g, np.array([0, 1]), cost)
+    assert cost.dram_read_words > 0
+
+
+def test_estimates_positive():
+    g = random_graph(30, 0.3, seed=1)
+    verts = np.array([0, 1, 2])
+    assert estimate_c_cost(g, verts) > 0
+    assert estimate_p_cost(g, verts) > 0
+
+
+def test_adaptive_picks_p_for_hub_heavy():
+    """With a low-degree anchor and huge-degree co-constraints the parent
+    probe is cheaper, and adaptive should act accordingly."""
+    # hub 0 connected to everyone; vertex 1 has few children.
+    edges = [(0, i) for i in range(1, 200)] + [(1, 2), (1, 3), (2, 3)]
+    g = from_edges(edges + [(b, a) for a, b in edges])
+    verts = np.array([1, 0])  # sorted by degree -> anchor = 1
+    assert estimate_p_cost(g, verts) != estimate_c_cost(g, verts)
+    out = adaptive_intersection(g, verts)
+    assert sorted(out.tolist()) == reference_intersection(g, [0, 1])
+
+
+def test_adaptive_anchor_reorder_keeps_semantics():
+    g = random_graph(40, 0.3, seed=7)
+    a = sorted(adaptive_intersection(g, np.array([3, 17, 25])).tolist())
+    b = sorted(adaptive_intersection(g, np.array([25, 3, 17])).tolist())
+    assert a == b

@@ -1,0 +1,130 @@
+"""Tests for query-vertex ordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_order, id_order, max_degree_order
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    from_edges,
+    from_undirected_edges,
+    star_graph,
+)
+
+
+def test_root_is_max_degree():
+    order = max_degree_order(star_graph(4))
+    assert order.sequence[0] == 0  # the hub
+
+
+def test_root_tie_break_min_id():
+    order = max_degree_order(clique_graph(4))
+    assert order.sequence[0] == 0
+
+
+def test_sequence_is_permutation():
+    for g in (clique_graph(5), chain_graph(6), star_graph(3)):
+        order = max_degree_order(g)
+        assert sorted(order.sequence) == list(range(g.num_vertices))
+
+
+def test_chain_order_connected_growth():
+    order = max_degree_order(chain_graph(5))
+    # every step after the first has at least one earlier neighbour
+    for n in range(1, order.num_steps):
+        fwd, bwd = order.constraints_at(n)
+        assert fwd or bwd
+
+
+def test_constraints_reference_earlier_steps_only():
+    order = max_degree_order(clique_graph(5))
+    for n in range(order.num_steps):
+        fwd, bwd = order.constraints_at(n)
+        assert all(j < n for j in fwd)
+        assert all(j < n for j in bwd)
+
+
+def test_clique_constraint_counts():
+    order = max_degree_order(clique_graph(4))
+    # In a bidirected clique, step n has n forward and n backward edges.
+    for n in range(4):
+        fwd, bwd = order.constraints_at(n)
+        assert len(fwd) == n
+        assert len(bwd) == n
+
+
+def test_directed_constraints_split():
+    # 0 -> 1, 2 -> 1: matching order starts at 1 (max total degree).
+    g = from_edges([(0, 1), (2, 1)])
+    order = max_degree_order(g)
+    assert order.sequence[0] == 1
+    # Next vertices connect via a *backward* edge (they point to 1)...
+    n1_fwd, n1_bwd = order.constraints_at(1)
+    # step 1's vertex has an edge (v, seq[0]) in E_Q: from the new vertex
+    # into the already-matched root => candidate must be a parent of the
+    # root's match => constraint appears in bwd.
+    assert n1_bwd == (0,)
+    assert n1_fwd == ()
+
+
+def test_star_order_hub_first_then_leaves():
+    order = max_degree_order(star_graph(5))
+    assert order.sequence[0] == 0
+    for n in range(1, 6):
+        fwd, bwd = order.constraints_at(n)
+        assert fwd == (0,) and bwd == (0,)
+
+
+def test_id_order_starts_at_zero():
+    order = id_order(clique_graph(4))
+    assert order.sequence[0] == 0
+
+
+def test_id_order_connected():
+    order = id_order(chain_graph(6))
+    for n in range(1, order.num_steps):
+        fwd, bwd = order.constraints_at(n)
+        assert fwd or bwd
+
+
+def test_id_order_prefers_low_ids():
+    g = star_graph(4)  # hub 0, leaves 1..4
+    order = id_order(g)
+    assert order.sequence == (0, 1, 2, 3, 4)
+
+
+def test_disconnected_query_order_covers_all():
+    g = from_undirected_edges([(0, 1), (2, 3)])
+    order = max_degree_order(g)
+    assert sorted(order.sequence) == [0, 1, 2, 3]
+    # the step crossing components has no constraints
+    unconstrained = [
+        n
+        for n in range(1, 4)
+        if not order.constraints_at(n)[0] and not order.constraints_at(n)[1]
+    ]
+    assert len(unconstrained) == 1
+
+
+def test_build_order_dispatch():
+    g = clique_graph(3)
+    assert build_order(g, "max_degree").sequence == max_degree_order(g).sequence
+    assert build_order(g, "id").sequence == id_order(g).sequence
+    with pytest.raises(ValueError):
+        build_order(g, "nope")
+
+
+def test_empty_query_order():
+    g = from_edges([], num_vertices=0)
+    order = max_degree_order(g)
+    assert order.num_steps == 0
+
+
+def test_max_degree_prefers_heavier_frontier():
+    # path 0-1-2 plus hub 3 attached to 2 with extra leaves
+    g = from_undirected_edges([(0, 1), (1, 2), (2, 3), (3, 4), (3, 5)])
+    order = max_degree_order(g)
+    # root is 3 (degree 3); next must be its heaviest neighbour, 2.
+    assert order.sequence[0] == 3
+    assert order.sequence[1] == 2

@@ -1,0 +1,117 @@
+"""Tests for the bulk-synchronous (rejected §4.2 strategy) runtime."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import networkx_count
+from repro.core import CuTSConfig
+from repro.distributed import BulkSyncCuTS, DistributedCuTS
+from repro.distributed.bulksync import _merge_tries
+from repro.graph import clique_graph, cycle_graph, from_edges, social_graph
+from repro.storage import PathTrie
+
+
+@pytest.fixture(scope="module")
+def data():
+    return social_graph(150, 3, community_edges=250, seed=21)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return cycle_graph(4)
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 4])
+def test_bulksync_counts_correct(data, query, num_ranks):
+    res = BulkSyncCuTS(data, num_ranks).match(query)
+    assert res.count == networkx_count(data, query)
+
+
+def test_bulksync_single_vertex_query(data):
+    q = from_edges([], num_vertices=1)
+    res = BulkSyncCuTS(data, 3).match(q)
+    assert res.count == data.num_vertices
+
+
+def test_bulksync_empty_query_rejected(data):
+    with pytest.raises(ValueError):
+        BulkSyncCuTS(data, 2).match(from_edges([], num_vertices=0))
+
+
+def test_bulksync_invalid_ranks(data):
+    with pytest.raises(ValueError):
+        BulkSyncCuTS(data, 0)
+
+
+def test_bulksync_reports_barrier_waste(data, query):
+    res = BulkSyncCuTS(data, 4).match(query)
+    assert len(res.barrier_wait_ms) == 4
+    # someone always waits (ranks never finish at identical clocks)
+    assert res.total_barrier_waste_ms >= 0.0
+    assert res.levels == query.num_vertices - 1
+
+
+def test_bulksync_ships_tries(data, query):
+    res = BulkSyncCuTS(data, 4).match(query)
+    # redistribution moved serialized tries at least once on skewed input
+    assert res.words_transferred >= 0
+
+
+def test_async_beats_bulksync_under_skew():
+    """The paper's §4.2 argument, measured on a skewed workload: the
+    async work-stealing runtime beats the barrier-synchronous strawman
+    when per-rank work is uneven (its whole point)."""
+    from repro.graph import from_undirected_edges, star_graph
+
+    edges = [(0, i) for i in range(2, 42)] + [(1, i) for i in range(42, 82)]
+    skew = from_undirected_edges(edges)
+    q = star_graph(3)
+    cfg = CuTSConfig(chunk_size=32)
+    bulk = BulkSyncCuTS(skew, 4, cfg).match(q)
+    async_ = DistributedCuTS(skew, 4, cfg).match(q)
+    assert async_.count == bulk.count
+    assert async_.runtime_ms < bulk.runtime_ms
+
+
+def test_bulksync_within_band_when_balanced(data, query):
+    """On a well-balanced workload the strategies stay comparable —
+    bulk-sync's losses are barrier waits and per-level trie shipping,
+    both small when stride partitioning already balances the work."""
+    cfg = CuTSConfig(chunk_size=64)
+    bulk = BulkSyncCuTS(data, 4, cfg).match(query)
+    async_ = DistributedCuTS(data, 4, cfg).match(query)
+    assert async_.count == bulk.count
+    ratio = async_.runtime_ms / bulk.runtime_ms
+    assert 0.3 < ratio < 3.0
+
+
+def test_as_distributed_result_adapter(data, query):
+    res = BulkSyncCuTS(data, 2).match(query)
+    adapted = res.as_distributed_result()
+    assert adapted.count == res.count
+    assert adapted.runtime_ms == res.runtime_ms
+
+
+def test_merge_tries():
+    a = PathTrie.from_roots(np.array([0, 1]))
+    a.append_level(np.array([0, 1]), np.array([5, 6]))
+    b = PathTrie.from_roots(np.array([2]))
+    b.append_level(np.array([0]), np.array([7]))
+    merged = _merge_tries(a, b)
+    assert merged.num_paths(0) == 3
+    assert merged.num_paths(1) == 3
+    assert merged.paths_at(1).tolist() == [[0, 5], [1, 6], [2, 7]]
+
+
+def test_merge_tries_depth_mismatch():
+    a = PathTrie.from_roots(np.array([0]))
+    b = PathTrie.from_roots(np.array([1]))
+    b.append_level(np.array([0]), np.array([2]))
+    with pytest.raises(ValueError):
+        _merge_tries(a, b)
+
+
+def test_bulksync_zero_match(data):
+    q = clique_graph(6)
+    res = BulkSyncCuTS(data, 2).match(q)
+    assert res.count == networkx_count(data, q)

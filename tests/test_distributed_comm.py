@@ -1,0 +1,98 @@
+"""Tests for the simulated MPI layer."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import Message, NetworkModel, SimComm
+
+
+def test_network_transfer_time():
+    net = NetworkModel(latency_ms=0.1, words_per_ms=1000.0)
+    assert net.transfer_ms(0) == pytest.approx(0.1)
+    assert net.transfer_ms(2000) == pytest.approx(2.1)
+
+
+def test_network_negative_words():
+    with pytest.raises(ValueError):
+        NetworkModel().transfer_ms(-1)
+
+
+def test_send_arrival_time():
+    net = NetworkModel(latency_ms=1.0, words_per_ms=100.0)
+    comm = SimComm(2, net)
+    arrival = comm.send(0, 1, "work", "payload", 200, time=5.0)
+    assert arrival == pytest.approx(5.0 + 1.0 + 2.0)
+
+
+def test_receive_respects_arrival():
+    net = NetworkModel(latency_ms=1.0, words_per_ms=1e9)
+    comm = SimComm(2, net)
+    comm.send(0, 1, "work", "x", 0, time=0.0)  # arrives ~1.0
+    assert comm.receive(1, time=0.5) == []
+    msgs = comm.receive(1, time=1.5)
+    assert len(msgs) == 1
+    assert msgs[0].payload == "x"
+    # consumed
+    assert comm.receive(1, time=2.0) == []
+
+
+def test_receive_tag_filter():
+    comm = SimComm(2)
+    comm.send(0, 1, "work", 1, 0, time=0.0)
+    comm.send(0, 1, "free", 2, 0, time=0.0)
+    work = comm.receive(1, time=10.0, tag="work")
+    assert [m.payload for m in work] == [1]
+    rest = comm.receive(1, time=10.0)
+    assert [m.payload for m in rest] == [2]
+
+
+def test_receive_ordering_by_arrival():
+    net = NetworkModel(latency_ms=0.0, words_per_ms=1.0)
+    comm = SimComm(2, net)
+    comm.send(0, 1, "t", "big", 100, time=0.0)   # arrives 100
+    comm.send(0, 1, "t", "small", 1, time=0.0)   # arrives 1
+    msgs = comm.receive(1, time=1000.0)
+    assert [m.payload for m in msgs] == ["small", "big"]
+
+
+def test_broadcast_hits_everyone():
+    comm = SimComm(4)
+    comm.broadcast(2, "free", None, 1, time=0.0)
+    for r in (0, 1, 3):
+        assert len(comm.receive(r, time=10.0)) == 1
+    assert comm.receive(2, time=10.0) == []
+
+
+def test_self_send_rejected():
+    comm = SimComm(2)
+    with pytest.raises(ValueError):
+        comm.send(0, 0, "t", None, 0, time=0.0)
+
+
+def test_rank_bounds():
+    comm = SimComm(2)
+    with pytest.raises(ValueError):
+        comm.send(0, 5, "t", None, 0, time=0.0)
+    with pytest.raises(ValueError):
+        comm.receive(-1, time=0.0)
+
+
+def test_stats_accumulate():
+    comm = SimComm(3)
+    comm.send(0, 1, "t", None, 10, time=0.0)
+    comm.send(0, 2, "t", None, 20, time=0.0)
+    assert comm.messages_sent == 2
+    assert comm.words_sent == 30
+
+
+def test_peek_does_not_consume():
+    comm = SimComm(2)
+    comm.send(0, 1, "work", "x", 0, time=0.0)
+    assert len(comm.peek(1)) == 1
+    assert len(comm.peek(1)) == 1
+    assert len(comm.receive(1, time=10.0)) == 1
+
+
+def test_invalid_num_ranks():
+    with pytest.raises(ValueError):
+        SimComm(0)

@@ -1,0 +1,80 @@
+"""Tests for the free/busy pairing protocol (§4.2)."""
+
+import pytest
+
+from repro.distributed import FreeNodeRegistry
+
+
+@pytest.fixture
+def reg():
+    return FreeNodeRegistry(4)
+
+
+def test_announce_and_claim(reg):
+    reg.announce_free(1, time=1.0)
+    target = reg.claim_free(0, time=2.0)
+    assert target == 1
+    assert reg.transfers == 1
+
+
+def test_claim_respects_time(reg):
+    reg.announce_free(1, time=5.0)
+    assert reg.claim_free(0, time=2.0) is None  # broadcast not seen yet
+    assert reg.claim_free(0, time=6.0) == 1
+
+
+def test_one_sender_per_free_node(reg):
+    """"only one busy node sends data to a given free node"""
+    reg.announce_free(2, time=0.0)
+    assert reg.claim_free(0, time=1.0) == 2
+    assert reg.claim_free(1, time=1.0) is None
+
+
+def test_one_free_node_per_sender(reg):
+    """"a given busy node only sends data to one free node"""
+    reg.announce_free(1, time=0.0)
+    reg.announce_free(2, time=0.0)
+    assert reg.claim_free(0, time=1.0) in (1, 2)
+    assert reg.claim_free(0, time=1.0) is None  # outstanding claim
+
+
+def test_claim_earliest_free(reg):
+    reg.announce_free(3, time=2.0)
+    reg.announce_free(1, time=1.0)
+    assert reg.claim_free(0, time=5.0) == 1
+
+
+def test_sender_cannot_claim_itself(reg):
+    reg.announce_free(0, time=0.0)
+    assert reg.claim_free(0, time=1.0) is None
+
+
+def test_mark_busy_resolves_claim(reg):
+    reg.announce_free(1, time=0.0)
+    assert reg.claim_free(0, time=1.0) == 1
+    reg.mark_busy(1)
+    assert not reg.is_free(1)
+    # sender's outstanding claim cleared: can claim another free node
+    reg.announce_free(2, time=2.0)
+    assert reg.claim_free(0, time=3.0) == 2
+
+
+def test_rebecome_free_after_work(reg):
+    reg.announce_free(1, time=0.0)
+    reg.claim_free(0, time=1.0)
+    reg.mark_busy(1)
+    reg.announce_free(1, time=5.0)
+    assert reg.claim_free(2, time=6.0) == 1
+
+
+def test_announce_idempotent_keeps_earliest(reg):
+    reg.announce_free(1, time=1.0)
+    reg.announce_free(1, time=9.0)
+    assert reg.free_since[1] == 1.0
+
+
+def test_rank_bounds(reg):
+    with pytest.raises(ValueError):
+        reg.announce_free(9, time=0.0)
+    with pytest.raises(ValueError):
+        reg.claim_free(-1, time=0.0)

@@ -1,0 +1,132 @@
+"""Tests for the distributed runtime (Algorithm 3 end to end)."""
+
+import pytest
+
+from repro.baselines import networkx_count
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.distributed import DistributedCuTS, NetworkModel, balance_report
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    from_edges,
+    mesh_graph,
+    social_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return social_graph(200, 3, community_edges=300, seed=11)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return cycle_graph(4)
+
+
+@pytest.fixture(scope="module")
+def oracle(data, query):
+    return networkx_count(data, query)
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 3, 4, 8])
+def test_count_invariant_across_ranks(data, query, oracle, num_ranks):
+    cfg = CuTSConfig(chunk_size=64)
+    res = DistributedCuTS(data, num_ranks, cfg).match(query)
+    assert res.count == oracle
+    assert res.num_ranks == num_ranks
+
+
+def test_count_matches_single_node_engine(data, query, oracle):
+    single = CuTSMatcher(data).match(query)
+    assert single.count == oracle
+
+
+def test_multi_rank_faster_than_one(data, query):
+    cfg = CuTSConfig(chunk_size=64)
+    t1 = DistributedCuTS(data, 1, cfg).match(query).runtime_ms
+    t4 = DistributedCuTS(data, 4, cfg).match(query).runtime_ms
+    assert t4 < t1
+
+
+def test_work_stealing_occurs_on_skewed_input():
+    """With only two root candidates and four ranks, two ranks start
+    free and must be fed through the work-shipping protocol."""
+    from repro.graph import from_undirected_edges, star_graph
+
+    # Two 40-leaf hubs: only they qualify as the star query's root.
+    edges = [(0, i) for i in range(2, 42)] + [(1, i) for i in range(42, 82)]
+    data = from_undirected_edges(edges)
+    query = star_graph(3)
+    cfg = CuTSConfig(chunk_size=32)
+    res = DistributedCuTS(data, 4, cfg).match(query)
+    assert res.count == networkx_count(data, query)
+    assert res.work_transfers > 0
+    assert res.words_transferred > 0
+    # the initially-idle ranks ended up processing chunks
+    assert sum(1 for c in res.chunks_processed if c > 0) >= 3
+
+
+def test_per_rank_metrics_shape(data, query):
+    res = DistributedCuTS(data, 3, CuTSConfig(chunk_size=64)).match(query)
+    assert len(res.per_rank_clock_ms) == 3
+    assert len(res.per_rank_busy_ms) == 3
+    assert len(res.chunks_processed) == 3
+    assert res.runtime_ms == max(res.per_rank_clock_ms)
+
+
+def test_balance_report(data, query):
+    res = DistributedCuTS(data, 4, CuTSConfig(chunk_size=32)).match(query)
+    rep = balance_report(res)
+    assert len(rep.per_rank_ms) == 4
+    assert rep.max_ms >= rep.mean_ms >= rep.min_ms
+    assert rep.imbalance >= 1.0
+    rows = rep.rows()
+    assert [r["node"] for r in rows] == ["T1", "T2", "T3", "T4"]
+
+
+def test_load_balanced_under_stealing(data, query):
+    """Figure 5's claim: node-to-node variation is low."""
+    res = DistributedCuTS(data, 4, CuTSConfig(chunk_size=32)).match(query)
+    rep = balance_report(res)
+    assert rep.imbalance < 2.0
+
+
+def test_zero_match_query(data):
+    # a 5-clique query that the graph may not contain many of; use a
+    # query guaranteed impossible: clique bigger than max degree + 1
+    q = clique_graph(5)
+    res = DistributedCuTS(data, 2).match(q)
+    assert res.count == networkx_count(data, q)
+
+
+def test_more_ranks_than_roots():
+    data = mesh_graph(2, 2)
+    q = chain_graph(2)
+    res = DistributedCuTS(data, 8).match(q)
+    assert res.count == networkx_count(data, q)
+
+
+def test_empty_query_rejected(data):
+    with pytest.raises(ValueError):
+        DistributedCuTS(data, 2).match(from_edges([], num_vertices=0))
+
+
+def test_invalid_ranks(data):
+    with pytest.raises(ValueError):
+        DistributedCuTS(data, 0)
+
+
+def test_network_model_affects_transfers(data, query):
+    slow = NetworkModel(latency_ms=50.0, words_per_ms=10.0)
+    cfg = CuTSConfig(chunk_size=32)
+    res_fast = DistributedCuTS(data, 4, cfg).match(query)
+    res_slow = DistributedCuTS(data, 4, cfg, network=slow).match(query)
+    assert res_slow.count == res_fast.count
+
+
+def test_single_vertex_query_distributed(data):
+    q = from_edges([], num_vertices=1)
+    res = DistributedCuTS(data, 4).match(q)
+    assert res.count == data.num_vertices

@@ -1,0 +1,131 @@
+"""Tests for the per-rank worker."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import networkx_count
+from repro.core import CuTSConfig
+from repro.distributed import RankWorker, WorkItem
+from repro.graph import clique_graph, cycle_graph, social_graph
+from repro.storage import PathTrie
+
+
+@pytest.fixture
+def data():
+    return social_graph(80, 3, community_edges=120, seed=9)
+
+
+@pytest.fixture
+def query():
+    return cycle_graph(4)
+
+
+def make_worker(rank, data, query, chunk=32):
+    return RankWorker(
+        rank=rank, data=data, query=query, config=CuTSConfig(chunk_size=chunk)
+    )
+
+
+def test_work_item_invariant():
+    trie = PathTrie.from_roots(np.array([1, 2]))
+    with pytest.raises(ValueError, match="invariant"):
+        WorkItem(trie=trie, step=3, frontier=np.array([0]))
+
+
+def test_init_partition_single_rank(data, query):
+    w = make_worker(0, data, query)
+    w.init_partition(1)
+    assert w.has_work()
+    assert w.stack[0].trie.num_paths(0) > 0
+
+
+def test_init_partition_strides_disjoint(data, query):
+    roots = []
+    for r in range(3):
+        w = make_worker(r, data, query)
+        w.init_partition(3)
+        roots.append(set(w.stack[0].trie.levels[0].ca.tolist()))
+    assert not (roots[0] & roots[1])
+    assert not (roots[0] & roots[2])
+
+
+def test_run_to_completion_matches_oracle(data, query):
+    w = make_worker(0, data, query)
+    w.init_partition(1)
+    while w.has_work():
+        w.process_one_chunk()
+    assert w.count == networkx_count(data, query)
+    assert w.busy_ms > 0
+    assert w.chunks_processed > 0
+
+
+def test_two_workers_partition_total(data, query):
+    total = 0
+    for r in range(2):
+        w = make_worker(r, data, query)
+        w.init_partition(2)
+        while w.has_work():
+            w.process_one_chunk()
+        total += w.count
+    assert total == networkx_count(data, query)
+
+
+def test_process_without_work_raises(data, query):
+    w = make_worker(0, data, query)
+    with pytest.raises(RuntimeError):
+        w.process_one_chunk()
+
+
+def test_surplus_ship_receive_preserves_count(data, query):
+    """Work shipped to another rank must produce the same total."""
+    w0 = make_worker(0, data, query)
+    w0.init_partition(1)
+    # burn a few chunks to create a deep stack
+    for _ in range(4):
+        if w0.has_work():
+            w0.process_one_chunk()
+    assert w0.has_surplus()
+    buffers = w0.pop_surplus()
+    assert buffers and all(isinstance(b, np.ndarray) for b in buffers)
+    w1 = make_worker(1, data, query)
+    w1.receive_work(buffers)
+    assert w1.has_work()
+    for w in (w0, w1):
+        while w.has_work():
+            w.process_one_chunk()
+    assert w0.count + w1.count == networkx_count(data, query)
+    assert w0.chunks_sent == len(buffers)
+    assert w1.chunks_received == len(buffers)
+
+
+def test_no_surplus_with_single_small_item(data, query):
+    w = make_worker(0, data, query, chunk=10_000)
+    w.init_partition(1)
+    assert len(w.stack) == 1
+    assert w.stack[0].frontier.size < 10_000
+    assert not w.has_surplus()
+
+
+def test_pop_surplus_splits_single_large_item(data, query):
+    w = make_worker(0, data, query, chunk=8)
+    w.init_partition(1)
+    assert len(w.stack) == 1
+    assert w.has_surplus()  # lone item's frontier exceeds the chunk size
+    total_frontier = w.stack[0].frontier.size
+    buffers = w.pop_surplus()
+    assert len(buffers) == 1
+    kept = w.stack[0].frontier.size
+    from repro.storage import deserialize_trie
+
+    given = deserialize_trie(buffers[0]).num_paths()
+    assert kept + given == total_frontier
+
+
+def test_single_vertex_query_counts_roots(data):
+    from repro.graph import from_edges
+
+    q1 = from_edges([], num_vertices=1)
+    w = RankWorker(rank=0, data=data, query=q1, config=CuTSConfig())
+    w.init_partition(1)
+    assert not w.has_work()
+    assert w.count == data.num_vertices

@@ -1,0 +1,160 @@
+"""Edge-case sweep across modules (final coverage pass)."""
+
+import numpy as np
+import pytest
+
+from repro import count_embeddings, subgraph_isomorphism_search
+from repro.baselines import GSIMatcher, networkx_count
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.experiments.report import format_value, render_table
+from repro.graph import (
+    CSRGraph,
+    chain_graph,
+    clique_graph,
+    from_edges,
+    from_undirected_edges,
+    mesh_graph,
+)
+from repro.storage import CSFStore, PathTrie
+
+
+# ------------------------------------------------------------- formats
+def test_format_value_variants():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert format_value(1234) == "1,234"
+    assert format_value(2.5e7) == "2.5e+07"
+    assert format_value(0.00001) == "1e-05"
+    assert format_value("x") == "x"
+
+
+def test_render_table_column_subset():
+    text = render_table([{"a": 1, "b": 2}], columns=["b"])
+    assert "b" in text and "a" not in text.splitlines()[0]
+
+
+# ---------------------------------------------------------------- trie
+def test_trie_level_with_zero_paths():
+    t = PathTrie.from_roots(np.array([0, 1]))
+    t.append_level(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    assert t.num_paths() == 0
+    assert t.total_storage_words == 4
+
+
+def test_csf_from_trie_with_empty_level():
+    t = PathTrie.from_roots(np.array([3]))
+    t.append_level(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    csf = CSFStore.from_path_trie(t)
+    assert csf.depth == 2
+    assert csf.levels[1].num_entries == 0
+
+
+# ------------------------------------------------------------- matcher
+def test_matcher_on_edgeless_data():
+    data = from_edges([], num_vertices=5)
+    q = chain_graph(2)
+    assert CuTSMatcher(data).match(q).count == 0
+
+
+def test_matcher_single_vertex_data_and_query():
+    data = from_edges([], num_vertices=1)
+    q = from_edges([], num_vertices=1)
+    r = CuTSMatcher(data).match(q, materialize=True)
+    assert r.count == 1
+    assert r.matches.tolist() == [[0]]
+
+
+def test_two_vertex_query_on_single_edge():
+    data = from_edges([(0, 1)])
+    q = from_edges([(0, 1)])
+    r = CuTSMatcher(data).match(q, materialize=True)
+    assert r.count == 1
+    assert r.matches.tolist() == [[0, 1]]
+
+
+def test_gsi_directed_materialize_columns():
+    data = from_edges([(0, 1), (1, 2), (0, 2)])
+    q = from_edges([(0, 1), (1, 2)])
+    r = GSIMatcher(data).match(q, materialize=True)
+    for row in r.matches:
+        assert data.has_edge(int(row[0]), int(row[1]))
+        assert data.has_edge(int(row[1]), int(row[2]))
+
+
+def test_max_materialized_zero():
+    data = clique_graph(4)
+    cfg = CuTSConfig(max_materialized=0)
+    r = CuTSMatcher(data, cfg).match(clique_graph(3), materialize=True)
+    assert r.count == 24
+    assert len(r.matches) == 0
+
+
+# ------------------------------------------------------------------ api
+def test_api_on_fully_disconnected_both():
+    data = from_undirected_edges([(0, 1), (2, 3)])
+    query = from_undirected_edges([(0, 1), (2, 3)])
+    r = subgraph_isomorphism_search(data, query)
+    # per component: 2 components x 2 edges x 2 orientations = 4
+    # embeddings for one K2 component; cross product = 16
+    single = count_embeddings(data, from_undirected_edges([(0, 1)]))
+    assert r.count == single**2
+
+
+def test_api_count_matches_oracle_mesh(mesh44, chain4):
+    assert count_embeddings(mesh44, chain4) == networkx_count(mesh44, chain4)
+
+
+# ------------------------------------------------------------ gpu sim
+def test_network_model_zero_words():
+    from repro.distributed import NetworkModel
+
+    net = NetworkModel(latency_ms=0.5, words_per_ms=100)
+    assert net.transfer_ms(0) == pytest.approx(0.5)
+
+
+def test_device_memory_exact_fit():
+    from repro.gpusim import DeviceMemory, V100, scaled_device
+
+    mem = DeviceMemory(scaled_device(V100, 100))
+    mem.alloc("a", 100)  # exact fit must succeed
+    assert mem.free_words == 0
+
+
+def test_trie_budget_tiny_device_graph_only():
+    from repro.gpusim import DeviceOOMError, V100, scaled_device
+
+    data = mesh_graph(3, 3)
+    # just enough for the graph, nothing for the trie
+    from repro.core.matcher import graph_device_words
+
+    words = graph_device_words(data)
+    m = CuTSMatcher(data, CuTSConfig(device=scaled_device(V100, words + 2)))
+    with pytest.raises(DeviceOOMError):
+        m.match(chain_graph(2))
+
+
+# ----------------------------------------------------------- ordering
+def test_order_on_two_vertex_query():
+    from repro.core import max_degree_order
+
+    q = from_undirected_edges([(0, 1)])
+    order = max_degree_order(q)
+    assert len(order.sequence) == 2
+    fwd, bwd = order.constraints_at(1)
+    assert fwd == (0,) and bwd == (0,)
+
+
+def test_labels_on_reverse_and_subgraph_roundtrip():
+    g = clique_graph(4).with_labels(np.array([1, 2, 3, 4]))
+    assert g.reverse().labels is g.labels
+    from repro.graph import induced_subgraph
+
+    sub, mapping = induced_subgraph(g, np.array([1, 3]))
+    assert sub.labels.tolist() == [2, 4]
+
+
+def test_csr_graph_repr_and_name():
+    g = mesh_graph(2, 2)
+    assert "mesh2x2" in repr(g)

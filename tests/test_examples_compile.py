@@ -1,0 +1,33 @@
+"""Examples and scripts must at least compile (full runs are manual)."""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+SCRIPTS = sorted((REPO / "scripts").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES + SCRIPTS, ids=lambda p: p.name)
+def test_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "motif_search.py",
+        "storage_compression.py",
+        "gsi_comparison.py",
+        "distributed_scaling.py",
+        "streaming_and_profiling.py",
+    } <= names
+
+
+def test_artifact_scripts_present():
+    assert (REPO / "scripts" / "cuts.py").exists()
+    assert (REPO / "scripts" / "2nodes_exe.sh").exists()
+    assert (REPO / "scripts" / "4nodes_exe.sh").exists()

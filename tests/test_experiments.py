@@ -1,0 +1,246 @@
+"""Tests for the experiment drivers (small scales)."""
+
+import pytest
+
+from repro.experiments import (
+    DATASET_NAMES,
+    dataset_table,
+    figure2_rows,
+    figure4_rows,
+    figure5_rows,
+    geomean,
+    load_dataset,
+    paper_cases,
+    query_workload,
+    render_table,
+    run_case,
+    run_hwmetrics,
+    run_table1,
+    run_table3,
+    table2_rows,
+)
+from repro.experiments.ablation import (
+    binning_ablation,
+    chunk_size_ablation,
+    intersection_ablation,
+    ordering_ablation,
+    placement_ablation,
+    virtual_warp_ablation,
+)
+from repro.gpusim import V100
+
+SCALE = 0.25  # all driver tests run on shrunken datasets
+
+
+# ------------------------------------------------------------- datasets
+def test_dataset_names_match_paper():
+    assert DATASET_NAMES == (
+        "enron",
+        "gowalla",
+        "roadNet-PA",
+        "roadNet-TX",
+        "roadNet-CA",
+        "wikiTalk",
+    )
+
+
+def test_datasets_deterministic():
+    a = load_dataset("enron", SCALE)
+    b = load_dataset("enron", SCALE)
+    assert a is b or a.num_edges == b.num_edges
+
+
+def test_dataset_size_ordering_preserved():
+    sizes = [load_dataset(n, 1.0).num_vertices for n in DATASET_NAMES]
+    assert sizes == sorted(sizes)
+
+
+def test_road_vs_social_degree_classes():
+    road = load_dataset("roadNet-PA", SCALE)
+    social = load_dataset("enron", SCALE)
+    assert road.max_out_degree <= 8
+    assert social.max_out_degree > 20
+
+
+def test_dataset_table_rows():
+    rows = dataset_table(SCALE)
+    assert len(rows) == 6
+    assert {r["network"] for r in rows} == set(DATASET_NAMES)
+    assert all(r["vertices"] > 0 and r["edges"] > 0 for r in rows)
+
+
+def test_unknown_dataset():
+    with pytest.raises(ValueError):
+        load_dataset("nope")
+
+
+def test_bad_scale():
+    with pytest.raises(ValueError):
+        load_dataset("enron", 0.0)
+
+
+# ------------------------------------------------------------ workloads
+def test_query_workload_33():
+    assert len(query_workload()) == 33
+
+
+def test_paper_cases_grid():
+    cases = paper_cases(scale=SCALE, top_k=2, datasets=("enron", "roadNet-PA"))
+    assert len(cases) == 2 * 6  # 2 datasets x (2 queries x 3 sizes)
+    assert cases[0].key.startswith("enron/")
+
+
+# -------------------------------------------------------------- table 1
+def test_table1_shape():
+    comp = run_table1(SCALE)
+    rows = comp.rows()
+    assert rows[0]["compression_ratio"] == pytest.approx(0.5)
+    assert len(rows) >= 3
+    # trie words are cumulative and positive
+    assert all(r["our_storage_words"] > 0 for r in rows)
+
+
+# -------------------------------------------------------------- table 2
+def test_table2_rows():
+    assert len(table2_rows(SCALE)) == 6
+
+
+# ------------------------------------------------------------- figure 2
+def test_figure2_rows_match_engine():
+    rows = figure2_rows()
+    assert [r["candidates"] for r in rows] == [16, 48, 104, 232]
+    assert rows[0]["naive_storage_words"] == 16
+    assert rows[0]["trie_storage_words"] == 32
+
+
+# -------------------------------------------------------------- table 3
+def test_run_case_success():
+    cases = paper_cases(scale=SCALE, top_k=1, datasets=("roadNet-PA",))
+    res = run_case(cases[0], V100, wall_limit_s=30.0)
+    assert res.cuts_ms is not None
+    # failures carry a reason, successes don't
+    if res.gsi_ms is None:
+        assert res.gsi_failure in ("oom", "timeout")
+
+
+def test_run_table3_small_grid():
+    t3 = run_table3(
+        "V100", scale=SCALE, top_k=1, wall_limit_s=30.0,
+        datasets=("enron", "roadNet-PA"),
+    )
+    assert t3.total_cases == 6
+    assert 0 < t3.cuts_handled <= 6
+    assert t3.cuts_handled >= t3.gsi_handled
+    rows = t3.rows()
+    assert len(rows) == 6
+    summary = t3.summary_rows()
+    assert summary[-1]["dataset"] == "ALL"
+
+
+def test_table3_speedup_positive():
+    t3 = run_table3(
+        "V100", scale=SCALE, top_k=1, wall_limit_s=30.0,
+        datasets=("roadNet-PA",),
+    )
+    sp = [c.speedup for c in t3.cases if c.speedup]
+    assert sp and all(s > 1.0 for s in sp)
+
+
+# ------------------------------------------------------------ hwmetrics
+def test_hwmetrics_reductions():
+    comps = run_hwmetrics(scale=SCALE)
+    assert comps
+    for comp in comps:
+        by_name = {r.metric: r for r in comp.ratios}
+        assert by_name["dram_read_words"].reduction > 1.0
+        assert comp.candidate_reduction(0) >= 1.0
+
+
+# ------------------------------------------------------- figures 4 & 5
+def test_figure4_rows():
+    rows = figure4_rows(
+        scale=SCALE, rank_counts=(1, 2), datasets=("enron",), chunk_size=64
+    )
+    assert all(r["nodes"] in (1, 2) for r in rows)
+    base = [r for r in rows if r["nodes"] == 1]
+    assert all(r["speedup"] == pytest.approx(1.0) for r in base)
+
+
+def test_figure5_rows():
+    rows = figure5_rows(scale=SCALE, num_ranks=4, chunk_size=64)
+    assert [r["node"] for r in rows[:4]] == ["T1", "T2", "T3", "T4"]
+    assert rows[-1]["node"] == "max/mean"
+
+
+# ------------------------------------------------------------ ablations
+def test_ordering_ablation_shows_gain():
+    rows = ordering_ablation(SCALE)
+    by = {r["ordering"]: r for r in rows}
+    assert by["max_degree"]["count"] == by["id"]["count"]
+    assert by["max_degree"]["paths_depth1"] <= by["id"]["paths_depth1"]
+
+
+def test_intersection_ablation_counts_equal():
+    rows = intersection_ablation(SCALE)
+    counts = {r["count"] for r in rows}
+    assert len(counts) == 1
+
+
+def test_placement_ablation_counts_equal():
+    rows = placement_ablation(SCALE)
+    counts = {r["count"] for r in rows}
+    assert len(counts) == 1
+
+
+def test_chunk_ablation_counts_equal_and_chunked():
+    rows = chunk_size_ablation(SCALE, chunk_sizes=(64, 512))
+    counts = {r["count"] for r in rows}
+    assert len(counts) == 1
+    assert all(r["chunks"] > 0 for r in rows)
+
+
+def test_filter_ablation_rows():
+    from repro.experiments.ablation import filter_ablation
+
+    rows = filter_ablation(SCALE)
+    by = {r["filter"]: r for r in rows}
+    assert by["degree"]["count"] == by["degree+neighborhood"]["count"]
+    assert (
+        by["degree+neighborhood"]["root_candidates"]
+        <= by["degree"]["root_candidates"]
+    )
+
+
+def test_binning_ablation_rows():
+    rows = binning_ablation(SCALE)
+    assert len(rows) == 2
+    strategies = {r["strategy"].split(" ")[0] for r in rows}
+    assert strategies == {"binned", "single-bin"}
+    assert all(0.0 <= r["buffer_waste_fraction"] <= 1.0 for r in rows)
+
+
+def test_virtual_warp_ablation():
+    rows = virtual_warp_ablation(SCALE, widths=(0, 4, 32))
+    assert len({r["count"] for r in rows}) == 1
+    # wider warps waste more lanes on low-degree work
+    idle = {str(r["virtual_warp"]): r["idle_lane_cycles"] for r in rows}
+    assert idle["32"] >= idle["4"]
+
+
+# --------------------------------------------------------------- report
+def test_render_table_basic():
+    text = render_table(
+        [{"a": 1, "b": None}, {"a": 2.5, "b": "x"}], title="T"
+    )
+    assert "T" in text and "a" in text
+    assert "-" in text  # None rendering
+
+
+def test_render_table_empty():
+    assert "(empty)" in render_table([], title="T")
+
+
+def test_geomean():
+    assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+    assert geomean([]) == 0.0
+    assert geomean([0.0, 5.0]) == pytest.approx(5.0)  # zeros skipped

@@ -1,0 +1,105 @@
+"""Tests for the hardware-counter cost model."""
+
+import pytest
+
+from repro.gpusim import CostModel, V100
+
+
+@pytest.fixture
+def cost():
+    return CostModel(V100)
+
+
+def test_coalesced_read_transactions(cost):
+    cost.charge_dram_read(64)  # one contiguous run of 64 words
+    assert cost.dram_read_words == 64
+    assert cost.dram_read_transactions == 2  # 64 / 32
+
+
+def test_read_rounds_up(cost):
+    cost.charge_dram_read(33)
+    assert cost.dram_read_transactions == 2
+
+
+def test_scattered_reads_cost_more(cost):
+    # 64 words in 64 one-word segments: one transaction each.
+    cost.charge_dram_read(64, segments=64)
+    assert cost.dram_read_transactions == 64
+
+
+def test_zero_words_free(cost):
+    cost.charge_dram_read(0)
+    cost.charge_dram_write(0)
+    assert cost.dram_read_transactions == 0
+    assert cost.dram_write_transactions == 0
+
+
+def test_write_symmetry(cost):
+    cost.charge_dram_write(100, segments=2)
+    assert cost.dram_write_words == 100
+    assert cost.dram_write_transactions == 4  # ceil(50/32)=2 per segment
+
+
+def test_shared_and_atomics(cost):
+    cost.charge_shared(reads=10, writes=20)
+    cost.charge_atomics(5)
+    cost.charge_instructions(100)
+    cost.charge_idle_lanes(7)
+    assert cost.shared_read_words == 10
+    assert cost.shared_write_words == 20
+    assert cost.atomic_ops == 5
+    assert cost.instructions == 100
+    assert cost.idle_lane_cycles == 7
+
+
+def test_negative_charges_rejected(cost):
+    with pytest.raises(ValueError):
+        cost.charge_dram_read(-1)
+    with pytest.raises(ValueError):
+        cost.charge_dram_write(-1)
+    with pytest.raises(ValueError):
+        cost.charge_shared(reads=-1)
+    with pytest.raises(ValueError):
+        cost.charge_atomics(-1)
+    with pytest.raises(ValueError):
+        cost.charge_instructions(-1)
+    with pytest.raises(ValueError):
+        cost.charge_idle_lanes(-1)
+
+
+def test_total_dram_words(cost):
+    cost.charge_dram_read(10)
+    cost.charge_dram_write(5)
+    assert cost.total_dram_words == 15
+
+
+def test_time_ms_from_cycles(cost):
+    cost.cycles = V100.clock_ghz * 1e6  # exactly 1 ms worth
+    assert cost.time_ms == pytest.approx(1.0)
+
+
+def test_snapshot_contains_all_counters(cost):
+    cost.charge_dram_read(10)
+    snap = cost.snapshot()
+    assert snap["dram_read_words"] == 10
+    assert "time_ms" in snap
+    assert "device" not in snap
+
+
+def test_merge(cost):
+    other = CostModel(V100)
+    cost.charge_dram_read(10)
+    other.charge_dram_read(5)
+    other.cycles = 100.0
+    cost.merge(other)
+    assert cost.dram_read_words == 15
+    assert cost.cycles == 100.0
+
+
+def test_reset(cost):
+    cost.charge_dram_read(10)
+    cost.cycles = 5.0
+    cost.reset()
+    assert cost.dram_read_words == 0
+    assert cost.cycles == 0.0
+    assert cost.time_ms == 0.0

@@ -1,0 +1,54 @@
+"""Tests for simulated device specs."""
+
+import pytest
+
+from repro.gpusim import A100, V100, DeviceSpec, scaled_device
+
+
+def test_paper_machine_parameters():
+    assert V100.num_sms == 84
+    assert A100.num_sms == 108
+    # memory ratio preserves 32GB : 40GB
+    assert A100.memory_words / V100.memory_words == pytest.approx(1.25)
+
+
+def test_max_resident_warps():
+    assert V100.max_resident_warps == 84 * 64
+
+
+def test_virtual_warp_capacity():
+    assert V100.virtual_warp_capacity(32) == V100.max_resident_warps
+    assert V100.virtual_warp_capacity(8) == 4 * V100.max_resident_warps
+    assert V100.virtual_warp_capacity(1) == 32 * V100.max_resident_warps
+
+
+def test_virtual_warp_capacity_clamps_oversize():
+    assert V100.virtual_warp_capacity(64) == V100.max_resident_warps
+
+
+def test_virtual_warp_capacity_invalid():
+    with pytest.raises(ValueError):
+        V100.virtual_warp_capacity(0)
+
+
+def test_cycles_to_ms():
+    d = DeviceSpec(name="x", num_sms=1, clock_ghz=1.0)
+    assert d.cycles_to_ms(1e6) == pytest.approx(1.0)
+
+
+def test_scaled_device():
+    d = scaled_device(V100, 1234)
+    assert d.memory_words == 1234
+    assert d.num_sms == V100.num_sms
+    assert V100.memory_words != 1234  # original untouched
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec(name="bad", num_sms=0, clock_ghz=1.0)
+    with pytest.raises(ValueError):
+        DeviceSpec(name="bad", num_sms=1, clock_ghz=0.0)
+    with pytest.raises(ValueError):
+        DeviceSpec(name="bad", num_sms=1, clock_ghz=1.0, warp_size=3)
+    with pytest.raises(ValueError):
+        DeviceSpec(name="bad", num_sms=1, clock_ghz=1.0, memory_words=0)

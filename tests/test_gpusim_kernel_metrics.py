@@ -1,0 +1,88 @@
+"""Tests for kernel-launch timing and the metric report."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    LAUNCH_OVERHEAD_CYCLES,
+    CostModel,
+    V100,
+    compare_counters,
+    format_metric_report,
+    launch_kernel,
+)
+
+
+def test_launch_accumulates_cycles():
+    cost = CostModel(V100)
+    launch = launch_kernel(cost, "k", np.array([10.0, 20.0]), 2, 0)
+    assert cost.kernel_launches == 1
+    assert launch.compute_cycles == 20.0  # busiest worker
+    assert cost.cycles == pytest.approx(LAUNCH_OVERHEAD_CYCLES + 20.0)
+
+
+def test_launch_memory_roofline():
+    cost = CostModel(V100)
+    words = int(V100.dram_words_per_cycle * 1000)
+    launch = launch_kernel(cost, "k", np.array([1.0]), 1, words)
+    assert launch.memory_cycles == pytest.approx(1000.0)
+    assert launch.cycles == pytest.approx(LAUNCH_OVERHEAD_CYCLES + 1000.0)
+
+
+def test_launch_empty_items():
+    cost = CostModel(V100)
+    launch = launch_kernel(cost, "k", np.zeros(0), 4, 0)
+    assert launch.compute_cycles == 0.0
+    assert launch.cycles == LAUNCH_OVERHEAD_CYCLES
+
+
+def test_launch_with_rng_same_total():
+    """Shuffling redistributes but conserves total work."""
+    items = np.arange(100, dtype=float)
+    c1, c2 = CostModel(V100), CostModel(V100)
+    l1 = launch_kernel(c1, "k", items, 10, 0)
+    l2 = launch_kernel(c2, "k", items, 10, 0, rng=np.random.default_rng(1))
+    assert l1.num_items == l2.num_items == 100
+    # both compute a max over workers covering the same items
+    assert l2.compute_cycles >= items.sum() / 10
+
+
+def test_imbalance_lengthens_kernel():
+    skewed = np.array([100.0] + [1.0] * 99)
+    flat = np.full(100, (100 + 99) / 100)
+    c1, c2 = CostModel(V100), CostModel(V100)
+    k_skew = launch_kernel(c1, "k", skewed, 100, 0)
+    k_flat = launch_kernel(c2, "k", flat, 100, 0)
+    assert k_skew.cycles > k_flat.cycles
+    assert k_skew.imbalance > k_flat.imbalance
+
+
+def test_compare_counters_reduction():
+    a, b = CostModel(V100), CostModel(V100)
+    a.charge_dram_read(200)
+    b.charge_dram_read(100)
+    ratios = {r.metric: r for r in compare_counters(a, b)}
+    assert ratios["dram_read_words"].reduction == pytest.approx(2.0)
+
+
+def test_compare_counters_infinite_reduction():
+    a, b = CostModel(V100), CostModel(V100)
+    a.charge_atomics(5)
+    ratios = {r.metric: r for r in compare_counters(a, b)}
+    assert ratios["atomic_ops"].reduction == float("inf")
+
+
+def test_compare_counters_both_zero():
+    a, b = CostModel(V100), CostModel(V100)
+    ratios = {r.metric: r for r in compare_counters(a, b)}
+    assert ratios["atomic_ops"].reduction == 1.0
+
+
+def test_format_metric_report():
+    a, b = CostModel(V100), CostModel(V100)
+    a.charge_dram_read(200)
+    b.charge_dram_read(100)
+    text = format_metric_report(compare_counters(a, b), "GSI", "cuTS")
+    assert "GSI" in text and "cuTS" in text
+    assert "2.00x" in text
+    assert "dram_read_words" in text

@@ -1,0 +1,85 @@
+"""Tests for the simulated device-memory manager."""
+
+import pytest
+
+from repro.gpusim import DeviceMemory, DeviceOOMError, V100, scaled_device
+
+
+@pytest.fixture
+def mem():
+    return DeviceMemory(scaled_device(V100, 1000))
+
+
+def test_alloc_and_free(mem):
+    mem.alloc("a", 400)
+    assert mem.used_words == 400
+    assert mem.free_words == 600
+    mem.free("a")
+    assert mem.used_words == 0
+
+
+def test_alloc_grows_existing_label(mem):
+    mem.alloc("a", 100)
+    mem.alloc("a", 200)
+    assert mem.allocations["a"] == 300
+
+
+def test_oom_raises(mem):
+    mem.alloc("a", 900)
+    with pytest.raises(DeviceOOMError) as exc:
+        mem.alloc("b", 200)
+    assert exc.value.requested == 200
+    assert exc.value.free == 100
+    assert exc.value.label == "b"
+
+
+def test_oom_leaves_state_unchanged(mem):
+    mem.alloc("a", 900)
+    with pytest.raises(DeviceOOMError):
+        mem.alloc("b", 200)
+    assert mem.used_words == 900
+    assert "b" not in mem.allocations
+
+
+def test_resize_up_and_down(mem):
+    mem.alloc("t", 100)
+    mem.resize("t", 500)
+    assert mem.allocations["t"] == 500
+    mem.resize("t", 50)
+    assert mem.allocations["t"] == 50
+    mem.resize("t", 0)
+    assert "t" not in mem.allocations
+
+
+def test_resize_oom(mem):
+    mem.alloc("a", 800)
+    mem.alloc("t", 100)
+    with pytest.raises(DeviceOOMError):
+        mem.resize("t", 400)
+    assert mem.allocations["t"] == 100
+
+
+def test_peak_tracking(mem):
+    mem.alloc("a", 700)
+    mem.free("a")
+    mem.alloc("b", 100)
+    assert mem.peak_words == 700
+
+
+def test_free_missing_label_is_noop(mem):
+    mem.free("never_allocated")
+    assert mem.used_words == 0
+
+
+def test_negative_sizes(mem):
+    with pytest.raises(ValueError):
+        mem.alloc("a", -1)
+    with pytest.raises(ValueError):
+        mem.resize("a", -1)
+
+
+def test_reset(mem):
+    mem.alloc("a", 500)
+    mem.reset()
+    assert mem.used_words == 0
+    assert mem.peak_words == 500  # peak survives reset

@@ -1,0 +1,76 @@
+"""Tests for the occupancy calculator (§2.2.3)."""
+
+import pytest
+
+from repro.gpusim import (
+    V100,
+    max_shared_words_for_full_occupancy,
+    occupancy,
+)
+
+
+def test_full_occupancy_small_footprint():
+    res = occupancy(V100, threads_per_block=256, shared_words_per_block=0,
+                    registers_per_thread=16)
+    assert res.occupancy == pytest.approx(1.0)
+    assert res.active_warps_per_sm == V100.max_warps_per_sm
+
+
+def test_shared_memory_limits_occupancy():
+    # One block hogs all shared memory -> only one block resident.
+    res = occupancy(
+        V100, threads_per_block=256,
+        shared_words_per_block=V100.shared_words_per_sm,
+    )
+    assert res.blocks_per_sm == 1
+    assert res.limiter == "shared_memory"
+    assert res.occupancy < 0.5
+
+
+def test_registers_limit_occupancy():
+    res = occupancy(V100, threads_per_block=1024, registers_per_thread=255)
+    assert res.limiter == "registers"
+    assert res.occupancy < 1.0
+
+
+def test_block_size_rounding_to_warps():
+    # 33 threads occupy 2 warps worth of scheduler slots.
+    a = occupancy(V100, threads_per_block=33, registers_per_thread=0)
+    b = occupancy(V100, threads_per_block=64, registers_per_thread=0)
+    assert a.active_warps_per_sm == b.active_warps_per_sm
+
+
+def test_block_slot_limit():
+    # tiny blocks: 32 block slots x 1 warp each = 32 warps < 64
+    res = occupancy(V100, threads_per_block=32, registers_per_thread=0)
+    assert res.blocks_per_sm == 32
+    assert res.occupancy == pytest.approx(0.5)
+    assert res.limiter == "block_slots"
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        occupancy(V100, threads_per_block=0)
+    with pytest.raises(ValueError):
+        occupancy(V100, threads_per_block=32, shared_words_per_block=-1)
+
+
+def test_max_shared_for_full_occupancy():
+    budget = max_shared_words_for_full_occupancy(V100, threads_per_block=512)
+    full = occupancy(V100, 512, shared_words_per_block=budget,
+                     registers_per_thread=16)
+    over = occupancy(V100, 512, shared_words_per_block=budget * 2,
+                     registers_per_thread=16)
+    assert full.occupancy == pytest.approx(1.0)
+    assert over.occupancy < 1.0
+
+
+def test_occupancy_tradeoff_shape():
+    """§2.2.3's tension: growing the shared tile lowers occupancy
+    monotonically once past the free budget."""
+    occs = [
+        occupancy(V100, 256, shared_words_per_block=w,
+                  registers_per_thread=16).occupancy
+        for w in (0, 2048, 4096, 8192, 16384, 24576)
+    ]
+    assert all(a >= b for a, b in zip(occs, occs[1:]))

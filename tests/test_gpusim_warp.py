@@ -1,0 +1,142 @@
+"""Tests for the warp / virtual-warp / scheduling models."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    V100,
+    bin_paths_by_work,
+    device_worker_count,
+    idle_lane_cycles,
+    load_imbalance,
+    select_virtual_warp_size,
+    shuffled_worker_loads,
+    strided_worker_loads,
+)
+
+
+# ------------------------------------------------------- virtual warps
+def test_vw_size_rounds_up_to_pow2():
+    assert select_virtual_warp_size(3.0) == 4
+    assert select_virtual_warp_size(4.0) == 4
+    assert select_virtual_warp_size(5.0) == 8
+
+
+def test_vw_size_bounds():
+    assert select_virtual_warp_size(0.0) == 2
+    assert select_virtual_warp_size(1.0) == 2
+    assert select_virtual_warp_size(1000.0) == 32
+
+
+def test_vw_size_negative():
+    with pytest.raises(ValueError):
+        select_virtual_warp_size(-1.0)
+
+
+# ---------------------------------------------------------- scheduling
+def test_strided_loads_round_robin():
+    costs = np.array([1, 2, 3, 4, 5, 6], dtype=float)
+    loads = strided_worker_loads(costs, 2)
+    assert loads.tolist() == [9.0, 12.0]  # evens vs odds
+
+
+def test_strided_loads_more_workers_than_items():
+    loads = strided_worker_loads(np.array([5.0]), 4)
+    assert loads.tolist() == [5.0, 0.0, 0.0, 0.0]
+
+
+def test_strided_loads_empty():
+    loads = strided_worker_loads(np.zeros(0), 3)
+    assert loads.tolist() == [0.0, 0.0, 0.0]
+
+
+def test_strided_loads_invalid_workers():
+    with pytest.raises(ValueError):
+        strided_worker_loads(np.array([1.0]), 0)
+
+
+def test_shuffle_fixes_clustered_imbalance():
+    """The paper's randomized-placement rationale: id-clustered heavy
+    items pile onto adjacent workers under the strided schedule."""
+    costs = np.zeros(1000)
+    costs[:100] = 100.0  # heavy items clustered at low ids
+    workers = 100
+    static = load_imbalance(strided_worker_loads(costs, workers))
+    rng = np.random.default_rng(0)
+    shuffled = load_imbalance(shuffled_worker_loads(costs, workers, rng))
+    # static puts all heavy items on worker 0..? Actually with stride
+    # they land on workers 0..99 one each -> balanced. Make them truly
+    # clustered per worker instead:
+    costs2 = np.zeros(1000)
+    costs2[::10] = 100.0  # every 10th: with 100 workers -> workers 0,10,..
+    static2 = load_imbalance(strided_worker_loads(costs2, workers))
+    shuffled2 = load_imbalance(shuffled_worker_loads(costs2, workers, rng))
+    assert static2 > shuffled2
+
+
+def test_load_imbalance_balanced():
+    assert load_imbalance(np.array([2.0, 2.0, 2.0])) == pytest.approx(1.0)
+
+
+def test_load_imbalance_degenerate():
+    assert load_imbalance(np.zeros(0)) == 1.0
+    assert load_imbalance(np.zeros(3)) == 1.0
+
+
+# --------------------------------------------------------------- bins
+def test_bin_paths_by_work():
+    work = np.array([1, 2, 3, 8, 9, 40])
+    bins = bin_paths_by_work(work)
+    assert set(bins) <= {1, 2, 4, 8, 16, 32}
+    assert 0 in bins[1] or 0 in bins[2]
+    assert 5 in bins[32]  # clipped to warp size
+    total = sum(len(v) for v in bins.values())
+    assert total == len(work)
+
+
+def test_bin_paths_empty():
+    assert bin_paths_by_work(np.zeros(0, dtype=np.int64)) == {}
+
+
+# ---------------------------------------------------------- idle lanes
+def test_idle_lanes_exact():
+    # widths 3 on vw=4: 1 step, 1 idle lane each
+    assert idle_lane_cycles(np.array([3, 3]), 4) == 2
+
+
+def test_idle_lanes_multi_step():
+    # width 5 on vw=4: 2 steps = 8 lanes, 3 idle
+    assert idle_lane_cycles(np.array([5]), 4) == 3
+
+
+def test_idle_lanes_zero_width_counts_one_step():
+    assert idle_lane_cycles(np.array([0]), 4) == 4
+
+
+def test_idle_lanes_empty():
+    assert idle_lane_cycles(np.zeros(0, dtype=np.int64), 4) == 0
+
+
+def test_idle_lanes_invalid_vw():
+    with pytest.raises(ValueError):
+        idle_lane_cycles(np.array([1]), 0)
+
+
+def test_full_warp_wastes_more_than_virtual():
+    """§4.1.2: full warps idle on low-degree graphs; virtual warps don't."""
+    widths = np.full(100, 3)
+    assert idle_lane_cycles(widths, 32) > idle_lane_cycles(widths, 4)
+
+
+# ------------------------------------------------------------ workers
+def test_device_worker_count():
+    full = device_worker_count(V100, 32)
+    assert full == V100.max_resident_warps
+    assert device_worker_count(V100, 8) == 4 * full
+
+
+def test_device_worker_count_occupancy():
+    half = device_worker_count(V100, 32, occupancy=0.5)
+    assert half == V100.max_resident_warps // 2
+    with pytest.raises(ValueError):
+        device_worker_count(V100, 32, occupancy=0.0)

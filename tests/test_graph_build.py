@@ -1,0 +1,137 @@
+"""Tests for graph builders."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.graph import (
+    empty_graph,
+    from_edges,
+    from_networkx,
+    from_undirected_edges,
+    to_networkx,
+)
+
+
+def test_from_edges_basic():
+    g = from_edges([(0, 1), (1, 2)])
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+
+
+def test_from_edges_deduplicates():
+    g = from_edges([(0, 1), (0, 1), (0, 1)])
+    assert g.num_edges == 1
+
+
+def test_from_edges_drops_self_loops():
+    g = from_edges([(0, 0), (0, 1), (2, 2)])
+    assert g.num_edges == 1
+    assert g.num_vertices == 3
+
+
+def test_from_edges_only_self_loops():
+    g = from_edges([(0, 0)], num_vertices=1)
+    assert g.num_edges == 0
+    assert g.num_vertices == 1
+
+
+def test_from_edges_explicit_num_vertices():
+    g = from_edges([(0, 1)], num_vertices=10)
+    assert g.num_vertices == 10
+    assert g.out_degree(9) == 0
+
+
+def test_from_edges_vertex_out_of_range():
+    with pytest.raises(ValueError, match="num_vertices"):
+        from_edges([(0, 5)], num_vertices=3)
+
+
+def test_from_edges_negative_vertex():
+    with pytest.raises(ValueError, match="non-negative"):
+        from_edges([(-1, 2)])
+
+
+def test_from_edges_empty():
+    g = from_edges([])
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+
+
+def test_from_edges_numpy_input():
+    arr = np.array([[0, 1], [1, 2]], dtype=np.int64)
+    g = from_edges(arr)
+    assert g.num_edges == 2
+
+
+def test_from_undirected_bidirects():
+    g = from_undirected_edges([(0, 1)])
+    assert g.has_edge(0, 1)
+    assert g.has_edge(1, 0)
+    assert g.num_edges == 2
+
+
+def test_from_undirected_dedup_reverse_pairs():
+    # (0,1) and (1,0) in an undirected list are the same edge.
+    g = from_undirected_edges([(0, 1), (1, 0)])
+    assert g.num_edges == 2
+
+
+def test_from_undirected_empty():
+    g = from_undirected_edges([], num_vertices=4)
+    assert g.num_vertices == 4
+    assert g.num_edges == 0
+
+
+def test_csr_sorted_by_construction():
+    g = from_edges([(1, 5), (1, 2), (1, 9), (0, 3)], num_vertices=10)
+    assert g.children(1).tolist() == [2, 5, 9]
+
+
+def test_in_csr_correct():
+    g = from_edges([(0, 2), (1, 2), (3, 2)])
+    assert g.parents(2).tolist() == [0, 1, 3]
+
+
+def test_from_networkx_digraph():
+    gx = nx.DiGraph([(0, 1), (1, 2)])
+    g = from_networkx(gx)
+    assert g.num_edges == 2
+    assert g.has_edge(0, 1) and not g.has_edge(1, 0)
+
+
+def test_from_networkx_undirected_bidirects():
+    gx = nx.Graph([(0, 1)])
+    g = from_networkx(gx)
+    assert g.num_edges == 2
+
+
+def test_from_networkx_relabels_sparse_ids():
+    gx = nx.Graph()
+    gx.add_edge(10, 20)
+    gx.add_node(30)
+    g = from_networkx(gx)
+    assert g.num_vertices == 3
+    assert g.has_edge(0, 1)
+
+
+def test_to_networkx_round_trip(small_gnp):
+    gx = to_networkx(small_gnp)
+    assert gx.number_of_nodes() == small_gnp.num_vertices
+    assert gx.number_of_edges() == small_gnp.num_edges
+    back = from_networkx(gx)
+    assert np.array_equal(back.indices, small_gnp.indices)
+
+
+def test_empty_graph_builder():
+    g = empty_graph(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 0
+
+
+def test_empty_graph_zero_vertices():
+    g = empty_graph()
+    assert g.num_vertices == 0

@@ -1,0 +1,106 @@
+"""Tests for weakly connected components and composition helpers."""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    from_edges,
+    from_networkx,
+    from_undirected_edges,
+    induced_subgraph,
+    is_weakly_connected,
+    mesh_graph,
+    split_components,
+    weakly_connected_components,
+)
+
+
+def test_connected_mesh(mesh44):
+    comp = weakly_connected_components(mesh44)
+    assert comp.max() == 0
+    assert is_weakly_connected(mesh44)
+
+
+def test_two_components():
+    g = from_undirected_edges([(0, 1), (2, 3)])
+    comp = weakly_connected_components(g)
+    assert comp[0] == comp[1]
+    assert comp[2] == comp[3]
+    assert comp[0] != comp[2]
+    assert not is_weakly_connected(g)
+
+
+def test_isolated_vertices():
+    g = from_edges([], num_vertices=3)
+    comp = weakly_connected_components(g)
+    assert sorted(comp.tolist()) == [0, 1, 2]
+
+
+def test_directed_weak_connectivity():
+    # 0 -> 1 <- 2 is weakly connected despite no directed path 0..2.
+    g = from_edges([(0, 1), (2, 1)])
+    assert is_weakly_connected(g)
+
+
+def test_empty_graph_connected():
+    g = from_edges([], num_vertices=0)
+    assert is_weakly_connected(g)
+    assert weakly_connected_components(g).shape == (0,)
+
+
+def test_single_vertex_connected():
+    g = from_edges([], num_vertices=1)
+    assert is_weakly_connected(g)
+
+
+def test_component_numbering_by_smallest_vertex():
+    g = from_undirected_edges([(4, 5), (0, 1)], num_vertices=6)
+    comp = weakly_connected_components(g)
+    assert comp[0] == 0  # component containing vertex 0 numbered first
+    assert comp[4] > 0 or comp[4] != comp[0]
+
+
+def test_matches_networkx_on_random():
+    rng = np.random.default_rng(5)
+    edges = rng.integers(0, 40, size=(35, 2))
+    g = from_edges(edges, num_vertices=40)
+    ours = weakly_connected_components(g)
+    gx = nx.DiGraph()
+    gx.add_nodes_from(range(40))
+    gx.add_edges_from(map(tuple, g.edge_list()))
+    for comp_nodes in nx.weakly_connected_components(gx):
+        labels = {int(ours[v]) for v in comp_nodes}
+        assert len(labels) == 1, f"component split: {comp_nodes}"
+    assert int(ours.max()) + 1 == nx.number_weakly_connected_components(gx)
+
+
+def test_induced_subgraph_basic(mesh44):
+    sub, mapping = induced_subgraph(mesh44, np.array([0, 1, 4, 5]))
+    assert sub.num_vertices == 4
+    # the 2x2 corner block is a 4-cycle: 4 undirected edges = 8 directed
+    assert sub.num_edges == 8
+    assert mapping.tolist() == [0, 1, 4, 5]
+
+
+def test_induced_subgraph_no_edges(mesh44):
+    sub, _ = induced_subgraph(mesh44, np.array([0, 15]))
+    assert sub.num_edges == 0
+
+
+def test_split_components_round_trip():
+    g = from_undirected_edges([(0, 1), (1, 2), (5, 6)], num_vertices=8)
+    parts = split_components(g)
+    # components: {0,1,2}, {3}, {4}, {5,6}, {7}
+    assert len(parts) == 5
+    sizes = sorted(p[0].num_vertices for p in parts)
+    assert sizes == [1, 1, 1, 2, 3]
+    total_edges = sum(p[0].num_edges for p in parts)
+    assert total_edges == g.num_edges
+
+
+def test_split_components_mapping_valid():
+    g = from_undirected_edges([(0, 3), (1, 2)], num_vertices=4)
+    for sub, mapping in split_components(g):
+        for u, v in sub.edge_list():
+            assert g.has_edge(int(mapping[u]), int(mapping[v]))

@@ -1,0 +1,229 @@
+"""Tests for the dual-CSR graph representation."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, from_edges, from_undirected_edges
+from repro.graph.csr import _segmented_searchsorted
+
+
+def test_basic_counts(mesh44):
+    assert mesh44.num_vertices == 16
+    assert mesh44.num_edges == 48  # 24 undirected edges, bidirected
+
+
+def test_children_sorted(mesh44):
+    for u in range(mesh44.num_vertices):
+        kids = mesh44.children(u)
+        assert np.all(np.diff(kids) > 0)
+
+
+def test_parents_sorted(mesh44):
+    for u in range(mesh44.num_vertices):
+        pars = mesh44.parents(u)
+        assert np.all(np.diff(pars) > 0)
+
+
+def test_children_are_views(mesh44):
+    kids = mesh44.children(0)
+    assert kids.base is mesh44.indices
+
+
+def test_directed_children_parents(directed_diamond):
+    g = directed_diamond
+    assert g.children(0).tolist() == [1, 2]
+    assert g.children(3).tolist() == []
+    assert g.parents(3).tolist() == [1, 2]
+    assert g.parents(0).tolist() == []
+
+
+def test_degrees_directed(directed_diamond):
+    g = directed_diamond
+    assert g.out_degree(0) == 2
+    assert g.in_degree(0) == 0
+    assert g.out_degree(3) == 0
+    assert g.in_degree(3) == 2
+    assert g.max_out_degree == 2
+    assert g.max_in_degree == 2
+
+
+def test_average_out_degree(mesh44):
+    assert mesh44.average_out_degree == pytest.approx(3.0)
+
+
+def test_has_edge(directed_diamond):
+    g = directed_diamond
+    assert g.has_edge(0, 1)
+    assert not g.has_edge(1, 0)
+    assert not g.has_edge(0, 3)
+
+
+def test_has_edges_vectorised(mesh44):
+    src = np.array([0, 0, 5, 5, 15])
+    dst = np.array([1, 15, 6, 0, 14])
+    expected = [mesh44.has_edge(int(s), int(d)) for s, d in zip(src, dst)]
+    assert mesh44.has_edges(src, dst).tolist() == expected
+
+
+def test_has_edges_empty(mesh44):
+    out = mesh44.has_edges(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+    assert out.shape == (0,)
+
+
+def test_has_edges_shape_mismatch(mesh44):
+    with pytest.raises(ValueError):
+        mesh44.has_edges(np.array([0]), np.array([0, 1]))
+
+
+def test_has_redges_matches_reverse(directed_diamond):
+    g = directed_diamond
+    src = np.array([3, 3, 0])
+    tgt = np.array([1, 0, 1])
+    # has_redges(s, t) == edge (t, s) exists
+    expected = [g.has_edge(int(t), int(s)) for s, t in zip(src, tgt)]
+    assert g.has_redges(src, tgt).tolist() == expected
+
+
+def test_has_redges_empty(directed_diamond):
+    out = directed_diamond.has_redges(
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    )
+    assert out.shape == (0,)
+
+
+def test_edge_list_round_trip(small_gnp):
+    edges = small_gnp.edge_list()
+    rebuilt = from_edges(edges, num_vertices=small_gnp.num_vertices)
+    assert np.array_equal(rebuilt.indptr, small_gnp.indptr)
+    assert np.array_equal(rebuilt.indices, small_gnp.indices)
+    assert np.array_equal(rebuilt.rindptr, small_gnp.rindptr)
+    assert np.array_equal(rebuilt.rindices, small_gnp.rindices)
+
+
+def test_reverse_swaps(directed_diamond):
+    rev = directed_diamond.reverse()
+    assert rev.children(3).tolist() == [1, 2]
+    assert rev.parents(1).tolist() == [3]
+    assert rev.num_edges == directed_diamond.num_edges
+
+
+def test_reverse_is_view(directed_diamond):
+    rev = directed_diamond.reverse()
+    assert rev.indices is directed_diamond.rindices
+
+
+def test_bidirected_symmetry(mesh44):
+    # For an undirected-origin graph, in == out everywhere.
+    assert np.array_equal(mesh44.out_degrees, mesh44.in_degrees)
+
+
+def test_validation_bad_indptr():
+    with pytest.raises(ValueError, match="indptr"):
+        CSRGraph(
+            num_vertices=2,
+            indptr=np.array([0, 1], dtype=np.int64),  # wrong length
+            indices=np.array([1], dtype=np.int64),
+            rindptr=np.array([0, 0, 1], dtype=np.int64),
+            rindices=np.array([0], dtype=np.int64),
+        )
+
+
+def test_validation_inconsistent_endpoints():
+    with pytest.raises(ValueError):
+        CSRGraph(
+            num_vertices=2,
+            indptr=np.array([0, 1, 1], dtype=np.int64),
+            indices=np.array([1, 0], dtype=np.int64),  # 2 edges, indptr says 1
+            rindptr=np.array([0, 0, 1], dtype=np.int64),
+            rindices=np.array([0], dtype=np.int64),
+        )
+
+
+def test_validation_edge_count_mismatch():
+    with pytest.raises(ValueError, match="same edge set"):
+        CSRGraph(
+            num_vertices=2,
+            indptr=np.array([0, 1, 1], dtype=np.int64),
+            indices=np.array([1], dtype=np.int64),
+            rindptr=np.array([0, 0, 0], dtype=np.int64),
+            rindices=np.array([], dtype=np.int64),
+        )
+
+
+def test_validation_out_of_range_vertex():
+    with pytest.raises(ValueError, match="out-of-range"):
+        CSRGraph(
+            num_vertices=2,
+            indptr=np.array([0, 1, 1], dtype=np.int64),
+            indices=np.array([5], dtype=np.int64),
+            rindptr=np.array([0, 0, 1], dtype=np.int64),
+            rindices=np.array([0], dtype=np.int64),
+        )
+
+
+def test_validation_negative_vertices():
+    with pytest.raises(ValueError, match="num_vertices"):
+        CSRGraph(
+            num_vertices=-1,
+            indptr=np.zeros(0, dtype=np.int64),
+            indices=np.zeros(0, dtype=np.int64),
+            rindptr=np.zeros(0, dtype=np.int64),
+            rindices=np.zeros(0, dtype=np.int64),
+        )
+
+
+def test_empty_graph_properties():
+    g = from_edges(np.zeros((0, 2), dtype=np.int64), num_vertices=0)
+    assert g.num_edges == 0
+    assert g.max_out_degree == 0
+    assert g.max_in_degree == 0
+    assert g.average_out_degree == 0.0
+
+
+def test_segmented_searchsorted_exact():
+    flat = np.array([1, 3, 5, 2, 4, 6, 8], dtype=np.int64)
+    starts = np.array([0, 3, 3], dtype=np.int64)
+    ends = np.array([3, 7, 7], dtype=np.int64)
+    values = np.array([3, 6, 7], dtype=np.int64)
+    pos = _segmented_searchsorted(flat, starts, ends, values)
+    assert pos.tolist() == [1, 5, 6]
+
+
+def test_segmented_searchsorted_out_of_range_values():
+    flat = np.array([10, 20, 30], dtype=np.int64)
+    starts = np.array([0, 0], dtype=np.int64)
+    ends = np.array([3, 3], dtype=np.int64)
+    values = np.array([5, 99], dtype=np.int64)
+    pos = _segmented_searchsorted(flat, starts, ends, values)
+    assert pos.tolist() == [0, 3]
+
+
+def test_segmented_searchsorted_empty_segments():
+    flat = np.array([7], dtype=np.int64)
+    starts = np.array([0, 1], dtype=np.int64)
+    ends = np.array([0, 1], dtype=np.int64)  # both segments empty
+    values = np.array([7, 7], dtype=np.int64)
+    pos = _segmented_searchsorted(flat, starts, ends, values)
+    assert pos.tolist() == [0, 1]
+
+
+def test_segmented_searchsorted_vs_numpy():
+    rng = np.random.default_rng(3)
+    rows = [np.sort(rng.integers(0, 100, size=rng.integers(0, 12))) for _ in range(50)]
+    flat = np.concatenate([r for r in rows]) if rows else np.zeros(0)
+    flat = flat.astype(np.int64)
+    offsets = np.cumsum([0] + [len(r) for r in rows])
+    starts, ends, values, expect = [], [], [], []
+    for i, r in enumerate(rows):
+        v = int(rng.integers(0, 100))
+        starts.append(offsets[i])
+        ends.append(offsets[i + 1])
+        values.append(v)
+        expect.append(offsets[i] + int(np.searchsorted(r, v)))
+    pos = _segmented_searchsorted(
+        flat,
+        np.array(starts, dtype=np.int64),
+        np.array(ends, dtype=np.int64),
+        np.array(values, dtype=np.int64),
+    )
+    assert pos.tolist() == expect

@@ -1,0 +1,192 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    degree_summary,
+    is_weakly_connected,
+    mesh_graph,
+    random_graph,
+    road_network_graph,
+    social_graph,
+    star_graph,
+)
+from repro.graph.generators import (
+    community_noise_edges,
+    preferential_attachment_edges,
+)
+
+
+# ---------------------------------------------------------------- toys
+def test_mesh_structure():
+    g = mesh_graph(3, 4)
+    assert g.num_vertices == 12
+    # (3*3 + 2*4) undirected = 17, bidirected = 34
+    assert g.num_edges == 34
+    assert g.has_edge(0, 1) and g.has_edge(0, 4)
+    assert not g.has_edge(3, 4)  # row boundary
+
+
+def test_mesh_degree_range():
+    g = mesh_graph(4, 4)
+    degs = g.out_degrees
+    assert degs.min() == 2 and degs.max() == 4
+
+
+def test_mesh_invalid():
+    with pytest.raises(ValueError):
+        mesh_graph(0, 4)
+
+
+def test_chain_structure():
+    g = chain_graph(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 8
+    assert g.out_degree(0) == 1 and g.out_degree(2) == 2
+
+
+def test_chain_single_vertex():
+    g = chain_graph(1)
+    assert g.num_vertices == 1 and g.num_edges == 0
+
+
+def test_chain_invalid():
+    with pytest.raises(ValueError):
+        chain_graph(0)
+
+
+def test_clique_structure():
+    g = clique_graph(5)
+    assert g.num_vertices == 5
+    assert g.num_edges == 20
+    assert all(g.out_degree(v) == 4 for v in range(5))
+
+
+def test_clique_k1():
+    g = clique_graph(1)
+    assert g.num_edges == 0
+
+
+def test_star_structure():
+    g = star_graph(6)
+    assert g.num_vertices == 7
+    assert g.out_degree(0) == 6
+    assert all(g.out_degree(v) == 1 for v in range(1, 7))
+
+
+def test_star_zero_leaves():
+    g = star_graph(0)
+    assert g.num_vertices == 1 and g.num_edges == 0
+
+
+def test_cycle_structure():
+    g = cycle_graph(6)
+    assert g.num_edges == 12
+    assert all(g.out_degree(v) == 2 for v in range(6))
+    assert g.has_edge(5, 0)
+
+
+def test_cycle_invalid():
+    with pytest.raises(ValueError):
+        cycle_graph(2)
+
+
+# ------------------------------------------------------------ datasets
+def test_social_deterministic():
+    a = social_graph(100, 3, seed=5)
+    b = social_graph(100, 3, seed=5)
+    assert np.array_equal(a.indices, b.indices)
+
+
+def test_social_seed_changes_graph():
+    a = social_graph(100, 3, seed=5)
+    b = social_graph(100, 3, seed=6)
+    assert not np.array_equal(a.indices, b.indices)
+
+
+def test_social_connected():
+    g = social_graph(200, 3, seed=1)
+    assert is_weakly_connected(g)
+
+
+def test_social_heavy_tail():
+    g = social_graph(500, 3, seed=2)
+    summ = degree_summary(g)
+    # hubs well above the mean, but no degenerate |V|-scale hub
+    assert summ.max_out > 4 * summ.mean_out
+    assert summ.max_out < g.num_vertices // 2
+
+
+def test_pa_no_id_bias():
+    """Regression: target dedup must not sort by id (old max-hub bug)."""
+    rng = np.random.default_rng(0)
+    edges = preferential_attachment_edges(800, 4, rng)
+    degs = np.bincount(edges.ravel(), minlength=800)
+    # The single largest hub should hold a small fraction of all degree.
+    assert degs.max() < 0.2 * degs.sum()
+
+
+def test_pa_requires_enough_vertices():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        preferential_attachment_edges(3, 3, rng)
+
+
+def test_community_noise_in_range():
+    rng = np.random.default_rng(1)
+    edges = community_noise_edges(100, 500, 10, rng)
+    assert edges.size == 0 or edges.max() < 100
+    assert np.all(edges[:, 0] != edges[:, 1])
+
+
+def test_community_noise_within_communities():
+    rng = np.random.default_rng(2)
+    edges = community_noise_edges(100, 300, 10, rng)
+    # Each community block is 10 wide; endpoints share a block.
+    assert np.all(edges[:, 0] // 10 == edges[:, 1] // 10)
+
+
+def test_community_noise_degenerate():
+    rng = np.random.default_rng(3)
+    assert community_noise_edges(1, 10, 4, rng).size == 0
+    assert community_noise_edges(100, 10, 0, rng).size == 0
+
+
+def test_road_degree_concentrated():
+    g = road_network_graph(30, 30, seed=4)
+    summ = degree_summary(g)
+    assert summ.max_out <= 8
+    assert 2.0 < summ.mean_out < 4.5
+
+
+def test_road_deterministic():
+    a = road_network_graph(20, 20, seed=9)
+    b = road_network_graph(20, 20, seed=9)
+    assert np.array_equal(a.indices, b.indices)
+
+
+def test_road_drop_fraction_bounds():
+    with pytest.raises(ValueError):
+        road_network_graph(10, 10, drop_fraction=1.5)
+
+
+def test_road_no_drop_is_mesh_plus_shortcuts():
+    g = road_network_graph(10, 10, drop_fraction=0.0, shortcut_fraction=0.0)
+    m = mesh_graph(10, 10)
+    assert g.num_edges == m.num_edges
+
+
+def test_random_graph_p_bounds():
+    with pytest.raises(ValueError):
+        random_graph(10, 1.5)
+
+
+def test_random_graph_extremes():
+    g0 = random_graph(10, 0.0, seed=1)
+    g1 = random_graph(10, 1.0, seed=1)
+    assert g0.num_edges == 0
+    assert g1.num_edges == 90  # complete bidirected

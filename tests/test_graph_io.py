@@ -1,0 +1,93 @@
+"""Tests for graph text-format IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    convert_cuts_to_gsi,
+    mesh_graph,
+    read_cuts_format,
+    read_gsi_format,
+    write_cuts_format,
+    write_gsi_format,
+)
+
+
+def test_cuts_round_trip(tmp_path, small_gnp):
+    p = tmp_path / "g.txt"
+    write_cuts_format(small_gnp, p)
+    back = read_cuts_format(p)
+    assert back.num_vertices == small_gnp.num_vertices
+    assert np.array_equal(back.indices, small_gnp.indices)
+    assert np.array_equal(back.indptr, small_gnp.indptr)
+
+
+def test_cuts_header(tmp_path, mesh44):
+    p = tmp_path / "mesh.txt"
+    write_cuts_format(mesh44, p)
+    header = p.read_text().splitlines()[0]
+    assert header == "16 48"
+
+
+def test_cuts_name_from_stem(tmp_path, mesh44):
+    p = tmp_path / "mymesh.txt"
+    write_cuts_format(mesh44, p)
+    assert read_cuts_format(p).name == "mymesh"
+
+
+def test_cuts_empty_graph(tmp_path):
+    from repro.graph import empty_graph
+
+    p = tmp_path / "empty.txt"
+    write_cuts_format(empty_graph(3), p)
+    back = read_cuts_format(p)
+    assert back.num_vertices == 3 and back.num_edges == 0
+
+
+def test_cuts_malformed_header(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("1 2 3\n")
+    with pytest.raises(ValueError, match="header"):
+        read_cuts_format(p)
+
+
+def test_cuts_edge_count_mismatch(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("3 5\n0 1\n")
+    with pytest.raises(ValueError, match="edges"):
+        read_cuts_format(p)
+
+
+def test_gsi_round_trip(tmp_path, small_gnp):
+    p = tmp_path / "g.g"
+    write_gsi_format(small_gnp, p)
+    back = read_gsi_format(p)
+    assert back.num_vertices == small_gnp.num_vertices
+    assert np.array_equal(back.indices, small_gnp.indices)
+
+
+def test_gsi_format_structure(tmp_path):
+    g = mesh_graph(2, 2)
+    p = tmp_path / "m.g"
+    write_gsi_format(g, p)
+    lines = p.read_text().splitlines()
+    assert lines[0].startswith("t ")
+    assert sum(1 for ln in lines if ln.startswith("v ")) == 4
+    assert sum(1 for ln in lines if ln.startswith("e ")) == 8
+
+
+def test_gsi_ignores_blank_lines(tmp_path):
+    p = tmp_path / "g.g"
+    p.write_text("t 2 1\n\nv 0 0\nv 1 0\n\ne 0 1 0\n")
+    g = read_gsi_format(p)
+    assert g.num_vertices == 2 and g.num_edges == 1
+
+
+def test_converter(tmp_path, mesh44):
+    src = tmp_path / "in.txt"
+    dst = tmp_path / "out.g"
+    write_cuts_format(mesh44, src)
+    convert_cuts_to_gsi(src, dst)
+    back = read_gsi_format(dst)
+    assert back.num_edges == mesh44.num_edges
+    assert np.array_equal(back.indices, mesh44.indices)

@@ -1,0 +1,52 @@
+"""Integration: both engines vs the networkx oracle on the actual paper
+workload (small-scale datasets, the full 5-vertex query set)."""
+
+import pytest
+
+from repro.baselines import GSIMatcher, networkx_count
+from repro.core import CuTSMatcher
+from repro.experiments.datasets import load_dataset
+from repro.graph.queries import paper_query_set
+
+SCALE = 0.12  # tiny datasets keep the oracle affordable
+
+
+@pytest.fixture(scope="module")
+def road():
+    return load_dataset("roadNet-PA", SCALE)
+
+
+@pytest.fixture(scope="module")
+def wiki():
+    return load_dataset("wikiTalk", SCALE)
+
+
+@pytest.mark.parametrize("qidx", range(11))
+def test_cuts_all_q5_on_road_vs_oracle(road, qidx):
+    q = paper_query_set(5)[qidx]
+    assert CuTSMatcher(road).match(q).count == networkx_count(road, q)
+
+
+@pytest.mark.parametrize("qidx", [0, 4, 8, 10])
+def test_gsi_all_q5_on_road_vs_oracle(road, qidx):
+    q = paper_query_set(5)[qidx]
+    assert GSIMatcher(road).match(q).count == networkx_count(road, q)
+
+
+@pytest.mark.parametrize("qidx", [0, 5, 10])
+def test_cuts_q6_on_wiki_vs_oracle(wiki, qidx):
+    q = paper_query_set(6)[qidx]
+    assert CuTSMatcher(wiki).match(q).count == networkx_count(wiki, q)
+
+
+@pytest.mark.parametrize("qidx", [0, 10])
+def test_cuts_q7_on_road_vs_oracle(road, qidx):
+    q = paper_query_set(7)[qidx]
+    assert CuTSMatcher(road).match(q).count == networkx_count(road, q)
+
+
+def test_engines_agree_across_full_q5_set(wiki):
+    for q in paper_query_set(5):
+        a = CuTSMatcher(wiki).match(q).count
+        b = GSIMatcher(wiki).match(q).count
+        assert a == b, q.name

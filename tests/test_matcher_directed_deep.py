@@ -1,0 +1,115 @@
+"""Deeper matcher tests: genuinely directed graphs, determinism, state
+isolation, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GSIMatcher, networkx_count
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.graph import from_edges, random_graph
+
+
+def random_digraph(n, num_edges, seed):
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(num_edges, 2))
+    return from_edges(edges, num_vertices=n)
+
+
+DIRECTED_QUERIES = [
+    from_edges([(0, 1), (1, 2)]),  # directed path
+    from_edges([(0, 1), (0, 2)]),  # out-fork
+    from_edges([(1, 0), (2, 0)]),  # in-fork (pure backward constraints)
+    from_edges([(0, 1), (1, 2), (2, 0)]),  # directed 3-cycle
+    from_edges([(0, 1), (1, 2), (0, 2)]),  # transitive triangle
+    from_edges([(0, 1), (1, 0)]),  # 2-cycle
+    from_edges([(0, 1), (1, 2), (2, 3), (0, 3)]),  # directed diamond-ish
+]
+
+
+@pytest.mark.parametrize("qidx", range(len(DIRECTED_QUERIES)))
+@pytest.mark.parametrize("seed", [1, 2])
+def test_directed_queries_vs_oracle(qidx, seed):
+    data = random_digraph(25, 90, seed)
+    q = DIRECTED_QUERIES[qidx]
+    assert CuTSMatcher(data).match(q).count == networkx_count(data, q)
+
+
+@pytest.mark.parametrize("qidx", [0, 2, 3, 5])
+def test_directed_queries_gsi_agrees(qidx):
+    data = random_digraph(25, 90, 3)
+    q = DIRECTED_QUERIES[qidx]
+    assert GSIMatcher(data).match(q).count == CuTSMatcher(data).match(q).count
+
+
+def test_in_fork_uses_backward_anchor():
+    """The in-fork query forces the expansion to anchor on a parent
+    (in-CSR) constraint — exercise that code path explicitly."""
+    data = from_edges([(0, 2), (1, 2), (3, 2), (0, 4), (1, 4)])
+    q = from_edges([(1, 0), (2, 0)])  # two sources into a sink
+    r = CuTSMatcher(data).match(q, materialize=True)
+    assert r.count == networkx_count(data, q)
+    for row in r.matches:
+        assert data.has_edge(int(row[1]), int(row[0]))
+        assert data.has_edge(int(row[2]), int(row[0]))
+
+
+def test_asymmetric_degree_filter():
+    # query vertex needs out-degree 2 / in-degree 0
+    data = from_edges([(0, 1), (0, 2), (3, 0)])
+    q = from_edges([(0, 1), (0, 2)])
+    r = CuTSMatcher(data).match(q)
+    assert r.count == networkx_count(data, q)
+
+
+def test_match_is_deterministic():
+    data = random_graph(40, 0.2, seed=5)
+    q = from_edges([(0, 1), (1, 2), (2, 0)])
+    m = CuTSMatcher(data)
+    r1 = m.match(q, materialize=True)
+    r2 = m.match(q, materialize=True)
+    assert r1.count == r2.count
+    assert np.array_equal(r1.matches, r2.matches)
+    assert r1.cost.cycles == r2.cost.cycles
+
+
+def test_matcher_reusable_across_queries():
+    """A matcher instance carries no per-query state."""
+    data = random_graph(30, 0.25, seed=7)
+    m = CuTSMatcher(data)
+    q1 = from_edges([(0, 1), (1, 2)])
+    q2 = from_edges([(0, 1), (1, 2), (2, 0)])
+    a1 = m.match(q1).count
+    _ = m.match(q2).count
+    assert m.match(q1).count == a1
+
+
+def test_trie_budget_is_half_of_free_memory():
+    data = random_graph(30, 0.25, seed=7)
+    m = CuTSMatcher(data)
+    graph_words = 2 * (data.num_vertices + 1) + 2 * data.num_edges
+    expected = (m.config.device.memory_words - graph_words) // 2
+    assert abs(m.trie_budget_words - expected) <= 1
+
+
+def test_trie_budget_fraction_configurable():
+    data = random_graph(30, 0.25, seed=7)
+    m = CuTSMatcher(data, CuTSConfig(trie_buffer_fraction=0.25))
+    m2 = CuTSMatcher(data, CuTSConfig(trie_buffer_fraction=0.5))
+    assert m.trie_budget_words < m2.trie_budget_words
+
+
+def test_virtual_warp_auto_selection():
+    sparse = random_graph(100, 0.02, seed=1)
+    dense = random_graph(100, 0.6, seed=1)
+    assert (
+        CuTSMatcher(sparse).virtual_warp_size
+        < CuTSMatcher(dense).virtual_warp_size
+    )
+
+
+def test_memory_ledger_tracks_graph_and_trie():
+    data = random_graph(30, 0.25, seed=7)
+    m = CuTSMatcher(data)
+    assert "data_graph" in m.memory.allocations
+    assert "trie_buffer" in m.memory.allocations
+    assert m.memory.used_words <= m.config.device.memory_words

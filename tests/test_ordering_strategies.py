@@ -1,0 +1,146 @@
+"""Tests for the extra ordering strategies (max_constraints, rare_label)
+and the distributed steal-policy knobs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import networkx_count
+from repro.core import (
+    ORDERING_STRATEGIES,
+    CuTSConfig,
+    CuTSMatcher,
+    build_order,
+    max_constraints_order,
+    max_degree_order,
+    rare_label_order,
+)
+from repro.distributed import DistributedCuTS, RankWorker
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    from_undirected_edges,
+    random_graph,
+    star_graph,
+)
+
+
+# ------------------------------------------------------ max_constraints
+def test_max_constraints_permutation():
+    for g in (clique_graph(5), chain_graph(6), cycle_graph(5)):
+        order = max_constraints_order(g)
+        assert sorted(order.sequence) == list(range(g.num_vertices))
+
+
+def test_max_constraints_prefers_closing_vertices():
+    # kite: triangle 0-1-2 plus pendant path 2-3-4
+    g = from_undirected_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+    order = max_constraints_order(g)
+    # root is 2 (degree 3); next must be a triangle vertex (2 constraints
+    # beats the path vertex's 1 as soon as two triangle vertices are in)
+    assert order.sequence[0] == 2
+    seq = order.sequence
+    assert set(seq[:3]) == {0, 1, 2}
+
+
+def test_max_constraints_counts_invariant():
+    data = random_graph(30, 0.25, seed=9)
+    q = cycle_graph(4)
+    cfg = CuTSConfig(ordering="max_constraints")
+    assert CuTSMatcher(data, cfg).match(q).count == networkx_count(data, q)
+
+
+# ----------------------------------------------------------- rare_label
+def test_rare_label_falls_back_unlabeled():
+    q = star_graph(3)
+    assert rare_label_order(q).sequence == max_degree_order(q).sequence
+
+
+def test_rare_label_starts_at_rarest():
+    q = cycle_graph(4).with_labels(np.array([0, 0, 0, 7]))
+    order = rare_label_order(q)
+    assert order.sequence[0] == 3  # unique label 7
+
+
+def test_rare_label_uses_data_frequencies():
+    q = chain_graph(2).with_labels(np.array([0, 1]))
+    data = random_graph(20, 0.3, seed=1).with_labels(
+        np.array([0] * 19 + [1])  # label 1 is rare in the data
+    )
+    order = rare_label_order(q, data)
+    assert order.sequence[0] == 1
+
+
+def test_rare_label_counts_invariant():
+    rng = np.random.default_rng(3)
+    data = random_graph(30, 0.3, seed=5).with_labels(
+        rng.integers(0, 3, size=30)
+    )
+    q = cycle_graph(4).with_labels(rng.integers(0, 3, size=4))
+    cfg = CuTSConfig(ordering="rare_label")
+    assert CuTSMatcher(data, cfg).match(q).count == networkx_count(data, q)
+
+
+def test_build_order_all_strategies():
+    q = clique_graph(4)
+    for s in ORDERING_STRATEGIES:
+        order = build_order(q, s)
+        assert sorted(order.sequence) == [0, 1, 2, 3]
+
+
+# ------------------------------------------------------- steal policies
+@pytest.fixture
+def steal_setup():
+    from repro.graph import social_graph
+
+    data = social_graph(120, 3, community_edges=200, seed=4)
+    query = cycle_graph(4)
+    return data, query
+
+
+@pytest.mark.parametrize("order", ["shallow", "deep"])
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 0.75])
+def test_steal_policies_preserve_counts(steal_setup, order, fraction):
+    data, query = steal_setup
+    res = DistributedCuTS(
+        data, 4, CuTSConfig(chunk_size=16),
+        steal_fraction=fraction, steal_order=order,
+    ).match(query)
+    assert res.count == networkx_count(data, query)
+
+
+def test_invalid_steal_fraction(steal_setup):
+    data, query = steal_setup
+    with pytest.raises(ValueError):
+        RankWorker(
+            rank=0, data=data, query=query, config=CuTSConfig(),
+            steal_fraction=1.5,
+        )
+
+
+def test_invalid_steal_order(steal_setup):
+    data, query = steal_setup
+    with pytest.raises(ValueError):
+        RankWorker(
+            rank=0, data=data, query=query, config=CuTSConfig(),
+            steal_order="sideways",
+        )
+
+
+def test_deep_steal_pops_deep_end(steal_setup):
+    data, query = steal_setup
+    w = RankWorker(
+        rank=0, data=data, query=query,
+        config=CuTSConfig(chunk_size=8), steal_order="deep",
+    )
+    w.init_partition(1)
+    for _ in range(5):
+        if w.has_work():
+            w.process_one_chunk()
+    if len(w.stack) > 1:
+        deepest_step = w.stack[-1].step
+        buffers = w.pop_surplus()
+        from repro.storage import deserialize_trie
+
+        shipped_steps = [deserialize_trie(b).depth for b in buffers]
+        assert max(shipped_steps) >= deepest_step - 1

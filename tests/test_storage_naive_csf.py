@@ -1,0 +1,172 @@
+"""Tests for the naive flat store, CSF store, and storage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    CSFStore,
+    NaivePathStore,
+    PathTrie,
+    compare_storage,
+    csf_words,
+    naive_words,
+    theoretical_reduction_factor,
+    theoretical_trie_bound,
+    trie_words,
+)
+
+
+# ----------------------------------------------------------- NaivePathStore
+def test_naive_from_roots():
+    s = NaivePathStore.from_roots(np.array([1, 2, 3]))
+    assert s.depth == 1
+    assert s.num_paths == 3
+    assert s.storage_words == 3
+
+
+def test_naive_extend_copies_prefix():
+    s = NaivePathStore.from_roots(np.array([1, 2]))
+    s.extend(np.array([0, 0, 1]), np.array([5, 6, 7]))
+    assert s.depth == 2
+    assert s.materialize().tolist() == [[1, 5], [1, 6], [2, 7]]
+    assert s.storage_words == 6  # depth 2 x 3 paths
+
+
+def test_naive_extend_mismatched():
+    s = NaivePathStore.from_roots(np.array([1]))
+    with pytest.raises(ValueError):
+        s.extend(np.array([0, 0]), np.array([5]))
+
+
+def test_naive_storage_growth_is_quadraticish():
+    s = NaivePathStore.from_roots(np.array([0]))
+    words = [s.storage_words]
+    for depth in range(1, 5):
+        s.extend(np.zeros(1, dtype=np.int64), np.array([depth]))
+        words.append(s.storage_words)
+    assert words == [1, 2, 3, 4, 5]  # one path: l words at depth l
+
+
+# ------------------------------------------------------------------- CSF
+def _demo_trie() -> PathTrie:
+    t = PathTrie.from_roots(np.array([0, 1]))
+    t.append_level(pa=np.array([0, 0, 1]), ca=np.array([3, 4, 2]))
+    t.append_level(
+        pa=np.array([0, 1, 0, 2, 1, 0]), ca=np.array([2, 4, 6, 1, 7, 3])
+    )
+    return t
+
+
+def test_csf_paths_match_trie():
+    t = _demo_trie()
+    csf = CSFStore.from_path_trie(t)
+    ours = sorted(map(tuple, t.paths_at(2).tolist()))
+    theirs = sorted(map(tuple, csf.paths().tolist()))
+    assert ours == theirs
+
+
+def test_csf_children_contiguous():
+    t = _demo_trie()
+    csf = CSFStore.from_path_trie(t)
+    for lv in range(csf.depth - 1):
+        level = csf.levels[lv]
+        assert level.child_index[0] == 0
+        assert level.child_index[-1] == csf.levels[lv + 1].num_entries
+        assert np.all(np.diff(level.child_index) >= 0)
+
+
+def test_csf_storage_words():
+    t = _demo_trie()
+    csf = CSFStore.from_path_trie(t)
+    # per level: entries + (entries + 1)
+    assert csf.total_storage_words == (2 + 3) + (3 + 4) + (6 + 7)
+
+
+def test_csf_empty():
+    csf = CSFStore.from_path_trie(PathTrie())
+    assert csf.depth == 0
+    assert csf.paths().shape == (0, 0)
+
+
+def test_csf_single_level():
+    t = PathTrie.from_roots(np.array([7, 8]))
+    csf = CSFStore.from_path_trie(t)
+    assert csf.paths().tolist() == [[7], [8]]
+
+
+# ------------------------------------------------------------ accounting
+def test_naive_words_formula():
+    assert naive_words([10, 20, 30]) == [10, 40, 90]
+
+
+def test_trie_words_cumulative():
+    assert trie_words([10, 20, 30]) == [20, 60, 120]
+
+
+def test_csf_words_formula():
+    assert csf_words([10, 20]) == [21, 62]
+
+
+def test_compare_storage_ratios():
+    comp = compare_storage([100, 1000, 10000])
+    # depth 1 is always exactly 0.5 (PA+CA vs one word)
+    assert comp.compression_ratios[0] == pytest.approx(0.5)
+    # growing counts push the ratio up
+    assert comp.compression_ratios[2] > comp.compression_ratios[1]
+
+
+def test_compare_storage_rows_shape():
+    rows = compare_storage([5, 10]).rows()
+    assert len(rows) == 2
+    assert rows[0]["partial_path_depth"] == 1
+    assert set(rows[0]) == {
+        "partial_path_depth",
+        "naive_storage_words",
+        "our_storage_words",
+        "compression_ratio",
+    }
+
+
+def test_compare_storage_zero_paths():
+    comp = compare_storage([0, 0])
+    assert comp.compression_ratios[0] == float("inf")
+
+
+def test_table1_shape_geometric_growth():
+    """With geometric path growth the ratio approaches l*(ds-1)/(2*ds) ~
+    grows with depth — the paper's Table 1 shape."""
+    counts = [100 * 4**i for i in range(5)]
+    ratios = compare_storage(counts).compression_ratios
+    assert all(b > a for a, b in zip(ratios[1:], ratios[2:]))
+    assert ratios[-1] > 1.0
+
+
+def test_theoretical_trie_bound_matches_series():
+    # |P1|(ds^l - 1)/(ds-1) for p1=10, ds=2, depth=4: 10*15 = 150
+    assert theoretical_trie_bound(10, 2.0, 4) == pytest.approx(150.0)
+
+
+def test_theoretical_trie_bound_ds_one():
+    assert theoretical_trie_bound(10, 1.0, 4) == pytest.approx(40.0)
+
+
+def test_theoretical_trie_bound_bad_depth():
+    with pytest.raises(ValueError):
+        theoretical_trie_bound(10, 2.0, 0)
+
+
+def test_theoretical_reduction_factor():
+    assert theoretical_reduction_factor(3.0, 5) == pytest.approx(10.0)
+
+
+def test_accounting_matches_real_stores():
+    """The closed-form accounting must equal the live data structures."""
+    trie = _demo_trie()
+    counts = [lv.num_paths for lv in trie.levels]
+    assert trie_words(counts)[-1] == trie.total_storage_words
+    csf = CSFStore.from_path_trie(trie)
+    assert csf_words(counts)[-1] == csf.total_storage_words
+    naive = NaivePathStore.from_roots(trie.levels[0].ca)
+    naive.extend(trie.levels[1].pa, trie.levels[1].ca)
+    naive.extend(trie.levels[2].pa, trie.levels[2].ca)
+    assert naive_words(counts)[-1] == naive.storage_words

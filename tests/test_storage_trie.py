@@ -1,0 +1,201 @@
+"""Tests for the PA/CA path trie."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    PathTrie,
+    TrieLevel,
+    deserialize_trie,
+    serialize_trie,
+    serialized_words,
+)
+
+
+def make_demo_trie() -> PathTrie:
+    """Three-level trie mirroring paper Fig. 3: roots u0,u1; children."""
+    t = PathTrie.from_roots(np.array([0, 1]))
+    # level 1: children 3,4 of 0; child 2 of 1
+    t.append_level(pa=np.array([0, 0, 1]), ca=np.array([3, 4, 2]))
+    # level 2: interleaved parents (the property CSF cannot express)
+    t.append_level(
+        pa=np.array([0, 1, 0, 2, 1, 0]), ca=np.array([2, 4, 6, 1, 7, 3])
+    )
+    return t
+
+
+def test_from_roots():
+    t = PathTrie.from_roots(np.array([5, 7, 9]))
+    assert t.depth == 1
+    assert t.num_paths() == 3
+    assert t.levels[0].pa.tolist() == [-1, -1, -1]
+
+
+def test_append_level_grows_depth():
+    t = make_demo_trie()
+    assert t.depth == 3
+    assert t.num_paths(0) == 2
+    assert t.num_paths(1) == 3
+    assert t.num_paths(2) == 6
+    assert t.num_paths() == 6  # default deepest
+
+
+def test_append_level_validates_parent_range():
+    t = PathTrie.from_roots(np.array([0, 1]))
+    with pytest.raises(ValueError, match="pa out of range"):
+        t.append_level(pa=np.array([5]), ca=np.array([3]))
+
+
+def test_append_level_first_level_pa_must_be_minus_one():
+    t = PathTrie()
+    with pytest.raises(ValueError, match="first level"):
+        t.append_level(pa=np.array([0]), ca=np.array([3]))
+
+
+def test_trie_level_shape_mismatch():
+    with pytest.raises(ValueError):
+        TrieLevel(pa=np.zeros(2, dtype=np.int64), ca=np.zeros(3, dtype=np.int64))
+
+
+def test_drop_last_level():
+    t = make_demo_trie()
+    t.drop_last_level()
+    assert t.depth == 2
+    with pytest.raises(IndexError):
+        PathTrie().drop_last_level()
+
+
+def test_storage_words():
+    t = make_demo_trie()
+    assert t.storage_words_per_level() == [4, 6, 12]
+    assert t.total_storage_words == 22
+
+
+def test_paths_at_full():
+    t = make_demo_trie()
+    paths = t.paths_at(2)
+    expected = [
+        [0, 3, 2],
+        [0, 4, 4],
+        [0, 3, 6],
+        [1, 2, 1],
+        [0, 4, 7],
+        [0, 3, 3],
+    ]
+    assert paths.tolist() == expected
+
+
+def test_paths_at_subset():
+    t = make_demo_trie()
+    paths = t.paths_at(2, np.array([3, 0]))
+    assert paths.tolist() == [[1, 2, 1], [0, 3, 2]]
+
+
+def test_paths_at_level_zero():
+    t = make_demo_trie()
+    assert t.paths_at(0).tolist() == [[0], [1]]
+
+
+def test_paths_at_bad_level():
+    t = make_demo_trie()
+    with pytest.raises(IndexError):
+        t.paths_at(3)
+    with pytest.raises(IndexError):
+        t.paths_at(-1)
+
+
+def test_num_paths_empty_trie():
+    assert PathTrie().num_paths() == 0
+    assert PathTrie().total_storage_words == 0
+
+
+def test_extract_subtrie_single_path():
+    t = make_demo_trie()
+    sub = t.extract_subtrie(2, np.array([3]))
+    assert sub.depth == 3
+    assert sub.paths_at(2).tolist() == [[1, 2, 1]]
+    # only the needed ancestors survive
+    assert sub.num_paths(0) == 1
+    assert sub.num_paths(1) == 1
+
+
+def test_extract_subtrie_preserves_order():
+    t = make_demo_trie()
+    sub = t.extract_subtrie(2, np.array([4, 0, 2]))
+    assert sub.paths_at(2).tolist() == [[0, 4, 7], [0, 3, 2], [0, 3, 6]]
+
+
+def test_extract_subtrie_shares_ancestors():
+    t = make_demo_trie()
+    sub = t.extract_subtrie(2, np.array([0, 2, 5]))  # all under (0,3)
+    assert sub.num_paths(0) == 1
+    assert sub.num_paths(1) == 1
+    assert sub.num_paths(2) == 3
+
+
+def test_extract_subtrie_mid_level():
+    t = make_demo_trie()
+    sub = t.extract_subtrie(1, np.array([2]))
+    assert sub.depth == 2
+    assert sub.paths_at(1).tolist() == [[1, 2]]
+
+
+def test_extract_subtrie_independent_of_original():
+    t = make_demo_trie()
+    sub = t.extract_subtrie(2, np.array([0]))
+    t.drop_last_level()
+    assert sub.depth == 3  # unaffected
+
+
+def test_serialize_round_trip():
+    t = make_demo_trie()
+    buf = serialize_trie(t)
+    back = deserialize_trie(buf)
+    assert back.depth == t.depth
+    for a, b in zip(t.levels, back.levels):
+        assert np.array_equal(a.pa, b.pa)
+        assert np.array_equal(a.ca, b.ca)
+
+
+def test_serialize_words_matches_buffer():
+    t = make_demo_trie()
+    assert serialized_words(t) == len(serialize_trie(t))
+
+
+def test_serialize_empty_trie():
+    t = PathTrie()
+    buf = serialize_trie(t)
+    back = deserialize_trie(buf)
+    assert back.depth == 0
+
+
+def test_deserialize_rejects_truncated():
+    t = make_demo_trie()
+    buf = serialize_trie(t)[:-1]
+    with pytest.raises(ValueError, match="words"):
+        deserialize_trie(buf)
+
+
+def test_deserialize_rejects_empty_buffer():
+    with pytest.raises(ValueError):
+        deserialize_trie(np.zeros(0, dtype=np.int64))
+
+
+def test_deserialize_rejects_negative_depth():
+    with pytest.raises(ValueError, match="depth"):
+        deserialize_trie(np.array([-1], dtype=np.int64))
+
+
+def test_interleaved_children_valid():
+    """The key PA/CA property: children of different parents may be
+    written in any interleaving (paper §4.1.1)."""
+    t = PathTrie.from_roots(np.array([10, 20]))
+    # children alternate between parents — illegal in CSF, fine here
+    t.append_level(pa=np.array([0, 1, 0, 1]), ca=np.array([1, 2, 3, 4]))
+    paths = t.paths_at(1)
+    assert sorted(map(tuple, paths.tolist())) == [
+        (10, 1),
+        (10, 3),
+        (20, 2),
+        (20, 4),
+    ]
