@@ -25,6 +25,7 @@ from pathlib import Path
 
 from .core.config import CuTSConfig
 from .core.matcher import CuTSMatcher
+from .distributed.faults import FaultPlan
 from .distributed.runtime import DistributedCuTS
 from .graph.csr import CSRGraph
 from .graph.generators import chain_graph, clique_graph, cycle_graph, star_graph
@@ -77,6 +78,36 @@ def load_query_argument(spec: str) -> CSRGraph:
     )
 
 
+def _parse_rank_map(pairs: list[str], what: str) -> dict[int, float]:
+    """Parse repeated ``RANK:VALUE`` options into a dict."""
+    out: dict[int, float] = {}
+    for item in pairs:
+        try:
+            rank_s, value_s = item.split(":", 1)
+            out[int(rank_s)] = float(value_s)
+        except ValueError:
+            raise SystemExit(
+                f"error: {what} expects RANK:VALUE, got {item!r}"
+            )
+    return out
+
+
+def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    try:
+        plan = FaultPlan(
+            seed=args.fault_seed,
+            drop_prob=args.drop_prob,
+            dup_prob=args.dup_prob,
+            delay_prob=args.delay_prob,
+            max_delay_ms=args.max_delay_ms,
+            crash_at_ms=_parse_rank_map(args.crash, "--crash"),
+            slowdown=_parse_rank_map(args.slow, "--slow"),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    return None if plan.is_null else plan
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     data = load_data_argument(args.data)
     query = load_query_argument(args.query)
@@ -89,11 +120,17 @@ def _cmd_match(args: argparse.Namespace) -> int:
     print(f"data : {data}")
     print(f"query: {query}")
     if args.ranks > 1:
-        res = DistributedCuTS(data, args.ranks, cfg).match(query)
+        plan = _build_fault_plan(args)
+        res = DistributedCuTS(data, args.ranks, cfg, fault_plan=plan).match(query)
         print(f"matches      : {res.count:,}")
         print(f"runtime      : {res.runtime_ms:.4f} ms on {args.ranks} ranks")
         print(f"per-rank busy: " + ", ".join(f"{t:.4f}" for t in res.per_rank_busy_ms))
         print(f"transfers    : {res.work_transfers}")
+        if plan is not None:
+            print(f"faults       : {res.faults_injected}")
+            print(f"retransmits  : {res.retransmissions}")
+            print(f"ranks failed : {res.ranks_failed}")
+            print(f"recovered    : {res.recovered_chunks}")
     else:
         r = CuTSMatcher(data, cfg).match(
             query, time_limit_ms=args.time_limit_ms
@@ -137,6 +174,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     m.add_argument("--time-limit-ms", type=float, default=None)
     m.add_argument("--counters", action="store_true", help="dump hardware counters")
+    f = m.add_argument_group("fault injection (distributed runs)")
+    f.add_argument("--fault-seed", type=int, default=0)
+    f.add_argument("--drop-prob", type=float, default=0.0,
+                   help="probability each work/ack message is lost")
+    f.add_argument("--dup-prob", type=float, default=0.0,
+                   help="probability each work/ack message is duplicated")
+    f.add_argument("--delay-prob", type=float, default=0.0,
+                   help="probability of extra delivery jitter")
+    f.add_argument("--max-delay-ms", type=float, default=1.0)
+    f.add_argument("--crash", action="append", default=[], metavar="RANK:MS",
+                   help="crash RANK at simulated time MS (repeatable)")
+    f.add_argument("--slow", action="append", default=[], metavar="RANK:FACTOR",
+                   help="slow RANK down by FACTOR (repeatable)")
     m.set_defaults(func=_cmd_match)
 
     c = sub.add_parser("convert", help="convert cuTS format to GSI format")

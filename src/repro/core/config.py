@@ -54,6 +54,20 @@ class CuTSConfig:
         filter to the root candidate set (§3; an optional extension —
         the paper's engine uses the plain degree filter).  Sound: never
         changes the match count, only prunes earlier.
+    ack_timeout_ms:
+        Grace period past the modeled round trip before a sender
+        retransmits an unacknowledged work envelope (distributed
+        reliability layer).
+    retry_backoff:
+        Multiplier applied to the retransmit interval after each
+        attempt (exponential backoff).
+    max_retries:
+        Retransmissions allowed before the sender abandons a shipment,
+        requeues the work locally, and releases its claim on the target.
+    heartbeat_interval_ms:
+        Simulated-time spacing of rank liveness heartbeats.
+    heartbeat_timeout_ms:
+        Silence past which a rank is declared crashed and recovery runs.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -67,6 +81,11 @@ class CuTSConfig:
     max_materialized: int | None = None
     trace_kernels: bool = False
     neighborhood_filter: bool = False
+    ack_timeout_ms: float = 50.0
+    retry_backoff: float = 2.0
+    max_retries: int = 6
+    heartbeat_interval_ms: float = 25.0
+    heartbeat_timeout_ms: float = 100.0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -85,3 +104,15 @@ class CuTSConfig:
             raise ValueError("virtual_warp_size must be >= 0 (0 = auto)")
         if not 0.0 < self.trie_buffer_fraction <= 1.0:
             raise ValueError("trie_buffer_fraction must be in (0, 1]")
+        if self.ack_timeout_ms <= 0:
+            raise ValueError("ack_timeout_ms must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be positive")
+        if self.heartbeat_timeout_ms < self.heartbeat_interval_ms:
+            raise ValueError(
+                "heartbeat_timeout_ms must be >= heartbeat_interval_ms"
+            )

@@ -1,10 +1,19 @@
-"""Distributed cuTS: simulated MPI, Algorithm-3 scheduler, load balance."""
+"""Distributed cuTS: simulated MPI, Algorithm-3 scheduler, load balance,
+fault injection and crash recovery."""
 
 from .balance import BalanceReport, balance_report
 from .bulksync import BulkSyncCuTS, BulkSyncResult
 from .comm import Message, NetworkModel, SimComm
+from .faults import FaultInjector, FaultPlan
 from .partition import block_partition, stride_partition
-from .protocol import FreeNodeRegistry
+from .protocol import (
+    BufferMeta,
+    FreeNodeRegistry,
+    Shipment,
+    ShipmentTracker,
+    StrideLedger,
+    WorkEnvelope,
+)
 from .runtime import DistributedCuTS, DistributedResult
 from .worker import RankWorker, WorkItem
 
@@ -18,7 +27,14 @@ __all__ = [
     "SimComm",
     "Message",
     "NetworkModel",
+    "FaultPlan",
+    "FaultInjector",
     "FreeNodeRegistry",
+    "BufferMeta",
+    "WorkEnvelope",
+    "Shipment",
+    "ShipmentTracker",
+    "StrideLedger",
     "stride_partition",
     "block_partition",
     "BalanceReport",

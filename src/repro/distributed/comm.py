@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
+from .faults import FaultInjector
+
 __all__ = ["NetworkModel", "Message", "SimComm"]
 
 
@@ -54,10 +56,17 @@ class Message:
 
 @dataclass
 class SimComm:
-    """Per-cluster message exchange with simulated delivery times."""
+    """Per-cluster message exchange with simulated delivery times.
+
+    An optional :class:`~repro.distributed.faults.FaultInjector` is
+    consulted on every send: it may drop, duplicate, or delay the
+    delivery.  ``messages_sent``/``words_sent`` count what the sender
+    injected (a dropped message was still paid for on the wire).
+    """
 
     num_ranks: int
     network: NetworkModel = field(default_factory=NetworkModel)
+    injector: FaultInjector | None = None
 
     def __post_init__(self) -> None:
         if self.num_ranks <= 0:
@@ -86,17 +95,22 @@ class SimComm:
         if src == dst:
             raise ValueError("self-sends are not modeled")
         arrival = time + self.network.transfer_ms(words)
-        msg = Message(
-            seq=next(self._seq),
-            src=src,
-            dst=dst,
-            tag=tag,
-            payload=payload,
-            words=words,
-            send_time=time,
-            arrival_time=arrival,
-        )
-        self._inboxes[dst].append(msg)
+        if self.injector is None:
+            extra_delays = [0.0]
+        else:
+            extra_delays = self.injector.message_fate(tag)
+        for extra in extra_delays:
+            msg = Message(
+                seq=next(self._seq),
+                src=src,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                words=words,
+                send_time=time,
+                arrival_time=arrival + extra,
+            )
+            self._inboxes[dst].append(msg)
         self.messages_sent += 1
         self.words_sent += words
         return arrival
@@ -123,15 +137,15 @@ class SimComm:
         leaves non-matching messages queued.
         """
         self._check_rank(dst)
-        inbox = self._inboxes[dst]
-        ready = [
-            m
-            for m in inbox
-            if m.arrival_time <= time and (tag is None or m.tag == tag)
-        ]
+        ready: list[Message] = []
+        kept: list[Message] = []
+        for m in self._inboxes[dst]:
+            if m.arrival_time <= time and (tag is None or m.tag == tag):
+                ready.append(m)
+            else:
+                kept.append(m)
+        self._inboxes[dst] = kept
         ready.sort(key=lambda m: (m.arrival_time, m.seq))
-        for m in ready:
-            inbox.remove(m)
         return ready
 
     def peek(self, dst: int, tag: str | None = None) -> list[Message]:

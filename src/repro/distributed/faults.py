@@ -1,0 +1,180 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's mini asynchronous protocol (Algorithm 3, §4.2) assumes a
+perfectly reliable MPI substrate.  This module supplies the adversary:
+a seeded :class:`FaultPlan` describing *what* can go wrong and a
+:class:`FaultInjector` that :class:`~repro.distributed.comm.SimComm`
+consults on every send to decide *when* it goes wrong.
+
+Fault taxonomy
+--------------
+Message-level (applied per send, to the tags in ``FaultPlan.tags`` —
+by default the ``work``/``ack`` data plane the recovery protocol is
+built to survive):
+
+* **drop** — the message is lost in flight and never delivered;
+* **duplicate** — a second copy is delivered (possibly with its own
+  extra delay), modelling link-level retransmit storms;
+* **delay** — delivery is postponed by a uniform jitter in
+  ``(0, max_delay_ms]``.
+
+Rank-level:
+
+* **crash** — the rank halts permanently at a fixed simulated time:
+  its stack, tentative counts and in-flight state are lost;
+* **slowdown** — a permanent straggler factor multiplying every
+  compute advance on that rank (the rank stays correct, just slow).
+
+Determinism: all decisions come from one ``random.Random(seed)``
+consumed in event-loop order, so a given ``(plan, workload)`` pair
+replays identically — the property the chaos test matrix relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["FaultPlan", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative description of injected faults.
+
+    ``crash_at_ms`` maps rank → simulated crash time; ``slowdown`` maps
+    rank → compute multiplier (> 1 means slower).  Probabilities apply
+    independently per sent message whose tag is in ``tags``.
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    delay_prob: float = 0.0
+    max_delay_ms: float = 1.0
+    crash_at_ms: dict[int, float] = field(default_factory=dict)
+    slowdown: dict[int, float] = field(default_factory=dict)
+    tags: tuple[str, ...] = ("work", "ack")
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "delay_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        for r, t in self.crash_at_ms.items():
+            if t < 0:
+                raise ValueError(f"crash time for rank {r} must be >= 0")
+        for r, f in self.slowdown.items():
+            if f < 1.0:
+                raise ValueError(
+                    f"slowdown factor for rank {r} must be >= 1, got {f}"
+                )
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        return (
+            self.drop_prob == 0.0
+            and self.dup_prob == 0.0
+            and self.delay_prob == 0.0
+            and not self.crash_at_ms
+            and not self.slowdown
+        )
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        num_ranks: int,
+        *,
+        drop_prob: float = 0.1,
+        dup_prob: float = 0.1,
+        delay_prob: float = 0.2,
+        max_delay_ms: float = 5.0,
+        crash_prob: float = 0.3,
+        crash_horizon_ms: float = 50.0,
+        slow_prob: float = 0.2,
+        max_slowdown: float = 4.0,
+        max_crashes: int | None = None,
+    ) -> "FaultPlan":
+        """A randomized chaos schedule for ``num_ranks`` ranks.
+
+        At most ``max_crashes`` ranks crash (default ``num_ranks - 1``,
+        so at least one rank always survives and the distributed count
+        stays recoverable).
+        """
+        rng = random.Random(seed)
+        if max_crashes is None:
+            max_crashes = num_ranks - 1
+        crash_at: dict[int, float] = {}
+        candidates = list(range(num_ranks))
+        rng.shuffle(candidates)
+        for r in candidates:
+            if len(crash_at) >= max_crashes:
+                break
+            if rng.random() < crash_prob:
+                crash_at[r] = rng.uniform(0.0, crash_horizon_ms)
+        slowdown = {
+            r: rng.uniform(1.5, max_slowdown)
+            for r in range(num_ranks)
+            if r not in crash_at and rng.random() < slow_prob
+        }
+        return cls(
+            seed=seed,
+            drop_prob=rng.uniform(0.0, drop_prob),
+            dup_prob=rng.uniform(0.0, dup_prob),
+            delay_prob=rng.uniform(0.0, delay_prob),
+            max_delay_ms=max_delay_ms,
+            crash_at_ms=crash_at,
+            slowdown=slowdown,
+        )
+
+
+class FaultInjector:
+    """Runtime oracle for a :class:`FaultPlan`.
+
+    ``message_fate`` is consulted once per :meth:`SimComm.send`; it
+    returns the list of extra delivery delays — ``[]`` means the
+    message is dropped, two entries mean it is duplicated.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.drops = 0
+        self.duplicates = 0
+        self.delays = 0
+
+    # -- message faults -------------------------------------------------
+    def message_fate(self, tag: str) -> list[float]:
+        plan = self.plan
+        if tag not in plan.tags:
+            return [0.0]
+        if plan.drop_prob and self._rng.random() < plan.drop_prob:
+            self.drops += 1
+            return []
+        deliveries = [self._jitter()]
+        if plan.dup_prob and self._rng.random() < plan.dup_prob:
+            self.duplicates += 1
+            deliveries.append(self._jitter())
+        return deliveries
+
+    def _jitter(self) -> float:
+        plan = self.plan
+        if plan.delay_prob and self._rng.random() < plan.delay_prob:
+            self.delays += 1
+            return self._rng.uniform(0.0, plan.max_delay_ms)
+        return 0.0
+
+    # -- rank faults ----------------------------------------------------
+    def crash_time(self, rank: int) -> float | None:
+        return self.plan.crash_at_ms.get(rank)
+
+    def slowdown(self, rank: int) -> float:
+        return self.plan.slowdown.get(rank, 1.0)
+
+    @property
+    def message_faults(self) -> int:
+        return self.drops + self.duplicates + self.delays

@@ -1,4 +1,5 @@
-"""Free/busy bookkeeping of the mini asynchronous protocol (§4.2).
+"""Free/busy bookkeeping and reliability state of the mini asynchronous
+protocol (§4.2), hardened against an unreliable substrate.
 
 The paper: "we developed a mini asynchronous protocol, built on top of
 the MPI framework ... we ensure that only one busy node sends data to a
@@ -7,14 +8,47 @@ given free node, and a given busy node only sends data to one free node."
 :class:`FreeNodeRegistry` enforces exactly that pairing: a free node can
 be *claimed* by at most one busy sender until it receives the work and is
 marked busy again, and a busy sender holding an outstanding claim may not
-claim a second target.
+claim a second target.  Claims can also be *released* (empty shipment,
+ack timeout, crashed peer) so a failed transfer never leaks the target.
+
+On top of that, three pieces of reliability state let the runtime keep
+exactly-once work accounting over a faulty network:
+
+* :class:`WorkEnvelope` — a sequence-numbered work message whose buffers
+  each carry provenance (:class:`BufferMeta`): which contiguous interval
+  of which origin rank's root partition the work descends from, plus a
+  re-execution generation.
+* :class:`ShipmentTracker` — the sender-side in-flight ledger (for
+  timeout/retransmit), the receiver-side dedup set (``seen``) and the
+  revocation set that keeps an abandoned-and-requeued envelope from ever
+  being integrated twice.
+* :class:`StrideLedger` — per root-interval accounting: how many live
+  work items descend from the interval (``pending``), tentative
+  per-rank embedding counts, and the committed total once an interval's
+  subtree is fully explored.  A crash discards the tentative state of
+  every interval the dead rank touched and re-executes those intervals
+  from the root, so the final count is exact whenever one rank survives.
+
+The shared-state ledgers stand in for protocol metadata that a real MPI
+implementation would piggyback on messages (the same simplification the
+seed already made for :class:`FreeNodeRegistry`'s free/busy knowledge).
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
-__all__ = ["FreeNodeRegistry"]
+import numpy as np
+
+__all__ = [
+    "FreeNodeRegistry",
+    "BufferMeta",
+    "WorkEnvelope",
+    "Shipment",
+    "ShipmentTracker",
+    "StrideLedger",
+]
 
 
 @dataclass
@@ -66,6 +100,285 @@ class FreeNodeRegistry:
         if sender is not None:
             self.outstanding_claim.pop(sender, None)
 
+    def release_claim(
+        self,
+        sender: int,
+        expected_target: int | None = None,
+        *,
+        cancel_transfer: bool = True,
+    ) -> bool:
+        """Undo ``sender``'s outstanding claim without a completed transfer.
+
+        Used when a ship produced no buffers, when the ack for a shipment
+        timed out past its retry budget, or when either endpoint crashed.
+        The target goes back to the claimable pool and, by default, the
+        ``transfers`` counter is rolled back so it only counts transfers
+        that actually moved work.  Returns whether a claim was released.
+        """
+        self._check(sender)
+        target = self.outstanding_claim.get(sender)
+        if target is None:
+            return False
+        if expected_target is not None and target != expected_target:
+            return False
+        del self.outstanding_claim[sender]
+        self.claimed_by.pop(target, None)
+        if cancel_transfer:
+            self.transfers -= 1
+        return True
+
+    def drop_rank(self, rank: int) -> int | None:
+        """Remove a crashed ``rank`` from all registry state.
+
+        Releases the claim *on* the dead rank (returning the claimant so
+        the caller can reconcile its shipment) and any claim *held by*
+        the dead rank.
+        """
+        self._check(rank)
+        self.free_since.pop(rank, None)
+        claimant = self.claimed_by.pop(rank, None)
+        if claimant is not None:
+            self.outstanding_claim.pop(claimant, None)
+        target = self.outstanding_claim.pop(rank, None)
+        if target is not None:
+            self.claimed_by.pop(target, None)
+        return claimant
+
     def _check(self, rank: int) -> None:
         if not 0 <= rank < self.num_ranks:
             raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+
+# ----------------------------------------------------------------------
+# Reliable work shipping
+# ----------------------------------------------------------------------
+
+StrideKey = tuple[int, int, int]
+"""``(origin_rank, lo, hi)`` — a contiguous interval of the origin
+rank's root-candidate rows.  Root frontiers are only ever sliced
+contiguously (chunking and surplus splits both take prefixes), so every
+work item at any depth descends from exactly one such interval."""
+
+
+@dataclass(frozen=True)
+class BufferMeta:
+    """Provenance of one serialized trie buffer inside an envelope."""
+
+    origin: int
+    lo: int
+    hi: int
+    gen: int
+
+    @property
+    def key(self) -> StrideKey:
+        return (self.origin, self.lo, self.hi)
+
+
+@dataclass(frozen=True)
+class WorkEnvelope:
+    """A sequence-numbered work message (the unit of ack/retransmit)."""
+
+    seq: int
+    src: int
+    buffers: tuple[np.ndarray, ...]
+    metas: tuple[BufferMeta, ...]
+    words: int
+
+
+@dataclass
+class Shipment:
+    """Sender-side record of one in-flight (unacked) envelope."""
+
+    envelope: WorkEnvelope
+    dst: int
+    first_sent_ms: float
+    next_retry_ms: float
+    retry_interval_ms: float
+    attempts: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.envelope.src, self.envelope.seq)
+
+
+@dataclass
+class ShipmentTracker:
+    """Cluster-wide exactly-once bookkeeping for shipped work.
+
+    ``in_flight`` is the union of the per-sender ledgers; ``seen`` is
+    the union of the per-receiver dedup logs; ``revoked`` marks
+    envelopes whose work was requeued at the sender after the retry
+    budget ran out (or after the destination died) — a late-arriving
+    copy of a revoked envelope must be acked but never integrated.
+    """
+
+    in_flight: dict[tuple[int, int], Shipment] = field(default_factory=dict)
+    seen: set[tuple[int, int]] = field(default_factory=set)
+    revoked: set[tuple[int, int]] = field(default_factory=set)
+    retransmissions: int = 0
+
+    def __post_init__(self) -> None:
+        self._seq = itertools.count()
+
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def register(self, shipment: Shipment) -> None:
+        self.in_flight[shipment.key] = shipment
+
+    def ack(self, src: int, seq: int) -> None:
+        self.in_flight.pop((src, seq), None)
+
+    def entries_from(self, rank: int) -> list[Shipment]:
+        return [s for s in self.in_flight.values() if s.envelope.src == rank]
+
+    def entries_to(self, rank: int) -> list[Shipment]:
+        return [s for s in self.in_flight.values() if s.dst == rank]
+
+    def next_deadline_from(self, rank: int) -> float | None:
+        deadlines = [
+            s.next_retry_ms
+            for s in self.in_flight.values()
+            if s.envelope.src == rank
+        ]
+        return min(deadlines) if deadlines else None
+
+    def mark_seen(self, src: int, seq: int) -> None:
+        self.seen.add((src, seq))
+
+    def is_seen(self, src: int, seq: int) -> bool:
+        return (src, seq) in self.seen
+
+    def revoke(self, src: int, seq: int) -> None:
+        self.revoked.add((src, seq))
+
+    def is_revoked(self, src: int, seq: int) -> bool:
+        return (src, seq) in self.revoked
+
+
+@dataclass
+class _StrideEntry:
+    pending: int = 0
+    gen: int = 0
+    committed: bool = False
+    count: int = 0
+    tentative: dict[int, int] = field(default_factory=dict)
+    holders: set[int] = field(default_factory=set)
+
+
+@dataclass
+class StrideLedger:
+    """Exact embedding accounting per root interval.
+
+    Invariant: for an uncommitted entry, ``pending`` equals the number
+    of live work items descending from the interval — on any stack or
+    in flight between ranks (an in-flight chunk is represented by the
+    sender's ledger copy until the receiver integrates it, never by
+    both for accounting purposes).  When ``pending`` reaches zero the
+    interval's subtree is fully explored and its tentative counts are
+    committed (replicated, in protocol terms), making them immune to
+    later crashes of the ranks that computed them.
+    """
+
+    entries: dict[StrideKey, _StrideEntry] = field(default_factory=dict)
+    committed_total: int = 0
+    uncommitted: int = 0
+    recovered_intervals: int = 0
+    stale_discards: int = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def open(self, key: StrideKey, rank: int, *, gen: int = 0) -> None:
+        entry = _StrideEntry(pending=1, gen=gen)
+        entry.holders.add(rank)
+        self.entries[key] = entry
+        self.uncommitted += 1
+
+    def accepts(self, key: StrideKey, gen: int) -> bool:
+        """Whether a buffer with this provenance is still current."""
+        entry = self.entries.get(key)
+        return entry is not None and not entry.committed and entry.gen == gen
+
+    def split_root(self, key: StrideKey, mid: int, gen: int, rank: int) -> bool:
+        """Replace interval ``key`` by ``[lo, mid)`` and ``[mid, hi)``.
+
+        Called when a depth-1 work item's frontier is sliced (chunking
+        or surplus split) — the only way root intervals subdivide.
+        """
+        entry = self.entries.get(key)
+        if entry is None or entry.committed or entry.gen != gen:
+            return False
+        origin, lo, hi = key
+        if not lo < mid < hi:
+            return False
+        del self.entries[key]
+        self.uncommitted -= 1
+        for sub in ((origin, lo, mid), (origin, mid, hi)):
+            self.open(sub, rank, gen=gen)
+        return True
+
+    def add_pending(self, key: StrideKey, gen: int, delta: int) -> None:
+        entry = self.entries.get(key)
+        if entry is None or entry.committed or entry.gen != gen:
+            return
+        entry.pending += delta
+
+    def add_holder(self, key: StrideKey, gen: int, rank: int) -> None:
+        entry = self.entries.get(key)
+        if entry is not None and not entry.committed and entry.gen == gen:
+            entry.holders.add(rank)
+
+    def finish_item(self, key: StrideKey, gen: int, rank: int, count: int) -> None:
+        """One work item of ``key`` fully expanded, yielding ``count``
+        embeddings; commits the interval when it was the last one."""
+        entry = self.entries.get(key)
+        if entry is None or entry.committed or entry.gen != gen:
+            return
+        if count:
+            entry.tentative[rank] = entry.tentative.get(rank, 0) + count
+            entry.holders.add(rank)
+        entry.pending -= 1
+        if entry.pending <= 0:
+            entry.committed = True
+            entry.count = sum(entry.tentative.values())
+            entry.tentative.clear()
+            entry.holders.clear()
+            self.committed_total += entry.count
+            self.uncommitted -= 1
+
+    # -- crash recovery -------------------------------------------------
+    def begin_recovery(self, failed_rank: int) -> list[StrideKey]:
+        """Invalidate every uncommitted interval the dead rank touched.
+
+        Bumps each dirty interval's generation (so stale in-flight
+        buffers are discarded on arrival), clears its tentative state,
+        and returns the keys for root re-execution via
+        :meth:`RankWorker.adopt_root_intervals`.
+        """
+        dirty = [
+            key
+            for key, e in self.entries.items()
+            if not e.committed and failed_rank in e.holders
+        ]
+        for key in dirty:
+            entry = self.entries[key]
+            entry.gen += 1
+            entry.pending = 0
+            entry.tentative.clear()
+            entry.holders.clear()
+        self.recovered_intervals += len(dirty)
+        return dirty
+
+    def adopt(self, key: StrideKey, rank: int) -> int:
+        """Register the re-executed root item for ``key``; returns the
+        generation the new item must carry."""
+        entry = self.entries[key]
+        entry.pending += 1
+        entry.holders.add(rank)
+        return entry.gen
+
+    def gen_of(self, key: StrideKey) -> int:
+        return self.entries[key].gen
+
+    # -- termination ----------------------------------------------------
+    def all_committed(self) -> bool:
+        return self.uncommitted == 0

@@ -12,6 +12,16 @@ parent's trie by one level without copying, and
 :meth:`~repro.storage.trie.PathTrie.extract_subtrie` +
 :func:`~repro.storage.serialize.serialize_trie` produce the flat buffer
 that "sends the trie along with the work".
+
+Fault tolerance: every work item carries *provenance* — the contiguous
+interval ``[lo, hi)`` of its origin rank's root-candidate rows it
+descends from, plus a re-execution generation.  Root frontiers are only
+ever sliced contiguously (chunking and surplus splits take prefixes), so
+the mapping stays exact and the runtime's
+:class:`~repro.distributed.protocol.StrideLedger` can account for every
+embedding per interval.  When a rank dies, its intervals are purged
+everywhere (:meth:`purge_intervals`) and re-executed from the root on a
+survivor (:meth:`adopt_root_intervals`).
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from ..core.matcher import CuTSMatcher
 from ..graph.csr import CSRGraph
 from ..storage.serialize import deserialize_trie, serialize_trie
 from ..storage.trie import PathTrie, TrieLevel
+from .protocol import BufferMeta, StrideKey, StrideLedger, WorkEnvelope
 
 __all__ = ["WorkItem", "RankWorker"]
 
@@ -35,11 +46,20 @@ class WorkItem:
 
     Invariant: ``trie.depth == step`` — the deepest trie level holds the
     paths of query step ``step - 1`` and ``frontier`` indexes into it.
+
+    ``origin``/``lo``/``hi``/``gen`` are the fault-tolerance provenance:
+    the item's paths all descend from rows ``[lo, hi)`` of rank
+    ``origin``'s root partition, at re-execution generation ``gen``.
+    ``origin == -1`` marks an untracked item (standalone worker use).
     """
 
     trie: PathTrie
     step: int
     frontier: np.ndarray
+    origin: int = -1
+    lo: int = 0
+    hi: int = 0
+    gen: int = 0
 
     def __post_init__(self) -> None:
         if self.trie.depth != self.step:
@@ -47,6 +67,14 @@ class WorkItem:
                 f"work item invariant violated: trie depth {self.trie.depth}"
                 f" != step {self.step}"
             )
+
+    @property
+    def key(self) -> StrideKey:
+        return (self.origin, self.lo, self.hi)
+
+    @property
+    def tracked(self) -> bool:
+        return self.origin >= 0
 
 
 @dataclass
@@ -58,6 +86,9 @@ class RankWorker:
     ``steal_order`` picks which end of the stack is shipped: ``"shallow"``
     (big subtrees, the default — they amortise the transfer) or
     ``"deep"`` (small, nearly-finished chunks; kept for the ablation).
+    ``slowdown`` is a straggler factor (>= 1) applied to every compute
+    advance; ``ledger`` wires the worker into the runtime's per-interval
+    accounting (``None`` keeps the seed's untracked behaviour).
     """
 
     rank: int
@@ -73,19 +104,25 @@ class RankWorker:
     chunks_received: int = 0
     chunks_sent: int = 0
     stack: list[WorkItem] = field(default_factory=list)
+    slowdown: float = 1.0
+    ledger: StrideLedger | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.steal_fraction < 1.0:
             raise ValueError("steal_fraction must be in (0, 1)")
         if self.steal_order not in ("shallow", "deep"):
             raise ValueError("steal_order must be 'shallow' or 'deep'")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
         self.matcher = CuTSMatcher(self.data, self.config)
         self.state = self.matcher.make_run_state(self.query)
         self._num_steps = self.state.order.num_steps
+        self._num_parts = 1
 
     # ------------------------------------------------------------------
     def init_partition(self, num_ranks: int) -> None:
         """``init_match``: compute root candidates, keep the rank stride."""
+        self._num_parts = num_ranks
         t0 = self.state.cost.time_ms
         trie = self.matcher.initial_frontier(
             self.state, part=self.rank, num_parts=num_ranks
@@ -94,14 +131,22 @@ class RankWorker:
         roots = trie.num_paths(0)
         if roots == 0:
             return
+        key = (self.rank, 0, roots)
+        if self.ledger is not None:
+            self.ledger.open(key, self.rank)
         if self._num_steps == 1:
             self.count += roots
+            if self.ledger is not None:
+                self.ledger.finish_item(key, 0, self.rank, roots)
             return
         self.stack.append(
             WorkItem(
                 trie=trie,
                 step=1,
                 frontier=np.arange(roots, dtype=np.int64),
+                origin=self.rank,
+                lo=0,
+                hi=roots,
             )
         )
 
@@ -109,6 +154,42 @@ class RankWorker:
         return bool(self.stack)
 
     # ------------------------------------------------------------------
+    def _split_item(self, item: WorkItem, at: int) -> tuple[WorkItem, WorkItem]:
+        """Split ``item``'s frontier at position ``at`` into (head, tail),
+        keeping the per-interval ledger accounting exact."""
+        if item.step == 1 and item.tracked:
+            # Root-level split: positions map 1:1 onto root rows, so the
+            # interval subdivides at lo + at.
+            mid = item.lo + at
+            if self.ledger is not None:
+                self.ledger.split_root(item.key, mid, item.gen, self.rank)
+            head = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[:at],
+                origin=item.origin, lo=item.lo, hi=mid, gen=item.gen,
+            )
+            tail = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[at:],
+                origin=item.origin, lo=mid, hi=item.hi, gen=item.gen,
+            )
+        else:
+            # Deeper split: both halves stay in the same interval; one
+            # logical item became two.
+            if self.ledger is not None and item.tracked:
+                self.ledger.add_pending(item.key, item.gen, 1)
+            head = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[:at],
+                origin=item.origin, lo=item.lo, hi=item.hi, gen=item.gen,
+            )
+            tail = WorkItem(
+                trie=item.trie, step=item.step, frontier=item.frontier[at:],
+                origin=item.origin, lo=item.lo, hi=item.hi, gen=item.gen,
+            )
+        return head, tail
+
+    def _finish(self, item: WorkItem, count: int) -> None:
+        if self.ledger is not None and item.tracked:
+            self.ledger.finish_item(item.key, item.gen, self.rank, count)
+
     def process_one_chunk(self) -> None:
         """Pop one chunk (≤ chunk_size paths), expand it one level."""
         if not self.stack:
@@ -117,17 +198,8 @@ class RankWorker:
         chunk_size = self.config.chunk_size
         if item.frontier.size > chunk_size:
             # Take the first chunk, push the remainder back (deep end).
-            rest = WorkItem(
-                trie=item.trie,
-                step=item.step,
-                frontier=item.frontier[chunk_size:],
-            )
+            item, rest = self._split_item(item, chunk_size)
             self.stack.append(rest)
-            item = WorkItem(
-                trie=item.trie,
-                step=item.step,
-                frontier=item.frontier[:chunk_size],
-            )
         t0 = self.state.cost.time_ms
         pa, ca = self.matcher.expand_frontier(
             item.trie, item.step, item.frontier, self.state
@@ -135,9 +207,11 @@ class RankWorker:
         self._advance(t0)
         self.chunks_processed += 1
         if len(ca) == 0:
+            self._finish(item, 0)
             return
         if item.step + 1 == self._num_steps:
             self.count += len(ca)
+            self._finish(item, len(ca))
             return
         child = PathTrie(
             levels=[*item.trie.levels, TrieLevel(pa=pa, ca=ca)]
@@ -147,11 +221,15 @@ class RankWorker:
                 trie=child,
                 step=item.step + 1,
                 frontier=np.arange(len(ca), dtype=np.int64),
+                origin=item.origin,
+                lo=item.lo,
+                hi=item.hi,
+                gen=item.gen,
             )
         )
 
     def _advance(self, t0: float) -> None:
-        dt = self.state.cost.time_ms - t0
+        dt = (self.state.cost.time_ms - t0) * self.slowdown
         self.clock_ms += dt
         self.busy_ms += dt
 
@@ -165,13 +243,8 @@ class RankWorker:
             and self.stack[0].frontier.size > self.config.chunk_size
         )
 
-    def pop_surplus(self) -> list[np.ndarray]:
-        """Extract ~``steal_fraction`` of pending work as serialised trie
-        buffers.
-
-        Returns flat int64 buffers; the matching steps are implicit
-        (``trie.depth`` of each buffer).
-        """
+    def _pop_surplus_items(self) -> list[WorkItem]:
+        """Extract ~``steal_fraction`` of pending work as work items."""
         if not self.stack:
             return []
         if len(self.stack) == 1:
@@ -179,44 +252,150 @@ class RankWorker:
             item = self.stack.pop()
             give_n = max(1, int(item.frontier.size * self.steal_fraction))
             give_n = min(give_n, item.frontier.size - 1)
-            keep = WorkItem(
-                trie=item.trie, step=item.step, frontier=item.frontier[give_n:]
-            )
-            give = WorkItem(
-                trie=item.trie, step=item.step, frontier=item.frontier[:give_n]
-            )
+            give, keep = self._split_item(item, give_n)
             self.stack.append(keep)
-            outgoing = [give]
+            return [give]
+        num_give = max(1, int(len(self.stack) * self.steal_fraction))
+        num_give = min(num_give, len(self.stack) - 1)
+        if self.steal_order == "shallow":
+            outgoing = self.stack[:num_give]  # big subtrees
+            self.stack = self.stack[num_give:]
         else:
-            num_give = max(1, int(len(self.stack) * self.steal_fraction))
-            num_give = min(num_give, len(self.stack) - 1)
-            if self.steal_order == "shallow":
-                outgoing = self.stack[:num_give]  # big subtrees
-                self.stack = self.stack[num_give:]
-            else:
-                outgoing = self.stack[-num_give:]  # nearly-done chunks
-                self.stack = self.stack[:-num_give]
-        buffers = []
+            outgoing = self.stack[-num_give:]  # nearly-done chunks
+            self.stack = self.stack[:-num_give]
+        return outgoing
+
+    def pop_surplus_with_meta(
+        self,
+    ) -> tuple[list[np.ndarray], list[BufferMeta]]:
+        """Serialise surplus work, returning buffers plus provenance."""
+        outgoing = self._pop_surplus_items()
+        buffers: list[np.ndarray] = []
+        metas: list[BufferMeta] = []
         for item in outgoing:
             sub = item.trie.extract_subtrie(item.trie.depth - 1, item.frontier)
             buffers.append(serialize_trie(sub))
+            metas.append(
+                BufferMeta(origin=item.origin, lo=item.lo, hi=item.hi,
+                           gen=item.gen)
+            )
         self.chunks_sent += len(buffers)
-        return buffers
+        return buffers, metas
+
+    def pop_surplus(self) -> list[np.ndarray]:
+        """Extract ~``steal_fraction`` of pending work as serialised trie
+        buffers.
+
+        Returns flat int64 buffers; the matching steps are implicit
+        (``trie.depth`` of each buffer).
+        """
+        return self.pop_surplus_with_meta()[0]
 
     def receive_work(self, buffers: list[np.ndarray]) -> None:
         """Integrate shipped tries: "adjust depth and other parameters and
         begin processing of received work" (Algorithm 3)."""
         for buf in buffers:
-            trie = deserialize_trie(buf)
-            step = trie.depth
-            frontier = np.arange(
-                trie.num_paths(trie.depth - 1), dtype=np.int64
-            )
-            if frontier.size == 0:
-                continue
-            if step >= self._num_steps:
-                # Shipped completed embeddings (shouldn't happen; guard).
-                self.count += frontier.size
-                continue
-            self.stack.append(WorkItem(trie=trie, step=step, frontier=frontier))
+            self._integrate_buffer(buf, None, count_received=True)
+
+    def integrate_envelope(self, envelope: WorkEnvelope) -> int:
+        """Integrate a reliable work envelope; returns items added.
+
+        Buffers whose interval generation is stale (the interval was
+        re-executed after a crash) are discarded — their logical work
+        already restarted from the root elsewhere.
+        """
+        added = 0
+        for buf, meta in zip(envelope.buffers, envelope.metas):
+            added += self._integrate_buffer(buf, meta, count_received=True)
+        return added
+
+    def requeue_buffers(
+        self, buffers: tuple[np.ndarray, ...], metas: tuple[BufferMeta, ...]
+    ) -> int:
+        """Take back work from an abandoned shipment (retry budget spent
+        or destination dead); the sender still owns the ledger copy."""
+        added = 0
+        for buf, meta in zip(buffers, metas):
+            added += self._integrate_buffer(buf, meta, count_received=False)
+        return added
+
+    def _integrate_buffer(
+        self, buf: np.ndarray, meta: BufferMeta | None, *, count_received: bool
+    ) -> int:
+        if meta is not None and self.ledger is not None:
+            if meta.origin >= 0 and not self.ledger.accepts(meta.key, meta.gen):
+                self.ledger.stale_discards += 1
+                return 0
+        trie = deserialize_trie(buf)
+        step = trie.depth
+        frontier = np.arange(trie.num_paths(trie.depth - 1), dtype=np.int64)
+        origin, lo, hi, gen = (-1, 0, 0, 0)
+        if meta is not None:
+            origin, lo, hi, gen = meta.origin, meta.lo, meta.hi, meta.gen
+        key = (origin, lo, hi)
+        tracked = origin >= 0 and self.ledger is not None
+        if frontier.size == 0:
+            if tracked:
+                self.ledger.finish_item(key, gen, self.rank, 0)
+            return 0
+        if step >= self._num_steps:
+            # Shipped completed embeddings (shouldn't happen; guard).
+            self.count += frontier.size
+            if tracked:
+                self.ledger.finish_item(key, gen, self.rank, frontier.size)
+            return 0
+        self.stack.append(
+            WorkItem(trie=trie, step=step, frontier=frontier,
+                     origin=origin, lo=lo, hi=hi, gen=gen)
+        )
+        if tracked:
+            self.ledger.add_holder(key, gen, self.rank)
+        if count_received:
             self.chunks_received += 1
+        return 1
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def purge_intervals(self, dirty: set[StrideKey]) -> int:
+        """Drop stack items descending from invalidated intervals."""
+        before = len(self.stack)
+        self.stack = [it for it in self.stack if it.key not in dirty]
+        return before - len(self.stack)
+
+    def adopt_root_intervals(self, keys: list[StrideKey]) -> None:
+        """Re-execute invalidated root intervals on this (surviving) rank.
+
+        Recomputes the origin partition's root frontier (charged to this
+        rank's clock — recovery is not free) and pushes one fresh root
+        item per interval at the ledger's bumped generation.
+        """
+        if self.ledger is None:
+            raise RuntimeError("adopt_root_intervals requires a ledger")
+        by_origin: dict[int, list[StrideKey]] = {}
+        for key in keys:
+            by_origin.setdefault(key[0], []).append(key)
+        for origin, group in sorted(by_origin.items()):
+            t0 = self.state.cost.time_ms
+            trie = self.matcher.initial_frontier(
+                self.state, part=origin, num_parts=self._num_parts
+            )
+            self._advance(t0)
+            for key in sorted(group):
+                _, lo, hi = key
+                gen = self.ledger.adopt(key, self.rank)
+                if self._num_steps == 1:
+                    self.count += hi - lo
+                    self.ledger.finish_item(key, gen, self.rank, hi - lo)
+                    continue
+                self.stack.append(
+                    WorkItem(
+                        trie=trie,
+                        step=1,
+                        frontier=np.arange(lo, hi, dtype=np.int64),
+                        origin=origin,
+                        lo=lo,
+                        hi=hi,
+                        gen=gen,
+                    )
+                )

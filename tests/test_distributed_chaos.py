@@ -1,0 +1,125 @@
+"""Chaos tests: the distributed count must survive every seeded fault plan.
+
+The acceptance bar: for randomized drop/duplicate/delay/crash/straggler
+schedules (with at most ``num_ranks - 1`` crashes), the distributed
+count exactly equals the single-rank baseline count and the event loop
+terminates without hitting ``max_events``.
+"""
+
+import pytest
+
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.distributed import DistributedCuTS, FaultPlan
+from repro.graph import cycle_graph, from_edges, social_graph
+
+NUM_SEEDS = 50
+
+
+@pytest.fixture(scope="module")
+def data():
+    return social_graph(90, 3, community_edges=130, seed=7)
+
+
+@pytest.fixture(scope="module")
+def query():
+    return cycle_graph(4)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CuTSConfig(chunk_size=32)
+
+
+@pytest.fixture(scope="module")
+def oracle(data, query, config):
+    return CuTSMatcher(data, config).match(query).count
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4])
+def test_chaos_schedule_count_invariant(data, query, config, oracle, num_ranks):
+    """Property: any seeded chaos plan leaves the count exact."""
+    mismatches = []
+    for seed in range(NUM_SEEDS):
+        plan = FaultPlan.random(seed, num_ranks)
+        res = DistributedCuTS(
+            data, num_ranks, config, fault_plan=plan
+        ).match(query)
+        if res.count != oracle:
+            mismatches.append((seed, res.count))
+    assert not mismatches, (
+        f"count mismatches vs oracle {oracle} at {num_ranks} ranks: "
+        f"{mismatches}"
+    )
+
+
+@pytest.mark.parametrize("num_ranks", [2, 4, 8])
+def test_all_but_one_rank_crashes(data, query, config, oracle, num_ranks):
+    """Killing every rank except rank 0 still completes exactly."""
+    plan = FaultPlan(
+        seed=1,
+        crash_at_ms={r: 0.5 + 0.7 * r for r in range(1, num_ranks)},
+    )
+    res = DistributedCuTS(data, num_ranks, config, fault_plan=plan).match(query)
+    assert res.count == oracle
+    assert res.ranks_failed == num_ranks - 1
+    assert res.recovered_chunks > 0
+
+
+def test_heavy_message_faults_exact_and_retransmitting(data, query, config, oracle):
+    plan = FaultPlan(
+        seed=5, drop_prob=0.5, dup_prob=0.3, delay_prob=0.5, max_delay_ms=10.0
+    )
+    res = DistributedCuTS(data, 4, config, fault_plan=plan).match(query)
+    assert res.count == oracle
+    assert res.faults_injected > 0
+
+
+def test_crash_during_single_vertex_query(data, config):
+    q1 = from_edges([], num_vertices=1)
+    plan = FaultPlan(seed=3, crash_at_ms={1: 0.01, 2: 0.02})
+    res = DistributedCuTS(data, 4, config, fault_plan=plan).match(q1)
+    assert res.count == data.num_vertices
+
+
+def test_straggler_slowdown_keeps_count_and_inflates_clock(
+    data, query, config, oracle
+):
+    base = DistributedCuTS(data, 4, config).match(query)
+    plan = FaultPlan(seed=0, slowdown={0: 4.0, 1: 4.0, 2: 4.0, 3: 4.0})
+    res = DistributedCuTS(data, 4, config, fault_plan=plan).match(query)
+    assert res.count == oracle
+    assert res.runtime_ms > base.runtime_ms
+
+
+def test_faults_disabled_matches_legacy_runtime(data, query, config):
+    """With no fault plan, the hardened runtime must reproduce the seed
+    protocol's observable results exactly (count, transfers, words)."""
+    for num_ranks in (1, 2, 3, 4, 8):
+        hardened = DistributedCuTS(data, num_ranks, config).match(query)
+        legacy = DistributedCuTS(
+            data, num_ranks, config, reliable=False
+        ).match(query)
+        assert hardened.count == legacy.count
+        assert hardened.work_transfers == legacy.work_transfers
+        assert hardened.words_transferred == legacy.words_transferred
+        assert hardened.retransmissions == 0
+        assert hardened.ranks_failed == 0
+        assert hardened.faults_injected == 0
+        assert hardened.recovered_chunks == 0
+
+
+def test_fault_plan_requires_reliable_runtime(data):
+    with pytest.raises(ValueError):
+        DistributedCuTS(
+            data, 2, fault_plan=FaultPlan(seed=0, drop_prob=0.1),
+            reliable=False,
+        )
+
+
+def test_crash_recovery_reports_metrics(data, query, config, oracle):
+    plan = FaultPlan.random(seed=2, num_ranks=4, crash_prob=1.0)
+    assert plan.crash_at_ms  # the schedule actually crashes someone
+    res = DistributedCuTS(data, 4, config, fault_plan=plan).match(query)
+    assert res.count == oracle
+    assert res.ranks_failed == len(plan.crash_at_ms)
+    assert res.faults_injected >= res.ranks_failed

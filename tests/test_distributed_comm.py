@@ -96,3 +96,46 @@ def test_peek_does_not_consume():
 def test_invalid_num_ranks():
     with pytest.raises(ValueError):
         SimComm(0)
+
+
+def test_receive_large_inbox_single_pass():
+    """Regression: draining a large queued inbox must keep undelivered
+    and non-matching messages intact and return the rest in arrival
+    order (the old implementation re-scanned the inbox per message)."""
+    net = NetworkModel(latency_ms=0.0, words_per_ms=1.0)
+    comm = SimComm(2, net)
+    n = 2000
+    for i in range(n):
+        tag = "work" if i % 2 == 0 else "free"
+        # arrival == words; interleave early/late arrivals
+        words = i if i % 4 < 2 else i + n
+        comm.send(0, 1, tag, i, words, time=0.0)
+    drained = comm.receive(1, time=float(n) - 1, tag="work")
+    assert [m.payload for m in drained] == sorted(
+        i for i in range(n) if i % 2 == 0 and (i if i % 4 < 2 else i + n) < n
+    )
+    arrivals = [m.arrival_time for m in drained]
+    assert arrivals == sorted(arrivals)
+    # everything else is still queued: late "work" plus all "free"
+    late_work = [m for m in comm.peek(1, tag="work")]
+    assert all(m.arrival_time >= n for m in late_work)
+    assert len(comm.peek(1, tag="free")) == n // 2
+    # a full drain later delivers the remainder exactly once
+    rest = comm.receive(1, time=float(3 * n))
+    assert len(drained) + len(rest) == n
+    assert comm.peek(1) == []
+
+
+def test_receive_large_inbox_performance():
+    """The single-pass drain should handle thousands of queued messages
+    without quadratic blowup (smoke bound, generous for CI)."""
+    import time as _time
+
+    comm = SimComm(2)
+    for i in range(5000):
+        comm.send(0, 1, "work", i, 0, time=0.0)
+    t0 = _time.perf_counter()
+    msgs = comm.receive(1, time=10.0, tag="work")
+    elapsed = _time.perf_counter() - t0
+    assert len(msgs) == 5000
+    assert elapsed < 1.0

@@ -1,0 +1,270 @@
+"""Unit tests for fault injection and the reliability protocol pieces."""
+
+import pytest
+
+from repro.core import CuTSConfig
+from repro.distributed import (
+    DistributedCuTS,
+    FaultInjector,
+    FaultPlan,
+    FreeNodeRegistry,
+    NetworkModel,
+    RankWorker,
+    ShipmentTracker,
+    SimComm,
+    StrideLedger,
+)
+from repro.graph import cycle_graph, social_graph
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(dup_prob=-0.1)
+    with pytest.raises(ValueError):
+        FaultPlan(max_delay_ms=-1.0)
+    with pytest.raises(ValueError):
+        FaultPlan(crash_at_ms={0: -2.0})
+    with pytest.raises(ValueError):
+        FaultPlan(slowdown={1: 0.5})
+
+
+def test_plan_is_null():
+    assert FaultPlan().is_null
+    assert not FaultPlan(drop_prob=0.1).is_null
+    assert not FaultPlan(crash_at_ms={0: 1.0}).is_null
+    assert not FaultPlan(slowdown={0: 2.0}).is_null
+
+
+def test_random_plan_deterministic_and_bounded():
+    for num_ranks in (2, 4, 8):
+        for seed in range(20):
+            a = FaultPlan.random(seed, num_ranks)
+            b = FaultPlan.random(seed, num_ranks)
+            assert a == b
+            # at least one rank must survive
+            assert len(a.crash_at_ms) <= num_ranks - 1
+            assert not set(a.crash_at_ms) & set(a.slowdown)
+
+
+def test_random_plan_max_crashes_override():
+    plan = FaultPlan.random(0, 8, crash_prob=1.0, max_crashes=2)
+    assert len(plan.crash_at_ms) == 2
+
+
+# ----------------------------------------------------------------------
+# FaultInjector
+# ----------------------------------------------------------------------
+
+def test_injector_drop_everything():
+    inj = FaultInjector(FaultPlan(seed=0, drop_prob=1.0))
+    for _ in range(10):
+        assert inj.message_fate("work") == []
+    assert inj.drops == 10
+    assert inj.message_faults == 10
+
+
+def test_injector_duplicate_everything():
+    inj = FaultInjector(FaultPlan(seed=0, dup_prob=1.0))
+    for _ in range(10):
+        assert len(inj.message_fate("ack")) == 2
+    assert inj.duplicates == 10
+
+
+def test_injector_leaves_other_tags_alone():
+    inj = FaultInjector(FaultPlan(seed=0, drop_prob=1.0, dup_prob=1.0))
+    assert inj.message_fate("free") == [0.0]
+    assert inj.message_fate("hb") == [0.0]
+    assert inj.message_faults == 0
+
+
+def test_injector_delay_bounded():
+    inj = FaultInjector(FaultPlan(seed=0, delay_prob=1.0, max_delay_ms=3.0))
+    fates = [inj.message_fate("work") for _ in range(50)]
+    assert all(len(f) == 1 and 0.0 <= f[0] <= 3.0 for f in fates)
+    assert inj.delays == 50
+
+
+def test_injector_deterministic_replay():
+    plan = FaultPlan(seed=9, drop_prob=0.3, dup_prob=0.3, delay_prob=0.5)
+    a = FaultInjector(plan)
+    b = FaultInjector(plan)
+    assert [a.message_fate("work") for _ in range(100)] == [
+        b.message_fate("work") for _ in range(100)
+    ]
+
+
+def test_injector_rank_faults():
+    inj = FaultInjector(FaultPlan(crash_at_ms={2: 7.0}, slowdown={1: 3.0}))
+    assert inj.crash_time(2) == 7.0
+    assert inj.crash_time(0) is None
+    assert inj.slowdown(1) == 3.0
+    assert inj.slowdown(0) == 1.0
+
+
+# ----------------------------------------------------------------------
+# SimComm under injection
+# ----------------------------------------------------------------------
+
+def test_comm_drop_still_charged_on_wire():
+    comm = SimComm(2, injector=FaultInjector(FaultPlan(seed=0, drop_prob=1.0)))
+    comm.send(0, 1, "work", "x", 100, time=0.0)
+    assert comm.receive(1, time=1e9) == []
+    assert comm.messages_sent == 1
+    assert comm.words_sent == 100
+
+
+def test_comm_duplicate_delivers_twice_counts_once():
+    comm = SimComm(2, injector=FaultInjector(FaultPlan(seed=0, dup_prob=1.0)))
+    comm.send(0, 1, "work", "x", 10, time=0.0)
+    msgs = comm.receive(1, time=1e9)
+    assert [m.payload for m in msgs] == ["x", "x"]
+    assert comm.messages_sent == 1
+    assert comm.words_sent == 10
+
+
+def test_comm_delay_postpones_arrival():
+    net = NetworkModel(latency_ms=1.0, words_per_ms=1e9)
+    comm = SimComm(
+        2, net,
+        injector=FaultInjector(
+            FaultPlan(seed=0, delay_prob=1.0, max_delay_ms=5.0)
+        ),
+    )
+    base = comm.send(0, 1, "work", "x", 0, time=0.0)
+    assert base == pytest.approx(1.0)  # returns the un-jittered arrival
+    msgs = comm.peek(1)
+    assert len(msgs) == 1
+    assert msgs[0].arrival_time > base
+
+
+# ----------------------------------------------------------------------
+# FreeNodeRegistry hardening
+# ----------------------------------------------------------------------
+
+def test_release_claim_rolls_back():
+    reg = FreeNodeRegistry(3)
+    reg.announce_free(1, 0.0)
+    assert reg.claim_free(0, 1.0) == 1
+    assert reg.transfers == 1
+    assert reg.release_claim(0, 1)
+    assert reg.transfers == 0
+    assert 0 not in reg.outstanding_claim
+    assert 1 not in reg.claimed_by
+    # the target is claimable again
+    assert reg.claim_free(2, 2.0) == 1
+
+
+def test_release_claim_mismatched_target_is_noop():
+    reg = FreeNodeRegistry(3)
+    reg.announce_free(1, 0.0)
+    reg.claim_free(0, 1.0)
+    assert not reg.release_claim(0, expected_target=2)
+    assert reg.outstanding_claim == {0: 1}
+    assert reg.transfers == 1
+
+
+def test_release_claim_without_claim():
+    reg = FreeNodeRegistry(2)
+    assert not reg.release_claim(0)
+
+
+def test_drop_rank_clears_both_directions():
+    reg = FreeNodeRegistry(4)
+    reg.announce_free(1, 0.0)
+    reg.announce_free(3, 0.0)
+    reg.claim_free(0, 1.0)       # 0 claims 1
+    reg.claim_free(2, 1.0)       # 2 claims 3
+    # dropping the claimed target frees the claimant
+    assert reg.drop_rank(1) == 0
+    assert 0 not in reg.outstanding_claim
+    # dropping a claimant frees its target
+    assert reg.drop_rank(2) is None
+    assert 3 not in reg.claimed_by
+
+
+# ----------------------------------------------------------------------
+# Claim-leak regression (satellite): an empty ship must release the claim
+# ----------------------------------------------------------------------
+
+def test_empty_ship_releases_claim():
+    data = social_graph(30, 2, community_edges=40, seed=1)
+    query = cycle_graph(3)
+    config = CuTSConfig(chunk_size=32)
+    rt = DistributedCuTS(data, 2, config)
+    ledger = StrideLedger()
+    w = RankWorker(
+        rank=0, data=data, query=query, config=config, ledger=ledger
+    )
+    w.init_partition(2)
+    comm = SimComm(2)
+    tracker = ShipmentTracker()
+    reg = FreeNodeRegistry(2)
+    reg.announce_free(1, 0.0)
+    assert reg.claim_free(0, 1.0) == 1
+    w.pop_surplus_with_meta = lambda: ([], [])  # nothing to ship
+    rt._ship(w, 1, comm, tracker, reg)
+    assert reg.outstanding_claim == {}
+    assert reg.claimed_by == {}
+    assert reg.transfers == 0
+    assert comm.messages_sent == 0
+    assert tracker.in_flight == {}
+
+
+# ----------------------------------------------------------------------
+# StrideLedger
+# ----------------------------------------------------------------------
+
+def test_ledger_commit_on_last_item():
+    led = StrideLedger()
+    led.open((0, 0, 10), rank=0)
+    led.add_pending((0, 0, 10), gen=0, delta=1)
+    led.finish_item((0, 0, 10), gen=0, rank=0, count=3)
+    assert led.committed_total == 0  # one item still pending
+    led.finish_item((0, 0, 10), gen=0, rank=1, count=4)
+    assert led.committed_total == 7
+    assert led.all_committed()
+
+
+def test_ledger_split_root():
+    led = StrideLedger()
+    led.open((0, 0, 10), rank=0)
+    assert led.split_root((0, 0, 10), mid=4, gen=0, rank=0)
+    assert (0, 0, 4) in led.entries and (0, 4, 10) in led.entries
+    assert (0, 0, 10) not in led.entries
+    assert not led.split_root((0, 0, 4), mid=0, gen=0, rank=0)  # bad mid
+    led.finish_item((0, 0, 4), gen=0, rank=0, count=1)
+    led.finish_item((0, 4, 10), gen=0, rank=0, count=2)
+    assert led.committed_total == 3
+
+
+def test_ledger_recovery_bumps_generation():
+    led = StrideLedger()
+    led.open((0, 0, 10), rank=1)
+    led.finish_item((0, 0, 10), gen=0, rank=1, count=5)
+    assert led.committed_total == 5
+    led.open((1, 0, 10), rank=1)
+    dirty = led.begin_recovery(1)
+    assert dirty == [(1, 0, 10)]  # committed intervals are immune
+    assert led.recovered_intervals == 1
+    assert not led.accepts((1, 0, 10), gen=0)  # stale gen rejected
+    gen = led.adopt((1, 0, 10), rank=0)
+    assert gen == 1
+    led.finish_item((1, 0, 10), gen=1, rank=0, count=2)
+    assert led.committed_total == 7
+    assert led.all_committed()
+
+
+def test_ledger_stale_gen_ops_are_noops():
+    led = StrideLedger()
+    led.open((0, 0, 10), rank=0)
+    led.begin_recovery(0)
+    led.add_pending((0, 0, 10), gen=0, delta=1)
+    led.finish_item((0, 0, 10), gen=0, rank=0, count=99)
+    assert led.committed_total == 0
+    assert not led.all_committed()
