@@ -49,6 +49,47 @@ def test_kernel_throughput(benchmark, kernel):
     assert sorted(out.tolist()) == sorted(ref)
 
 
+def _sv_reference_add_at(graph, vertices, cost=None):
+    """The per-vertex ``np.add.at`` scatter loop that the bincount SV
+    kernel replaced — kept here as the equivalence oracle."""
+    verts = np.asarray(vertices, dtype=np.int64).ravel()
+    chi = len(verts)
+    scatter = np.zeros(graph.num_vertices, dtype=np.int64)
+    moved = 0
+    for a in verts:
+        kids = graph.children(a)
+        moved += len(kids)
+        np.add.at(scatter, kids, 1)
+    first = graph.children(verts[0])
+    result = first[scatter[first] == chi]
+    if cost is not None:
+        cost.charge_dram_read(moved, segments=chi)
+        cost.charge_dram_write(moved, segments=max(1, moved))
+        cost.charge_dram_read(len(first))
+        cost.charge_dram_write(len(result))
+        cost.charge_instructions(2 * moved + len(first))
+    return result
+
+
+@pytest.mark.benchmark(group="intersections")
+def test_sv_bincount_matches_add_at_loop(benchmark):
+    """The bincount rewrite of the SV kernel must be a pure speedup:
+    identical survivors and identical cost charges on every input."""
+    cases = [
+        (random_graph(400, 0.08, seed=3), np.array([0, 1, 2])),
+        (random_graph(200, 0.15, seed=7), np.array([5])),
+        (hub_graph(), np.array([1, 0])),
+    ]
+    for g, verts in cases:
+        cost_new, cost_ref = CostModel(V100), CostModel(V100)
+        got = scatter_vector_intersection(g, verts, cost_new)
+        want = _sv_reference_add_at(g, verts, cost_ref)
+        assert np.array_equal(got, want)
+        assert cost_new.snapshot() == cost_ref.snapshot()
+    g, verts = cases[0]
+    benchmark(scatter_vector_intersection, g, verts)
+
+
 @pytest.mark.benchmark(group="intersections")
 def test_modeled_costs_follow_paper_complexities(benchmark):
     g = benchmark.pedantic(hub_graph, rounds=1, iterations=1)

@@ -1,0 +1,197 @@
+"""Benchmark: real wall-clock scaling of the multi-core engine.
+
+Unlike every other benchmark in this directory (which report the paper's
+*modeled* GPU kernel time), this one measures **wall-clock seconds** —
+the repo's first real performance trajectory.  The workload is the
+paper's Figure 2 shape (mesh data graph x chain query) scaled up until
+the serial engine takes seconds, then sharded with
+:class:`repro.parallel.ParallelMatcher` at increasing worker counts.
+
+Run as a script to produce ``BENCH_parallel.json``::
+
+    REPRO_BENCH_SCALE=0.5 python benchmarks/bench_parallel_scaling.py \
+        --out BENCH_parallel.json
+
+The script **always** verifies that every parallel run's embedding count
+is bit-identical to the serial run and exits non-zero on divergence.
+The >= 2x speedup gate at 4 workers only applies where it physically
+can: when the host has at least 4 CPUs (``--min-speedup 0`` disables
+it); on smaller hosts the measured (non-)speedup is still recorded.
+
+Also collected by ``pytest benchmarks/`` as a tiny-scale smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core import CuTSMatcher
+from repro.core.config import CuTSConfig
+from repro.graph import chain_graph, mesh_graph
+from repro.parallel import ParallelMatcher
+
+from conftest import bench_scale
+
+CHAIN_LENGTH = 8
+DEFAULT_WORKERS = (1, 2, 4)
+
+
+def figure2_workload(scale: float):
+    """The Figure 2 shape (mesh + chain), scaled so vertex count grows
+    linearly with ``scale`` (side grows with its square root)."""
+    side = max(12, int(round(64 * math.sqrt(scale))))
+    return mesh_graph(side, side), chain_graph(CHAIN_LENGTH)
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best, result = math.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_scaling(
+    scale: float,
+    worker_counts=DEFAULT_WORKERS,
+    repeats: int = 1,
+) -> dict:
+    """Serial vs. parallel wall-clock on the scaled Figure 2 workload."""
+    data, query = figure2_workload(scale)
+    config = CuTSConfig()
+
+    # Build (and warm) the serial matcher outside the timed region, the
+    # same footing the parallel pool gets from its prewarm query.
+    serial_matcher = CuTSMatcher(data, config)
+    serial_matcher.match(chain_graph(2))
+    serial_s, serial_res = _best_of(
+        repeats, lambda: serial_matcher.match(query)
+    )
+
+    runs = []
+    for workers in worker_counts:
+        with ParallelMatcher(data, config, workers=workers) as matcher:
+            # Prewarm: pay pool start + shared-memory attach once, the
+            # way a served deployment would; the measured figure is the
+            # steady-state per-query latency.
+            matcher.match(chain_graph(2))
+            wall_s, res = _best_of(repeats, lambda: matcher.match(query))
+        runs.append(
+            {
+                "workers": workers,
+                "intervals": matcher.num_intervals(query),
+                "wall_s": round(wall_s, 4),
+                "speedup": round(serial_s / wall_s, 3) if wall_s else None,
+                "count": res.count,
+                "modeled_time_ms": res.time_ms,
+            }
+        )
+
+    return {
+        "benchmark": "parallel_scaling",
+        "workload": {
+            "data": data.name,
+            "num_vertices": data.num_vertices,
+            "num_edges": data.num_edges,
+            "query": query.name,
+            "scale": scale,
+        },
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "wall_s": round(serial_s, 4),
+            "count": serial_res.count,
+            "modeled_time_ms": serial_res.time_ms,
+        },
+        "runs": runs,
+    }
+
+
+def check_report(report: dict, min_speedup: float = 2.0) -> list[str]:
+    """Hard failures in a scaling report (count divergence, missed
+    speedup gate where the hardware can express one)."""
+    errors = []
+    serial_count = report["serial"]["count"]
+    for run in report["runs"]:
+        if run["count"] != serial_count:
+            errors.append(
+                f"parallel count diverged at {run['workers']} workers: "
+                f"{run['count']} != serial {serial_count}"
+            )
+    cpus = report["cpu_count"] or 1
+    for run in report["runs"]:
+        gated = (
+            min_speedup > 0
+            and run["workers"] >= 4
+            and cpus >= run["workers"]
+        )
+        if gated and run["speedup"] < min_speedup:
+            errors.append(
+                f"speedup {run['speedup']}x at {run['workers']} workers "
+                f"below the {min_speedup}x gate ({cpus} CPUs available)"
+            )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_parallel.json", help="JSON report path"
+    )
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=list(DEFAULT_WORKERS)
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail below this speedup at >=4 workers (0 disables; "
+        "auto-skipped when the host has fewer CPUs than workers)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    report = run_scaling(scale, tuple(args.workers), repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    serial = report["serial"]
+    print(
+        f"workload {report['workload']['data']} x "
+        f"{report['workload']['query']} (scale {scale}, "
+        f"{report['cpu_count']} CPUs)"
+    )
+    print(f"serial  : {serial['wall_s']:8.3f} s  count={serial['count']:,}")
+    for run in report["runs"]:
+        print(
+            f"workers={run['workers']:<3}: {run['wall_s']:8.3f} s  "
+            f"speedup={run['speedup']:.2f}x  intervals={run['intervals']}"
+        )
+    print(f"wrote {args.out}")
+
+    errors = check_report(report, args.min_speedup)
+    for err in errors:
+        print(f"FAIL: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+# ---------------------------------------------------------------- pytest
+@pytest.mark.benchmark(group="parallel")
+def test_parallel_scaling_smoke(benchmark):
+    """Tiny-scale smoke: bit-identical counts at every worker count (the
+    speedup gate is exercised by the script/CI where CPUs exist)."""
+    report = benchmark.pedantic(
+        run_scaling, args=(0.05, (1, 2)), rounds=1, iterations=1
+    )
+    assert check_report(report, min_speedup=0) == []
+    assert all(r["count"] == report["serial"]["count"] for r in report["runs"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

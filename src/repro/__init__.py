@@ -14,6 +14,8 @@ simulated GPU / cluster substrate:
   trie expansion, hybrid BFS-DFS chunking);
 * :mod:`repro.baselines` — GSI-style comparator, DFS and networkx oracles;
 * :mod:`repro.distributed` — the Algorithm-3 multi-rank runtime;
+* :mod:`repro.parallel` — the multi-core engine (process-parallel
+  root-interval sharding over zero-copy shared-memory graphs);
 * :mod:`repro.experiments` — drivers regenerating every paper table/figure.
 
 Quickstart::
@@ -35,6 +37,7 @@ from .api import (
 from .core import CuTSConfig, CuTSMatcher, MatchResult, SearchTimeout
 from .distributed import DistributedCuTS, DistributedResult
 from .gpusim import A100, V100, DeviceOOMError, DeviceSpec
+from .parallel import ParallelMatcher, SharedCSR, parallel_match
 
 __version__ = "1.0.0"
 
@@ -49,6 +52,9 @@ __all__ = [
     "SearchTimeout",
     "DistributedCuTS",
     "DistributedResult",
+    "ParallelMatcher",
+    "SharedCSR",
+    "parallel_match",
     "DeviceSpec",
     "DeviceOOMError",
     "V100",

@@ -28,6 +28,7 @@ from .core.stats import SearchStats
 from .graph.components import is_weakly_connected, split_components
 from .graph.csr import CSRGraph
 from .gpusim.cost import CostModel
+from .parallel.matcher import ParallelMatcher, resolve_workers
 
 __all__ = [
     "subgraph_isomorphism_search",
@@ -37,12 +38,32 @@ __all__ = [
 ]
 
 
+def _match_one(
+    data: CSRGraph,
+    query: CSRGraph,
+    config: CuTSConfig,
+    materialize: bool,
+    time_limit_ms: float | None,
+    workers: int,
+) -> MatchResult:
+    """One (connected-data, connected-query) match, serial or sharded."""
+    if workers > 1:
+        with ParallelMatcher(data, config, workers=workers) as matcher:
+            return matcher.match(
+                query, materialize=materialize, time_limit_ms=time_limit_ms
+            )
+    return CuTSMatcher(data, config).match(
+        query, materialize=materialize, time_limit_ms=time_limit_ms
+    )
+
+
 def _match_on_components(
     data_parts: list[tuple[CSRGraph, np.ndarray]],
     query: CSRGraph,
     config: CuTSConfig,
     materialize: bool,
     time_limit_ms: float | None,
+    workers: int = 1,
 ) -> MatchResult:
     """Union of a connected query's results over the data components."""
     count = 0
@@ -54,16 +75,14 @@ def _match_on_components(
     for dcomp, dmap in data_parts:
         if query.num_vertices > dcomp.num_vertices:
             continue
-        res = CuTSMatcher(dcomp, config).match(
-            query, materialize=materialize, time_limit_ms=time_limit_ms
+        res = _match_one(
+            dcomp, query, config, materialize, time_limit_ms, workers
         )
         count += res.count
         time_ms += res.time_ms
         cost.merge(res.cost)
         order = res.order
-        for depth, paths in enumerate(res.stats.paths_per_depth):
-            stats.record_depth(depth, paths)
-        stats.chunks_processed += res.stats.chunks_processed
+        stats.merge(res.stats)
         if materialize and res.matches is not None and len(res.matches):
             mappings.append(dmap[res.matches])
     matches = None
@@ -86,6 +105,7 @@ def subgraph_isomorphism_search(
     *,
     materialize: bool = False,
     time_limit_ms: float | None = None,
+    workers: int | str | None = None,
 ) -> MatchResult:
     """Find all embeddings of ``query`` in ``data`` (paper Definition 4).
 
@@ -93,10 +113,19 @@ def subgraph_isomorphism_search(
     the module docstring.  Materialisation is only supported for
     connected query graphs (the cross-product expansion of disconnected
     queries is combinatorial by design).
+
+    ``workers`` selects the multi-core engine (``"auto"`` or ``0`` uses
+    every CPU; ``None`` defers to ``config.workers``): each
+    connected-component match is sharded over worker processes via
+    :class:`~repro.parallel.ParallelMatcher` with exact, bit-identical
+    counts.
     """
     config = config or CuTSConfig()
     if query.num_vertices == 0:
         raise ValueError("query graph must have at least one vertex")
+    workers = resolve_workers(
+        config.workers if workers is None else workers
+    )
 
     if is_weakly_connected(data):
         data_parts: list[tuple[CSRGraph, np.ndarray]] = [
@@ -108,7 +137,7 @@ def subgraph_isomorphism_search(
     query_components = split_components(query)
     if len(query_components) == 1:
         return _match_on_components(
-            data_parts, query, config, materialize, time_limit_ms
+            data_parts, query, config, materialize, time_limit_ms, workers
         )
 
     if materialize:
@@ -122,7 +151,7 @@ def subgraph_isomorphism_search(
     stats = SearchStats()
     for qcomp, _ in query_components:
         res = _match_on_components(
-            data_parts, qcomp, config, False, time_limit_ms
+            data_parts, qcomp, config, False, time_limit_ms, workers
         )
         total *= res.count
         time_ms += res.time_ms
@@ -136,29 +165,48 @@ def subgraph_isomorphism_search(
 
 
 def count_embeddings(
-    data: CSRGraph, query: CSRGraph, config: CuTSConfig | None = None
+    data: CSRGraph,
+    query: CSRGraph,
+    config: CuTSConfig | None = None,
+    *,
+    workers: int | str | None = None,
 ) -> int:
-    """Shorthand for the embedding count."""
-    return subgraph_isomorphism_search(data, query, config).count
+    """Shorthand for the embedding count (``workers`` as in
+    :func:`subgraph_isomorphism_search`)."""
+    return subgraph_isomorphism_search(
+        data, query, config, workers=workers
+    ).count
 
 
-def count_automorphisms(query: CSRGraph, config: CuTSConfig | None = None) -> int:
+def count_automorphisms(
+    query: CSRGraph,
+    config: CuTSConfig | None = None,
+    *,
+    workers: int | str | None = None,
+) -> int:
     """Automorphism count of a graph (embeddings of it into itself).
 
     Every distinct subgraph occurrence is found once per automorphism by
     the enumerator, so this is the normalisation constant between
     *embeddings* and *occurrences*.
     """
-    return subgraph_isomorphism_search(query, query, config).count
+    return subgraph_isomorphism_search(
+        query, query, config, workers=workers
+    ).count
 
 
 def count_occurrences(
-    data: CSRGraph, query: CSRGraph, config: CuTSConfig | None = None
+    data: CSRGraph,
+    query: CSRGraph,
+    config: CuTSConfig | None = None,
+    *,
+    workers: int | str | None = None,
 ) -> int:
     """Number of distinct subgraphs of ``data`` isomorphic to ``query``
     (embeddings divided by the query's automorphism count) — the quantity
     motif-census applications report."""
+    # Queries are tiny: count their automorphisms in-process.
     autos = count_automorphisms(query, config)
-    embeddings = count_embeddings(data, query, config)
+    embeddings = count_embeddings(data, query, config, workers=workers)
     assert embeddings % autos == 0, "embedding count must divide evenly"
     return embeddings // autos

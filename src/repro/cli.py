@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from .core.config import CuTSConfig
 from .core.matcher import CuTSMatcher
+from .parallel.matcher import ParallelMatcher, resolve_workers
 from .distributed.faults import FaultPlan
 from .distributed.runtime import DistributedCuTS
 from .graph.csr import CSRGraph
@@ -108,17 +110,49 @@ def _build_fault_plan(args: argparse.Namespace) -> FaultPlan | None:
     return None if plan.is_null else plan
 
 
+def _parse_workers(spec: str) -> int:
+    """Parse ``--workers``: a positive integer or ``auto`` (= cpu_count)."""
+    try:
+        return resolve_workers(spec)
+    except ValueError:
+        raise SystemExit(
+            f"error: --workers expects a positive integer or 'auto', "
+            f"got {spec!r}"
+        )
+
+
 def _cmd_match(args: argparse.Namespace) -> int:
     data = load_data_argument(args.data)
     query = load_query_argument(args.query)
+    workers = _parse_workers(args.workers)
     cfg = CuTSConfig(
         device=_DEVICES[args.device],
         chunk_size=args.chunk_size,
         ordering=args.ordering,
         intersection=args.intersection,
+        workers=workers,
     )
     print(f"data : {data}")
     print(f"query: {query}")
+    if args.ranks > 1 and workers > 1:
+        raise SystemExit(
+            "error: --ranks (simulated distributed) and --workers "
+            "(multi-core) are separate execution engines; choose one"
+        )
+    if workers > 1:
+        t0 = time.perf_counter()
+        with ParallelMatcher(data, cfg, workers=workers) as matcher:
+            r = matcher.match(query, time_limit_ms=args.time_limit_ms)
+        wall_s = time.perf_counter() - t0
+        print(f"matches      : {r.count:,}")
+        print(f"kernel time  : {r.time_ms:.4f} ms "
+              f"({args.device}-sim, max over {workers} workers)")
+        print(f"wall clock   : {wall_s:.3f} s on {workers} worker processes")
+        print(f"paths/depth  : {r.stats.paths_per_depth}")
+        if args.counters:
+            for k, v in r.cost.snapshot().items():
+                print(f"  {k:<26}{v:>16,.0f}" if isinstance(v, (int,)) else f"  {k:<26}{v:>16.4g}")
+        return 0
     if args.ranks > 1:
         plan = _build_fault_plan(args)
         res = DistributedCuTS(data, args.ranks, cfg, fault_plan=plan).match(query)
@@ -166,6 +200,11 @@ def build_parser() -> argparse.ArgumentParser:
     m.add_argument("data", help="data graph file or built-in dataset name")
     m.add_argument("query", help="query file, paper query name, or K5/C6/P4/S5")
     m.add_argument("--ranks", type=int, default=1, help="simulated nodes")
+    m.add_argument(
+        "--workers", default="1", metavar="N|auto",
+        help="worker processes for the multi-core engine "
+        "('auto' = all CPUs; default 1 = classic in-process run)",
+    )
     m.add_argument("--device", choices=("V100", "A100"), default="V100")
     m.add_argument("--chunk-size", type=int, default=512)
     m.add_argument("--ordering", choices=("max_degree", "id"), default="max_degree")

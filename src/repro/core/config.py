@@ -54,6 +54,16 @@ class CuTSConfig:
         filter to the root candidate set (§3; an optional extension —
         the paper's engine uses the plain degree filter).  Sound: never
         changes the match count, only prunes earlier.
+    workers:
+        Worker **processes** for the multi-core execution engine
+        (:mod:`repro.parallel`): the level-0 candidate set is over-split
+        into strided intervals (Algorithm 3's ``init_match`` striding,
+        one CPU core playing one GPU) and interval results are merged
+        exactly.  ``1`` (default) runs the classic in-process engine.
+    oversplit:
+        Strided intervals submitted per worker (the work queue holds
+        ``oversplit * workers`` intervals), so a fast worker steals the
+        slack of a slow one — the load-balance margin of §4.2.
     ack_timeout_ms:
         Grace period past the modeled round trip before a sender
         retransmits an unacknowledged work envelope (distributed
@@ -81,6 +91,8 @@ class CuTSConfig:
     max_materialized: int | None = None
     trace_kernels: bool = False
     neighborhood_filter: bool = False
+    workers: int = 1
+    oversplit: int = 4
     ack_timeout_ms: float = 50.0
     retry_backoff: float = 2.0
     max_retries: int = 6
@@ -104,6 +116,10 @@ class CuTSConfig:
             raise ValueError("virtual_warp_size must be >= 0 (0 = auto)")
         if not 0.0 < self.trie_buffer_fraction <= 1.0:
             raise ValueError("trie_buffer_fraction must be in (0, 1]")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.oversplit < 1:
+            raise ValueError("oversplit must be >= 1")
         if self.ack_timeout_ms <= 0:
             raise ValueError("ack_timeout_ms must be positive")
         if self.retry_backoff < 1.0:

@@ -59,22 +59,21 @@ def scatter_vector_intersection(
     """
     verts = _as_vertex_array(vertices)
     chi = len(verts)
-    if scatter is None:
-        scatter = np.zeros(graph.num_vertices, dtype=np.int64)
-    elif scatter.shape != (graph.num_vertices,):
+    if scatter is not None and scatter.shape != (graph.num_vertices,):
         raise ValueError("scatter buffer must have length |V|")
-    touched: list[np.ndarray] = []
-    moved = 0
-    for a in verts:
-        kids = graph.children(a)
-        np.add.at(scatter, kids, 1)  # scattered global-memory updates
-        touched.append(kids)
-        moved += len(kids)
+    # One bincount over the concatenated child lists computes every
+    # vertex's hit count in a single pass — identical to the per-vertex
+    # np.add.at scatter loop it replaces, without |verts| separate
+    # scatter/zero passes over the buffer.  The modeled device still
+    # performs the scattered increments, so the cost charges below are
+    # unchanged; a caller-provided ``scatter`` buffer (the modeled
+    # per-worker O(|V|) allocation) is left zeroed, as before.
+    touched = [graph.children(a) for a in verts]
+    flat = np.concatenate(touched) if len(touched) > 1 else touched[0]
+    moved = len(flat)
+    counts = np.bincount(flat, minlength=graph.num_vertices)
     first = touched[0]
-    result = first[scatter[first] == chi]
-    # Restore the buffer for reuse (cheaper than reallocating |V| words).
-    for kids in touched:
-        scatter[kids] = 0
+    result = first[counts[first] == chi]
     if cost is not None:
         cost.charge_dram_read(moved, segments=chi)
         # Scatter increments are one transaction each — uncoalesced.

@@ -24,6 +24,8 @@ default, as in the paper).
 
 from __future__ import annotations
 
+import time as _time
+
 import numpy as np
 
 from ..gpusim.cost import CostModel
@@ -109,6 +111,8 @@ class CuTSMatcher:
         materialize: bool = False,
         time_limit_ms: float | None = None,
         wall_limit_s: float | None = None,
+        part: int = 0,
+        num_parts: int = 1,
     ) -> MatchResult:
         """Enumerate all monomorphism embeddings of ``query`` in the data.
 
@@ -126,6 +130,13 @@ class CuTSMatcher:
         wall_limit_s:
             Abort with :class:`SearchTimeout` when real elapsed time
             exceeds this bound (harness safety; no paper analogue).
+        part, num_parts:
+            Restrict the search to the strided root-candidate interval
+            ``part::num_parts`` — the distributed ``init_match`` striding
+            (Algorithm 3).  Interval results over all parts reduce via
+            :meth:`MatchResult.merge` to exactly the full search; this is
+            how :class:`~repro.parallel.ParallelMatcher` shards one query
+            across processes.
 
         Raises
         ------
@@ -137,6 +148,8 @@ class CuTSMatcher:
         """
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
+        if not 0 <= part < num_parts:
+            raise ValueError("need 0 <= part < num_parts")
         cost = CostModel(self.config.device)
         if self.config.trace_kernels:
             cost.enable_trace()
@@ -164,6 +177,8 @@ class CuTSMatcher:
             self.data, query, order.sequence[0], cost,
             neighborhood_filter=self.config.neighborhood_filter,
         )
+        if num_parts > 1:
+            roots = roots[part::num_parts]
         launch_kernel(
             cost,
             "init_match",
@@ -187,8 +202,6 @@ class CuTSMatcher:
         )
         state.max_materialized = self.config.max_materialized
         if wall_limit_s is not None:
-            import time as _time
-
             state.wall_deadline = _time.monotonic() + wall_limit_s
         stats.record_trie_words(state.trie_words)
         if state.trie_words > self.trie_budget_words:
@@ -336,8 +349,6 @@ class CuTSMatcher:
                 f"{state.time_limit_ms:.1f} ms"
             )
         if state.wall_deadline is not None:
-            import time as _time
-
             if _time.monotonic() > state.wall_deadline:
                 raise SearchTimeout("wall-clock limit exceeded")
 
@@ -351,7 +362,8 @@ class CuTSMatcher:
         # levels of the active DFS branch always keep room), projected
         # via the survival ratio measured at this step so far
         # (conservatively 1.0 before the first probe chunk).
-        pool_estimate = self._estimate_pool(ancestors, fwd, bwd)
+        fanouts = self._constraint_fanouts(ancestors, fwd, bwd)
+        pool_estimate = self._estimate_pool(ancestors, fanouts)
         remaining_levels = max(1, state.order.num_steps - step)
 
         def fits(pool_fraction: float) -> bool:
@@ -385,7 +397,7 @@ class CuTSMatcher:
                 total += self._search(trie, step, chunk, state)
             return total
 
-        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state)
+        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state, fanouts)
         state.stats.record_depth(step, len(ca))
         if pool_estimate > 0:
             # Exponential-moving survival ratio for the chunk projector.
@@ -433,32 +445,45 @@ class CuTSMatcher:
     # ------------------------------------------------------------------
     # Fused expansion kernel
     # ------------------------------------------------------------------
-    def _estimate_pool(
+    def _constraint_fanouts(
         self,
         ancestors: np.ndarray,
         fwd: tuple[int, ...],
         bwd: tuple[int, ...],
-    ) -> int:
-        """Upper-bound the candidate-pool size for this frontier."""
+    ) -> tuple[tuple[str, int, int], ...]:
+        """Total adjacency fanout of every edge constraint over this
+        frontier: one ``("fwd"|"bwd", j, sum-of-degrees)`` entry per
+        constraint.
+
+        Computed **once per expansion** and shared by the pool estimator,
+        the anchor selection and the c-/p-intersection choice — all three
+        need exactly these per-constraint degree sums.
+        """
         data = self.data
-        best = None
+        out = []
         for j in fwd:
-            total = int(
-                (data.indptr[ancestors[:, j] + 1] - data.indptr[ancestors[:, j]]).sum()
+            a = ancestors[:, j]
+            out.append(
+                ("fwd", j, int((data.indptr[a + 1] - data.indptr[a]).sum()))
             )
-            best = total if best is None else min(best, total)
         for j in bwd:
-            total = int(
-                (
-                    data.rindptr[ancestors[:, j] + 1]
-                    - data.rindptr[ancestors[:, j]]
-                ).sum()
+            a = ancestors[:, j]
+            out.append(
+                ("bwd", j, int((data.rindptr[a + 1] - data.rindptr[a]).sum()))
             )
-            best = total if best is None else min(best, total)
-        if best is None:
+        return tuple(out)
+
+    def _estimate_pool(
+        self,
+        ancestors: np.ndarray,
+        fanouts: tuple[tuple[str, int, int], ...],
+    ) -> int:
+        """Upper-bound the candidate-pool size for this frontier (the
+        cheapest constraint's fanout; every constraint is a valid bound)."""
+        if not fanouts:
             # Unconstrained step (disconnected query component).
-            best = ancestors.shape[0] * data.num_vertices
-        return best
+            return ancestors.shape[0] * self.data.num_vertices
+        return min(total for _, _, total in fanouts)
 
     def _extend(
         self,
@@ -467,11 +492,14 @@ class CuTSMatcher:
         fwd: tuple[int, ...],
         bwd: tuple[int, ...],
         state: "_RunState",
+        fanouts: tuple[tuple[str, int, int], ...] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One fused expansion: returns (local parent indices, candidates).
 
         ``ancestors`` is the ``(F, step)`` matrix of the frontier's
         materialised prefixes (columns follow the matching order).
+        ``fanouts`` is the per-constraint fanout table for this frontier
+        (computed here when the caller has not already built it).
         """
         data = self.data
         cost = state.cost
@@ -480,8 +508,10 @@ class CuTSMatcher:
         words_before = cost.dram_read_words + cost.dram_write_words
 
         # ----- anchor selection: cheapest constraint seeds the pool ----
+        if fanouts is None:
+            fanouts = self._constraint_fanouts(ancestors, fwd, bwd)
         anchor_kind, anchor_j, anchor_total = self._select_anchor(
-            ancestors, fwd, bwd
+            ancestors, fanouts
         )
 
         if anchor_kind == "none":
@@ -541,7 +571,7 @@ class CuTSMatcher:
         num_rest = len(rest_fwd) + len(rest_bwd)
         if num_rest and mask.any():
             kind = self._choose_intersection(
-                ancestors, rest_fwd, rest_bwd, int(mask.sum())
+                fanouts, anchor_kind, anchor_j, int(mask.sum())
             )
             state.stats.record_intersection(kind, num_rest)
             live = np.nonzero(mask)[0]
@@ -595,47 +625,36 @@ class CuTSMatcher:
     def _select_anchor(
         self,
         ancestors: np.ndarray,
-        fwd: tuple[int, ...],
-        bwd: tuple[int, ...],
+        fanouts: tuple[tuple[str, int, int], ...],
     ) -> tuple[str, int, int]:
         """Pick the constraint with the smallest total fanout."""
-        data = self.data
-        best: tuple[str, int, int] | None = None
-        for j in fwd:
-            a = ancestors[:, j]
-            total = int((data.indptr[a + 1] - data.indptr[a]).sum())
-            if best is None or total < best[2]:
-                best = ("fwd", j, total)
-        for j in bwd:
-            a = ancestors[:, j]
-            total = int((data.rindptr[a + 1] - data.rindptr[a]).sum())
-            if best is None or total < best[2]:
-                best = ("bwd", j, total)
-        if best is None:
-            return ("none", -1, ancestors.shape[0] * data.num_vertices)
-        return best
+        if not fanouts:
+            return ("none", -1, ancestors.shape[0] * self.data.num_vertices)
+        return min(fanouts, key=lambda entry: entry[2])
 
     def _choose_intersection(
         self,
-        ancestors: np.ndarray,
-        rest_fwd: tuple[int, ...],
-        rest_bwd: tuple[int, ...],
+        fanouts: tuple[tuple[str, int, int], ...],
+        anchor_kind: str,
+        anchor_j: int,
         pool_size: int,
     ) -> str:
-        """Adaptive c-vs-p choice by modeled movement (§4.1.3)."""
+        """Adaptive c-vs-p choice by modeled movement (§4.1.3).
+
+        The c-cost is the fanout of every non-anchor constraint — read
+        straight off the shared fanout table instead of recomputing the
+        degree sums.
+        """
         if self.config.intersection in ("c", "p"):
             return self.config.intersection
-        data = self.data
         cost_c = 0
-        for j in rest_fwd:
-            a = ancestors[:, j]
-            cost_c += int((data.indptr[a + 1] - data.indptr[a]).sum())
-        for j in rest_bwd:
-            a = ancestors[:, j]
-            cost_c += int((data.rindptr[a + 1] - data.rindptr[a]).sum())
-        cost_p = pool_size * self._mean_in_degree * (
-            len(rest_fwd) + len(rest_bwd)
-        )
+        num_rest = 0
+        for kind, j, total in fanouts:
+            if kind == anchor_kind and j == anchor_j:
+                continue
+            cost_c += total
+            num_rest += 1
+        cost_p = pool_size * self._mean_in_degree * num_rest
         return "p" if cost_p < cost_c else "c"
 
     def _charge_intersection(

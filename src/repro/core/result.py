@@ -42,6 +42,53 @@ class MatchResult:
     stats: SearchStats = field(default_factory=SearchStats)
     order: tuple[int, ...] = ()
 
+    def merge(
+        self, other: "MatchResult", *, max_materialized: int | None = None
+    ) -> "MatchResult":
+        """Associative reduction over root-interval shards.
+
+        The level-0 candidate intervals partition the search tree, so
+        interval results combine losslessly: counts **sum**, materialised
+        rows **concatenate** (truncated to ``max_materialized`` — prefix
+        truncation keeps the reduction associative), hardware counters
+        sum via :meth:`CostModel.merge`, per-depth stats fold via
+        :meth:`SearchStats.merge`.  ``time_ms`` takes the **max** of the
+        two sides, modeling intervals running on concurrent devices (the
+        merged ``cost.time_ms`` is the serial sum; the field models the
+        makespan).
+
+        Both sides must agree on materialisation (both ``matches is
+        None`` or neither) and on the matching order.
+        """
+        if (self.matches is None) != (other.matches is None):
+            raise ValueError(
+                "cannot merge a materialised result with a count-only one"
+            )
+        if self.order and other.order and self.order != other.order:
+            raise ValueError(
+                f"cannot merge results with different matching orders: "
+                f"{self.order} != {other.order}"
+            )
+        matches = None
+        if self.matches is not None and other.matches is not None:
+            matches = np.concatenate([self.matches, other.matches], axis=0)
+            if max_materialized is not None and len(matches) > max_materialized:
+                matches = matches[:max_materialized]
+        cost = CostModel(self.cost.device)
+        cost.merge(self.cost)
+        cost.merge(other.cost)
+        stats = SearchStats()
+        stats.merge(self.stats)
+        stats.merge(other.stats)
+        return MatchResult(
+            count=self.count + other.count,
+            matches=matches,
+            time_ms=max(self.time_ms, other.time_ms),
+            cost=cost,
+            stats=stats,
+            order=self.order or other.order,
+        )
+
     def mappings(self) -> list[dict[int, int]]:
         """Materialised matches as query→data dictionaries."""
         if self.matches is None:

@@ -47,3 +47,25 @@ class SearchStats:
         self.intersection_calls[kind] = (
             self.intersection_calls.get(kind, 0) + calls
         )
+
+    def merge(self, other: "SearchStats") -> "SearchStats":
+        """Fold another run's statistics into this one (associative).
+
+        Per-depth path counts and chunk counts add (two root intervals
+        partition the same search tree, so their depth totals sum to the
+        serial run's); peaks take the max (intervals run concurrently,
+        each on its own device/process).  Returns ``self`` for chaining.
+        """
+        while len(self.paths_per_depth) < len(other.paths_per_depth):
+            self.paths_per_depth.append(0)
+        for depth, num_paths in enumerate(other.paths_per_depth):
+            self.paths_per_depth[depth] += num_paths
+        self.chunks_processed += other.chunks_processed
+        self.max_chunk_depth = max(self.max_chunk_depth, other.max_chunk_depth)
+        self.peak_trie_words = max(self.peak_trie_words, other.peak_trie_words)
+        self.peak_frontier = max(self.peak_frontier, other.peak_frontier)
+        for kind, calls in other.intersection_calls.items():
+            self.intersection_calls[kind] = (
+                self.intersection_calls.get(kind, 0) + calls
+            )
+        return self

@@ -1,0 +1,24 @@
+"""Multi-core execution engine: process-parallel root-interval sharding.
+
+The CPU analogue of the paper's multi-GPU scaling (§4.2): the level-0
+candidate set is over-split into strided intervals, each interval runs
+the full cuTS search in a worker process against a **zero-copy**
+shared-memory copy of the data graph, and interval results merge exactly.
+
+* :class:`SharedCSR` — the data-graph CSR arrays in one
+  ``multiprocessing.shared_memory`` segment, attached by workers;
+* :class:`ParallelMatcher` — persistent process pool + interval planner
+  + exact result reduction;
+* :func:`parallel_match` — one-shot convenience wrapper.
+"""
+
+from .matcher import ParallelMatcher, parallel_match, resolve_workers
+from .sharedmem import SharedCSR, SharedCSRMeta
+
+__all__ = [
+    "ParallelMatcher",
+    "parallel_match",
+    "resolve_workers",
+    "SharedCSR",
+    "SharedCSRMeta",
+]

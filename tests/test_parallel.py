@@ -1,0 +1,310 @@
+"""Parallel/serial equivalence: the multi-core engine must be an exact
+drop-in for ``CuTSMatcher.match`` — counts bit-identical, materialised
+embeddings equal as row sets, per-depth stats summing to the serial
+totals — for any worker count, oversplit factor, and edge case."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import count_embeddings, subgraph_isomorphism_search
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.core.result import MatchResult
+from repro.core.stats import SearchStats
+from repro.gpusim import CostModel, V100
+from repro.graph import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    from_edges,
+    mesh_graph,
+    random_graph,
+    social_graph,
+    star_graph,
+)
+from repro.parallel import ParallelMatcher, parallel_match, resolve_workers
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _random_case(seed: int):
+    """A randomized (data, query) pair; queries stay small and connected."""
+    rng = np.random.default_rng(seed)
+    data = random_graph(int(rng.integers(20, 45)), 0.15, seed=seed)
+    query = [clique_graph(3), chain_graph(3), cycle_graph(4), star_graph(3),
+             clique_graph(4)][seed % 5]
+    return data, query
+
+
+def _row_set(matches: np.ndarray) -> set[tuple[int, ...]]:
+    return set(map(tuple, matches.tolist()))
+
+
+# ---------------------------------------------------------------- property
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("seed", range(5))
+def test_parallel_equals_serial_on_random_graphs(seed, workers):
+    data, query = _random_case(seed)
+    serial = CuTSMatcher(data).match(query, materialize=True)
+    with ParallelMatcher(data, workers=workers) as matcher:
+        par = matcher.match(query, materialize=True)
+    assert par.count == serial.count
+    assert len(par.matches) == par.count
+    assert _row_set(par.matches) == _row_set(serial.matches)
+    assert par.stats.paths_per_depth == serial.stats.paths_per_depth
+    # Modeled makespan: max over shards never exceeds the serial run.
+    assert par.time_ms <= serial.time_ms * (1 + 1e-9)
+
+
+def test_oversplit_intervals_preserve_results():
+    data = social_graph(120, 3, community_edges=240, num_communities=12, seed=3)
+    query = clique_graph(3)
+    serial = CuTSMatcher(data).match(query, materialize=True)
+    for oversplit in (1, 3, 7):
+        with ParallelMatcher(data, workers=2, oversplit=oversplit) as matcher:
+            assert matcher.num_intervals(query) <= oversplit * 2
+            par = matcher.match(query, materialize=True)
+        assert par.count == serial.count
+        assert _row_set(par.matches) == _row_set(serial.matches)
+
+
+def test_pool_is_reused_across_queries():
+    data = random_graph(40, 0.2, seed=1)
+    with ParallelMatcher(data, workers=2) as matcher:
+        for query in (clique_graph(3), chain_graph(4), cycle_graph(4)):
+            assert (
+                matcher.match(query).count
+                == CuTSMatcher(data).match(query).count
+            )
+
+
+# -------------------------------------------------------------- edge cases
+def test_empty_root_frontier():
+    # No data vertex can satisfy the hub's degree-7 requirement.
+    hub = star_graph(7)
+    data = from_edges([(0, 1), (1, 0), (1, 2), (2, 1)])
+    with ParallelMatcher(data, workers=2) as matcher:
+        res = matcher.match(hub, materialize=True)
+    assert res.count == 0
+    assert len(res.matches) == 0
+
+
+def test_query_larger_than_data():
+    data = from_edges([(0, 1), (1, 0)])
+    with ParallelMatcher(data, workers=2) as matcher:
+        assert matcher.match(clique_graph(5)).count == 0
+
+
+def test_single_step_query():
+    data = mesh_graph(3, 3)
+    single = from_edges(np.zeros((0, 2), dtype=np.int64), num_vertices=1)
+    serial = CuTSMatcher(data).match(single, materialize=True)
+    with ParallelMatcher(data, workers=2) as matcher:
+        par = matcher.match(single, materialize=True)
+    assert par.count == serial.count == data.num_vertices
+    assert _row_set(par.matches) == _row_set(serial.matches)
+
+
+def test_max_materialized_cap():
+    data = social_graph(120, 3, community_edges=240, num_communities=12, seed=4)
+    query = clique_graph(3)
+    full = CuTSMatcher(data).match(query, materialize=True)
+    cap = max(1, full.count // 3)
+    cfg = CuTSConfig(max_materialized=cap)
+    with ParallelMatcher(data, cfg, workers=2) as matcher:
+        par = matcher.match(query, materialize=True)
+    # Counting is never capped; collection is, and the collected rows are
+    # all genuine embeddings (a subset of the uncapped serial set).
+    assert par.count == full.count
+    assert len(par.matches) == cap
+    assert _row_set(par.matches) <= _row_set(full.matches)
+
+
+def test_empty_query_rejected():
+    data = mesh_graph(2, 2)
+    empty = from_edges(np.zeros((0, 2), dtype=np.int64), num_vertices=0)
+    with ParallelMatcher(data, workers=1) as matcher:
+        with pytest.raises(ValueError):
+            matcher.match(empty)
+
+
+def test_closed_matcher_rejects_match():
+    matcher = ParallelMatcher(mesh_graph(2, 2), workers=1)
+    matcher.close()
+    with pytest.raises(ValueError):
+        matcher.match(clique_graph(2))
+
+
+# ------------------------------------------------------- merge primitives
+def test_match_result_merge_is_associative():
+    data = social_graph(100, 3, community_edges=200, num_communities=10, seed=6)
+    query = clique_graph(3)
+    m = CuTSMatcher(data)
+    shards = [
+        m.match(query, materialize=True, part=p, num_parts=3) for p in range(3)
+    ]
+    left = shards[0].merge(shards[1]).merge(shards[2])
+    right = shards[0].merge(shards[1].merge(shards[2]))
+    serial = m.match(query, materialize=True)
+    assert left.count == right.count == serial.count
+    assert _row_set(left.matches) == _row_set(right.matches) == _row_set(
+        serial.matches
+    )
+    assert left.time_ms == right.time_ms == max(s.time_ms for s in shards)
+    assert left.stats.paths_per_depth == serial.stats.paths_per_depth
+    assert (
+        left.cost.dram_read_words
+        == sum(s.cost.dram_read_words for s in shards)
+    )
+
+
+def test_match_result_merge_cap_is_associative():
+    rows = np.arange(12, dtype=np.int64).reshape(6, 2)
+    def shard(lo, hi):
+        return MatchResult(
+            count=hi - lo, matches=rows[lo:hi], time_ms=0.0,
+            cost=CostModel(V100), stats=SearchStats(), order=(0, 1),
+        )
+    a, b, c = shard(0, 2), shard(2, 5), shard(5, 6)
+    cap = 4
+    ab_c = a.merge(b, max_materialized=cap).merge(c, max_materialized=cap)
+    a_bc = a.merge(b.merge(c, max_materialized=cap), max_materialized=cap)
+    assert np.array_equal(ab_c.matches, a_bc.matches)
+    assert len(ab_c.matches) == cap
+    assert ab_c.count == a_bc.count == 6
+
+
+def test_match_result_merge_rejects_mixed_materialization():
+    cost = CostModel(V100)
+    with_rows = MatchResult(
+        count=1, matches=np.zeros((1, 2), dtype=np.int64), time_ms=0.0,
+        cost=cost, stats=SearchStats(), order=(0, 1),
+    )
+    count_only = MatchResult(
+        count=1, matches=None, time_ms=0.0, cost=cost,
+        stats=SearchStats(), order=(0, 1),
+    )
+    with pytest.raises(ValueError):
+        with_rows.merge(count_only)
+    with pytest.raises(ValueError):
+        with_rows.merge(
+            MatchResult(
+                count=0, matches=np.zeros((0, 2), dtype=np.int64),
+                time_ms=0.0, cost=cost, stats=SearchStats(), order=(1, 0),
+            )
+        )
+
+
+def test_search_stats_merge():
+    a, b = SearchStats(), SearchStats()
+    a.record_depth(0, 5)
+    a.record_depth(1, 3)
+    a.record_chunk(1)
+    a.record_trie_words(16)
+    a.record_intersection("c", 2)
+    b.record_depth(0, 7)
+    b.record_trie_words(10)
+    b.record_intersection("p", 1)
+    a.merge(b)
+    assert a.paths_per_depth == [12, 3]
+    assert a.chunks_processed == 1
+    assert a.peak_trie_words == 16
+    assert a.peak_frontier == 7
+    assert a.intersection_calls == {"c": 2, "p": 1}
+
+
+def test_strided_match_partitions_search():
+    data = social_graph(100, 3, community_edges=200, num_communities=10, seed=8)
+    query = cycle_graph(4)
+    m = CuTSMatcher(data)
+    serial = m.match(query)
+    total = sum(
+        m.match(query, part=p, num_parts=4).count for p in range(4)
+    )
+    assert total == serial.count
+    with pytest.raises(ValueError):
+        m.match(query, part=4, num_parts=4)
+
+
+# ------------------------------------------------------------- api surface
+def test_api_workers_equivalence():
+    data = social_graph(100, 3, community_edges=200, num_communities=10, seed=2)
+    query = clique_graph(3)
+    assert count_embeddings(data, query) == count_embeddings(
+        data, query, workers=2
+    )
+
+
+def test_api_workers_on_disconnected_data():
+    # Two triangle components, far apart: the component-composition path.
+    tri = [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]
+    edges = tri + [(u + 10, v + 10) for u, v in tri]
+    data = from_edges(edges, num_vertices=13)
+    query = clique_graph(3)
+    serial = subgraph_isomorphism_search(data, query, materialize=True)
+    par = subgraph_isomorphism_search(data, query, materialize=True, workers=2)
+    assert par.count == serial.count == 12
+    assert _row_set(par.matches) == _row_set(serial.matches)
+
+
+def test_api_workers_on_disconnected_query():
+    data = mesh_graph(3, 3)
+    # Two disjoint edges: the cross-product composition path.
+    query = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_vertices=4)
+    assert count_embeddings(data, query) == count_embeddings(
+        data, query, workers=2
+    )
+
+
+def test_config_workers_default_drives_api():
+    data = random_graph(30, 0.2, seed=12)
+    query = clique_graph(3)
+    cfg = CuTSConfig(workers=2)
+    assert count_embeddings(data, query, cfg) == count_embeddings(data, query)
+
+
+def test_resolve_workers():
+    import os
+
+    assert resolve_workers(3) == 3
+    assert resolve_workers("2") == 2
+    cpus = os.cpu_count() or 1
+    assert resolve_workers("auto") == cpus
+    assert resolve_workers(None) == cpus
+    assert resolve_workers(0) == cpus
+    with pytest.raises(ValueError):
+        resolve_workers(-1)
+
+
+def test_config_validates_workers():
+    with pytest.raises(ValueError):
+        CuTSConfig(workers=0)
+    with pytest.raises(ValueError):
+        CuTSConfig(oversplit=0)
+
+
+def test_parallel_match_helper():
+    data = random_graph(30, 0.2, seed=13)
+    query = chain_graph(3)
+    res = parallel_match(data, query, workers=2)
+    assert res.count == CuTSMatcher(data).match(query).count
+
+
+def test_cli_workers_flag(capsys):
+    from repro.cli import main
+
+    rc = main(["match", "roadNet-PA", "P3", "--workers", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wall clock" in out
+    assert "2 worker processes" in out
+
+
+def test_cli_workers_rejects_bad_spec():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["match", "roadNet-PA", "P3", "--workers", "nope"])
+    with pytest.raises(SystemExit):
+        main(["match", "roadNet-PA", "P3", "--workers", "2", "--ranks", "2"])
