@@ -9,8 +9,8 @@ paper's compression ratio, plus the Eq. (4)/(5) theoretical bound.
 Run:  python examples/storage_compression.py
 """
 
-from repro.experiments import load_dataset
 from repro.core import CuTSConfig, CuTSMatcher
+from repro.experiments import load_dataset
 from repro.gpusim import V100, scaled_device
 from repro.graph import clique_graph
 from repro.storage import (

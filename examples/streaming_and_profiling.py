@@ -15,8 +15,8 @@ Run:  python examples/streaming_and_profiling.py
 """
 
 from repro.core import CuTSConfig, CuTSMatcher, iter_matches
-from repro.graph import cycle_graph, social_graph
 from repro.gpusim import format_trace_report
+from repro.graph import cycle_graph, social_graph
 
 
 def main() -> None:

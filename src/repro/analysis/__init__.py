@@ -1,0 +1,38 @@
+"""Project-invariant static analysis for the cuTS reproduction.
+
+The engine parses every module under ``src/`` into ASTs and runs
+repo-specific checkers encoding invariants the compiler never sees:
+one-writer trie discipline, exact-count determinism, CSR dtype hygiene,
+protocol totality, and config/CLI drift.  See ``DESIGN.md`` §9 for the
+architecture and the rule catalog.
+
+Quickstart::
+
+    python -m repro.analysis            # analyze src/, human output
+    python -m repro.analysis --strict   # CI gate: nonzero on any finding
+    python -m repro.analysis --json     # machine-readable diagnostics
+
+Per-line suppression: append ``# repro: ignore[RP002]`` (or a bare
+``# repro: ignore`` to silence every rule) to the offending line, or put
+the comment alone on the line above it.  Pre-existing debt lives in a
+committed baseline file (``--baseline``); new code never adds to it.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .diagnostics import Diagnostic, Severity
+from .engine import AnalysisReport, Analyzer, Project, SourceModule
+from .registry import all_checkers, register
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Baseline",
+    "Diagnostic",
+    "Project",
+    "Severity",
+    "SourceModule",
+    "all_checkers",
+    "register",
+]

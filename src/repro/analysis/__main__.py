@@ -1,0 +1,147 @@
+"""``python -m repro.analysis`` — run the static-analysis engine.
+
+Exit codes: 0 clean, 1 findings (or, under ``--strict``, warnings /
+stale baseline entries), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import AnalysisReport, Analyzer
+from .registry import all_checkers
+
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+
+def _default_root() -> Path:
+    """The ``src/`` directory this package was loaded from."""
+    return Path(__file__).resolve().parents[2]
+
+
+def _default_baseline(root: Path) -> Path | None:
+    """Look for the committed baseline next to (or above) the root."""
+    for candidate in (root, *root.parents):
+        path = candidate / DEFAULT_BASELINE_NAME
+        if path.exists():
+            return path
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repo-specific static analysis (rules RP001-RP005)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the src/ tree)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on warnings and stale baseline entries (CI gate)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of human text",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE_NAME} found "
+        f"beside the analyzed tree; 'none' disables)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _merge(reports: list[AnalysisReport]) -> AnalysisReport:
+    first = reports[0]
+    merged = AnalysisReport(
+        root=first.root,
+        checked_files=sum(r.checked_files for r in reports),
+        active=[d for r in reports for d in r.active],
+        baselined=[d for r in reports for d in r.baselined],
+        stale_baseline=[],
+        suppressed_count=sum(r.suppressed_count for r in reports),
+    )
+    # Stale = baseline entries no report's diagnostics matched anywhere.
+    stale = set(reports[0].stale_baseline)
+    for r in reports[1:]:
+        stale &= set(r.stale_baseline)
+    merged.stale_baseline = sorted(stale)
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for checker in all_checkers():
+            print(f"{checker.rule}  {checker.name}: {checker.description}")
+        return 0
+
+    roots = args.paths or [_default_root()]
+    for root in roots:
+        if not root.exists():
+            print(f"error: no such path: {root}", file=sys.stderr)
+            return 2
+
+    baseline: Baseline | None = None
+    baseline_path = args.baseline
+    if baseline_path is not None and str(baseline_path) == "none":
+        baseline_path = None
+    elif baseline_path is None:
+        baseline_path = _default_baseline(roots[0].resolve())
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+
+    reports = [Analyzer(root).run(baseline=baseline) for root in roots]
+    report = _merge(reports)
+
+    if args.write_baseline:
+        target = baseline_path or roots[0].resolve().parent / DEFAULT_BASELINE_NAME
+        Baseline.from_diagnostics(report.active).save(target)
+        print(f"wrote {len(report.active)} entries to {target}")
+        return 0
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for diag in report.active:
+            print(diag.format())
+        for entry in report.stale_baseline:
+            print(f"stale baseline entry (remove it): {entry}")
+        summary = (
+            f"{len(report.active)} finding(s) in {report.checked_files} "
+            f"file(s); {len(report.baselined)} baselined, "
+            f"{report.suppressed_count} suppressed"
+        )
+        if report.stale_baseline:
+            summary += f", {len(report.stale_baseline)} stale baseline"
+        print(summary)
+
+    code = report.exit_code(strict=args.strict)
+    if args.strict and code == 0 and report.stale_baseline:
+        code = 1
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Checker base class and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Project, SourceModule
+
+__all__ = [
+    "Checker",
+    "attribute_chain",
+    "call_keywords",
+    "import_aliases",
+]
+
+
+class Checker:
+    """One analysis rule.
+
+    Subclasses set ``rule``/``name``/``description`` and override either
+    :meth:`check_module` (per-module rules) or :meth:`check_project`
+    (cross-module rules that need the whole tree, e.g. protocol
+    totality).  Both may be overridden.
+    """
+
+    rule: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: "SourceModule") -> Iterable[Diagnostic]:
+        return ()
+
+    def check_project(self, project: "Project") -> Iterable[Diagnostic]:
+        return ()
+
+    # ------------------------------------------------------------------
+    def diag(
+        self,
+        module: "SourceModule",
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.rule,
+            message=message,
+            severity=severity,
+        )
+
+
+def attribute_chain(node: ast.AST) -> tuple[str, ...] | None:
+    """Dotted-name parts of a Name/Attribute chain, or ``None``.
+
+    ``graph.indices`` -> ``("graph", "indices")``;
+    ``self.data.indptr`` -> ``("self", "data", "indptr")``; anything with
+    a non-name base (calls, subscripts) returns ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def call_keywords(node: ast.Call) -> dict[str, ast.expr]:
+    """Explicit keyword arguments of a call (ignores ``**spread``)."""
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical module/object they refer to.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``import time as _time`` -> ``{"_time": "time"}``;
+    ``from time import monotonic`` -> ``{"monotonic": "time.monotonic"}``.
+    Relative imports keep their dots (``from ..graph import csr`` ->
+    ``{"csr": "..graph.csr"}``).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = a.name
+        elif isinstance(node, ast.ImportFrom):
+            prefix = "." * node.level + (node.module or "")
+            for a in node.names:
+                if a.name == "*":
+                    continue
+                aliases[a.asname or a.name] = (
+                    f"{prefix}.{a.name}" if prefix else a.name
+                )
+    return aliases
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

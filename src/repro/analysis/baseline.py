@@ -1,0 +1,80 @@
+"""Committed-baseline support: gate CI from day one without rewriting
+history.
+
+A baseline is a JSON file listing the fingerprints of accepted
+pre-existing findings.  Diagnostics whose fingerprint appears in the
+baseline are reported as *baselined* (informational) instead of failing
+the run; baseline entries that no longer match anything are *stale* and
+fail ``--strict`` so the file shrinks monotonically as debt is paid.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A set of accepted diagnostic fingerprints (see ``Diagnostic``)."""
+
+    entries: set[str] = field(default_factory=set)
+    comment: str = ""
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"in {path}"
+            )
+        return cls(
+            entries=set(data.get("entries", [])),
+            comment=str(data.get("comment", "")),
+        )
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": _VERSION,
+            "comment": self.comment,
+            "entries": sorted(self.entries),
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n")
+
+    def split(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic], list[str]]:
+        """Partition ``diagnostics`` into (active, baselined, stale).
+
+        ``stale`` is the list of baseline entries no diagnostic matched —
+        debt that has been paid and should be removed from the file.
+        """
+        active: list[Diagnostic] = []
+        baselined: list[Diagnostic] = []
+        matched: set[str] = set()
+        for diag in diagnostics:
+            if diag.fingerprint in self.entries:
+                baselined.append(diag)
+                matched.add(diag.fingerprint)
+            else:
+                active.append(diag)
+        stale = sorted(self.entries - matched)
+        return active, baselined, stale
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        return cls(
+            entries={d.fingerprint for d in diagnostics},
+            comment=(
+                "Accepted pre-existing findings; remove entries as the "
+                "debt is paid. New code must not add to this file."
+            ),
+        )

@@ -1,0 +1,30 @@
+"""Built-in rule catalog; importing this package registers every rule.
+
+================ =====================================================
+Rule             Invariant
+================ =====================================================
+``RP001``        Shared-memory write safety: CSR arrays attached from
+                 ``SharedCSR`` (and parameters documented read-only)
+                 are never mutated in place.
+``RP002``        Determinism: no unseeded RNG and no time-dependent
+                 branching inside ``core/``, ``storage/``, ``gpusim/``.
+``RP003``        Dtype/overflow hygiene: array constructors carry an
+                 explicit ``dtype``; no narrow integer dtypes on
+                 CSR offsets or match counts.
+``RP004``        Protocol totality: every ``MsgType`` has a dispatch
+                 arm; every point-to-point send has a receive; every
+                 work ship has an ack/retry path.
+``RP005``        Config drift: every ``CuTSConfig`` field is live and
+                 every CLI flag is read.
+================ =====================================================
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (imports register the checkers)
+    rp001_shared_write,
+    rp002_determinism,
+    rp003_dtype,
+    rp004_protocol,
+    rp005_config,
+)

@@ -1,0 +1,170 @@
+"""RP002 — determinism in the exact-count engine.
+
+Exact-count parity — serial == parallel == distributed, bit for bit —
+is the ground truth every experiment and chaos test compares against.
+That only holds if the engine's packages are deterministic functions of
+their inputs: randomness must flow in as a seeded
+``np.random.Generator`` (or a ``random.Random(seed)``), never be drawn
+from ambient global state, and control flow must never depend on the
+wall clock.
+
+Scope: ``core/``, ``storage/``, ``gpusim/``.
+
+Flagged:
+
+* calls to legacy global-state RNG (``np.random.rand``, ``np.random
+  .seed``, ``random.random``, ...);
+* ``np.random.default_rng()`` / ``random.Random()`` without a seed
+  argument;
+* wall-clock reads (``time.monotonic()``, ``datetime.now()``, ...)
+  inside a branch condition or comparison — modeled time from the cost
+  model is fine, host time is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Checker, attribute_chain, import_aliases
+from ..diagnostics import Diagnostic
+from ..engine import SourceModule
+from ..registry import register
+
+SCOPE = frozenset({"core", "storage", "gpusim"})
+
+SEEDED_FACTORIES = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+RANDOM_MODULE_FUNCS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "betavariate",
+        "expovariate", "triangular", "seed", "getrandbits", "randbytes",
+    }
+)
+
+TIME_FUNCS = frozenset(
+    {"time", "monotonic", "perf_counter", "process_time", "time_ns",
+     "monotonic_ns", "perf_counter_ns"}
+)
+
+DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+def _resolve(chain: tuple[str, ...], aliases: dict[str, str]) -> tuple[str, ...]:
+    """Rewrite a chain's root through the module's import aliases."""
+    root = aliases.get(chain[0])
+    if root is None:
+        return chain
+    return tuple(root.split(".")) + chain[1:]
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "RP002"
+    name = "determinism"
+    description = (
+        "no unseeded RNG and no wall-clock branching in core/, storage/, "
+        "gpusim/ — randomness flows in as a seeded Generator"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.package not in SCOPE:
+            return
+        aliases = import_aliases(module.tree)
+        condition_calls = _calls_in_conditions(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            resolved = _resolve(chain, aliases)
+            yield from self._check_rng(module, node, resolved)
+            yield from self._check_clock(
+                module, node, resolved, node in condition_calls
+            )
+
+    # ------------------------------------------------------------------
+    def _check_rng(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        chain: tuple[str, ...],
+    ) -> Iterator[Diagnostic]:
+        if len(chain) >= 2 and chain[0] == "numpy" and chain[-2] == "random":
+            func = chain[-1]
+            if func not in SEEDED_FACTORIES:
+                yield self.diag(
+                    module,
+                    node,
+                    f"global-state RNG call 'np.random.{func}': pass a "
+                    f"seeded np.random.Generator in instead",
+                )
+            elif func == "default_rng" and not node.args and not node.keywords:
+                yield self.diag(
+                    module,
+                    node,
+                    "np.random.default_rng() without a seed draws OS "
+                    "entropy; thread config.seed through",
+                )
+        elif chain[0] == "random" and len(chain) == 2:
+            func = chain[1]
+            if func in RANDOM_MODULE_FUNCS:
+                yield self.diag(
+                    module,
+                    node,
+                    f"bare 'random.{func}()' uses the shared global RNG; "
+                    f"use a seeded random.Random instance",
+                )
+            elif func == "Random" and not node.args and not node.keywords:
+                yield self.diag(
+                    module,
+                    node,
+                    "random.Random() without a seed is nondeterministic",
+                )
+
+    def _check_clock(
+        self,
+        module: SourceModule,
+        node: ast.Call,
+        chain: tuple[str, ...],
+        in_condition: bool,
+    ) -> Iterator[Diagnostic]:
+        if not in_condition:
+            return
+        is_time = (
+            chain[0] == "time" and len(chain) == 2 and chain[1] in TIME_FUNCS
+        ) or (len(chain) == 1 and chain[0] in TIME_FUNCS)
+        is_datetime = (
+            len(chain) >= 2
+            and chain[0] in ("datetime",)
+            and chain[-1] in DATETIME_FUNCS
+        )
+        if is_time or is_datetime:
+            name = ".".join(chain)
+            yield self.diag(
+                module,
+                node,
+                f"time-dependent branch on '{name}()': control flow in "
+                f"the exact-count engine must not read the wall clock",
+            )
+
+
+def _calls_in_conditions(tree: ast.Module) -> set[ast.Call]:
+    """Every Call node appearing inside a branch test or a comparison."""
+    found: set[ast.Call] = set()
+
+    def mark(expr: ast.AST) -> None:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                found.add(sub)
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            mark(node.test)
+        elif isinstance(node, ast.Compare):
+            mark(node)
+        elif isinstance(node, ast.Assert):
+            mark(node.test)
+    return found

@@ -1,0 +1,89 @@
+"""RP003 — dtype/overflow hygiene.
+
+CSR offsets and match counts overflow int32 on every graph the paper
+evaluates (Enron alone has 367k edges; embedding counts reach 1e9+), and
+NumPy's implicit dtype selection is platform-dependent (``np.arange(n)``
+is int32 on Windows).  The repo's contract is ``INDEX_DTYPE`` (int64,
+asserted in :class:`repro.graph.csr.CSRGraph`); this rule keeps every
+array birth explicit so a narrowing dtype can never sneak in through a
+default.
+
+Scope: ``core/``, ``storage/``, ``graph/``, ``parallel/``,
+``distributed/``.
+
+Flagged:
+
+* ``np.arange`` / ``np.zeros`` / ``np.empty`` / ``np.ones`` / ``np.full``
+  without an explicit ``dtype=`` keyword;
+* any reference to a narrow integer dtype (``np.int32``, ``np.int16``,
+  ``np.int8``, unsigned variants) — including ``.astype(np.int32)`` —
+  on code paths that index CSR arrays or accumulate counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, attribute_chain, call_keywords, import_aliases
+from ..diagnostics import Diagnostic
+from ..engine import SourceModule
+from ..registry import register
+
+SCOPE = frozenset({"core", "storage", "graph", "parallel", "distributed"})
+
+CONSTRUCTORS = frozenset({"arange", "zeros", "empty", "ones", "full"})
+
+NARROW_INT_DTYPES = frozenset(
+    {"int32", "int16", "int8", "uint32", "uint16", "uint8", "intc", "short"}
+)
+
+
+@register
+class DtypeChecker(Checker):
+    rule = "RP003"
+    name = "dtype-hygiene"
+    description = (
+        "array constructors carry an explicit dtype; no narrow integer "
+        "dtypes on CSR offsets or match counts"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.package not in SCOPE:
+            return
+        aliases = import_aliases(module.tree)
+        numpy_names = {
+            local for local, target in aliases.items() if target == "numpy"
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] in numpy_names
+                    and chain[1] in CONSTRUCTORS
+                    and "dtype" not in call_keywords(node)
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"np.{chain[1]} without an explicit dtype: implicit "
+                        f"integer width is platform-dependent; state the "
+                        f"dtype (INDEX_DTYPE for CSR indices/offsets)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                chain = attribute_chain(node)
+                if (
+                    chain is not None
+                    and len(chain) == 2
+                    and chain[0] in numpy_names
+                    and chain[1] in NARROW_INT_DTYPES
+                ):
+                    yield self.diag(
+                        module,
+                        node,
+                        f"narrow integer dtype np.{chain[1]}: CSR offsets "
+                        f"and match counts overflow 32 bits on paper-scale "
+                        f"graphs; use INDEX_DTYPE (int64)",
+                    )

@@ -1,0 +1,261 @@
+"""RP004 — protocol totality.
+
+The distributed runtime's correctness argument (exactly-once work
+accounting over a faulty network, DESIGN.md §7) quantifies over *every*
+message kind: a kind that is sent but never drained deadlocks the event
+loop; a work shipment without sender-side ack/retry bookkeeping leaks
+the claimed free rank on the first dropped message.  The catalog of
+kinds is :class:`repro.distributed.protocol.MsgType`; this rule keeps
+the catalog and the dispatch code in ``runtime.py`` / ``worker.py``
+total with respect to each other.
+
+Flagged:
+
+* a ``MsgType`` member never referenced by the dispatch modules;
+* a kind sent point-to-point (``comm.send``) with no matching
+  ``receive``/``peek`` arm;
+* a raw string tag in a comm call — drift-prone; spell it
+  ``MsgType.X``;
+* a tag literal that names no ``MsgType`` member;
+* a function sending ``MsgType.WORK`` with no shipment-tracker
+  (ack/retry) bookkeeping.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..base import Checker, attribute_chain, call_keywords, walk_functions
+from ..diagnostics import Diagnostic
+from ..engine import Project, SourceModule
+from ..registry import register
+
+DISPATCH_FILES = ("runtime.py", "worker.py")
+
+COMM_SENDS = frozenset({"send"})
+COMM_BROADCASTS = frozenset({"broadcast"})
+COMM_RECEIVES = frozenset({"receive", "peek"})
+COMM_CALLS = COMM_SENDS | COMM_BROADCASTS | COMM_RECEIVES
+
+# Attribute names that evidence sender-side ack/retry bookkeeping.
+TRACKER_ATTRS = frozenset({"register", "retransmissions", "in_flight"})
+
+WORK_MEMBER = "WORK"
+
+
+def _msgtype_members(module: SourceModule) -> dict[str, str] | None:
+    """``MsgType`` members (NAME -> wire value), or ``None`` if absent."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and node.name == "MsgType":
+            members: dict[str, str] = {}
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                ):
+                    members[stmt.targets[0].id] = stmt.value.value
+            return members
+    return None
+
+
+def _tag_argument(node: ast.Call, func_attr: str) -> ast.expr | None:
+    """The tag expression of a comm call, positional or keyword."""
+    kw = call_keywords(node)
+    if "tag" in kw:
+        return kw["tag"]
+    # Positional layouts: send(src, dst, tag, ...), broadcast(src, tag,
+    # ...), receive(dst, time, tag), peek(dst, tag).
+    index = {"send": 2, "broadcast": 1, "receive": 2, "peek": 1}[func_attr]
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+@dataclass
+class _TagUse:
+    module: SourceModule
+    node: ast.Call
+    kind: str  # "send" | "broadcast" | "receive"
+    member: str | None  # resolved MsgType member name
+    raw: str | None  # raw string literal, if one was used
+
+
+@dataclass
+class _Dispatch:
+    """Evidence collected from the dispatch modules."""
+
+    referenced: set[str] = field(default_factory=set)
+    uses: list[_TagUse] = field(default_factory=list)
+
+
+def _collect(
+    modules: list[SourceModule], members: dict[str, str]
+) -> _Dispatch:
+    by_value = {v: k for k, v in members.items()}
+    out = _Dispatch()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                chain = attribute_chain(node)
+                if (
+                    chain is not None
+                    and len(chain) >= 2
+                    and chain[-2] == "MsgType"
+                    and chain[-1] in members
+                ):
+                    out.referenced.add(chain[-1])
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in COMM_CALLS:
+                continue
+            tag = _tag_argument(node, func.attr)
+            if tag is None:
+                continue
+            member: str | None = None
+            raw: str | None = None
+            tag_chain = attribute_chain(tag)
+            if (
+                tag_chain is not None
+                and len(tag_chain) >= 2
+                and tag_chain[-2] == "MsgType"
+            ):
+                member = tag_chain[-1]
+            elif isinstance(tag, ast.Constant) and isinstance(tag.value, str):
+                raw = tag.value
+                member = by_value.get(tag.value)
+            else:
+                continue  # tag comes from a variable; not resolvable
+            kind = (
+                "send"
+                if func.attr in COMM_SENDS
+                else "broadcast"
+                if func.attr in COMM_BROADCASTS
+                else "receive"
+            )
+            out.uses.append(
+                _TagUse(module=module, node=node, kind=kind,
+                        member=member, raw=raw)
+            )
+            if member is not None:
+                out.referenced.add(member)
+    return out
+
+
+@register
+class ProtocolTotalityChecker(Checker):
+    rule = "RP004"
+    name = "protocol-totality"
+    description = (
+        "every MsgType has a dispatch arm, every point-to-point send a "
+        "receive, every work ship an ack/retry path"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        protocol = project.find("distributed/protocol.py")
+        if protocol is None:
+            return
+        members = _msgtype_members(protocol)
+        if members is None:
+            yield self.diag(
+                protocol,
+                protocol.tree,
+                "distributed/protocol.py defines no MsgType enum: message "
+                "kinds must be cataloged for totality checking",
+            )
+            return
+        dispatch_modules = [
+            m
+            for m in project.modules
+            if m.package == "distributed" and m.filename in DISPATCH_FILES
+        ]
+        if not dispatch_modules:
+            return
+        evidence = _collect(dispatch_modules, members)
+
+        received = {u.member for u in evidence.uses if u.kind == "receive"}
+        for name in sorted(members):
+            if name not in evidence.referenced:
+                yield self.diag(
+                    protocol,
+                    protocol.tree,
+                    f"MsgType.{name} has no dispatch arm in "
+                    f"{'/'.join(DISPATCH_FILES)}: dead or undrained "
+                    f"message kind",
+                )
+        for use in evidence.uses:
+            if use.raw is not None:
+                if use.member is None:
+                    yield self.diag(
+                        use.module,
+                        use.node,
+                        f"message tag {use.raw!r} names no MsgType member",
+                    )
+                else:
+                    yield self.diag(
+                        use.module,
+                        use.node,
+                        f"raw message tag {use.raw!r}: spell it "
+                        f"MsgType.{use.member} so totality is checkable",
+                    )
+            if (
+                use.kind == "send"
+                and use.member is not None
+                and use.member not in received
+            ):
+                yield self.diag(
+                    use.module,
+                    use.node,
+                    f"MsgType.{use.member} is sent point-to-point but "
+                    f"never received/peeked: undrained messages stall "
+                    f"the event loop",
+                )
+        yield from self._check_work_sends(evidence)
+
+    # ------------------------------------------------------------------
+    def _check_work_sends(self, evidence: _Dispatch) -> Iterable[Diagnostic]:
+        work_sends = [
+            u
+            for u in evidence.uses
+            if u.kind == "send" and u.member == WORK_MEMBER
+        ]
+        if not work_sends:
+            return
+        for use in work_sends:
+            func = _enclosing_function(use.module.tree, use.node)
+            if func is None:
+                continue
+            if not _has_tracker_bookkeeping(func):
+                yield self.diag(
+                    use.module,
+                    use.node,
+                    f"work shipment in '{func.name}' has no shipment-"
+                    f"tracker bookkeeping (ack/retry path): a dropped "
+                    f"message would leak the claimed rank",
+                )
+
+
+def _enclosing_function(
+    tree: ast.Module, target: ast.AST
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for func in walk_functions(tree):
+        for node in ast.walk(func):
+            if node is target:
+                return func
+    return None
+
+
+def _has_tracker_bookkeeping(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute) and node.attr in TRACKER_ATTRS:
+            return True
+        if isinstance(node, ast.Name) and node.id == "tracker":
+            return True
+    return False

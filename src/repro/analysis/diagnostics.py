@@ -1,0 +1,56 @@
+"""Structured diagnostics emitted by the analysis checkers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(str, enum.Enum):
+    """How a diagnostic participates in gating.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but only fail under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violated at a source location.
+
+    ``path`` is the POSIX-style path relative to the analysis root, so
+    fingerprints are stable across machines and checkouts.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = field(default=Severity.ERROR, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Baseline identity: deliberately excludes the line number so
+        unrelated edits above a baselined finding do not un-baseline it."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} {self.rule} {self.message}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,226 @@
+"""The analysis engine: collect modules, run checkers, apply
+suppressions and the baseline.
+
+Scope resolution: a module's *logical* path is its path relative to the
+last ``repro`` directory on the way down from the analysis root (or
+relative to the root itself when no ``repro`` component exists).  Rules
+that only apply inside certain packages (``core/``, ``storage/``, ...)
+test the first logical component, so fixture trees under
+``tests/analysis_fixtures/repro/`` scope exactly like the real source.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline
+from .diagnostics import Diagnostic, Severity
+from .registry import all_checkers
+
+__all__ = ["SourceModule", "Project", "AnalysisReport", "Analyzer"]
+
+_PARSE_RULE = "RP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Z0-9_,\s]+)\])?"
+)
+
+_ALL_RULES = "*"
+
+
+def _parse_suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Map line number -> suppressed rule codes (``*`` = every rule).
+
+    A suppression comment covers its own line; a comment standing alone
+    on a line covers the next line instead (for lines too long to carry
+    a trailing comment).
+    """
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        rules = m.group("rules")
+        codes = (
+            {code.strip() for code in rules.split(",") if code.strip()}
+            if rules
+            else {_ALL_RULES}
+        )
+        target = lineno
+        if text.lstrip().startswith("#"):
+            target = lineno + 1
+        out.setdefault(target, set()).update(codes)
+    return out
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file plus the metadata checkers need."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @property
+    def logical_parts(self) -> tuple[str, ...]:
+        parts = Path(self.rel).parts
+        if "repro" in parts:
+            idx = len(parts) - 1 - parts[::-1].index("repro")
+            return parts[idx + 1 :]
+        return parts
+
+    @property
+    def package(self) -> str:
+        """First logical path component (``core``, ``storage``, ...)."""
+        parts = self.logical_parts
+        return parts[0] if len(parts) > 1 else ""
+
+    @property
+    def filename(self) -> str:
+        return Path(self.rel).name
+
+    def logical_path(self) -> str:
+        return "/".join(self.logical_parts)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        return codes is not None and (rule in codes or _ALL_RULES in codes)
+
+
+@dataclass
+class Project:
+    """Every module of one analysis run, for cross-module checkers."""
+
+    root: Path
+    modules: list[SourceModule]
+
+    def find(self, logical_suffix: str) -> SourceModule | None:
+        """The module whose logical path ends with ``logical_suffix``."""
+        for module in self.modules:
+            if module.logical_path().endswith(logical_suffix):
+                return module
+        return None
+
+    def by_rel(self) -> dict[str, SourceModule]:
+        return {m.rel: m for m in self.modules}
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one run: active, suppressed, baselined, and stale."""
+
+    root: Path
+    checked_files: int
+    active: list[Diagnostic]
+    baselined: list[Diagnostic]
+    stale_baseline: list[str]
+    suppressed_count: int
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.active if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.active if d.severity is Severity.WARNING]
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and (self.warnings or self.stale_baseline):
+            return 1
+        return 0
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "root": str(self.root),
+            "checked_files": self.checked_files,
+            "diagnostics": [d.to_json() for d in self.active],
+            "baselined": [d.to_json() for d in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "suppressed": self.suppressed_count,
+        }
+
+
+class Analyzer:
+    """Run every registered checker over a source tree."""
+
+    def __init__(self, root: Path, checkers: list | None = None) -> None:
+        self.root = Path(root)
+        self.checkers = checkers if checkers is not None else all_checkers()
+
+    # ------------------------------------------------------------------
+    def collect(self) -> tuple[Project, list[Diagnostic]]:
+        """Parse every ``*.py`` under the root; unparsable files become
+        RP000 diagnostics instead of aborting the run."""
+        modules: list[SourceModule] = []
+        parse_errors: list[Diagnostic] = []
+        if self.root.is_file():
+            paths = [self.root]
+            base = self.root.parent
+        else:
+            paths = sorted(self.root.rglob("*.py"))
+            base = self.root
+        for path in paths:
+            if "__pycache__" in path.parts:
+                continue
+            rel = path.relative_to(base).as_posix()
+            source = path.read_text()
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Diagnostic(
+                        path=rel,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 0) + 1,
+                        rule=_PARSE_RULE,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            modules.append(
+                SourceModule(
+                    path=path,
+                    rel=rel,
+                    source=source,
+                    tree=tree,
+                    suppressions=_parse_suppressions(source.splitlines()),
+                )
+            )
+        return Project(root=self.root, modules=modules), parse_errors
+
+    def run(self, baseline: Baseline | None = None) -> AnalysisReport:
+        project, diagnostics = self.collect()
+        for checker in self.checkers:
+            for module in project.modules:
+                diagnostics.extend(checker.check_module(module))
+            diagnostics.extend(checker.check_project(project))
+
+        by_rel = project.by_rel()
+        kept: list[Diagnostic] = []
+        suppressed = 0
+        for diag in sorted(set(diagnostics)):
+            module = by_rel.get(diag.path)
+            if module is not None and module.suppressed(diag.rule, diag.line):
+                suppressed += 1
+                continue
+            kept.append(diag)
+
+        if baseline is None:
+            active, baselined, stale = kept, [], []
+        else:
+            active, baselined, stale = baseline.split(kept)
+        return AnalysisReport(
+            root=self.root,
+            checked_files=len(project.modules),
+            active=active,
+            baselined=baselined,
+            stale_baseline=stale,
+            suppressed_count=suppressed,
+        )

@@ -1,0 +1,34 @@
+"""Plugin registry for analysis checkers.
+
+Checkers self-register at import time via the :func:`register` decorator;
+:func:`all_checkers` imports the built-in rule package and returns one
+instance per registered class, sorted by rule code so output ordering is
+deterministic.
+"""
+
+from __future__ import annotations
+
+from .base import Checker
+
+__all__ = ["register", "all_checkers"]
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a :class:`Checker` subclass to the registry."""
+    rule = getattr(cls, "rule", "")
+    if not rule:
+        raise ValueError(f"checker {cls.__name__} must define a rule code")
+    if rule in _REGISTRY and _REGISTRY[rule] is not cls:
+        raise ValueError(f"duplicate checker for rule {rule}")
+    _REGISTRY[rule] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """One instance of every registered checker, sorted by rule code."""
+    # Importing the package triggers registration of the built-in rules.
+    from . import checkers  # noqa: F401  (import for side effect)
+
+    return [_REGISTRY[rule]() for rule in sorted(_REGISTRY)]

@@ -25,9 +25,9 @@ from .core.config import CuTSConfig
 from .core.matcher import CuTSMatcher
 from .core.result import MatchResult
 from .core.stats import SearchStats
+from .gpusim.cost import CostModel
 from .graph.components import is_weakly_connected, split_components
 from .graph.csr import CSRGraph
-from .gpusim.cost import CostModel
 from .parallel.matcher import ParallelMatcher, resolve_workers
 
 __all__ = [

@@ -40,7 +40,6 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.candidates import root_candidates
-from ..core.config import CuTSConfig
 from ..core.ordering import build_order
 from ..core.result import MatchResult
 from ..core.stats import SearchStats
@@ -202,7 +201,6 @@ class GSIMatcher:
         stats: SearchStats,
     ) -> np.ndarray:
         """One two-pass BFS join level (streamed in path slices)."""
-        data = self.data
         num_paths = len(table)
         fwd, bwd = order.constraints_at(step)
         new_depth = table.shape[1] + 1

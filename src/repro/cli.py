@@ -26,13 +26,13 @@ from pathlib import Path
 
 from .core.config import CuTSConfig
 from .core.matcher import CuTSMatcher
-from .parallel.matcher import ParallelMatcher, resolve_workers
 from .distributed.faults import FaultPlan
 from .distributed.runtime import DistributedCuTS
+from .gpusim.device import A100, V100
 from .graph.csr import CSRGraph
 from .graph.generators import chain_graph, clique_graph, cycle_graph, star_graph
 from .graph.io import convert_cuts_to_gsi, read_cuts_format
-from .gpusim.device import A100, V100
+from .parallel.matcher import ParallelMatcher, resolve_workers
 
 __all__ = ["main", "load_data_argument", "load_query_argument"]
 

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..graph.csr import CSRGraph
 from ..gpusim.cost import CostModel
+from ..graph.csr import CSRGraph
 
 __all__ = ["root_candidates", "degree_filter_mask", "neighborhood_filter_mask"]
 

@@ -25,12 +25,13 @@ the paper's analysis section.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..graph.csr import CSRGraph
 from .candidates import root_candidates
-from .ordering import build_order
+from .ordering import MatchOrder, build_order
 
 __all__ = [
     "ComplexityEstimate",
@@ -61,7 +62,9 @@ class ComplexityEstimate:
         return self.delta * self.sigma
 
 
-def _sigma_estimate(data: CSRGraph, query: CSRGraph, order) -> float:
+def _sigma_estimate(
+    data: CSRGraph, query: CSRGraph, order: MatchOrder
+) -> float:
     """Estimate the valid-path ratio ``sigma`` from filter selectivity.
 
     A generated extension survives (roughly independently) the degree
@@ -138,7 +141,7 @@ def upper_bound_counts(
     return tuple(counts)
 
 
-def fit_branching_factor(measured_counts) -> float:
+def fit_branching_factor(measured_counts: Sequence[float]) -> float:
     """A-posteriori effective ``ds`` from measured per-depth counts.
 
     The geometric-mean growth ratio ``(|P_L| / |P_1|)^{1/(L-1)}`` — what
@@ -181,7 +184,7 @@ def multi_gpu_complexity(
 
 
 def predict_vs_measured(
-    data: CSRGraph, query: CSRGraph, measured_counts
+    data: CSRGraph, query: CSRGraph, measured_counts: Sequence[float]
 ) -> list[dict]:
     """Rows comparing the Eq. (2) prediction against a measured run.
 

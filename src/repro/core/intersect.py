@@ -24,10 +24,12 @@ with its movement so the ablation benchmark reproduces the cost gap.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from ..graph.csr import CSRGraph
 from ..gpusim.cost import CostModel
+from ..graph.csr import CSRGraph, INDEX_DTYPE
 
 __all__ = [
     "scatter_vector_intersection",
@@ -39,7 +41,7 @@ __all__ = [
 ]
 
 
-def _as_vertex_array(vertices) -> np.ndarray:
+def _as_vertex_array(vertices: np.ndarray | Sequence[int]) -> np.ndarray:
     arr = np.asarray(vertices, dtype=np.int64).ravel()
     if arr.size == 0:
         raise ValueError("need at least one vertex to intersect")
@@ -48,7 +50,7 @@ def _as_vertex_array(vertices) -> np.ndarray:
 
 def scatter_vector_intersection(
     graph: CSRGraph,
-    vertices,
+    vertices: np.ndarray | Sequence[int],
     cost: CostModel | None = None,
     scatter: np.ndarray | None = None,
 ) -> np.ndarray:
@@ -85,7 +87,9 @@ def scatter_vector_intersection(
 
 
 def c_intersection(
-    graph: CSRGraph, vertices, cost: CostModel | None = None
+    graph: CSRGraph,
+    vertices: np.ndarray | Sequence[int],
+    cost: CostModel | None = None,
 ) -> np.ndarray:
     """c-kernel: shared-memory buffer of ``children(a1)``, stream the rest.
 
@@ -115,7 +119,9 @@ def c_intersection(
 
 
 def p_intersection(
-    graph: CSRGraph, vertices, cost: CostModel | None = None
+    graph: CSRGraph,
+    vertices: np.ndarray | Sequence[int],
+    cost: CostModel | None = None,
 ) -> np.ndarray:
     """p-kernel: verify ``children(a1)`` via their parent lists.
 
@@ -130,7 +136,9 @@ def p_intersection(
         mask = np.ones(len(buffer), dtype=bool)
         for a in rest:
             # a in parents(v)  <=>  edge (a, v) exists.
-            mask &= graph.has_edges(np.full(len(buffer), a), buffer)
+            mask &= graph.has_edges(
+                np.full(len(buffer), a, dtype=INDEX_DTYPE), buffer
+            )
         # Parent-list movement: each buffered candidate's parent list is
         # scanned (up to finding the witnesses).
         moved += int(
@@ -159,7 +167,9 @@ def estimate_p_cost(graph: CSRGraph, verts: np.ndarray) -> int:
 
 
 def adaptive_intersection(
-    graph: CSRGraph, vertices, cost: CostModel | None = None
+    graph: CSRGraph,
+    vertices: np.ndarray | Sequence[int],
+    cost: CostModel | None = None,
 ) -> np.ndarray:
     """Pick the cheaper of c- and p-intersection by modeled movement.
 

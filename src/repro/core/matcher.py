@@ -234,7 +234,7 @@ class CuTSMatcher:
             order=order.sequence,
         )
 
-    def count(self, query: CSRGraph, **kwargs) -> int:
+    def count(self, query: CSRGraph, **kwargs: object) -> int:
         """Convenience: number of embeddings only."""
         return self.match(query, **kwargs).count
 
@@ -349,6 +349,9 @@ class CuTSMatcher:
                 f"{state.time_limit_ms:.1f} ms"
             )
         if state.wall_deadline is not None:
+            # Sanctioned wall-clock read: the user-facing safety limit must
+            # track host time by definition, and tripping it raises rather
+            # than changing any count. # repro: ignore[RP002]
             if _time.monotonic() > state.wall_deadline:
                 raise SearchTimeout("wall-clock limit exceeded")
 

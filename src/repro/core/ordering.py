@@ -190,12 +190,12 @@ def rare_label_order(query: CSRGraph, data: CSRGraph | None = None) -> MatchOrde
     vals, counts = np.unique(source, return_counts=True)
     freq_map = {int(v): int(c) for v, c in zip(vals, counts)}
     freqs = np.array(
-        [freq_map.get(int(l), 0) for l in query.labels], dtype=np.int64
+        [freq_map.get(int(lab), 0) for lab in query.labels], dtype=np.int64
     )
     deg = total_degrees(query)
     matched = np.zeros(n, dtype=bool)
     # rarest label first; ties by max degree then min id
-    order_key = np.lexsort((np.arange(n), -deg, freqs))
+    order_key = np.lexsort((np.arange(n, dtype=np.int64), -deg, freqs))
     seq = [int(order_key[0])]
     matched[seq[0]] = True
     while len(seq) < n:

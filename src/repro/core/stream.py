@@ -18,6 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
+from ..graph.csr import CSRGraph
 from ..storage.trie import PathTrie, TrieLevel
 from .matcher import CuTSMatcher
 
@@ -26,7 +27,7 @@ __all__ = ["iter_matches"]
 
 def iter_matches(
     matcher: CuTSMatcher,
-    query,
+    query: CSRGraph,
     *,
     batch_size: int = 1024,
 ) -> Iterator[np.ndarray]:

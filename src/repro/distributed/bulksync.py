@@ -102,9 +102,9 @@ class BulkSyncCuTS:
 
         # init_match: strided partition, as in the async engine.
         tries: list[PathTrie | None] = []
-        clocks = np.zeros(self.num_ranks)
-        busy = np.zeros(self.num_ranks)
-        waits = np.zeros(self.num_ranks)
+        clocks = np.zeros(self.num_ranks, dtype=np.float64)
+        busy = np.zeros(self.num_ranks, dtype=np.float64)
+        waits = np.zeros(self.num_ranks, dtype=np.float64)
         words_transferred = 0
         count = 0
         for r, (m, s) in enumerate(zip(matchers, states)):

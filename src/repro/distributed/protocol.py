@@ -36,12 +36,14 @@ seed already made for :class:`FreeNodeRegistry`'s free/busy knowledge).
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
 
 __all__ = [
+    "MsgType",
     "FreeNodeRegistry",
     "BufferMeta",
     "WorkEnvelope",
@@ -49,6 +51,39 @@ __all__ = [
     "ShipmentTracker",
     "StrideLedger",
 ]
+
+
+class MsgType(str, enum.Enum):
+    """Catalog of every message kind the protocol puts on the wire.
+
+    A ``str`` subclass so members compare equal to the legacy tag
+    literals (``MsgType.WORK == "work"``) and pass unchanged through
+    :class:`~repro.distributed.comm.SimComm` and
+    :class:`~repro.distributed.faults.FaultPlan.tags` filters.
+
+    Totality contract (machine-checked by analysis rule RP004): every
+    member must have a dispatch arm in ``runtime.py``/``worker.py``, and
+    every point-to-point kind must be drained by a matching
+    ``receive``/``peek``.  ``FREE`` and ``HEARTBEAT`` are broadcast
+    kinds whose knowledge is modeled through the shared-state ledgers
+    (see the module docstring) rather than per-message receives.
+    """
+
+    WORK = "work"
+    """A :class:`WorkEnvelope` shipped point-to-point to a claimed free
+    rank; acked, deduplicated, and retransmitted."""
+
+    ACK = "ack"
+    """Receiver's acknowledgement of a ``WORK`` envelope (payload: the
+    envelope's ``seq``)."""
+
+    FREE = "free"
+    """Broadcast by a rank that ran out of work (Algorithm 3's free
+    announcement); consumed via :class:`FreeNodeRegistry`."""
+
+    HEARTBEAT = "hb"
+    """Periodic liveness broadcast; silence past the timeout triggers
+    crash recovery."""
 
 
 @dataclass

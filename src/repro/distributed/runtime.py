@@ -46,6 +46,7 @@ from .comm import NetworkModel, SimComm
 from .faults import FaultInjector, FaultPlan
 from .protocol import (
     FreeNodeRegistry,
+    MsgType,
     Shipment,
     ShipmentTracker,
     StrideLedger,
@@ -171,7 +172,7 @@ class DistributedCuTS:
             w.init_partition(self.num_ranks)
             if not w.has_work():
                 registry.announce_free(w.rank, w.clock_ms)
-                comm.broadcast(w.rank, "free", None, 1, w.clock_ms)
+                comm.broadcast(w.rank, MsgType.FREE, None, 1, w.clock_ms)
 
         events = 0
         while True:
@@ -204,7 +205,7 @@ class DistributedCuTS:
                     self._ship(w, target, comm, tracker, registry)
             if not w.has_work():
                 registry.announce_free(w.rank, w.clock_ms)
-                comm.broadcast(w.rank, "free", None, 1, w.clock_ms)
+                comm.broadcast(w.rank, MsgType.FREE, None, 1, w.clock_ms)
 
         if ledger is not None:
             count = ledger.committed_total
@@ -255,7 +256,7 @@ class DistributedCuTS:
                 wake = w.clock_ms
             else:
                 times = []
-                pending = comm.peek(w.rank, tag="work")
+                pending = comm.peek(w.rank, tag=MsgType.WORK)
                 if pending:
                     times.append(min(m.arrival_time for m in pending))
                 if self.reliable:
@@ -279,7 +280,7 @@ class DistributedCuTS:
     # ------------------------------------------------------------------
     def _maybe_heartbeat(self, w: RankWorker, comm: SimComm) -> None:
         if w.clock_ms >= self._next_hb[w.rank]:
-            comm.broadcast(w.rank, "hb", None, 0, w.clock_ms)
+            comm.broadcast(w.rank, MsgType.HEARTBEAT, None, 0, w.clock_ms)
             self._next_hb[w.rank] = (
                 w.clock_ms + self.config.heartbeat_interval_ms
             )
@@ -293,7 +294,7 @@ class DistributedCuTS:
     ) -> None:
         """Drain acks for ``w``'s shipments, then retransmit or abandon
         anything overdue."""
-        for msg in comm.receive(w.rank, w.clock_ms, tag="ack"):
+        for msg in comm.receive(w.rank, w.clock_ms, tag=MsgType.ACK):
             tracker.ack(w.rank, msg.payload)
         for ship in tracker.entries_from(w.rank):
             if ship.next_retry_ms > w.clock_ms:
@@ -313,7 +314,7 @@ class DistributedCuTS:
                     self._requeued_chunks += requeued
                 continue
             comm.send(
-                w.rank, ship.dst, "work", ship.envelope,
+                w.rank, ship.dst, MsgType.WORK, ship.envelope,
                 ship.envelope.words, w.clock_ms,
             )
             ship.attempts += 1
@@ -380,7 +381,7 @@ class DistributedCuTS:
             wk.purge_intervals(dirty)
             if had_work and not wk.has_work():
                 registry.announce_free(wk.rank, wk.clock_ms)
-                comm.broadcast(wk.rank, "free", None, 1, wk.clock_ms)
+                comm.broadcast(wk.rank, MsgType.FREE, None, 1, wk.clock_ms)
         for ship in tracker.entries_to(r):
             tracker.in_flight.pop(ship.key, None)
             src, seq = ship.key
@@ -416,14 +417,14 @@ class DistributedCuTS:
         tracker: ShipmentTracker,
     ) -> None:
         """Deliver any work messages that have arrived at ``w``."""
-        msgs = comm.receive(w.rank, w.clock_ms, tag="work")
+        msgs = comm.receive(w.rank, w.clock_ms, tag=MsgType.WORK)
         for msg in msgs:
             env: WorkEnvelope = msg.payload
             if not self.reliable:
                 w.receive_work(list(env.buffers))
                 registry.mark_busy(w.rank)
                 continue
-            comm.send(w.rank, env.src, "ack", env.seq, 0, w.clock_ms)
+            comm.send(w.rank, env.src, MsgType.ACK, env.seq, 0, w.clock_ms)
             if tracker.is_seen(env.src, env.seq) or tracker.is_revoked(
                 env.src, env.seq
             ):
@@ -456,7 +457,7 @@ class DistributedCuTS:
             metas=tuple(metas),
             words=words,
         )
-        comm.send(src.rank, dst_rank, "work", env, words, src.clock_ms)
+        comm.send(src.rank, dst_rank, MsgType.WORK, env, words, src.clock_ms)
         if self.reliable:
             # First retry after the modeled round trip plus the grace
             # timeout; exponential backoff after that.

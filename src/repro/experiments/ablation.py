@@ -19,9 +19,9 @@ import numpy as np
 
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher
+from ..gpusim.device import V100
 from ..graph.csr import CSRGraph
 from ..graph.queries import paper_query_set
-from ..gpusim.device import V100
 from .datasets import load_dataset
 
 __all__ = [
@@ -199,7 +199,6 @@ def binning_ablation(
         work = data.out_degrees
     warp = matcher.config.device.warp_size
     bins = bin_paths_by_work(np.asarray(work), warp)
-    num_bins = max(1, len(bins))
     # Uniform buffer split across all possible bin classes (1..32 pow2s).
     possible_bins = 6  # widths 1,2,4,8,16,32
     occupied = len(bins)

@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..baselines.gsi import GSIMatcher
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher, SearchTimeout
-from ..baselines.gsi import GSIMatcher
 from ..gpusim.device import A100, V100, DeviceSpec
 from ..gpusim.memory import DeviceOOMError
 from .report import geomean

@@ -4,12 +4,12 @@ from .cost import CostModel
 from .device import A100, V100, DeviceSpec, scaled_device
 from .kernel import LAUNCH_OVERHEAD_CYCLES, KernelLaunch, launch_kernel
 from .memory import DeviceMemory, DeviceOOMError
+from .metrics import MetricRatio, compare_counters, format_metric_report
 from .occupancy import (
     OccupancyResult,
     max_shared_words_for_full_occupancy,
     occupancy,
 )
-from .metrics import MetricRatio, compare_counters, format_metric_report
 from .trace import (
     KernelGroupStats,
     bound_split,

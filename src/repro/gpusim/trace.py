@@ -44,13 +44,13 @@ def group_by_kernel(trace: list[KernelLaunch]) -> list[KernelGroupStats]:
             KernelGroupStats(
                 name=name,
                 launches=len(launches),
-                total_cycles=sum(l.cycles for l in launches),
-                total_items=sum(l.num_items for l in launches),
+                total_cycles=sum(rec.cycles for rec in launches),
+                total_items=sum(rec.num_items for rec in launches),
                 mean_imbalance=(
-                    sum(l.imbalance for l in launches) / len(launches)
+                    sum(rec.imbalance for rec in launches) / len(launches)
                 ),
                 memory_bound_launches=sum(
-                    1 for l in launches if l.memory_cycles > l.compute_cycles
+                    1 for rec in launches if rec.memory_cycles > rec.compute_cycles
                 ),
             )
         )
@@ -62,17 +62,17 @@ def hottest_launches(
     trace: list[KernelLaunch], top_k: int = 10
 ) -> list[KernelLaunch]:
     """The ``top_k`` launches by cycle cost."""
-    return sorted(trace, key=lambda l: -l.cycles)[:top_k]
+    return sorted(trace, key=lambda rec: -rec.cycles)[:top_k]
 
 
 def bound_split(trace: list[KernelLaunch]) -> tuple[float, float]:
     """Fraction of total cycles spent in (memory-bound, compute-bound)
     launches.  The paper calls subgraph isomorphism memory-bound; this is
     how the model exhibits it."""
-    total = sum(l.cycles for l in trace)
+    total = sum(rec.cycles for rec in trace)
     if total == 0:
         return (0.0, 0.0)
-    mem = sum(l.cycles for l in trace if l.memory_cycles > l.compute_cycles)
+    mem = sum(rec.cycles for rec in trace if rec.memory_cycles > rec.compute_cycles)
     return (mem / total, (total - mem) / total)
 
 

@@ -21,10 +21,21 @@ views, never copies, per the HPC guide's "views, not copies" rule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Final
 
 import numpy as np
 
-__all__ = ["CSRGraph"]
+__all__ = ["CSRGraph", "INDEX_DTYPE"]
+
+INDEX_DTYPE: Final[np.dtype] = np.dtype(np.int64)
+"""The one integer dtype for CSR offsets, indices, and labels.
+
+An explicit, asserted choice (analysis rule RP003): implicit NumPy
+integer widths are platform-dependent (``np.arange(n)`` is int32 on
+Windows), CSR offsets on paper-scale graphs exceed int32, and the
+shared-memory segment layout (:mod:`repro.parallel.sharedmem`) depends
+on every array having this exact itemsize.  :class:`CSRGraph` rejects
+anything else at construction time."""
 
 
 @dataclass(frozen=True)
@@ -63,6 +74,13 @@ class CSRGraph:
         n = self.num_vertices
         if n < 0:
             raise ValueError(f"num_vertices must be >= 0, got {n}")
+        for attr in ("indptr", "indices", "rindptr", "rindices", "labels"):
+            arr = getattr(self, attr)
+            if arr is not None and arr.dtype != INDEX_DTYPE:
+                raise ValueError(
+                    f"{attr} must have dtype {INDEX_DTYPE} "
+                    f"(INDEX_DTYPE), got {arr.dtype}"
+                )
         if self.labels is not None and self.labels.shape != (n,):
             raise ValueError(
                 f"labels must have shape ({n},), got {self.labels.shape}"

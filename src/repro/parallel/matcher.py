@@ -29,10 +29,10 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 
+from ..core.candidates import root_candidates
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher
 from ..core.ordering import build_order
-from ..core.candidates import root_candidates
 from ..core.result import MatchResult
 from ..graph.csr import CSRGraph
 from .sharedmem import SharedCSR, SharedCSRMeta
@@ -168,7 +168,7 @@ class ParallelMatcher:
     def __enter__(self) -> "ParallelMatcher":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -226,7 +226,7 @@ class ParallelMatcher:
         assert merged is not None
         return merged
 
-    def count(self, query: CSRGraph, **kwargs) -> int:
+    def count(self, query: CSRGraph, **kwargs: object) -> int:
         """Convenience: number of embeddings only."""
         return self.match(query, **kwargs).count
 

@@ -178,7 +178,7 @@ class SharedCSR:
     def __enter__(self) -> "SharedCSR":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

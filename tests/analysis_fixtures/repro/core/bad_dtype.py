@@ -1,0 +1,22 @@
+"""RP003 fixture: implicit dtypes and narrow integer accumulators."""
+
+import numpy as np
+
+
+def implicit_widths(n, offsets):
+    frontier = np.arange(n)                       # line 7: implicit dtype
+    pool = np.zeros(n)                            # line 8: implicit dtype
+    counts = offsets.astype(np.int32)             # line 9: narrow dtype
+    total = np.int32(0)                           # line 10: narrow dtype
+    return frontier, pool, counts, total
+
+
+def explicit_widths(n):
+    frontier = np.arange(n, dtype=np.int64)  # fine
+    mask = np.zeros(n, dtype=bool)  # fine: explicit, intentionally bool
+    return frontier, mask
+
+
+def suppressed_narrow(n):
+    packed = np.zeros(n, dtype=np.uint8)  # repro: ignore[RP003]
+    return packed

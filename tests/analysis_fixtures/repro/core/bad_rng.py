@@ -1,0 +1,31 @@
+"""RP002 fixture: unseeded randomness and wall-clock branching."""
+
+import random
+import time as _time
+
+import numpy as np
+
+
+def unseeded_everything(n, deadline):
+    weights = np.random.rand(n)                   # line 10: legacy RNG
+    np.random.seed(0)                             # line 11: global seed
+    rng = np.random.default_rng()                 # line 12: entropy seed
+    jitter = random.random()                      # line 13: bare random
+    if _time.monotonic() > deadline:              # line 14: clock branch
+        return None
+    return weights, rng, jitter
+
+
+def seeded_is_fine(seed, deadline_ms, cost_ms):
+    rng = np.random.default_rng(seed)  # fine: explicit seed
+    local = random.Random(seed)  # fine: seeded instance
+    if cost_ms > deadline_ms:  # fine: modeled time, not wall clock
+        return None
+    return rng.integers(0, 10), local.randint(0, 10)
+
+
+def suppressed_clock(deadline):
+    # Sanctioned wall-clock safety valve. # repro: ignore[RP002]
+    if _time.monotonic() > deadline:
+        return None
+    return deadline

@@ -1,0 +1,10 @@
+"""RP004 fixture: a message catalog with an undispatched kind."""
+
+import enum
+
+
+class MsgType(str, enum.Enum):
+    WORK = "work"
+    ACK = "ack"
+    FREE = "free"
+    PING = "ping"  # seeded violation: no dispatch arm anywhere

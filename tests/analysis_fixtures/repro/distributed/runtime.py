@@ -1,0 +1,22 @@
+"""RP004 fixture: dispatch gaps the totality rule must catch."""
+
+from .protocol import MsgType
+
+
+def ship_without_tracker(comm, src, dst, env, now):
+    # Seeded violation: sends WORK but keeps no ack/retry bookkeeping.
+    comm.send(src, dst, MsgType.WORK, env, env.words, now)     # line 8
+
+
+def ship_with_tracker(comm, tracker, src, dst, env, now):
+    comm.send(src, dst, MsgType.WORK, env, env.words, now)  # fine
+    tracker.register(env)
+
+
+def drain(comm, rank, now, tracker):
+    for msg in comm.receive(rank, now, tag=MsgType.WORK):  # dispatch arm
+        comm.send(rank, msg.src, "ack", msg.seq, 0, now)           # line 18
+    for msg in comm.receive(rank, now, tag="ack"):                 # line 19
+        tracker.ack(rank, msg.payload)
+    comm.broadcast(rank, MsgType.FREE, None, 1, now)  # broadcast arm
+    comm.broadcast(rank, "gone", None, 1, now)                     # line 22

@@ -9,13 +9,10 @@ from repro.graph import (
     CSRGraph,
     chain_graph,
     clique_graph,
-    cycle_graph,
     from_edges,
-    from_undirected_edges,
     mesh_graph,
     random_graph,
     social_graph,
-    star_graph,
 )
 
 

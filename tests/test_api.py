@@ -1,12 +1,10 @@
 """Tests for the high-level API and component-composition rules."""
 
-import numpy as np
 import pytest
 
 from repro import count_embeddings, subgraph_isomorphism_search
 from repro.baselines import networkx_count
 from repro.graph import (
-    chain_graph,
     clique_graph,
     from_edges,
     from_undirected_edges,

@@ -1,7 +1,5 @@
 """Tests for occurrence counting (embeddings / automorphisms)."""
 
-import pytest
-
 from repro import count_automorphisms, count_embeddings, count_occurrences
 from repro.graph import chain_graph, clique_graph, cycle_graph, mesh_graph, star_graph
 

@@ -1,6 +1,5 @@
 """Tests for the GSI baseline, DFS reference and oracle agreement."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import (

@@ -1,6 +1,5 @@
 """Tests for query-vertex ordering."""
 
-import numpy as np
 import pytest
 
 from repro.core import build_order, id_order, max_degree_order

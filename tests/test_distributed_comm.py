@@ -1,9 +1,8 @@
 """Tests for the simulated MPI layer."""
 
-import numpy as np
 import pytest
 
-from repro.distributed import Message, NetworkModel, SimComm
+from repro.distributed import NetworkModel, SimComm
 
 
 def test_network_transfer_time():

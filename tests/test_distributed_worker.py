@@ -6,7 +6,7 @@ import pytest
 from repro.baselines import networkx_count
 from repro.core import CuTSConfig
 from repro.distributed import RankWorker, WorkItem
-from repro.graph import clique_graph, cycle_graph, social_graph
+from repro.graph import cycle_graph, social_graph
 from repro.storage import PathTrie
 
 

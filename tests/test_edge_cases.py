@@ -8,7 +8,6 @@ from repro.baselines import GSIMatcher, networkx_count
 from repro.core import CuTSConfig, CuTSMatcher
 from repro.experiments.report import format_value, render_table
 from repro.graph import (
-    CSRGraph,
     chain_graph,
     clique_graph,
     from_edges,

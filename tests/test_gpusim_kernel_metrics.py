@@ -5,8 +5,8 @@ import pytest
 
 from repro.gpusim import (
     LAUNCH_OVERHEAD_CYCLES,
-    CostModel,
     V100,
+    CostModel,
     compare_counters,
     format_metric_report,
     launch_kernel,

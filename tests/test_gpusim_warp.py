@@ -61,9 +61,8 @@ def test_shuffle_fixes_clustered_imbalance():
     costs = np.zeros(1000)
     costs[:100] = 100.0  # heavy items clustered at low ids
     workers = 100
-    static = load_imbalance(strided_worker_loads(costs, workers))
     rng = np.random.default_rng(0)
-    shuffled = load_imbalance(shuffled_worker_loads(costs, workers, rng))
+    load_imbalance(shuffled_worker_loads(costs, workers, rng))
     # static puts all heavy items on worker 0..? Actually with stride
     # they land on workers 0..99 one each -> balanced. Make them truly
     # clustered per worker instead:

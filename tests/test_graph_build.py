@@ -1,9 +1,8 @@
 """Tests for graph builders."""
 
+import networkx as nx
 import numpy as np
 import pytest
-
-import networkx as nx
 
 from repro.graph import (
     empty_graph,

@@ -1,16 +1,13 @@
 """Tests for weakly connected components and composition helpers."""
 
-import numpy as np
 import networkx as nx
-import pytest
+import numpy as np
 
 from repro.graph import (
     from_edges,
-    from_networkx,
     from_undirected_edges,
     induced_subgraph,
     is_weakly_connected,
-    mesh_graph,
     split_components,
     weakly_connected_components,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import CSRGraph, from_edges, from_undirected_edges
+from repro.graph import CSRGraph, from_edges
 from repro.graph.csr import _segmented_searchsorted
 
 

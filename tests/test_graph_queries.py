@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import atlas_graphs, paper_query_set, all_query_sets
+from repro.graph import all_query_sets, atlas_graphs, paper_query_set
 from repro.graph.queries import QUERY_SIZES
 
 

@@ -1,7 +1,6 @@
 """Tests for the GraphQL/GADDI-style neighbourhood filter extension."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import networkx_count
 from repro.core import CuTSConfig, CuTSMatcher

@@ -2,16 +2,14 @@
 matcher's correctness invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import networkx_count
-from repro.core import CuTSConfig, CuTSMatcher
+from repro.core import CuTSMatcher
 from repro.graph import (
     from_edges,
     from_undirected_edges,
-    is_weakly_connected,
     weakly_connected_components,
 )
 from repro.graph.csr import _segmented_searchsorted
