@@ -6,37 +6,68 @@ and compares every count to the single-rank oracle.  Exits non-zero on
 the first mismatch.  Used as a standalone CI job; run manually with e.g.
 
     PYTHONPATH=src python scripts/chaos_smoke.py --seeds 10 --ranks 2 4
+
+``--kill-resume`` switches to the durability sweep instead: child
+interpreters running a checkpointed search SIGKILL themselves at kill
+points spread across the whole run, and every resumed run must reach
+the exact oracle count:
+
+    PYTHONPATH=src python scripts/chaos_smoke.py --kill-resume --seeds 6
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
+import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.checkpoint import CheckpointStore
 from repro.core import CuTSConfig, CuTSMatcher
 from repro.distributed import DistributedCuTS, FaultPlan
 from repro.graph import cycle_graph, social_graph
 
+_KILL_CHILD = """
+import os, signal
+from repro.core import CuTSConfig, CuTSMatcher
+from repro.graph import cycle_graph, social_graph
 
-def main(argv: list[str] | None = None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--seeds", type=int, default=10, help="plans per rank count")
-    ap.add_argument("--ranks", type=int, nargs="+", default=[2, 4])
-    ap.add_argument("--vertices", type=int, default=90)
-    ap.add_argument("--communities", type=int, default=3)
-    ap.add_argument("--query-cycle", type=int, default=4)
-    ap.add_argument("--chunk-size", type=int, default=32)
-    args = ap.parse_args(argv)
+matcher = CuTSMatcher(
+    social_graph({n}, {c}, community_edges={e}, seed=7),
+    CuTSConfig(chunk_size={chunk}),
+)
+ticks = 0
 
+def killer(state):
+    global ticks
+    ticks += 1
+    if ticks == {kill_at}:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+matcher.on_tick = killer
+matcher.match(
+    cycle_graph({k}), checkpoint_dir={ckpt!r}, checkpoint_every=2
+)
+raise SystemExit("unreachable: the run should have been SIGKILLed")
+"""
+
+
+def _workload(args: argparse.Namespace):
     data = social_graph(
         args.vertices, args.communities,
         community_edges=130, seed=7,
     )
-    query = cycle_graph(args.query_cycle)
+    return data, cycle_graph(args.query_cycle)
+
+
+def fault_mode(args: argparse.Namespace) -> int:
+    data, query = _workload(args)
     config = CuTSConfig(chunk_size=args.chunk_size)
     oracle = CuTSMatcher(data, config).match(query).count
     print(f"oracle: {oracle} embeddings of {query.name} in {data.name}")
@@ -66,6 +97,101 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: {failures} count mismatches", file=sys.stderr)
         return 1
     return 0
+
+
+def kill_resume_mode(args: argparse.Namespace) -> int:
+    """SIGKILL a checkpointing child at ``--seeds`` kill points spread
+    over the run, resume each job, and demand the exact oracle count."""
+    data, query = _workload(args)
+    config = CuTSConfig(chunk_size=args.chunk_size)
+    matcher = CuTSMatcher(data, config)
+    oracle = matcher.match(query).count
+
+    # Place kill points across the whole run: count one durable run's
+    # expansion ticks (the engine the children run), then spread the
+    # kills over [2, ticks].
+    ticks = 0
+
+    def counter(_state) -> None:
+        nonlocal ticks
+        ticks += 1
+
+    matcher.on_tick = counter
+    with tempfile.TemporaryDirectory(prefix="chaos-probe-") as tmp:
+        matcher.match(query, checkpoint_dir=os.path.join(tmp, "probe"))
+    matcher.on_tick = None
+    print(
+        f"oracle: {oracle} embeddings of {query.name} in {data.name} "
+        f"({ticks} expansions)"
+    )
+    if ticks < 3:
+        print("FAIL: workload too small to kill mid-run", file=sys.stderr)
+        return 1
+    points = sorted(
+        {2 + (i * (ticks - 2)) // max(args.seeds - 1, 1)
+         for i in range(args.seeds)}
+    )
+
+    env = {
+        **os.environ,
+        "PYTHONPATH": str(Path(__file__).resolve().parent.parent / "src"),
+    }
+    failures = 0
+    t0 = time.perf_counter()
+    for kill_at in points:
+        with tempfile.TemporaryDirectory(prefix="chaos-kill-") as tmp:
+            ckpt = os.path.join(tmp, "job")
+            code = _KILL_CHILD.format(
+                n=args.vertices, c=args.communities, e=130,
+                chunk=args.chunk_size, k=args.query_cycle,
+                kill_at=kill_at, ckpt=ckpt,
+            )
+            child = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, timeout=300, env=env,
+            )
+            killed = child.returncode == -signal.SIGKILL
+            snapshots = len(CheckpointStore(ckpt).snapshot_seqs())
+            resumed = CuTSMatcher(data, config).match(
+                query, checkpoint_dir=ckpt, resume=True
+            )
+            ok = killed and resumed.count == oracle
+            status = "ok" if ok else "MISMATCH"
+            print(
+                f"  kill_at={kill_at:4d}/{ticks} rc={child.returncode} "
+                f"snapshots={snapshots} resumed={resumed.count} [{status}]"
+            )
+            if not ok:
+                failures += 1
+                if child.stderr:
+                    print(child.stderr.rstrip(), file=sys.stderr)
+    elapsed = time.perf_counter() - t0
+    print(f"{len(points) - failures}/{len(points)} kills exact in "
+          f"{elapsed:.1f}s")
+    if failures:
+        print(f"FAIL: {failures} kill/resume mismatches", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--seeds", type=int, default=10,
+                    help="plans per rank count (or kill points)")
+    ap.add_argument("--ranks", type=int, nargs="+", default=[2, 4])
+    ap.add_argument("--vertices", type=int, default=90)
+    ap.add_argument("--communities", type=int, default=3)
+    ap.add_argument("--query-cycle", type=int, default=4)
+    ap.add_argument("--chunk-size", type=int, default=32)
+    ap.add_argument(
+        "--kill-resume", action="store_true",
+        help="SIGKILL checkpointing children mid-run and verify every "
+        "resume reaches the exact oracle count",
+    )
+    args = ap.parse_args(argv)
+    if args.kill_resume:
+        return kill_resume_mode(args)
+    return fault_mode(args)
 
 
 if __name__ == "__main__":

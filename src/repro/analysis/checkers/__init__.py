@@ -16,6 +16,8 @@ Rule             Invariant
                  work ship has an ack/retry path.
 ``RP005``        Config drift: every ``CuTSConfig`` field is live and
                  every CLI flag is read.
+``RP006``        Durable-write safety: ``checkpoint/`` persists bytes
+                 only through the atomic tmp+fsync+rename helpers.
 ================ =====================================================
 """
 
@@ -27,4 +29,5 @@ from . import (  # noqa: F401  (imports register the checkers)
     rp003_dtype,
     rp004_protocol,
     rp005_config,
+    rp006_durable_write,
 )

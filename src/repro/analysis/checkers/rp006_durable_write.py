@@ -1,0 +1,108 @@
+"""RP006 — durable-write safety in the checkpoint package.
+
+A checkpoint's whole value is that a crash mid-write cannot destroy it.
+Every byte the checkpoint package persists must therefore go through
+:mod:`repro.checkpoint.atomic` (tmp file + fsync + rename); a bare
+``open(path, "w")`` that crashes after truncating leaves a corrupt or
+empty file where the last good snapshot used to be.
+
+Scope: ``checkpoint/`` only.  ``atomic.py`` itself is exempt — it is
+the one module allowed to hold a writable file descriptor.
+
+Flagged:
+
+* builtin ``open(...)`` with a write-capable mode (any of ``w``, ``a``,
+  ``x``, ``+``), whether the mode is positional or ``mode=`` keyword;
+* ``.open("w")``-style method calls (``Path.open`` and friends);
+* ``.write_text(...)`` / ``.write_bytes(...)`` convenience writers,
+  which truncate in place.
+
+Read-mode opens are fine; durability only concerns writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Checker, call_keywords
+from ..diagnostics import Diagnostic
+from ..engine import SourceModule
+from ..registry import register
+
+SCOPE = "checkpoint"
+
+EXEMPT_MODULES = frozenset({"atomic.py"})
+
+WRITE_MODE_CHARS = frozenset("wax+")
+
+CONVENIENCE_WRITERS = frozenset({"write_text", "write_bytes"})
+
+
+def _literal_mode(node: ast.Call, position: int) -> str | None:
+    """The call's file-mode string when it is a literal, else ``None``.
+
+    ``position`` is the index of the mode among positional args
+    (1 for builtin ``open``, 0 for ``path.open``).
+    """
+    mode = call_keywords(node).get("mode")
+    if mode is None and len(node.args) > position:
+        mode = node.args[position]
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _is_write_mode(mode: str | None) -> bool:
+    # No literal mode means open() defaulted to "r" — or the mode is
+    # dynamic, which the one exempt module should be handling anyway.
+    return mode is not None and bool(WRITE_MODE_CHARS & set(mode))
+
+
+@register
+class DurableWriteChecker(Checker):
+    rule = "RP006"
+    name = "durable-write-safety"
+    description = (
+        "checkpoint/ persists bytes only via the atomic tmp+fsync+rename "
+        "helpers — no bare write-mode open / write_text / write_bytes"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.package != SCOPE:
+            return
+        if module.path.name in EXEMPT_MODULES:
+            return
+        yield from self._check_calls(module)
+
+    def _check_calls(self, module: SourceModule) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                if _is_write_mode(_literal_mode(node, 1)):
+                    yield self.diag(
+                        module,
+                        node,
+                        "bare write-mode open() in checkpoint/: a crash "
+                        "mid-write corrupts the file in place; route the "
+                        "bytes through repro.checkpoint.atomic",
+                    )
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "open":
+                    if _is_write_mode(_literal_mode(node, 0)):
+                        yield self.diag(
+                            module,
+                            node,
+                            "write-mode .open() in checkpoint/: use the "
+                            "atomic tmp+fsync+rename helpers instead",
+                        )
+                elif func.attr in CONVENIENCE_WRITERS:
+                    yield self.diag(
+                        module,
+                        node,
+                        f"'.{func.attr}()' truncates the target in place; "
+                        f"checkpoint bytes must commit via "
+                        f"repro.checkpoint.atomic",
+                    )

@@ -125,12 +125,16 @@ def _cmd_match(args: argparse.Namespace) -> int:
     data = load_data_argument(args.data)
     query = load_query_argument(args.query)
     workers = _parse_workers(args.workers)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("error: --resume requires --checkpoint-dir")
     cfg = CuTSConfig(
         device=_DEVICES[args.device],
         chunk_size=args.chunk_size,
         ordering=args.ordering,
         intersection=args.intersection,
         workers=workers,
+        memory_budget_mb=args.memory_budget_mb,
+        checkpoint_every=args.checkpoint_every,
     )
     print(f"data : {data}")
     print(f"query: {query}")
@@ -142,7 +146,12 @@ def _cmd_match(args: argparse.Namespace) -> int:
     if workers > 1:
         t0 = time.perf_counter()
         with ParallelMatcher(data, cfg, workers=workers) as matcher:
-            r = matcher.match(query, time_limit_ms=args.time_limit_ms)
+            r = matcher.match(
+                query,
+                time_limit_ms=args.time_limit_ms,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=args.resume,
+            )
         wall_s = time.perf_counter() - t0
         print(f"matches      : {r.count:,}")
         print(f"kernel time  : {r.time_ms:.4f} ms "
@@ -155,7 +164,11 @@ def _cmd_match(args: argparse.Namespace) -> int:
         return 0
     if args.ranks > 1:
         plan = _build_fault_plan(args)
-        res = DistributedCuTS(data, args.ranks, cfg, fault_plan=plan).match(query)
+        res = DistributedCuTS(data, args.ranks, cfg, fault_plan=plan).match(
+            query,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+        )
         print(f"matches      : {res.count:,}")
         print(f"runtime      : {res.runtime_ms:.4f} ms on {args.ranks} ranks")
         print(f"per-rank busy: " + ", ".join(f"{t:.4f}" for t in res.per_rank_busy_ms))
@@ -167,7 +180,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
             print(f"recovered    : {res.recovered_chunks}")
     else:
         r = CuTSMatcher(data, cfg).match(
-            query, time_limit_ms=args.time_limit_ms
+            query,
+            time_limit_ms=args.time_limit_ms,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
         )
         print(f"matches      : {r.count:,}")
         print(f"kernel time  : {r.time_ms:.4f} ms ({args.device}-sim)")
@@ -213,6 +229,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     m.add_argument("--time-limit-ms", type=float, default=None)
     m.add_argument("--counters", action="store_true", help="dump hardware counters")
+    d = m.add_argument_group("durability")
+    d.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist progress snapshots to DIR (atomic tmp+fsync+rename); "
+        "a killed run restarts from the last snapshot with --resume",
+    )
+    d.add_argument(
+        "--resume", action="store_true",
+        help="resume from the snapshots in --checkpoint-dir "
+        "(refuses mismatched graph/config fingerprints)",
+    )
+    d.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="snapshot cadence: every N expansions (serial) or "
+        "event-loop iterations (distributed); default 64",
+    )
+    d.add_argument(
+        "--memory-budget-mb", type=int, default=0, metavar="MB",
+        help="soft host-memory budget; under pressure the BFS chunk "
+        "size halves and completed chunks spill to the checkpoint "
+        "store (0 = unlimited)",
+    )
     f = m.add_argument_group("fault injection (distributed runs)")
     f.add_argument("--fault-seed", type=int, default=0)
     f.add_argument("--drop-prob", type=float, default=0.0,

@@ -20,6 +20,7 @@ from .intersect import (
     p_intersection,
     scatter_vector_intersection,
 )
+from .governor import BYTES_PER_WORD, MemoryGovernor
 from .matcher import CuTSMatcher, SearchTimeout, graph_device_words
 from .ordering import (
     ORDERING_STRATEGIES,
@@ -40,6 +41,8 @@ __all__ = [
     "SearchTimeout",
     "graph_device_words",
     "MatchResult",
+    "MemoryGovernor",
+    "BYTES_PER_WORD",
     "SearchStats",
     "iter_matches",
     "MatchOrder",

@@ -78,6 +78,24 @@ class CuTSConfig:
         Simulated-time spacing of rank liveness heartbeats.
     heartbeat_timeout_ms:
         Silence past which a rank is declared crashed and recovery runs.
+    memory_budget_mb:
+        Soft host-memory budget (MiB) for live PA/CA allocations,
+        enforced by :class:`~repro.core.governor.MemoryGovernor`: under
+        pressure the BFS chunk size is halved (degrading toward pure
+        DFS) and, in durable runs, completed frontier chunks are spilled
+        to the checkpoint store.  ``0`` (default) = unlimited.  Counts
+        are bit-identical with and without a budget.
+    checkpoint_every:
+        Durable-job snapshot cadence: expansions between checkpoint
+        snapshots in the serial engine, event-loop iterations between
+        ledger snapshots in the distributed runtime.
+    lease_timeout_s:
+        Worker watchdog: wall-clock silence (no heartbeat) past which a
+        multi-core shard lease is considered lost and the shard is
+        re-leased to another worker.
+    lease_retries:
+        Re-lease attempts per shard (beyond the first lease) before the
+        multi-core engine gives up and raises.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -98,6 +116,10 @@ class CuTSConfig:
     max_retries: int = 6
     heartbeat_interval_ms: float = 25.0
     heartbeat_timeout_ms: float = 100.0
+    memory_budget_mb: int = 0
+    checkpoint_every: int = 64
+    lease_timeout_s: float = 30.0
+    lease_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -132,3 +154,11 @@ class CuTSConfig:
             raise ValueError(
                 "heartbeat_timeout_ms must be >= heartbeat_interval_ms"
             )
+        if self.memory_budget_mb < 0:
+            raise ValueError("memory_budget_mb must be >= 0 (0 = unlimited)")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.lease_timeout_s <= 0:
+            raise ValueError("lease_timeout_s must be positive")
+        if self.lease_retries < 0:
+            raise ValueError("lease_retries must be non-negative")

@@ -25,6 +25,7 @@ default, as in the paper).
 from __future__ import annotations
 
 import time as _time
+from typing import Callable
 
 import numpy as np
 
@@ -40,6 +41,7 @@ from ..graph.csr import CSRGraph
 from ..storage.trie import PathTrie
 from .candidates import root_candidates
 from .config import CuTSConfig
+from .governor import MemoryGovernor
 from .ordering import MatchOrder, build_order
 from .result import MatchResult
 from .stats import SearchStats
@@ -96,6 +98,10 @@ class CuTSMatcher:
         )
         self.virtual_warp_size = vw
         self.num_workers = device_worker_count(self.config.device, vw)
+        # Progress hook: called once per fused expansion on the run's
+        # state.  The multi-core watchdog hangs worker heartbeats off
+        # this; the core engine never reads the clock through it.
+        self.on_tick: Callable[["_RunState"], None] | None = None
         # Mean in-degree is the p-intersection cost estimator's constant.
         self._mean_in_degree = (
             data.num_edges / data.num_vertices if data.num_vertices else 0.0
@@ -113,6 +119,9 @@ class CuTSMatcher:
         wall_limit_s: float | None = None,
         part: int = 0,
         num_parts: int = 1,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int | None = None,
+        resume: bool = False,
     ) -> MatchResult:
         """Enumerate all monomorphism embeddings of ``query`` in the data.
 
@@ -137,6 +146,18 @@ class CuTSMatcher:
             :meth:`MatchResult.merge` to exactly the full search; this is
             how :class:`~repro.parallel.ParallelMatcher` shards one query
             across processes.
+        checkpoint_dir:
+            Run the job **durably**: progress snapshots are committed to
+            this directory (see :mod:`repro.checkpoint`) so a killed run
+            can be continued with ``resume=True`` at exactly the same
+            count.  Checkpointed runs are count-only (``materialize``
+            must stay ``False``) and ignore the time/wall limits.
+        checkpoint_every:
+            Snapshot cadence in fused expansions (default:
+            ``config.checkpoint_every``).  Only with ``checkpoint_dir``.
+        resume:
+            Continue the job already in ``checkpoint_dir`` (fingerprints
+            of config/data/query must match the manifest).
 
         Raises
         ------
@@ -146,6 +167,23 @@ class CuTSMatcher:
         SearchTimeout
             See ``time_limit_ms``.
         """
+        if checkpoint_dir is not None:
+            if materialize:
+                raise ValueError(
+                    "checkpointed runs are count-only; "
+                    "materialize=True is not supported with checkpoint_dir"
+                )
+            from ..checkpoint.runner import run_durable
+
+            return run_durable(
+                self, query,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+                part=part, num_parts=num_parts,
+            )
+        if resume:
+            raise ValueError("resume=True requires checkpoint_dir")
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
         if not 0 <= part < num_parts:
@@ -201,6 +239,9 @@ class CuTSMatcher:
             trie_words=2 * len(roots),
         )
         state.max_materialized = self.config.max_materialized
+        state.governor = MemoryGovernor.from_config(self.config)
+        state.governor.observe_words(state.trie_words)
+        state.on_tick = self.on_tick
         if wall_limit_s is not None:
             state.wall_deadline = _time.monotonic() + wall_limit_s
         stats.record_trie_words(state.trie_words)
@@ -216,6 +257,7 @@ class CuTSMatcher:
             frontier = np.arange(len(roots), dtype=np.int64)
             count = self._search(trie, 1, frontier, state)
             matches = state.collected_matrix()
+        stats.record_governor(state.governor)
 
         if matches is not None:
             # Columns are in matching order; permute to query-vertex order.
@@ -274,6 +316,8 @@ class CuTSMatcher:
             trie_words=0,
         )
         state.max_materialized = self.config.max_materialized
+        state.governor = MemoryGovernor.from_config(self.config)
+        state.on_tick = self.on_tick
         return state
 
     def initial_frontier(
@@ -368,10 +412,18 @@ class CuTSMatcher:
         fanouts = self._constraint_fanouts(ancestors, fwd, bwd)
         pool_estimate = self._estimate_pool(ancestors, fanouts)
         remaining_levels = max(1, state.order.num_steps - step)
+        # The governor's host budget tightens the effective trie budget
+        # (the device budget is the hard bound; the host budget is soft).
+        gov_words = state.governor.budget_words
+        soft_budget_words = (
+            self.trie_budget_words
+            if gov_words is None
+            else min(self.trie_budget_words, gov_words)
+        )
 
         def fits(pool_fraction: float) -> bool:
             sigma = state.sigma_by_step.get(step, 1.0)
-            headroom = self.trie_budget_words - state.trie_words
+            headroom = soft_budget_words - state.trie_words
             allowance = headroom / remaining_levels
             level_words = 2 * pool_estimate * pool_fraction * sigma
             return (
@@ -392,9 +444,10 @@ class CuTSMatcher:
                 if remaining.size == 1 or fits(remaining.size / frontier.size):
                     chunk, remaining = remaining, remaining[:0]
                 else:
-                    split = min(
-                        self.config.chunk_size, max(1, remaining.size // 2)
+                    base_chunk = state.governor.effective_chunk(
+                        self.config.chunk_size
                     )
+                    split = min(base_chunk, max(1, remaining.size // 2))
                     chunk, remaining = remaining[:split], remaining[split:]
                 state.stats.record_chunk(step)
                 total += self._search(trie, step, chunk, state)
@@ -413,7 +466,7 @@ class CuTSMatcher:
             return 0
 
         new_words = 2 * len(ca)
-        if state.trie_words + new_words > self.trie_budget_words:
+        if state.trie_words + new_words > soft_budget_words:
             if frontier.size > 1:
                 # Estimate was too optimistic; fall back to chunking.
                 total = 0
@@ -423,14 +476,20 @@ class CuTSMatcher:
                     state.stats.record_chunk(step)
                     total += self._search(trie, step, chunk, state)
                 return total
-            raise DeviceOOMError(
-                new_words,
-                self.trie_budget_words - state.trie_words,
-                "trie_buffer",
-            )
+            if state.trie_words + new_words > self.trie_budget_words:
+                # The *device* budget is a hard bound: a single path's
+                # expansion that overflows it cannot be subdivided.
+                raise DeviceOOMError(
+                    new_words,
+                    self.trie_budget_words - state.trie_words,
+                    "trie_buffer",
+                )
+            # Over the soft host budget only, with an unsplittable
+            # frontier: proceed (graceful degradation, never abort).
 
         trie.append_level(frontier[pa_local], ca)
         state.trie_words += new_words
+        state.governor.observe_words(state.trie_words)
         state.stats.record_trie_words(state.trie_words)
         try:
             if step + 1 == state.order.num_steps:
@@ -623,6 +682,7 @@ class CuTSMatcher:
             rng=state.rng,
         )
 
+        state.tick()
         return path_ids[mask], cands[mask]
 
     def _select_anchor(
@@ -726,8 +786,17 @@ class _RunState:
         self.trie_words = trie_words
         self.sigma_by_step: dict[int, float] = {}
         self.max_materialized: int | None = None
+        self.governor: MemoryGovernor = MemoryGovernor()
+        self.on_tick: Callable[["_RunState"], None] | None = None
         self._collected: list[np.ndarray] = []
         self._collected_count = 0
+
+    def tick(self) -> None:
+        """Invoke the progress hook, if any (called once per fused
+        expansion).  Watchdog heartbeats and checkpoint cadence hang off
+        this; the core engine itself never reads the clock here."""
+        if self.on_tick is not None:
+            self.on_tick(self)
 
     def collect(self, trie: PathTrie, indices: np.ndarray) -> None:
         """Materialise completed paths (writes results to host)."""

@@ -33,6 +33,12 @@ class MatchResult:
         Per-depth path counts, chunking activity, peak storage.
     order:
         The query-vertex sequence that was matched.
+    shards:
+        Root-interval shard ids this result covers (sorted, unique).
+        Empty for a whole-search result.  :meth:`merge` uses these to be
+        **idempotent under duplicate shard delivery**: merging a result
+        whose shards are already covered is a no-op, so a watchdog
+        re-lease plus a slow original worker cannot double-count.
     """
 
     count: int
@@ -41,6 +47,7 @@ class MatchResult:
     cost: CostModel
     stats: SearchStats = field(default_factory=SearchStats)
     order: tuple[int, ...] = ()
+    shards: tuple[int, ...] = ()
 
     def merge(
         self, other: "MatchResult", *, max_materialized: int | None = None
@@ -59,7 +66,23 @@ class MatchResult:
 
         Both sides must agree on materialisation (both ``matches is
         None`` or neither) and on the matching order.
+
+        When both sides carry shard ids, the merge **dedupes by shard**:
+        if every shard of ``other`` is already covered by ``self`` the
+        merge returns ``self`` unchanged (duplicate delivery of a
+        re-leased interval); a *partial* overlap is a protocol error and
+        raises ``ValueError``.
         """
+        if self.shards and other.shards:
+            mine, theirs = set(self.shards), set(other.shards)
+            overlap = mine & theirs
+            if overlap == theirs:
+                return self
+            if overlap:
+                raise ValueError(
+                    f"cannot merge partially-overlapping shard sets: "
+                    f"{sorted(overlap)} delivered twice"
+                )
         if (self.matches is None) != (other.matches is None):
             raise ValueError(
                 "cannot merge a materialised result with a count-only one"
@@ -87,6 +110,7 @@ class MatchResult:
             cost=cost,
             stats=stats,
             order=self.order or other.order,
+            shards=tuple(sorted({*self.shards, *other.shards})),
         )
 
     def mappings(self) -> list[dict[int, int]]:

@@ -24,6 +24,9 @@ class SearchStats:
     intersection_calls: dict[str, int] = field(
         default_factory=lambda: {"c": 0, "p": 0}
     )
+    chunk_halvings: int = 0
+    spilled_chunks: int = 0
+    peak_tracked_bytes: int = 0
 
     def record_depth(self, depth: int, num_paths: int) -> None:
         """Accumulate paths produced at a (0-based) depth.
@@ -48,6 +51,47 @@ class SearchStats:
             self.intersection_calls.get(kind, 0) + calls
         )
 
+    def record_governor(self, governor: object) -> None:
+        """Fold a :class:`~repro.core.governor.MemoryGovernor`'s
+        counters into this run's statistics (additive; peaks max)."""
+        self.chunk_halvings += int(getattr(governor, "chunk_halvings", 0))
+        self.spilled_chunks += int(getattr(governor, "spill_count", 0))
+        self.peak_tracked_bytes = max(
+            self.peak_tracked_bytes,
+            int(getattr(governor, "peak_tracked_bytes", 0)),
+        )
+
+    def to_json(self) -> dict:
+        """Plain-JSON form for checkpoint snapshots."""
+        return {
+            "paths_per_depth": list(self.paths_per_depth),
+            "chunks_processed": self.chunks_processed,
+            "max_chunk_depth": self.max_chunk_depth,
+            "peak_trie_words": self.peak_trie_words,
+            "peak_frontier": self.peak_frontier,
+            "intersection_calls": dict(self.intersection_calls),
+            "chunk_halvings": self.chunk_halvings,
+            "spilled_chunks": self.spilled_chunks,
+            "peak_tracked_bytes": self.peak_tracked_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SearchStats":
+        """Rebuild statistics persisted by :meth:`to_json`."""
+        stats = cls()
+        stats.paths_per_depth = [int(x) for x in payload["paths_per_depth"]]
+        stats.chunks_processed = int(payload["chunks_processed"])
+        stats.max_chunk_depth = int(payload["max_chunk_depth"])
+        stats.peak_trie_words = int(payload["peak_trie_words"])
+        stats.peak_frontier = int(payload["peak_frontier"])
+        stats.intersection_calls = {
+            str(k): int(v) for k, v in payload["intersection_calls"].items()
+        }
+        stats.chunk_halvings = int(payload.get("chunk_halvings", 0))
+        stats.spilled_chunks = int(payload.get("spilled_chunks", 0))
+        stats.peak_tracked_bytes = int(payload.get("peak_tracked_bytes", 0))
+        return stats
+
     def merge(self, other: "SearchStats") -> "SearchStats":
         """Fold another run's statistics into this one (associative).
 
@@ -68,4 +112,9 @@ class SearchStats:
             self.intersection_calls[kind] = (
                 self.intersection_calls.get(kind, 0) + calls
             )
+        self.chunk_halvings += other.chunk_halvings
+        self.spilled_chunks += other.spilled_chunks
+        self.peak_tracked_bytes = max(
+            self.peak_tracked_bytes, other.peak_tracked_bytes
+        )
         return self

@@ -83,12 +83,14 @@ def iter_matches(
         yield from flush(force=True)
         return
 
-    chunk = matcher.config.chunk_size
     stack: list[tuple[PathTrie, int, np.ndarray]] = []
     if roots:
         stack.append((trie, 1, np.arange(roots, dtype=np.int64)))
     while stack:
         item_trie, step, frontier = stack.pop()
+        # Governor-aware chunk sizing: under memory pressure the BFS
+        # chunk shrinks (toward pure DFS), bounding the live footprint.
+        chunk = state.governor.effective_chunk(matcher.config.chunk_size)
         if frontier.size > chunk:
             stack.append((item_trie, step, frontier[chunk:]))
             frontier = frontier[:chunk]
@@ -96,6 +98,9 @@ def iter_matches(
         if len(ca) == 0:
             continue
         child = PathTrie(levels=[*item_trie.levels, TrieLevel(pa=pa, ca=ca)])
+        state.governor.observe_words(
+            child.total_storage_words + int(len(ca))
+        )
         if step + 1 == n_steps:
             paths = child.paths_at(child.depth - 1)
             pending.append(paths[:, inv])

@@ -414,6 +414,38 @@ class StrideLedger:
     def gen_of(self, key: StrideKey) -> int:
         return self.entries[key].gen
 
+    # -- checkpoint/resume ----------------------------------------------
+    def committed_intervals(self) -> list[tuple[int, int, int, int]]:
+        """Every committed interval as ``(origin, lo, hi, count)``.
+
+        This is the ledger's durable state: committed intervals are
+        immune to crashes by construction, so they are exactly what a
+        checkpoint snapshot persists and what a resumed run preloads.
+        """
+        return [
+            (key[0], key[1], key[2], entry.count)
+            for key, entry in sorted(self.entries.items())
+            if entry.committed
+        ]
+
+    def preload_committed(
+        self, intervals: list[tuple[int, int, int, int]]
+    ) -> None:
+        """Seed the ledger with intervals committed by a previous run.
+
+        Used on checkpoint resume *before* ``init_partition``: workers
+        then open (and re-execute) only the gaps between these.
+        """
+        for origin, lo, hi, count in intervals:
+            key: StrideKey = (int(origin), int(lo), int(hi))
+            if key in self.entries:
+                raise ValueError(
+                    f"cannot preload {key}: interval already present"
+                )
+            entry = _StrideEntry(pending=0, committed=True, count=int(count))
+            self.entries[key] = entry
+            self.committed_total += int(count)
+
     # -- termination ----------------------------------------------------
     def all_committed(self) -> bool:
         return self.uncommitted == 0

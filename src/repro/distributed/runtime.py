@@ -40,6 +40,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..checkpoint.fingerprint import (
+    check_fingerprints,
+    config_fingerprint,
+    graph_fingerprint,
+)
+from ..checkpoint.store import FORMAT_VERSION, CheckpointStore
 from ..core.config import CuTSConfig
 from ..graph.csr import CSRGraph
 from .comm import NetworkModel, SimComm
@@ -137,10 +143,88 @@ class DistributedCuTS:
         self.fault_plan = fault_plan
         self.reliable = reliable
 
-    def match(self, query: CSRGraph, *, max_events: int = 10_000_000) -> DistributedResult:
-        """Run the distributed search to completion."""
+    def _fingerprints(self, query: CSRGraph) -> dict[str, str]:
+        return {
+            "version": str(FORMAT_VERSION),
+            "mode": "distributed",
+            "config": config_fingerprint(self.config),
+            "data": graph_fingerprint(self.data),
+            "query": graph_fingerprint(query),
+            "num_ranks": str(self.num_ranks),
+        }
+
+    def match(
+        self,
+        query: CSRGraph,
+        *,
+        max_events: int = 10_000_000,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
+    ) -> DistributedResult:
+        """Run the distributed search to completion.
+
+        With ``checkpoint_dir``, the :class:`StrideLedger`'s committed
+        intervals — the exact, crash-immune portion of the count — are
+        snapshotted every ``config.checkpoint_every`` event-loop
+        iterations (and before the ``max_events`` safety valve trips).
+        ``resume=True`` preloads those intervals and re-executes only
+        the uncommitted gaps of each rank's root partition, reaching the
+        same final count as an uninterrupted run.
+        """
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        store: CheckpointStore | None = None
+        preloaded: list[tuple[int, int, int, int]] = []
+        next_seq = 0
+        if checkpoint_dir is not None:
+            if not self.reliable:
+                raise ValueError(
+                    "checkpointing requires the reliable runtime "
+                    "(the StrideLedger is the durable state)"
+                )
+            store = CheckpointStore(checkpoint_dir)
+            prints = self._fingerprints(query)
+            manifest = store.read_manifest()
+            if manifest is not None:
+                if not resume:
+                    raise ValueError(
+                        f"checkpoint directory {store.directory!r} already "
+                        "holds a job; pass resume=True to continue it"
+                    )
+                check_fingerprints(
+                    dict(manifest.get("fingerprints", {})), prints
+                )
+                if manifest.get("complete"):
+                    stored = dict(manifest["result"])
+                    for key in (
+                        "per_rank_clock_ms", "per_rank_busy_ms",
+                        "chunks_processed",
+                    ):
+                        stored[key] = tuple(stored[key])
+                    return DistributedResult(**stored)
+                snap = store.load_latest_snapshot()
+                if snap is not None:
+                    seq, _buffers, meta = snap
+                    next_seq = seq + 1
+                    preloaded = [
+                        (int(o), int(lo), int(hi), int(c))
+                        for o, lo, hi, c in meta["committed"]
+                    ]
+            else:
+                if resume:
+                    raise ValueError(
+                        f"nothing to resume: {store.directory!r} has no "
+                        "manifest"
+                    )
+                store.write_manifest(
+                    {
+                        "version": FORMAT_VERSION,
+                        "fingerprints": prints,
+                        "complete": False,
+                    }
+                )
         injector = (
             FaultInjector(self.fault_plan)
             if self.fault_plan is not None and not self.fault_plan.is_null
@@ -168,22 +252,54 @@ class DistributedCuTS:
             )
             for r in range(self.num_ranks)
         ]
+        if preloaded:
+            assert ledger is not None
+            ledger.preload_committed(preloaded)
+        committed_by_rank: dict[int, list[tuple[int, int]]] = {}
+        for origin, lo, hi, _count in preloaded:
+            committed_by_rank.setdefault(origin, []).append((lo, hi))
         for w in workers:
-            w.init_partition(self.num_ranks)
+            w.init_partition(
+                self.num_ranks, committed=committed_by_rank.get(w.rank)
+            )
             if not w.has_work():
                 registry.announce_free(w.rank, w.clock_ms)
                 comm.broadcast(w.rank, MsgType.FREE, None, 1, w.clock_ms)
+
+        def snapshot() -> None:
+            nonlocal next_seq
+            assert store is not None and ledger is not None
+            store.save_snapshot(
+                next_seq,
+                [],
+                {
+                    "committed": [
+                        list(iv) for iv in ledger.committed_intervals()
+                    ],
+                    "committed_total": ledger.committed_total,
+                    "events": events,
+                },
+            )
+            next_seq += 1
+            store.prune_snapshots(keep=2)
 
         events = 0
         while True:
             if ledger is not None and ledger.all_committed():
                 break
-            if events >= max_events:  # pragma: no cover - safety valve
+            if events >= max_events:
+                # Snapshot-then-raise: the safety valve doubles as the
+                # in-process kill analogue for resume testing — whatever
+                # was committed so far survives.
+                if store is not None:
+                    snapshot()
                 raise RuntimeError("distributed event loop exceeded max_events")
             actor = self._next_actor(workers, comm, tracker)
             if actor is None:
                 break
             events += 1
+            if store is not None and events % self.config.checkpoint_every == 0:
+                snapshot()
             w, wake_time = actor
             w.clock_ms = max(w.clock_ms, wake_time)
             if self.reliable:
@@ -220,7 +336,7 @@ class DistributedCuTS:
                 + len(self._dead)
                 + len(injector.plan.slowdown)
             )
-        return DistributedResult(
+        result = DistributedResult(
             count=count,
             runtime_ms=max(wk.clock_ms for wk in workers),
             per_rank_clock_ms=tuple(wk.clock_ms for wk in workers),
@@ -233,6 +349,29 @@ class DistributedCuTS:
             ranks_failed=len(self._dead),
             recovered_chunks=recovered,
         )
+        if store is not None:
+            store.write_manifest(
+                {
+                    "version": FORMAT_VERSION,
+                    "fingerprints": self._fingerprints(query),
+                    "complete": True,
+                    "result": {
+                        "count": result.count,
+                        "runtime_ms": result.runtime_ms,
+                        "per_rank_clock_ms": list(result.per_rank_clock_ms),
+                        "per_rank_busy_ms": list(result.per_rank_busy_ms),
+                        "chunks_processed": list(result.chunks_processed),
+                        "work_transfers": result.work_transfers,
+                        "words_transferred": result.words_transferred,
+                        "faults_injected": result.faults_injected,
+                        "retransmissions": result.retransmissions,
+                        "ranks_failed": result.ranks_failed,
+                        "recovered_chunks": result.recovered_chunks,
+                    },
+                }
+            )
+            store.prune_snapshots(keep=0)
+        return result
 
     # ------------------------------------------------------------------
     def _crash_time(self, rank: int) -> float | None:

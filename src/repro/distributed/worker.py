@@ -40,6 +40,24 @@ from .protocol import BufferMeta, StrideKey, StrideLedger, WorkEnvelope
 __all__ = ["WorkItem", "RankWorker"]
 
 
+def _interval_gaps(
+    roots: int, committed: list[tuple[int, int]] | None
+) -> list[tuple[int, int]]:
+    """The sub-intervals of ``[0, roots)`` not covered by ``committed``."""
+    if not committed:
+        return [(0, roots)]
+    gaps: list[tuple[int, int]] = []
+    cursor = 0
+    for lo, hi in sorted(committed):
+        lo, hi = max(0, int(lo)), min(roots, int(hi))
+        if lo > cursor:
+            gaps.append((cursor, lo))
+        cursor = max(cursor, hi)
+    if cursor < roots:
+        gaps.append((cursor, roots))
+    return gaps
+
+
 @dataclass(frozen=True)
 class WorkItem:
     """A frontier chunk awaiting expansion.
@@ -120,8 +138,19 @@ class RankWorker:
         self._num_parts = 1
 
     # ------------------------------------------------------------------
-    def init_partition(self, num_ranks: int) -> None:
-        """``init_match``: compute root candidates, keep the rank stride."""
+    def init_partition(
+        self,
+        num_ranks: int,
+        committed: list[tuple[int, int]] | None = None,
+    ) -> None:
+        """``init_match``: compute root candidates, keep the rank stride.
+
+        ``committed`` lists ``(lo, hi)`` root-row intervals of *this*
+        rank's partition already committed by a previous run (checkpoint
+        resume); only the gaps between them are opened and executed.
+        The resumed run's fingerprints guarantee the root set is
+        identical, so gap rows map onto exactly the unexplored subtrees.
+        """
         self._num_parts = num_ranks
         t0 = self.state.cost.time_ms
         trie = self.matcher.initial_frontier(
@@ -131,24 +160,26 @@ class RankWorker:
         roots = trie.num_paths(0)
         if roots == 0:
             return
-        key = (self.rank, 0, roots)
-        if self.ledger is not None:
-            self.ledger.open(key, self.rank)
-        if self._num_steps == 1:
-            self.count += roots
+        gaps = _interval_gaps(roots, committed)
+        for lo, hi in gaps:
+            key = (self.rank, lo, hi)
             if self.ledger is not None:
-                self.ledger.finish_item(key, 0, self.rank, roots)
-            return
-        self.stack.append(
-            WorkItem(
-                trie=trie,
-                step=1,
-                frontier=np.arange(roots, dtype=np.int64),
-                origin=self.rank,
-                lo=0,
-                hi=roots,
+                self.ledger.open(key, self.rank)
+            if self._num_steps == 1:
+                self.count += hi - lo
+                if self.ledger is not None:
+                    self.ledger.finish_item(key, 0, self.rank, hi - lo)
+                continue
+            self.stack.append(
+                WorkItem(
+                    trie=trie,
+                    step=1,
+                    frontier=np.arange(lo, hi, dtype=np.int64),
+                    origin=self.rank,
+                    lo=lo,
+                    hi=hi,
+                )
             )
-        )
 
     def has_work(self) -> bool:
         return bool(self.stack)

@@ -16,7 +16,7 @@ from .components import (
     split_components,
     weakly_connected_components,
 )
-from .csr import CSRGraph
+from .csr import CSRGraph, GraphFormatError
 from .degree import DegreeSummary, degree_histogram, degree_summary, total_degrees
 from .generators import (
     chain_graph,
@@ -39,6 +39,7 @@ from .queries import QUERY_SIZES, all_query_sets, atlas_graphs, paper_query_set
 
 __all__ = [
     "CSRGraph",
+    "GraphFormatError",
     "from_edges",
     "from_undirected_edges",
     "from_networkx",

@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .csr import CSRGraph
+from .csr import CSRGraph, GraphFormatError
 
 __all__ = [
     "from_edges",
@@ -27,22 +27,40 @@ __all__ = [
 
 def _normalise_edges(
     edges: Iterable[Sequence[int]] | np.ndarray,
+    self_loops: str = "drop",
 ) -> tuple[np.ndarray, int]:
     """Coerce an edge iterable to a deduplicated ``(E, 2)`` int64 array.
 
-    Self-loops are removed; duplicates collapse to one edge.  Returns the
-    array plus the inferred vertex count (``max id + 1`` over the *raw*
-    edges, so a vertex mentioned only in a dropped self-loop still
-    counts).
+    Duplicates collapse to one edge.  Self-loops are dropped by default
+    (``self_loops="drop"``) or rejected with :class:`GraphFormatError`
+    (``self_loops="error"``, for pipelines that treat a loop as input
+    corruption).  Returns the array plus the inferred vertex count
+    (``max id + 1`` over the *raw* edges, so a vertex mentioned only in
+    a dropped self-loop still counts).
     """
+    if self_loops not in ("drop", "error"):
+        raise ValueError(
+            f"self_loops must be 'drop' or 'error', got {self_loops!r}"
+        )
     arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
     if arr.size == 0:
         return np.zeros((0, 2), dtype=np.int64), 0
     arr = arr.reshape(-1, 2).astype(np.int64, copy=False)
     if arr.min() < 0:
-        raise ValueError("vertex ids must be non-negative")
+        raise GraphFormatError(
+            "vertex ids must be non-negative; edge list contains "
+            f"id {int(arr.min())}"
+        )
     inferred_n = int(arr.max()) + 1
-    arr = arr[arr[:, 0] != arr[:, 1]]  # drop self loops
+    loops = arr[:, 0] == arr[:, 1]
+    if loops.any():
+        if self_loops == "error":
+            first = int(arr[np.argmax(loops), 0])
+            raise GraphFormatError(
+                f"edge list contains {int(loops.sum())} self-loop(s) "
+                f"(first at vertex {first}) and self_loops='error'"
+            )
+        arr = arr[~loops]
     if arr.size == 0:
         return np.zeros((0, 2), dtype=np.int64), inferred_n
     return np.unique(arr, axis=0), inferred_n
@@ -62,6 +80,7 @@ def from_edges(
     edges: Iterable[Sequence[int]] | np.ndarray,
     num_vertices: int | None = None,
     name: str = "graph",
+    self_loops: str = "drop",
 ) -> CSRGraph:
     """Build a directed :class:`CSRGraph` from an edge list.
 
@@ -69,19 +88,22 @@ def from_edges(
     ----------
     edges:
         Iterable of ``(u, v)`` pairs or an ``(E, 2)`` array.  Duplicates
-        and self-loops are removed.
+        are removed.
     num_vertices:
         Explicit vertex count; defaults to ``max id + 1``.
     name:
         Dataset name carried into experiment tables.
+    self_loops:
+        ``"drop"`` (default) silently removes loops; ``"error"`` raises
+        :class:`GraphFormatError` when one is present.
     """
-    arr, inferred_n = _normalise_edges(edges)
+    arr, inferred_n = _normalise_edges(edges, self_loops=self_loops)
     if num_vertices is None:
         num_vertices = inferred_n
     elif arr.size and int(arr.max()) >= num_vertices:
-        raise ValueError(
+        raise GraphFormatError(
             f"edge references vertex {int(arr.max())} but num_vertices="
-            f"{num_vertices}"
+            f"{num_vertices} (dangling edge)"
         )
     # Out-CSR: sort by (src, dst) — np.unique in _normalise_edges already
     # produced lexicographic order, so rows are ready as-is.
@@ -105,13 +127,15 @@ def from_undirected_edges(
     edges: Iterable[Sequence[int]] | np.ndarray,
     num_vertices: int | None = None,
     name: str = "graph",
+    self_loops: str = "drop",
 ) -> CSRGraph:
     """Build a bidirected :class:`CSRGraph` from an undirected edge list.
 
     Implements the paper's §2.1 conversion: every undirected edge
     ``{u, v}`` becomes the directed pair ``(u, v)`` and ``(v, u)``.
+    ``self_loops`` follows :func:`from_edges`.
     """
-    arr, inferred_n = _normalise_edges(edges)
+    arr, inferred_n = _normalise_edges(edges, self_loops=self_loops)
     if arr.size:
         arr = np.concatenate([arr, arr[:, ::-1]], axis=0)
     if num_vertices is None:

@@ -25,7 +25,18 @@ from typing import Final
 
 import numpy as np
 
-__all__ = ["CSRGraph", "INDEX_DTYPE"]
+__all__ = ["CSRGraph", "GraphFormatError", "INDEX_DTYPE"]
+
+
+class GraphFormatError(ValueError):
+    """A graph input failed structural validation.
+
+    Raised for malformed on-disk graph files (bad headers, negative or
+    dangling vertex ids, disallowed self-loops) and for CSR arrays that
+    violate the representation invariants (non-monotone offsets,
+    out-of-range column indices).  Subclasses :class:`ValueError` so
+    pre-existing ``except ValueError`` callers keep working.
+    """
 
 INDEX_DTYPE: Final[np.dtype] = np.dtype(np.int64)
 """The one integer dtype for CSR offsets, indices, and labels.
@@ -94,19 +105,50 @@ class CSRGraph:
                 f"rindptr must have shape ({n + 1},), got {self.rindptr.shape}"
             )
         if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
-            raise ValueError("indptr endpoints inconsistent with indices")
+            raise GraphFormatError("indptr endpoints inconsistent with indices")
         if self.rindptr[0] != 0 or self.rindptr[-1] != len(self.rindices):
-            raise ValueError("rindptr endpoints inconsistent with rindices")
+            raise GraphFormatError("rindptr endpoints inconsistent with rindices")
+        if n and np.any(np.diff(self.indptr) < 0):
+            bad = int(np.argmax(np.diff(self.indptr) < 0))
+            raise GraphFormatError(
+                f"indptr offsets must be non-decreasing; indptr[{bad + 1}]="
+                f"{int(self.indptr[bad + 1])} < indptr[{bad}]="
+                f"{int(self.indptr[bad])}"
+            )
+        if n and np.any(np.diff(self.rindptr) < 0):
+            bad = int(np.argmax(np.diff(self.rindptr) < 0))
+            raise GraphFormatError(
+                f"rindptr offsets must be non-decreasing; rindptr[{bad + 1}]="
+                f"{int(self.rindptr[bad + 1])} < rindptr[{bad}]="
+                f"{int(self.rindptr[bad])}"
+            )
         if len(self.indices) != len(self.rindices):
             raise ValueError(
                 "out- and in-CSR must describe the same edge set: "
                 f"{len(self.indices)} != {len(self.rindices)} edges"
             )
         if len(self.indices) and n:
-            if self.indices.min() < 0 or self.indices.max() >= n:
-                raise ValueError("indices contain out-of-range vertex ids")
-            if self.rindices.min() < 0 or self.rindices.max() >= n:
-                raise ValueError("rindices contain out-of-range vertex ids")
+            if self.indices.min() < 0:
+                raise GraphFormatError(
+                    f"indices contain negative vertex id {int(self.indices.min())}"
+                )
+            if self.indices.max() >= n:
+                raise GraphFormatError(
+                    "indices contain out-of-range vertex id "
+                    f"{int(self.indices.max())} (dangling edge; "
+                    f"graph has {n} vertices)"
+                )
+            if self.rindices.min() < 0:
+                raise GraphFormatError(
+                    "rindices contain negative vertex id "
+                    f"{int(self.rindices.min())}"
+                )
+            if self.rindices.max() >= n:
+                raise GraphFormatError(
+                    "rindices contain out-of-range vertex id "
+                    f"{int(self.rindices.max())} (dangling edge; "
+                    f"graph has {n} vertices)"
+                )
 
     # ------------------------------------------------------------------
     # Basic properties

@@ -18,15 +18,31 @@ from pathlib import Path
 import numpy as np
 
 from .build import from_edges
-from .csr import CSRGraph
+from .csr import CSRGraph, GraphFormatError
 
 __all__ = [
+    "GraphFormatError",
     "write_cuts_format",
     "read_cuts_format",
     "write_gsi_format",
     "read_gsi_format",
     "convert_cuts_to_gsi",
 ]
+
+
+def _validate_edges(edges: np.ndarray, n: int, path: Path) -> None:
+    """Reject negative and dangling vertex ids with file context."""
+    if edges.size == 0:
+        return
+    if edges.min() < 0:
+        raise GraphFormatError(
+            f"{path}: negative vertex id {int(edges.min())} in edge list"
+        )
+    if edges.max() >= n:
+        raise GraphFormatError(
+            f"{path}: edge references vertex {int(edges.max())} but the "
+            f"header declares only {n} vertices (dangling edge)"
+        )
 
 
 def write_cuts_format(graph: CSRGraph, path: str | Path) -> None:
@@ -38,23 +54,55 @@ def write_cuts_format(graph: CSRGraph, path: str | Path) -> None:
         np.savetxt(fh, edges, fmt="%d")
 
 
-def read_cuts_format(path: str | Path, name: str | None = None) -> CSRGraph:
-    """Read a graph written by :func:`write_cuts_format`."""
+def read_cuts_format(
+    path: str | Path, name: str | None = None, self_loops: str = "drop"
+) -> CSRGraph:
+    """Read a graph written by :func:`write_cuts_format`.
+
+    Malformed inputs (bad header, wrong edge count, negative or dangling
+    vertex ids) raise :class:`GraphFormatError` with the offending file
+    named.  ``self_loops`` follows :func:`repro.graph.build.from_edges`:
+    ``"drop"`` (default) removes loops, ``"error"`` rejects them.
+    """
     path = Path(path)
     with path.open() as fh:
         header = fh.readline().split()
         if len(header) != 2:
-            raise ValueError(f"{path}: malformed header {header!r}")
-        n, m = int(header[0]), int(header[1])
+            raise GraphFormatError(f"{path}: malformed header {header!r}")
+        try:
+            n, m = int(header[0]), int(header[1])
+        except ValueError:
+            raise GraphFormatError(
+                f"{path}: non-integer header {header!r}"
+            ) from None
+        if n < 0 or m < 0:
+            raise GraphFormatError(
+                f"{path}: header declares negative counts {header!r}"
+            )
         if m > 0:
-            edges = np.loadtxt(fh, dtype=np.int64, ndmin=2)
+            try:
+                edges = np.loadtxt(fh, dtype=np.int64, ndmin=2)
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}: unparseable edge list ({exc})"
+                ) from None
         else:
             edges = np.zeros((0, 2), dtype=np.int64)
     if edges.size == 0:
         edges = edges.reshape(0, 2)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise GraphFormatError(
+            f"{path}: edge rows must have two columns, got shape "
+            f"{edges.shape}"
+        )
     if len(edges) != m:
-        raise ValueError(f"{path}: header says {m} edges, found {len(edges)}")
-    return from_edges(edges, num_vertices=n, name=name or path.stem)
+        raise GraphFormatError(
+            f"{path}: header says {m} edges, found {len(edges)}"
+        )
+    _validate_edges(edges, n, path)
+    return from_edges(
+        edges, num_vertices=n, name=name or path.stem, self_loops=self_loops
+    )
 
 
 def write_gsi_format(graph: CSRGraph, path: str | Path) -> None:
@@ -73,29 +121,48 @@ def write_gsi_format(graph: CSRGraph, path: str | Path) -> None:
             fh.write(f"e {u} {v} 0\n")
 
 
-def read_gsi_format(path: str | Path, name: str | None = None) -> CSRGraph:
+def read_gsi_format(
+    path: str | Path, name: str | None = None, self_loops: str = "drop"
+) -> CSRGraph:
     """Read a graph written by :func:`write_gsi_format`.
 
     A nonzero label column is attached as vertex labels; an all-zero
     column is treated as unlabeled (our ``labels=None`` convention).
+    Structural problems raise :class:`GraphFormatError`; ``self_loops``
+    follows :func:`read_cuts_format`.
     """
     path = Path(path)
     n = 0
     edges: list[tuple[int, int]] = []
     labels: dict[int, int] = {}
     with path.open() as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             parts = line.split()
             if not parts:
                 continue
-            if parts[0] == "t":
-                n = int(parts[1])
-            elif parts[0] == "v":
-                labels[int(parts[1])] = int(parts[2])
-            elif parts[0] == "e":
-                edges.append((int(parts[1]), int(parts[2])))
+            try:
+                if parts[0] == "t":
+                    n = int(parts[1])
+                elif parts[0] == "v":
+                    labels[int(parts[1])] = int(parts[2])
+                elif parts[0] == "e":
+                    edges.append((int(parts[1]), int(parts[2])))
+            except (IndexError, ValueError):
+                raise GraphFormatError(
+                    f"{path}:{lineno}: malformed record {line.rstrip()!r}"
+                ) from None
+    if n < 0:
+        raise GraphFormatError(f"{path}: header declares {n} vertices")
+    for v in labels:
+        if v < 0 or v >= n:
+            raise GraphFormatError(
+                f"{path}: vertex record for id {v} outside 0..{n - 1}"
+            )
     arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-    g = from_edges(arr, num_vertices=n, name=name or path.stem)
+    _validate_edges(arr, n, path)
+    g = from_edges(
+        arr, num_vertices=n, name=name or path.stem, self_loops=self_loops
+    )
     if any(labels.values()):
         lab = np.zeros(n, dtype=np.int64)
         for v, l in labels.items():

@@ -27,17 +27,30 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
 
+from ..checkpoint.fingerprint import check_fingerprints, config_fingerprint
+from ..checkpoint.fingerprint import graph_fingerprint as _graph_fp
+from ..checkpoint.store import FORMAT_VERSION, CheckpointStore
 from ..core.candidates import root_candidates
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher
 from ..core.ordering import build_order
 from ..core.result import MatchResult
+from ..core.stats import SearchStats
+from ..gpusim.cost import CostModel
 from ..graph.csr import CSRGraph
 from .sharedmem import SharedCSR, SharedCSRMeta
 
-__all__ = ["ParallelMatcher", "parallel_match", "resolve_workers"]
+__all__ = ["ParallelMatcher", "ShardLeaseError", "parallel_match", "resolve_workers"]
+
+
+class ShardLeaseError(RuntimeError):
+    """A root-interval shard exhausted its re-lease budget."""
 
 
 def resolve_workers(workers: int | str | None) -> int:
@@ -69,15 +82,54 @@ def _run_interval(
     num_parts: int,
     materialize: bool,
     time_limit_ms: float | None,
+    heartbeat_path: str | None = None,
+    test_delay_s: float = 0.0,
 ) -> MatchResult:
+    """One shard lease: match the strided interval ``part::num_parts``.
+
+    ``heartbeat_path`` is the watchdog's liveness file: touched at lease
+    start and (throttled) once per fused expansion, so a SIGKILLed or
+    hung worker goes silent and the parent re-leases the shard.
+    ``test_delay_s`` is a fault-injection knob for the watchdog tests
+    (simulates a hung worker by stalling before the search starts).
+    """
     matcher: CuTSMatcher = _WORKER["matcher"]
-    return matcher.match(
-        query,
-        materialize=materialize,
-        time_limit_ms=time_limit_ms,
-        part=part,
-        num_parts=num_parts,
-    )
+    if heartbeat_path is not None:
+        _touch(heartbeat_path)
+        last = time.monotonic()
+
+        def beat(_state: object) -> None:
+            nonlocal last
+            now = time.monotonic()
+            if now - last >= _HEARTBEAT_MIN_INTERVAL_S:
+                _touch(heartbeat_path)
+                last = now
+
+        matcher.on_tick = beat
+    if test_delay_s > 0.0:
+        time.sleep(test_delay_s)
+    try:
+        result = matcher.match(
+            query,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+            part=part,
+            num_parts=num_parts,
+        )
+    finally:
+        matcher.on_tick = None
+    result.shards = (part,)
+    return result
+
+
+_HEARTBEAT_MIN_INTERVAL_S = 0.05
+
+
+def _touch(path: str) -> None:
+    """Create/refresh a heartbeat file's mtime."""
+    with open(path, "a"):
+        pass
+    os.utime(path)
 
 
 class ParallelMatcher:
@@ -133,26 +185,53 @@ class ParallelMatcher:
         self._shared: SharedCSR | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
+        # Fault injection for the watchdog tests: part id -> seconds the
+        # first lease of that shard stalls before searching (simulating
+        # a hung worker).  Consumed on lease; never set in production.
+        self._test_part_delays: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     # Pool / segment lifetime
     # ------------------------------------------------------------------
+    def _ensure_segment(self) -> SharedCSR:
+        if self._closed:
+            raise ValueError("ParallelMatcher is closed")
+        if self._shared is None:
+            self._shared = SharedCSR.create(self.data)
+        return self._shared
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        shared = self._ensure_segment()
+        ctx = (
+            multiprocessing.get_context(self._mp_context)
+            if self._mp_context
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=ctx,
+            initializer=_worker_init,
+            initargs=(shared.meta, self.config),
+        )
+
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._closed:
             raise ValueError("ParallelMatcher is closed")
         if self._pool is None:
-            self._shared = SharedCSR.create(self.data)
-            ctx = (
-                multiprocessing.get_context(self._mp_context)
-                if self._mp_context
-                else None
-            )
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=ctx,
-                initializer=_worker_init,
-                initargs=(self._shared.meta, self.config),
-            )
+            self._pool = self._make_pool()
+        elif getattr(self._pool, "_broken", False):
+            # A worker died between matches (the executor poisons itself
+            # permanently); replace it before leasing new shards.
+            self._pool = self._rebuild_pool()
+        return self._pool
+
+    def _rebuild_pool(self) -> ProcessPoolExecutor:
+        """Replace a broken executor.  The shared-memory segment is
+        owned by this (parent) process and survives worker deaths, so a
+        rebuild costs only process start-up, not a graph copy."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
         return self._pool
 
     def close(self) -> None:
@@ -187,12 +266,24 @@ class ParallelMatcher:
         )
         return max(1, min(num_roots, self.oversplit * self.workers))
 
+    def _fingerprints(self, query: CSRGraph, num_parts: int) -> dict[str, str]:
+        return {
+            "version": str(FORMAT_VERSION),
+            "mode": "parallel",
+            "config": config_fingerprint(self.config),
+            "data": _graph_fp(self.data),
+            "query": _graph_fp(query),
+            "num_parts": str(num_parts),
+        }
+
     def match(
         self,
         query: CSRGraph,
         *,
         materialize: bool = False,
         time_limit_ms: float | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool = False,
     ) -> MatchResult:
         """Exact equivalent of :meth:`CuTSMatcher.match`, sharded.
 
@@ -200,35 +291,240 @@ class ParallelMatcher:
         are identical to the serial engine's; ``stats.paths_per_depth``
         sums to the serial totals; ``time_ms`` models the makespan of
         concurrent devices (max over shards).
+
+        Every run is supervised by a **watchdog**: each shard is a lease
+        stamped by a heartbeat file the worker touches per expansion.  A
+        SIGKILLed worker breaks the pool — the pool is rebuilt and every
+        incomplete shard re-leased; a *hung* worker (heartbeat silent
+        past ``config.lease_timeout_s``) gets its shard duplicated onto
+        a live worker, with the first completion winning (shards merge
+        exactly once — see :attr:`MatchResult.shards`).  Each shard is
+        re-leased at most ``config.lease_retries`` times before
+        :class:`ShardLeaseError` is raised.
+
+        With ``checkpoint_dir``, completed shards are persisted
+        atomically as they land, and ``resume=True`` re-runs only the
+        missing shards (count-only; fingerprints must match).
         """
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
-        num_parts = self.num_intervals(query)
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(
-                _run_interval, query, part, num_parts, materialize,
-                time_limit_ms,
+        if checkpoint_dir is not None and materialize:
+            raise ValueError(
+                "checkpointed runs are count-only; materialize=True is "
+                "not supported with checkpoint_dir"
             )
-            for part in range(num_parts)
-        ]
-        merged: MatchResult | None = None
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+
+        num_parts = self.num_intervals(query)
+        store: CheckpointStore | None = None
+        completed: dict[int, MatchResult] = {}
+        if checkpoint_dir is not None:
+            store = CheckpointStore(checkpoint_dir)
+            manifest = store.read_manifest()
+            if manifest is not None:
+                if not resume:
+                    raise ValueError(
+                        f"checkpoint directory {store.directory!r} already "
+                        "holds a job; pass resume=True to continue it"
+                    )
+                # The stored shard count wins: resuming with a different
+                # worker count must not change the partitioning.
+                num_parts = int(manifest.get("num_parts", num_parts))
+                check_fingerprints(
+                    dict(manifest.get("fingerprints", {})),
+                    self._fingerprints(query, num_parts),
+                )
+                if manifest.get("complete"):
+                    num_parts = int(manifest["num_parts"])
+                for part, payload in store.load_parts().items():
+                    if 0 <= part < num_parts:
+                        completed[part] = _result_from_payload(
+                            payload, self.config, part
+                        )
+            else:
+                if resume:
+                    raise ValueError(
+                        f"nothing to resume: {store.directory!r} has no "
+                        "manifest"
+                    )
+                store.write_manifest(
+                    {
+                        "version": FORMAT_VERSION,
+                        "fingerprints": self._fingerprints(query, num_parts),
+                        "num_parts": num_parts,
+                        "complete": False,
+                    }
+                )
+
+        hb_tmp: tempfile.TemporaryDirectory[str] | None = None
+        if store is not None:
+            hb_dir = store.heartbeat_dir
+        else:
+            hb_tmp = tempfile.TemporaryDirectory(prefix="cuts-hb-")
+            hb_dir = hb_tmp.name
+        try:
+            self._supervise(
+                query, num_parts, materialize, time_limit_ms,
+                completed, store, hb_dir,
+            )
+        finally:
+            if hb_tmp is not None:
+                hb_tmp.cleanup()
+
         cap = self.config.max_materialized
-        # Reduce in submission order: deterministic row order regardless
-        # of which worker finishes first.
-        for future in futures:
-            result = future.result()
+        merged: MatchResult | None = None
+        # Reduce in shard order: deterministic row order regardless of
+        # which worker finished first.
+        for part in range(num_parts):
+            result = completed[part]
             merged = (
                 result
                 if merged is None
                 else merged.merge(result, max_materialized=cap)
             )
         assert merged is not None
+        if store is not None:
+            store.write_manifest(
+                {
+                    "version": FORMAT_VERSION,
+                    "fingerprints": self._fingerprints(query, num_parts),
+                    "num_parts": num_parts,
+                    "complete": True,
+                    "count": int(merged.count),
+                    "time_ms": float(merged.time_ms),
+                }
+            )
         return merged
+
+    def _supervise(
+        self,
+        query: CSRGraph,
+        num_parts: int,
+        materialize: bool,
+        time_limit_ms: float | None,
+        completed: dict[int, MatchResult],
+        store: CheckpointStore | None,
+        hb_dir: str,
+    ) -> None:
+        """The watchdog loop: lease shards, heartbeat-check, re-lease."""
+        pool = self._ensure_pool()
+        timeout_s = self.config.lease_timeout_s
+        poll_s = max(0.02, min(0.5, timeout_s / 4.0))
+        max_leases = 1 + self.config.lease_retries
+        leases: dict[int, int] = dict.fromkeys(range(num_parts), 0)
+        lease_at: dict[int, float] = {}
+        pending: dict[Future[MatchResult], int] = {}
+
+        def hb_path(part: int) -> str:
+            return os.path.join(hb_dir, f"part-{part:05d}")
+
+        def lease(part: int) -> None:
+            nonlocal pool
+            leases[part] += 1
+            if leases[part] > max_leases:
+                raise ShardLeaseError(
+                    f"shard {part}/{num_parts} failed {max_leases} leases "
+                    f"(lease_retries={self.config.lease_retries})"
+                )
+            delay = float(self._test_part_delays.get(part, 0.0))
+            # A re-leased shard must not replay the injected hang.
+            self._test_part_delays.pop(part, None)
+            args = (
+                query, part, num_parts, materialize, time_limit_ms,
+                hb_path(part), delay,
+            )
+            try:
+                fut = pool.submit(_run_interval, *args)
+            except BrokenProcessPool:
+                pool = self._rebuild_pool()
+                fut = pool.submit(_run_interval, *args)
+            pending[fut] = part
+            lease_at[part] = time.monotonic()
+
+        def settle(part: int, result: MatchResult) -> None:
+            if part in completed:
+                return  # duplicate delivery (slow original after re-lease)
+            completed[part] = result
+            if store is not None:
+                store.save_part(part, _payload_from_result(result))
+
+        for part in range(num_parts):
+            if part not in completed:
+                lease(part)
+
+        # Stop as soon as every shard has settled: an abandoned duplicate
+        # (the hung original of a re-leased shard) must not block the
+        # merge — its eventual result is dropped by the dedupe.
+        while pending and len(completed) < num_parts:
+            done, _ = wait(
+                set(pending), timeout=poll_s, return_when=FIRST_COMPLETED
+            )
+            broken = False
+            for fut in done:
+                part = pending.pop(fut)
+                try:
+                    settle(part, fut.result())
+                except BrokenProcessPool:
+                    broken = True
+                except Exception:
+                    raise
+            if broken:
+                # A SIGKILLed worker poisons the whole executor: every
+                # pending future fails together.  Rebuild and re-lease
+                # all incomplete shards.
+                pending.clear()
+                pool = self._rebuild_pool()
+                for part in range(num_parts):
+                    if part not in completed:
+                        lease(part)
+                continue
+            # Hung-worker check: a leased, incomplete shard whose
+            # heartbeat (and lease) are both older than the timeout is
+            # presumed stuck; duplicate it onto a live worker.
+            now = time.monotonic()
+            wall_now = time.time()
+            for part in set(pending.values()):
+                if part in completed:
+                    continue
+                if now - lease_at.get(part, now) <= timeout_s:
+                    continue
+                try:
+                    silent = wall_now - os.stat(hb_path(part)).st_mtime
+                except OSError:
+                    silent = timeout_s + 1.0
+                if silent > timeout_s:
+                    lease(part)
 
     def count(self, query: CSRGraph, **kwargs: object) -> int:
         """Convenience: number of embeddings only."""
         return self.match(query, **kwargs).count
+
+
+def _payload_from_result(result: MatchResult) -> dict[str, Any]:
+    """JSON form of one completed shard (count-only durable mode)."""
+    return {
+        "count": int(result.count),
+        "time_ms": float(result.time_ms),
+        "stats": result.stats.to_json(),
+        "order": [int(q) for q in result.order],
+    }
+
+
+def _result_from_payload(
+    payload: dict[str, Any], config: CuTSConfig, part: int
+) -> MatchResult:
+    """Rebuild a persisted shard result (hardware counters are not
+    persisted; a resumed shard contributes an empty cost model)."""
+    return MatchResult(
+        count=int(payload["count"]),
+        matches=None,
+        time_ms=float(payload["time_ms"]),
+        cost=CostModel(config.device),
+        stats=SearchStats.from_json(payload["stats"]),
+        order=tuple(int(q) for q in payload.get("order", ())),
+        shards=(part,),
+    )
 
 
 def parallel_match(

@@ -1,0 +1,29 @@
+"""RP006 fixture: non-atomic writes inside the checkpoint package."""
+
+import json
+from pathlib import Path
+
+
+def bare_writes(path, manifest):
+    with open(path, "w") as fh:                   # line 8: bare open "w"
+        json.dump(manifest, fh)
+    with open(path, mode="ab") as fh:             # line 10: mode= kwarg
+        fh.write(b"tail")
+    Path(path).open("x").close()                  # line 12: .open("x")
+    Path(path).write_text("snapshot")             # line 13: write_text
+    Path(path).write_bytes(b"snapshot")           # line 14: write_bytes
+
+
+def reads_are_fine(path):
+    with open(path) as fh:  # fine: default mode is read
+        head = fh.read(16)
+    with open(path, "rb") as fh:  # fine: explicit read mode
+        body = fh.read()
+    text = Path(path).read_text()  # fine: read helper
+    return head, body, text
+
+
+def suppressed_legacy_writer(path, payload):
+    # Grandfathered debug dump. # repro: ignore[RP006]
+    with open(path, "w") as fh:
+        fh.write(payload)

@@ -53,10 +53,15 @@ EXPECTED = {
     ("RP005", "repro/cli.py", 12),
     ("RP005", "repro/cli.py", 13),
     ("RP005", "repro/cli.py", 22),
+    ("RP006", "repro/checkpoint/bad_io.py", 8),
+    ("RP006", "repro/checkpoint/bad_io.py", 10),
+    ("RP006", "repro/checkpoint/bad_io.py", 12),
+    ("RP006", "repro/checkpoint/bad_io.py", 13),
+    ("RP006", "repro/checkpoint/bad_io.py", 14),
 }
 
 # One suppressed violation is seeded per per-module rule.
-EXPECTED_SUPPRESSED = 3
+EXPECTED_SUPPRESSED = 4
 
 
 @pytest.fixture(scope="module")
@@ -77,7 +82,9 @@ def test_fixture_tree_fires_exactly_the_seeded_violations(fixture_report):
     assert _triples(fixture_report.active) == EXPECTED
 
 
-@pytest.mark.parametrize("rule", ["RP001", "RP002", "RP003", "RP004", "RP005"])
+@pytest.mark.parametrize(
+    "rule", ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+)
 def test_each_rule_fires_only_at_its_seeded_lines(fixture_report, rule):
     got = {t for t in _triples(fixture_report.active) if t[0] == rule}
     want = {t for t in EXPECTED if t[0] == rule}
@@ -118,6 +125,9 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/distributed/runtime.py", 21),  # broadcast arm
         ("repro/cli.py", 10),  # live flag
         ("repro/cli.py", 11),
+        ("repro/checkpoint/bad_io.py", 18),  # read-mode opens
+        ("repro/checkpoint/bad_io.py", 20),
+        ("repro/checkpoint/bad_io.py", 22),
     }
     assert not flagged & fine
 
@@ -133,6 +143,7 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP001", "repro/parallel/bad_shared.py", 28),
         ("RP002", "repro/core/bad_rng.py", 29),
         ("RP003", "repro/core/bad_dtype.py", 21),
+        ("RP006", "repro/checkpoint/bad_io.py", 28),
     }
     assert not _triples(fixture_report.active) & suppressed_sites
 
@@ -312,7 +323,7 @@ def test_cli_write_baseline_then_gate(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert analysis_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RP001", "RP002", "RP003", "RP004", "RP005"):
+    for rule in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
         assert rule in out
 
 
