@@ -1,0 +1,225 @@
+"""Benchmark: serving throughput of the matching service.
+
+Measures the two amortizations PR 5 exists for, in wall-clock seconds:
+
+* **batched vs. sequential** — the sequential baseline answers each
+  query the one-shot way (fresh :class:`CuTSMatcher` per query, the
+  CLI's cost structure); the service answers the same queries through
+  :meth:`MatchingService.match_many`, i.e. one persistent engine and a
+  single batched pool pass over ``min(4, cpus)`` workers;
+* **warm-cache hit latency** — the same batch re-submitted against a
+  warm registry + warm cache must be answered from the result cache:
+  zero additional matcher invocations and a per-hit latency bounded in
+  milliseconds, with bit-identical counts.
+
+Run as a script to produce ``BENCH_service.json``::
+
+    REPRO_BENCH_SCALE=0.5 python benchmarks/bench_service_throughput.py \
+        --out BENCH_service.json
+
+Counts are **always** verified against the sequential baseline and the
+script exits non-zero on any divergence.  The >= 2x throughput gate only
+applies where the hardware can express it (>= 4 CPUs); the warm-cache
+gates apply everywhere.
+
+Also collected by ``pytest benchmarks/`` as a tiny-scale smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+import pytest
+
+from repro.core import CuTSMatcher
+from repro.core.config import CuTSConfig
+from repro.graph import chain_graph, cycle_graph, mesh_graph, star_graph
+from repro.service import MatchingService
+
+from conftest import bench_scale
+
+WARM_HIT_LATENCY_GATE_MS = 25.0
+
+
+def service_workload(scale: float):
+    """A mesh data graph and a spread of distinct queries, scaled so the
+    sequential pass takes long enough to measure."""
+    side = max(10, int(round(48 * math.sqrt(scale))))
+    length = 7 if scale >= 0.25 else 5
+    queries = [
+        chain_graph(length),
+        chain_graph(length + 1),
+        cycle_graph(length - 1),
+        cycle_graph(length),
+        star_graph(length - 2),
+        chain_graph(length - 1),
+        cycle_graph(length + 1),
+        star_graph(length - 1),
+    ]
+    return mesh_graph(side, side), queries
+
+
+def run_throughput(scale: float, workers: int | None = None) -> dict:
+    data, queries = service_workload(scale)
+    config = CuTSConfig()
+    workers = workers or min(4, os.cpu_count() or 1)
+
+    # Sequential baseline: the one-shot cost structure (new engine per
+    # query, no reuse of anything).
+    t0 = time.perf_counter()
+    sequential_counts = [
+        CuTSMatcher(data, config).match(q).count for q in queries
+    ]
+    sequential_s = time.perf_counter() - t0
+
+    with MatchingService(config, workers=workers) as service:
+        fingerprint = service.register_graph(data)
+        # Prewarm the pool the way a deployment would (pays process
+        # start + shared-memory attach once, outside the timed region).
+        service.match(fingerprint, chain_graph(2))
+
+        t0 = time.perf_counter()
+        batched = service.match_many(fingerprint, queries)
+        batched_s = time.perf_counter() - t0
+
+        invocations_before = service.dispatcher.matcher_invocations
+        t0 = time.perf_counter()
+        warm = service.match_many(fingerprint, queries)
+        warm_s = time.perf_counter() - t0
+        invocation_delta = (
+            service.dispatcher.matcher_invocations - invocations_before
+        )
+        cache = service.result_cache.snapshot()
+
+    return {
+        "benchmark": "service_throughput",
+        "workload": {
+            "data": data.name,
+            "num_vertices": data.num_vertices,
+            "num_edges": data.num_edges,
+            "queries": [q.name for q in queries],
+            "scale": scale,
+        },
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "sequential": {
+            "wall_s": round(sequential_s, 4),
+            "counts": sequential_counts,
+        },
+        "batched": {
+            "wall_s": round(batched_s, 4),
+            "counts": [r.count for r in batched],
+            "speedup": (
+                round(sequential_s / batched_s, 3) if batched_s else None
+            ),
+        },
+        "warm_cache": {
+            "wall_s": round(warm_s, 4),
+            "counts": [r.count for r in warm],
+            "matcher_invocation_delta": invocation_delta,
+            "per_hit_latency_ms": round(warm_s * 1000.0 / len(queries), 3),
+            "hits": cache["hits"],
+        },
+    }
+
+
+def check_report(report: dict, min_speedup: float = 2.0) -> list[str]:
+    """Hard failures: count divergence anywhere, a cold batch that
+    misses the throughput gate on capable hardware, or a warm repeat
+    that ran the engine / answered slowly."""
+    errors = []
+    expected = report["sequential"]["counts"]
+    for section in ("batched", "warm_cache"):
+        if report[section]["counts"] != expected:
+            errors.append(
+                f"{section} counts diverged from the sequential baseline: "
+                f"{report[section]['counts']} != {expected}"
+            )
+    cpus = report["cpu_count"] or 1
+    speedup = report["batched"]["speedup"]
+    if min_speedup > 0 and cpus >= 4 and speedup < min_speedup:
+        errors.append(
+            f"batched speedup {speedup}x below the {min_speedup}x gate "
+            f"({cpus} CPUs available)"
+        )
+    warm = report["warm_cache"]
+    if warm["matcher_invocation_delta"] != 0:
+        errors.append(
+            f"warm repeat ran the matcher "
+            f"{warm['matcher_invocation_delta']} time(s); every request "
+            f"should have been a cache hit"
+        )
+    if warm["per_hit_latency_ms"] > WARM_HIT_LATENCY_GATE_MS:
+        errors.append(
+            f"warm-cache hit latency {warm['per_hit_latency_ms']} ms "
+            f"exceeds the {WARM_HIT_LATENCY_GATE_MS} ms gate"
+        )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="JSON report path"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="service workers (default min(4, cpus))",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail below this batched-vs-sequential speedup (0 disables; "
+        "auto-skipped when the host has fewer than 4 CPUs)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    report = run_throughput(scale, workers=args.workers)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    wl = report["workload"]
+    print(
+        f"workload {wl['data']} x {len(wl['queries'])} queries "
+        f"(scale {scale}, {report['cpu_count']} CPUs, "
+        f"{report['workers']} workers)"
+    )
+    print(f"sequential : {report['sequential']['wall_s']:8.3f} s")
+    print(
+        f"batched    : {report['batched']['wall_s']:8.3f} s  "
+        f"speedup={report['batched']['speedup']:.2f}x"
+    )
+    warm = report["warm_cache"]
+    print(
+        f"warm cache : {warm['wall_s']:8.3f} s  "
+        f"({warm['per_hit_latency_ms']:.2f} ms/hit, "
+        f"{warm['matcher_invocation_delta']} engine calls)"
+    )
+    print(f"wrote {args.out}")
+
+    errors = check_report(report, args.min_speedup)
+    for err in errors:
+        print(f"FAIL: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+# ---------------------------------------------------------------- pytest
+@pytest.mark.benchmark(group="service")
+def test_service_throughput_smoke(benchmark):
+    """Tiny-scale smoke: exact parity + free warm repeat (the speedup
+    gate is exercised by the script/CI where CPUs exist)."""
+    report = benchmark.pedantic(
+        run_throughput, args=(0.05,), kwargs={"workers": 2},
+        rounds=1, iterations=1,
+    )
+    assert check_report(report, min_speedup=0) == []
+    assert report["warm_cache"]["matcher_invocation_delta"] == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

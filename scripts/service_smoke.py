@@ -1,0 +1,203 @@
+"""CI smoke test for the HTTP matching service.
+
+Boots ``python -m repro.serve`` as a real subprocess on an ephemeral
+port, then drives 50 mixed requests through
+:class:`repro.service.ServiceClient`:
+
+* counting requests over three data graphs and a spread of query
+  shapes, in a mix of blocking and async-poll submissions;
+* one oversized query, which must be **rejected with HTTP 429** and
+  reason ``oversized-query`` (admission control, not a timeout);
+* one ``deadline_ms=0`` request, which must settle as **expired**
+  (deadline enforcement, not a hang);
+* a warm re-submission of every counting request, which must return
+  identical counts and report ``cached`` (the result cache survived).
+
+Every count is checked against a serial in-process oracle
+(:class:`CuTSMatcher` on the same graphs); any mismatch, unexpected
+status, or hang fails the script with a non-zero exit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.config import CuTSConfig  # noqa: E402
+from repro.core.matcher import CuTSMatcher  # noqa: E402
+from repro.graph import (  # noqa: E402
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    mesh_graph,
+    random_graph,
+    star_graph,
+)
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+
+BOOT_TIMEOUT_S = 30.0
+TOTAL_REQUESTS = 50
+
+DATA_GRAPHS = {
+    "mesh55": mesh_graph(5, 5),
+    "mesh44": mesh_graph(4, 4),
+    "gnp30": random_graph(30, 0.15, seed=41),
+}
+
+QUERIES = {
+    "K3": clique_graph(3),
+    "P3": chain_graph(3),
+    "P4": chain_graph(4),
+    "C4": cycle_graph(4),
+    "S3": star_graph(3),
+}
+
+
+def boot_server() -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(os.path.dirname(__file__), "..", "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.serve",
+            "--port", "0",
+            "--max-query-vertices", "8",
+            "--queue-depth", "64",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + BOOT_TIMEOUT_S
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "serving on" in line:
+            break
+        if proc.poll() is not None:
+            raise SystemExit(f"server died during boot: {line!r}")
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if not match:
+        proc.kill()
+        raise SystemExit(f"could not parse server banner: {line!r}")
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def main() -> int:
+    cfg = CuTSConfig()
+    oracle = {
+        (gname, qname): CuTSMatcher(g, cfg).match(q).count
+        for gname, g in DATA_GRAPHS.items()
+        for qname, q in QUERIES.items()
+    }
+
+    proc, base_url = boot_server()
+    failures: list[str] = []
+    try:
+        client = ServiceClient(base_url, timeout=60.0)
+        assert client.healthz()["status"] == "ok"
+        fps = {
+            name: client.register_graph(graph, name=name)
+            for name, graph in DATA_GRAPHS.items()
+        }
+
+        # 48 counting requests: every (graph, query) pair, cold then
+        # warm, alternating blocking and async submission.
+        pairs = [
+            (g, q) for g in DATA_GRAPHS for q in QUERIES
+        ]
+        plan = [
+            pairs[i % len(pairs)] for i in range(TOTAL_REQUESTS - 2)
+        ]
+        warm_seen: set[tuple[str, str]] = set()
+        for i, (gname, qname) in enumerate(plan):
+            if i % 2 == 0:
+                job = client.match(fps[gname], qname)
+            else:
+                pending = client.match(fps[gname], qname, wait=False)
+                job = client.wait_job(pending["job_id"], timeout=120.0)
+            if job["state"] != "done":
+                failures.append(
+                    f"{gname}/{qname}: state {job['state']} "
+                    f"({job.get('error')})"
+                )
+                continue
+            count = job["result"]["count"]
+            if count != oracle[(gname, qname)]:
+                failures.append(
+                    f"{gname}/{qname}: count {count} != oracle "
+                    f"{oracle[(gname, qname)]}"
+                )
+            if (gname, qname) in warm_seen and not job["cached"]:
+                failures.append(
+                    f"{gname}/{qname}: warm repeat was not served "
+                    f"from the result cache"
+                )
+            warm_seen.add((gname, qname))
+
+        # Request 49: oversized query -> 429 oversized-query.
+        try:
+            client.match(fps["mesh55"], "K9")
+            failures.append("oversized K9 was accepted (expected 429)")
+        except ServiceError as exc:
+            if exc.status != 429 or exc.reason != "oversized-query":
+                failures.append(
+                    f"oversized K9: got status {exc.status} reason "
+                    f"{exc.reason!r} (expected 429 oversized-query)"
+                )
+
+        # Request 50: zero deadline -> expired, never a hang.
+        job = client.match(fps["mesh55"], "P3", deadline_ms=0)
+        if job["state"] != "expired":
+            failures.append(
+                f"deadline_ms=0 settled as {job['state']} "
+                f"(expected expired)"
+            )
+
+        metrics = client.metrics()
+        sched = metrics["scheduler"]
+        if sched["rejected"].get("oversized-query", 0) < 1:
+            failures.append("scheduler did not count the 429 rejection")
+        if sched["expired"] < 1:
+            failures.append("scheduler did not count the expiry")
+        if metrics["result_cache"]["hits"] < len(pairs):
+            failures.append(
+                f"result cache hits {metrics['result_cache']['hits']} < "
+                f"{len(pairs)} (warm pass was recomputed?)"
+            )
+        print(
+            f"{len(plan) + 2} requests: "
+            f"{metrics['dispatcher']['requests_dispatched']} dispatched, "
+            f"{metrics['result_cache']['hits']} cache hits, "
+            f"{sched['rejected']} rejected, {sched['expired']} expired"
+        )
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("service smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

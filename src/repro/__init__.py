@@ -16,6 +16,8 @@ simulated GPU / cluster substrate:
 * :mod:`repro.distributed` — the Algorithm-3 multi-rank runtime;
 * :mod:`repro.parallel` — the multi-core engine (process-parallel
   root-interval sharding over zero-copy shared-memory graphs);
+* :mod:`repro.service` — the embedded matching service (graph registry,
+  batched scheduler, result cache, ``python -m repro.serve`` HTTP face);
 * :mod:`repro.experiments` — drivers regenerating every paper table/figure.
 
 Quickstart::
@@ -32,6 +34,7 @@ from .api import (
     count_automorphisms,
     count_embeddings,
     count_occurrences,
+    match_many,
     subgraph_isomorphism_search,
 )
 from .core import CuTSConfig, CuTSMatcher, MatchResult, SearchTimeout
@@ -43,6 +46,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "subgraph_isomorphism_search",
+    "match_many",
     "count_embeddings",
     "count_automorphisms",
     "count_occurrences",

@@ -18,6 +18,8 @@ Rule             Invariant
                  every CLI flag is read.
 ``RP006``        Durable-write safety: ``checkpoint/`` persists bytes
                  only through the atomic tmp+fsync+rename helpers.
+``RP007``        Service liveness: no ``time.sleep`` while holding a
+                 lock; every queue ``get()``/``join()`` has a timeout.
 ================ =====================================================
 """
 
@@ -30,4 +32,5 @@ from . import (  # noqa: F401  (imports register the checkers)
     rp004_protocol,
     rp005_config,
     rp006_durable_write,
+    rp007_service,
 )

@@ -32,6 +32,7 @@ from .parallel.matcher import ParallelMatcher, resolve_workers
 
 __all__ = [
     "subgraph_isomorphism_search",
+    "match_many",
     "count_embeddings",
     "count_automorphisms",
     "count_occurrences",
@@ -162,6 +163,64 @@ def subgraph_isomorphism_search(
         count=total, matches=None, time_ms=time_ms,
         cost=cost, stats=stats, order=(),
     )
+
+
+def match_many(
+    data: CSRGraph,
+    queries: list[CSRGraph],
+    config: CuTSConfig | None = None,
+    *,
+    materialize: bool = False,
+    time_limit_ms: float | None = None,
+    workers: int | str | None = None,
+) -> list[MatchResult]:
+    """Match a whole batch of queries against one data graph.
+
+    The batch goes through the service stack
+    (:class:`~repro.service.MatchingService`): the data graph is loaded
+    (and, under ``workers > 1``, its shared-memory segment and process
+    pool built) **once**, duplicate queries coalesce to a single
+    execution, and the distinct queries run as one batched pool pass
+    instead of ``len(queries)`` independent engine spin-ups.  Counts are
+    bit-identical to calling :func:`subgraph_isomorphism_search` per
+    query on a connected data graph; results come back in input order.
+
+    Batch-level composition rules (disconnected inputs) follow the
+    per-query path: each query must be connected, and a disconnected
+    data graph falls back to per-query composition.
+    """
+    from .service import MatchingService
+
+    config = config or CuTSConfig()
+    if not queries:
+        return []
+    for query in queries:
+        if query.num_vertices == 0:
+            raise ValueError("query graphs must have at least one vertex")
+        if not is_weakly_connected(query):
+            raise ValueError(
+                "match_many requires weakly connected query graphs; use "
+                "subgraph_isomorphism_search for the cross-product rule"
+            )
+    if not is_weakly_connected(data):
+        # Component composition is per query; reuse the general path.
+        return [
+            subgraph_isomorphism_search(
+                data, query, config,
+                materialize=materialize,
+                time_limit_ms=time_limit_ms,
+                workers=workers,
+            )
+            for query in queries
+        ]
+    with MatchingService(config, workers=workers) as service:
+        fingerprint = service.register_graph(data)
+        return service.match_many(
+            fingerprint,
+            queries,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+        )
 
 
 def count_embeddings(

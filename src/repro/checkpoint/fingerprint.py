@@ -1,25 +1,18 @@
-"""Job fingerprints: refuse to resume against mismatched inputs.
+"""Compatibility shim: fingerprints moved to :mod:`repro.fingerprint`.
 
-A checkpoint is only meaningful for the exact (config, data graph,
-query, shard) it was taken under — resuming a snapshot of one job
-against a different graph would silently produce garbage counts.  The
-manifest therefore carries SHA-256 fingerprints of all three, and
-:func:`check_fingerprints` raises :class:`CheckpointMismatchError`
-before any snapshot is touched when they disagree.
-
-Fingerprints are content hashes (CSR arrays, config field values), not
-file paths: the same graph loaded from a different file resumes fine.
+The checkpoint store and the matching service must key jobs identically
+(a registry handle, a cache entry, and a resume manifest all name the
+same graph+config by content), so the one implementation lives at the
+package root.  This module re-exports it so every pre-existing
+``repro.checkpoint.fingerprint`` import keeps working.
 """
 
-from __future__ import annotations
-
-import dataclasses
-import hashlib
-
-import numpy as np
-
-from ..core.config import CuTSConfig
-from ..graph.csr import CSRGraph
+from ..fingerprint import (
+    CheckpointMismatchError,
+    check_fingerprints,
+    config_fingerprint,
+    graph_fingerprint,
+)
 
 __all__ = [
     "CheckpointMismatchError",
@@ -27,64 +20,3 @@ __all__ = [
     "config_fingerprint",
     "graph_fingerprint",
 ]
-
-
-class CheckpointMismatchError(ValueError):
-    """Resume was attempted against a checkpoint of a different job."""
-
-
-def graph_fingerprint(graph: CSRGraph) -> str:
-    """SHA-256 over the CSR arrays (and labels, when present)."""
-    h = hashlib.sha256()
-    h.update(
-        f"v={graph.num_vertices};e={graph.num_edges};".encode("ascii")
-    )
-    for arr in (graph.indptr, graph.indices, graph.rindptr, graph.rindices):
-        h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
-    if graph.labels is not None:
-        h.update(b"labels:")
-        h.update(np.ascontiguousarray(graph.labels, dtype=np.int64).tobytes())
-    return h.hexdigest()
-
-
-def config_fingerprint(config: CuTSConfig) -> str:
-    """SHA-256 over the count-relevant config fields.
-
-    Durability knobs (budget, cadence, lease timing) and pure cost-model
-    knobs are excluded: changing them between runs must not invalidate a
-    checkpoint, because they cannot change *what* is enumerated.
-    """
-    irrelevant = {
-        "memory_budget_mb",
-        "checkpoint_every",
-        "lease_timeout_s",
-        "lease_retries",
-        "trace_kernels",
-        "workers",
-        "oversplit",
-        "ack_timeout_ms",
-        "retry_backoff",
-        "max_retries",
-        "heartbeat_interval_ms",
-        "heartbeat_timeout_ms",
-    }
-    h = hashlib.sha256()
-    for f in dataclasses.fields(config):
-        if f.name in irrelevant:
-            continue
-        value = getattr(config, f.name)
-        h.update(f"{f.name}={value!r};".encode("utf-8"))
-    return h.hexdigest()
-
-
-def check_fingerprints(
-    stored: dict[str, str], current: dict[str, str]
-) -> None:
-    """Raise :class:`CheckpointMismatchError` on any disagreement."""
-    for key in sorted(set(stored) | set(current)):
-        if stored.get(key) != current.get(key):
-            raise CheckpointMismatchError(
-                f"checkpoint fingerprint mismatch on {key!r}: the snapshot "
-                f"was taken for a different {key}; refusing to resume "
-                f"(stored {stored.get(key)!r}, current {current.get(key)!r})"
-            )

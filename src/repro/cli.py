@@ -206,6 +206,12 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return harness_main(["--quick"] if args.quick else [])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.http import main as serve_main
+
+    return serve_main(list(args.serve_args))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="cuTS reproduction CLI"
@@ -274,6 +280,18 @@ def build_parser() -> argparse.ArgumentParser:
     e = sub.add_parser("experiments", help="regenerate all tables/figures")
     e.add_argument("--quick", action="store_true")
     e.set_defaults(func=_cmd_experiments)
+
+    s = sub.add_parser(
+        "serve",
+        help="run the matching service over HTTP (same as "
+        "python -m repro.serve)",
+    )
+    s.add_argument(
+        "serve_args", nargs=argparse.REMAINDER, metavar="ARGS",
+        help="arguments forwarded to repro.serve (--port, --workers, "
+        "--preload, ...)",
+    )
+    s.set_defaults(func=_cmd_serve)
     return parser
 
 

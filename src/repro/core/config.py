@@ -96,6 +96,21 @@ class CuTSConfig:
     lease_retries:
         Re-lease attempts per shard (beyond the first lease) before the
         multi-core engine gives up and raises.
+    service_queue_depth:
+        Matching service (:mod:`repro.service`): bound on the scheduler
+        queue.  A submit past this depth is **rejected with a reason**
+        (admission control), never silently dropped.
+    service_batch_max:
+        Maximum requests the service dispatcher coalesces into one
+        batched same-graph matcher pass.
+    service_cache_bytes:
+        Byte budget of the service's LRU result+plan cache; entries are
+        evicted least-recently-used past it, and the live cache bytes
+        are charged against the memory governor.
+    service_max_query_vertices:
+        Admission bound on query size: requests whose query has more
+        vertices are rejected as oversized.  ``0`` (default) disables
+        the bound.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -120,6 +135,10 @@ class CuTSConfig:
     checkpoint_every: int = 64
     lease_timeout_s: float = 30.0
     lease_retries: int = 2
+    service_queue_depth: int = 64
+    service_batch_max: int = 16
+    service_cache_bytes: int = 32 * 1024 * 1024
+    service_max_query_vertices: int = 0
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -162,3 +181,13 @@ class CuTSConfig:
             raise ValueError("lease_timeout_s must be positive")
         if self.lease_retries < 0:
             raise ValueError("lease_retries must be non-negative")
+        if self.service_queue_depth < 1:
+            raise ValueError("service_queue_depth must be >= 1")
+        if self.service_batch_max < 1:
+            raise ValueError("service_batch_max must be >= 1")
+        if self.service_cache_bytes < 0:
+            raise ValueError("service_cache_bytes must be >= 0 (0 = no cache)")
+        if self.service_max_query_vertices < 0:
+            raise ValueError(
+                "service_max_query_vertices must be >= 0 (0 = unlimited)"
+            )

@@ -31,11 +31,11 @@ import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any
+from typing import Any, Sequence
 
-from ..checkpoint.fingerprint import check_fingerprints, config_fingerprint
-from ..checkpoint.fingerprint import graph_fingerprint as _graph_fp
 from ..checkpoint.store import FORMAT_VERSION, CheckpointStore
+from ..fingerprint import check_fingerprints, config_fingerprint
+from ..fingerprint import graph_fingerprint as _graph_fp
 from ..core.candidates import root_candidates
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher
@@ -363,27 +363,17 @@ class ParallelMatcher:
         else:
             hb_tmp = tempfile.TemporaryDirectory(prefix="cuts-hb-")
             hb_dir = hb_tmp.name
+        keyed = {(0, part): res for part, res in completed.items()}
         try:
-            self._supervise(
-                query, num_parts, materialize, time_limit_ms,
-                completed, store, hb_dir,
+            self._supervise_jobs(
+                [(query, num_parts)], materialize, [time_limit_ms],
+                keyed, store, hb_dir,
             )
         finally:
             if hb_tmp is not None:
                 hb_tmp.cleanup()
 
-        cap = self.config.max_materialized
-        merged: MatchResult | None = None
-        # Reduce in shard order: deterministic row order regardless of
-        # which worker finished first.
-        for part in range(num_parts):
-            result = completed[part]
-            merged = (
-                result
-                if merged is None
-                else merged.merge(result, max_materialized=cap)
-            )
-        assert merged is not None
+        merged = self._merge_job(keyed, 0, num_parts)
         if store is not None:
             store.write_manifest(
                 {
@@ -397,74 +387,169 @@ class ParallelMatcher:
             )
         return merged
 
-    def _supervise(
+    def match_many(
         self,
-        query: CSRGraph,
+        queries: Sequence[CSRGraph],
+        *,
+        materialize: bool = False,
+        time_limit_ms: float | Sequence[float | None] | None = None,
+        num_parts: Sequence[int | None] | None = None,
+    ) -> list[MatchResult]:
+        """Batch form of :meth:`match`: one supervised pool pass for a
+        whole set of queries against the shared data graph.
+
+        Every query is split into its own strided root intervals and
+        **all** intervals are leased onto the one persistent pool
+        together, so a query that drew cheap intervals donates its slack
+        to an expensive one — the same load-balance margin :meth:`match`
+        gets within a single query, extended across the batch.  Each
+        query's result is merged in shard order and is bit-identical to
+        what a standalone :meth:`match` call would return; results come
+        back in input order.
+
+        ``time_limit_ms`` may be a scalar (applied to every query) or a
+        per-query sequence.  ``num_parts`` optionally supplies per-query
+        interval counts (a plan-cache hint from the matching service);
+        ``None`` entries fall back to :meth:`num_intervals`.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        for query in queries:
+            if query.num_vertices == 0:
+                raise ValueError("query graph must have at least one vertex")
+        if isinstance(time_limit_ms, (int, float)) or time_limit_ms is None:
+            limits: list[float | None] = [time_limit_ms] * len(queries)
+        else:
+            limits = list(time_limit_ms)
+            if len(limits) != len(queries):
+                raise ValueError(
+                    "time_limit_ms sequence must match the query count"
+                )
+        hints: list[int | None] = (
+            list(num_parts) if num_parts is not None else [None] * len(queries)
+        )
+        if len(hints) != len(queries):
+            raise ValueError("num_parts sequence must match the query count")
+        jobs = [
+            (query, hint if hint else self.num_intervals(query))
+            for query, hint in zip(queries, hints)
+        ]
+        completed: dict[tuple[int, int], MatchResult] = {}
+        with tempfile.TemporaryDirectory(prefix="cuts-hb-") as hb_dir:
+            self._supervise_jobs(
+                jobs, materialize, limits, completed, None, hb_dir
+            )
+        return [
+            self._merge_job(completed, j, parts)
+            for j, (_, parts) in enumerate(jobs)
+        ]
+
+    def _merge_job(
+        self,
+        completed: dict[tuple[int, int], MatchResult],
+        job: int,
         num_parts: int,
+    ) -> MatchResult:
+        """Reduce one job's shards in shard order: deterministic row
+        order regardless of which worker finished first."""
+        cap = self.config.max_materialized
+        merged: MatchResult | None = None
+        for part in range(num_parts):
+            result = completed[(job, part)]
+            merged = (
+                result
+                if merged is None
+                else merged.merge(result, max_materialized=cap)
+            )
+        assert merged is not None
+        return merged
+
+    def _supervise_jobs(
+        self,
+        jobs: list[tuple[CSRGraph, int]],
         materialize: bool,
-        time_limit_ms: float | None,
-        completed: dict[int, MatchResult],
+        time_limits: list[float | None],
+        completed: dict[tuple[int, int], MatchResult],
         store: CheckpointStore | None,
         hb_dir: str,
     ) -> None:
-        """The watchdog loop: lease shards, heartbeat-check, re-lease."""
+        """The watchdog loop: lease shards, heartbeat-check, re-lease.
+
+        ``jobs`` is a list of ``(query, num_parts)``; shard keys are
+        ``(job_index, part)``.  ``store`` (single-job durable runs only)
+        persists completed shards under their part index.
+        """
         pool = self._ensure_pool()
         timeout_s = self.config.lease_timeout_s
         poll_s = max(0.02, min(0.5, timeout_s / 4.0))
         max_leases = 1 + self.config.lease_retries
-        leases: dict[int, int] = dict.fromkeys(range(num_parts), 0)
-        lease_at: dict[int, float] = {}
-        pending: dict[Future[MatchResult], int] = {}
+        all_keys = [
+            (j, part)
+            for j, (_, num_parts) in enumerate(jobs)
+            for part in range(num_parts)
+        ]
+        leases: dict[tuple[int, int], int] = dict.fromkeys(all_keys, 0)
+        lease_at: dict[tuple[int, int], float] = {}
+        pending: dict[Future[MatchResult], tuple[int, int]] = {}
 
-        def hb_path(part: int) -> str:
-            return os.path.join(hb_dir, f"part-{part:05d}")
+        def hb_path(key: tuple[int, int]) -> str:
+            j, part = key
+            if len(jobs) == 1:
+                # Single-job naming matches CheckpointStore.heartbeat_path.
+                return os.path.join(hb_dir, f"part-{part:05d}")
+            return os.path.join(hb_dir, f"job{j:04d}-part-{part:05d}")
 
-        def lease(part: int) -> None:
+        def lease(key: tuple[int, int]) -> None:
             nonlocal pool
-            leases[part] += 1
-            if leases[part] > max_leases:
+            j, part = key
+            query, num_parts = jobs[j]
+            leases[key] += 1
+            if leases[key] > max_leases:
                 raise ShardLeaseError(
-                    f"shard {part}/{num_parts} failed {max_leases} leases "
+                    f"shard {part}/{num_parts} of job {j} failed "
+                    f"{max_leases} leases "
                     f"(lease_retries={self.config.lease_retries})"
                 )
-            delay = float(self._test_part_delays.get(part, 0.0))
+            delay = float(self._test_part_delays.get(part, 0.0)) if j == 0 else 0.0
             # A re-leased shard must not replay the injected hang.
-            self._test_part_delays.pop(part, None)
+            if j == 0:
+                self._test_part_delays.pop(part, None)
             args = (
-                query, part, num_parts, materialize, time_limit_ms,
-                hb_path(part), delay,
+                query, part, num_parts, materialize, time_limits[j],
+                hb_path(key), delay,
             )
             try:
                 fut = pool.submit(_run_interval, *args)
             except BrokenProcessPool:
                 pool = self._rebuild_pool()
                 fut = pool.submit(_run_interval, *args)
-            pending[fut] = part
-            lease_at[part] = time.monotonic()
+            pending[fut] = key
+            lease_at[key] = time.monotonic()
 
-        def settle(part: int, result: MatchResult) -> None:
-            if part in completed:
+        def settle(key: tuple[int, int], result: MatchResult) -> None:
+            if key in completed:
                 return  # duplicate delivery (slow original after re-lease)
-            completed[part] = result
-            if store is not None:
-                store.save_part(part, _payload_from_result(result))
+            completed[key] = result
+            if store is not None and key[0] == 0:
+                store.save_part(key[1], _payload_from_result(result))
 
-        for part in range(num_parts):
-            if part not in completed:
-                lease(part)
+        for key in all_keys:
+            if key not in completed:
+                lease(key)
 
         # Stop as soon as every shard has settled: an abandoned duplicate
         # (the hung original of a re-leased shard) must not block the
         # merge — its eventual result is dropped by the dedupe.
-        while pending and len(completed) < num_parts:
+        while pending and len(completed) < len(all_keys):
             done, _ = wait(
                 set(pending), timeout=poll_s, return_when=FIRST_COMPLETED
             )
             broken = False
             for fut in done:
-                part = pending.pop(fut)
+                key = pending.pop(fut)
                 try:
-                    settle(part, fut.result())
+                    settle(key, fut.result())
                 except BrokenProcessPool:
                     broken = True
                 except Exception:
@@ -475,26 +560,26 @@ class ParallelMatcher:
                 # all incomplete shards.
                 pending.clear()
                 pool = self._rebuild_pool()
-                for part in range(num_parts):
-                    if part not in completed:
-                        lease(part)
+                for key in all_keys:
+                    if key not in completed:
+                        lease(key)
                 continue
             # Hung-worker check: a leased, incomplete shard whose
             # heartbeat (and lease) are both older than the timeout is
             # presumed stuck; duplicate it onto a live worker.
             now = time.monotonic()
             wall_now = time.time()
-            for part in set(pending.values()):
-                if part in completed:
+            for key in set(pending.values()):
+                if key in completed:
                     continue
-                if now - lease_at.get(part, now) <= timeout_s:
+                if now - lease_at.get(key, now) <= timeout_s:
                     continue
                 try:
-                    silent = wall_now - os.stat(hb_path(part)).st_mtime
+                    silent = wall_now - os.stat(hb_path(key)).st_mtime
                 except OSError:
                     silent = timeout_s + 1.0
                 if silent > timeout_s:
-                    lease(part)
+                    lease(key)
 
     def count(self, query: CSRGraph, **kwargs: object) -> int:
         """Convenience: number of embeddings only."""

@@ -1,0 +1,14 @@
+"""``python -m repro.serve`` — run the matching service over HTTP.
+
+Thin shell over :func:`repro.service.http.main`; see that module for
+the endpoint reference and :mod:`repro.service` for the architecture.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .service.http import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Matching service: the cuTS engine as a long-lived query server.
+
+Every pre-existing entry point is one-shot — each call re-loads the
+data graph, re-plans the query, and recomputes answers computed moments
+ago.  The paper's own economics (trie reuse, chunked BFS–DFS, strided
+work placement, §4) argue for amortizing graph-resident state across
+many queries; this package is that argument applied at serving scale:
+
+* :class:`GraphRegistry` — each data graph loaded once, fingerprint-
+  keyed, with a persistent engine per graph (shared-memory segment +
+  process pool under ``workers > 1``);
+* :class:`Scheduler` — bounded priority queue, per-request deadlines
+  and cancellation, admission control that rejects with a reason
+  (queue depth, oversized query, memory budget) instead of dropping;
+* :class:`Dispatcher` — same-graph requests coalesced and batched into
+  a single :meth:`ParallelMatcher.match_many
+  <repro.parallel.ParallelMatcher.match_many>` pool pass, results
+  demultiplexed per request;
+* :class:`LRUBytesCache` — result + plan cache keyed by
+  ``(graph fp, query fp, count-relevant config fp)``, byte-budgeted,
+  charged against the memory governor, explicitly invalidated on graph
+  re-registration.
+
+Faces: :class:`MatchingService` (embedded Python API),
+``python -m repro.serve`` (stdlib HTTP, :mod:`repro.service.http`), and
+:class:`ServiceClient` (:mod:`repro.service.client`).
+"""
+
+from .cache import LRUBytesCache
+from .client import ServiceClient, ServiceError
+from .dispatcher import Dispatcher
+from .registry import GraphHandle, GraphRegistry
+from .scheduler import AdmissionError, Request, Scheduler
+from .service import DeadlineExpired, Job, JobFailed, MatchingService
+
+__all__ = [
+    "AdmissionError",
+    "DeadlineExpired",
+    "Dispatcher",
+    "GraphHandle",
+    "GraphRegistry",
+    "Job",
+    "JobFailed",
+    "LRUBytesCache",
+    "MatchingService",
+    "Request",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,170 @@
+"""Tiny stdlib client for a running ``repro.serve`` endpoint.
+
+Mirrors the embedded :class:`~repro.service.MatchingService` surface
+over HTTP: register graphs, submit matches (blocking or async), poll
+jobs, read health and metrics.  Uses only :mod:`urllib`, so scripts and
+CI smoke tests need nothing beyond the interpreter.
+
+HTTP errors carry the server's JSON body: an admission rejection
+surfaces as :class:`ServiceError` with ``status == 429`` and
+``reason`` set to the machine-readable admission code
+(``queue-full`` / ``oversized-query`` / ``memory-budget`` /
+``shutdown``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["ServiceClient", "ServiceError", "graph_to_spec"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response, with the server's status and reason code."""
+
+    def __init__(
+        self, status: int, message: str, reason: str | None = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+def graph_to_spec(graph: CSRGraph) -> dict[str, Any]:
+    """Serialise a :class:`CSRGraph` into the wire graph-spec form."""
+    spec: dict[str, Any] = {
+        "edges": [[int(u), int(v)] for u, v in graph.edge_list()],
+        "num_vertices": int(graph.num_vertices),
+        "name": graph.name,
+    }
+    if graph.labels is not None:
+        spec["labels"] = [int(x) for x in graph.labels]
+    return spec
+
+
+class ServiceClient:
+    """Talk to one ``repro.serve`` endpoint.
+
+    >>> client = ServiceClient("http://127.0.0.1:8080")
+    >>> fp = client.register_graph(mesh_graph(8, 8))
+    >>> client.match(fp, "K3")["result"]["count"]
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError:
+                payload = {"error": raw}
+            raise ServiceError(
+                exc.code,
+                str(payload.get("detail") or payload.get("error") or raw),
+                reason=payload.get("reason"),
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def graphs(self) -> list[dict[str, Any]]:
+        return list(self._request("GET", "/graphs")["graphs"])
+
+    def register_graph(
+        self, graph: CSRGraph | str | dict[str, Any], name: str | None = None
+    ) -> str:
+        """Register a graph (CSRGraph, pattern string, or raw spec);
+        returns its content fingerprint."""
+        spec: Any = (
+            graph_to_spec(graph) if isinstance(graph, CSRGraph) else graph
+        )
+        body: dict[str, Any] = {"graph": spec}
+        if name is not None:
+            body["name"] = name
+        return str(self._request("POST", "/graphs", body)["fingerprint"])
+
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        graph: CSRGraph | str | dict[str, Any],
+        query: CSRGraph | str | dict[str, Any],
+        *,
+        wait: bool = True,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit one match.  ``wait=True`` returns the finished job
+        JSON; ``wait=False`` returns ``{"job_id": ...}`` immediately."""
+        body: dict[str, Any] = {
+            "graph": (
+                graph_to_spec(graph) if isinstance(graph, CSRGraph) else graph
+            ),
+            "query": (
+                graph_to_spec(query) if isinstance(query, CSRGraph) else query
+            ),
+            "wait": wait,
+            "priority": priority,
+            "materialize": materialize,
+        }
+        if deadline_ms is not None:
+            body["deadline_ms"] = deadline_ms
+        if time_limit_ms is not None:
+            body["time_limit_ms"] = time_limit_ms
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/match", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(
+        self, job_id: str, *, timeout: float = 60.0, poll_s: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll ``/jobs/<id>`` until it leaves pending/running."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] not in ("pending", "running"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0, f"job {job_id} still {payload['state']} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_s)

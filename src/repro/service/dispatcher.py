@@ -1,0 +1,298 @@
+"""Batching dispatcher: one matcher pass per burst of same-graph work.
+
+The scheduler hands over graph-affine batches; this module turns each
+batch into the fewest possible matcher invocations:
+
+1. **Coalescing** — requests inside the batch with the same execution
+   key ``(query_fp, materialize, time_limit_ms)`` are duplicates of one
+   computation; exactly one runs, the rest share its result (demuxed
+   per request, each with its own job).
+2. **Result cache** — cacheable groups (count-only, no time limit)
+   probe the LRU result cache first; a hit costs zero matcher
+   invocations and rebuilds the result from the cached payload.
+3. **Batched execution** — the distinct remaining queries go to the
+   graph handle's persistent engine.  Under a
+   :class:`~repro.parallel.ParallelMatcher` they run as **one**
+   :meth:`~repro.parallel.ParallelMatcher.match_many` pass: every
+   query's strided ``part=/num_parts=`` root intervals are leased onto
+   the shared process pool together, so the pool load-balances across
+   the whole batch, not per query.  The **plan cache** supplies each
+   query's interval count when it has seen the triple before, skipping
+   the ordering + root-candidate planning pass.
+
+Per-request attribution: the result handed to each request carries the
+full :class:`~repro.core.stats.SearchStats` of its execution; requests
+that shared an execution (coalesced or cache hits) are flagged so
+metrics can distinguish computed work from amortized work.  Cache-hit
+results rebuild with an empty hardware-counter model — counters belong
+to the run that actually executed, exactly like a checkpoint-resumed
+shard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher
+from ..core.result import MatchResult
+from ..core.stats import SearchStats
+from ..gpusim.cost import CostModel
+from ..parallel.matcher import ParallelMatcher
+from .cache import LRUBytesCache
+from .registry import GraphHandle
+from .scheduler import Request
+
+__all__ = ["DispatchOutcome", "Dispatcher", "payload_from_result",
+           "result_from_payload"]
+
+
+def payload_from_result(result: MatchResult) -> dict[str, object]:
+    """JSON-safe form of a count-mode result (what the cache stores)."""
+    return {
+        "count": int(result.count),
+        "time_ms": float(result.time_ms),
+        "stats": result.stats.to_json(),
+        "order": [int(q) for q in result.order],
+    }
+
+
+def result_from_payload(
+    payload: dict[str, object], config: CuTSConfig
+) -> MatchResult:
+    """Rebuild a cached result (hardware counters are not cached; a
+    cache hit contributes an empty cost model, like a resumed shard)."""
+    return MatchResult(
+        count=int(payload["count"]),  # type: ignore[arg-type]
+        matches=None,
+        time_ms=float(payload["time_ms"]),  # type: ignore[arg-type]
+        cost=CostModel(config.device),
+        stats=SearchStats.from_json(payload["stats"]),  # type: ignore[arg-type]
+        order=tuple(int(q) for q in payload["order"]),  # type: ignore[union-attr]
+    )
+
+
+def _payload_bytes(payload: dict[str, object]) -> int:
+    return len(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+@dataclass
+class DispatchOutcome:
+    """What happened to one request of a dispatched batch."""
+
+    request: Request
+    result: MatchResult | None = None
+    error: str | None = None
+    cached: bool = False
+    coalesced: bool = False
+    plan_hit: bool = False
+
+
+class Dispatcher:
+    """Executes scheduler batches against registry handles."""
+
+    def __init__(
+        self,
+        config: CuTSConfig,
+        result_cache: LRUBytesCache,
+        plan_cache: LRUBytesCache,
+        config_fp: str,
+    ) -> None:
+        self.config = config
+        self.result_cache = result_cache
+        self.plan_cache = plan_cache
+        self.config_fp = config_fp
+        self.matcher_invocations = 0
+        self.batches_dispatched = 0
+        self.requests_dispatched = 0
+        self.requests_coalesced = 0
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, handle: GraphHandle, batch: list[Request]
+    ) -> list[DispatchOutcome]:
+        """Run one graph-affine batch; never raises per-request errors
+        (they come back in the outcomes)."""
+        self.batches_dispatched += 1
+        self.requests_dispatched += len(batch)
+        outcomes = {id(req): DispatchOutcome(req) for req in batch}
+
+        # 1. Coalesce identical executions.
+        groups: dict[tuple[str, bool, float | None], list[Request]] = {}
+        for req in batch:
+            key = (req.query_fp, req.materialize, req.time_limit_ms)
+            groups.setdefault(key, []).append(req)
+
+        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]] = []
+        for key, members in groups.items():
+            if len(members) > 1:
+                self.requests_coalesced += len(members) - 1
+                for req in members:
+                    outcomes[id(req)].coalesced = True
+            # 2. Result-cache probe (count-only, untimed groups only:
+            # a time limit can truncate counts and materialised rows
+            # are too big to be worth caching).
+            query_fp, materialize, time_limit = key
+            if not materialize and time_limit is None:
+                cache_key = (handle.fingerprint, query_fp, self.config_fp)
+                payload = self.result_cache.get(cache_key)
+                if payload is not None:
+                    result = result_from_payload(payload, self.config)
+                    for req in members:
+                        outcomes[id(req)].result = result
+                        outcomes[id(req)].cached = True
+                    continue
+            to_run.append((key, members))
+
+        # 3. Execute the distinct remaining queries.
+        if to_run:
+            self._execute(handle, to_run, outcomes)
+        handle.queries_served += len(batch)
+        return [outcomes[id(req)] for req in batch]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        handle: GraphHandle,
+        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        outcomes: dict[int, DispatchOutcome],
+    ) -> None:
+        try:
+            matcher = handle.matcher()
+        except Exception as exc:  # handle closed under us
+            self._fail_all(to_run, outcomes, str(exc))
+            return
+        if isinstance(matcher, ParallelMatcher):
+            self._execute_parallel(handle, matcher, to_run, outcomes)
+        else:
+            self._execute_serial(handle, matcher, to_run, outcomes)
+
+    def _execute_serial(
+        self,
+        handle: GraphHandle,
+        matcher: CuTSMatcher,
+        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        outcomes: dict[int, DispatchOutcome],
+    ) -> None:
+        for (query_fp, materialize, time_limit), members in to_run:
+            try:
+                self.matcher_invocations += 1
+                result = matcher.match(
+                    members[0].query,
+                    materialize=materialize,
+                    time_limit_ms=time_limit,
+                )
+            except Exception as exc:
+                self._settle_error(members, outcomes, str(exc))
+                continue
+            self._settle(
+                handle, query_fp, materialize, time_limit,
+                members, result, outcomes,
+            )
+
+    def _execute_parallel(
+        self,
+        handle: GraphHandle,
+        matcher: ParallelMatcher,
+        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        outcomes: dict[int, DispatchOutcome],
+    ) -> None:
+        # One pool pass for every materialize flavour present (almost
+        # always just the count-only one).
+        by_flavour: dict[
+            bool, list[tuple[tuple[str, bool, float | None], list[Request]]]
+        ] = {}
+        for item in to_run:
+            by_flavour.setdefault(item[0][1], []).append(item)
+        for materialize, items in by_flavour.items():
+            queries = [members[0].query for _, members in items]
+            limits = [key[2] for key, _ in items]
+            hints: list[int | None] = []
+            plan_hits: list[bool] = []
+            for key, _ in items:
+                plan = self.plan_cache.get(
+                    (handle.fingerprint, key[0], self.config_fp)
+                )
+                hints.append(
+                    int(plan["num_parts"]) if plan is not None else None
+                )
+                plan_hits.append(plan is not None)
+            try:
+                self.matcher_invocations += len(queries)
+                results = matcher.match_many(
+                    queries,
+                    materialize=materialize,
+                    time_limit_ms=limits,
+                    num_parts=hints,
+                )
+            except Exception as exc:
+                self._fail_all(items, outcomes, str(exc))
+                continue
+            for (key, members), result, hint, plan_hit in zip(
+                items, results, hints, plan_hits
+            ):
+                for req in members:
+                    outcomes[id(req)].plan_hit = plan_hit
+                if hint is None:
+                    plan_payload = {
+                        "num_parts": matcher.num_intervals(members[0].query),
+                        "order": [int(q) for q in result.order],
+                    }
+                    self.plan_cache.put(
+                        (handle.fingerprint, key[0], self.config_fp),
+                        plan_payload,
+                        _payload_bytes(plan_payload),
+                    )
+                self._settle(
+                    handle, key[0], key[1], key[2],
+                    members, result, outcomes,
+                )
+
+    # ------------------------------------------------------------------
+    def _settle(
+        self,
+        handle: GraphHandle,
+        query_fp: str,
+        materialize: bool,
+        time_limit: float | None,
+        members: list[Request],
+        result: MatchResult,
+        outcomes: dict[int, DispatchOutcome],
+    ) -> None:
+        if not materialize and time_limit is None:
+            payload = payload_from_result(result)
+            self.result_cache.put(
+                (handle.fingerprint, query_fp, self.config_fp),
+                payload,
+                _payload_bytes(payload),
+            )
+        for req in members:
+            outcomes[id(req)].result = result
+
+    def _settle_error(
+        self,
+        members: list[Request],
+        outcomes: dict[int, DispatchOutcome],
+        message: str,
+    ) -> None:
+        for req in members:
+            outcomes[id(req)].error = message
+
+    def _fail_all(
+        self,
+        items: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        outcomes: dict[int, DispatchOutcome],
+        message: str,
+    ) -> None:
+        for _, members in items:
+            self._settle_error(members, outcomes, message)
+
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for ``/metrics``."""
+        return {
+            "matcher_invocations": self.matcher_invocations,
+            "batches_dispatched": self.batches_dispatched,
+            "requests_dispatched": self.requests_dispatched,
+            "requests_coalesced": self.requests_coalesced,
+        }

@@ -1,0 +1,363 @@
+"""Stdlib HTTP face of the matching service (``python -m repro.serve``).
+
+Dependency-free serving: a ``ThreadingHTTPServer`` whose handler
+translates JSON bodies into :class:`~repro.service.MatchingService`
+calls.  Handler threads only ever *submit and wait* — all matching work
+happens on the service's dispatch thread and its per-graph engines — so
+slow requests don't block the accept loop and the scheduler's admission
+rules apply identically to HTTP and embedded callers.
+
+Endpoints
+---------
+``GET  /healthz``       liveness + queue depth
+``GET  /metrics``       every counter (scheduler, dispatcher, caches,
+                        governor) as one JSON object
+``GET  /graphs``        registered graphs
+``POST /graphs``        register a graph: ``{"graph": <spec>, "name"?}``
+``POST /match``         ``{"graph": <fp|name|spec>, "query": <spec>,
+                        "wait"?: true, "priority"?, "deadline_ms"?,
+                        "materialize"?, "time_limit_ms"?}`` —
+                        202 + job id when ``wait`` is false,
+                        429 + reason when admission rejects
+``GET  /jobs/<id>``     job state / result
+
+Graph specs are JSON: a pattern shorthand string (``"K5"``, ``"C6"``,
+``"P4"``, ``"S5"`` — same grammar as the CLI), an explicit edge list
+``{"edges": [[u, v], ...], "num_vertices"?, "name"?}``, or a whitelisted
+generator ``{"generator": "mesh", "args": [8, 8]}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from ..core.config import CuTSConfig
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph, GraphFormatError
+from ..graph.generators import (
+    chain_graph,
+    clique_graph,
+    cycle_graph,
+    mesh_graph,
+    random_graph,
+    social_graph,
+    star_graph,
+)
+from .scheduler import AdmissionError
+from .service import MatchingService
+
+__all__ = ["BadRequest", "ServiceHTTPServer", "main", "parse_graph_spec", "serve"]
+
+_GENERATORS = {
+    "mesh": mesh_graph,
+    "chain": chain_graph,
+    "clique": clique_graph,
+    "star": star_graph,
+    "cycle": cycle_graph,
+    "random": random_graph,
+    "social": social_graph,
+}
+
+_PATTERNS = {
+    "K": clique_graph,
+    "C": cycle_graph,
+    "P": chain_graph,
+    "S": star_graph,
+}
+
+
+class BadRequest(ValueError):
+    """A request body that cannot be turned into work."""
+
+
+def _pattern_graph(spec: str) -> CSRGraph:
+    if len(spec) >= 2 and spec[0] in _PATTERNS and spec[1:].isdigit():
+        return _PATTERNS[spec[0]](int(spec[1:]))
+    raise BadRequest(
+        f"unknown pattern {spec!r}: expected K<n>/C<n>/P<n>/S<n>"
+    )
+
+
+def parse_graph_spec(spec: Any) -> CSRGraph:
+    """Materialise a JSON graph spec (see module docstring)."""
+    if isinstance(spec, str):
+        return _pattern_graph(spec)
+    if not isinstance(spec, dict):
+        raise BadRequest("graph spec must be a string or an object")
+    if "pattern" in spec:
+        return _pattern_graph(str(spec["pattern"]))
+    if "edges" in spec:
+        edges = spec["edges"]
+        if not isinstance(edges, list):
+            raise BadRequest("'edges' must be a list of [u, v] pairs")
+        try:
+            graph = from_edges(
+                np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+                if edges
+                else [],
+                num_vertices=spec.get("num_vertices"),
+                name=str(spec.get("name", "graph")),
+            )
+        except (ValueError, GraphFormatError) as exc:
+            raise BadRequest(f"bad edge list: {exc}")
+        labels = spec.get("labels")
+        if labels is not None:
+            graph = graph.with_labels(
+                np.asarray(labels, dtype=np.int64)
+            )
+        return graph
+    if "generator" in spec:
+        kind = str(spec["generator"])
+        maker = _GENERATORS.get(kind)
+        if maker is None:
+            raise BadRequest(
+                f"unknown generator {kind!r}: one of {sorted(_GENERATORS)}"
+            )
+        args = spec.get("args", [])
+        kwargs = spec.get("kwargs", {})
+        if not isinstance(args, list) or not isinstance(kwargs, dict):
+            raise BadRequest("'args' must be a list and 'kwargs' an object")
+        try:
+            return maker(*args, **kwargs)
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad generator arguments: {exc}")
+    raise BadRequest(
+        "graph spec needs one of 'pattern', 'edges', or 'generator'"
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request handler; the service hangs off the server object."""
+
+    server: "ServiceHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -------------------------------------------------------------- util
+    @property
+    def service(self) -> MatchingService:
+        return self.server.service
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    # ---------------------------------------------------------- routing
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.metrics())
+            elif self.path == "/graphs":
+                self._send_json(200, {"graphs": self.service.graphs()})
+            elif self.path.startswith("/jobs/"):
+                self._get_job(self.path[len("/jobs/"):])
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": str(exc)})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            body = self._read_body()
+            if self.path == "/graphs":
+                self._post_graph(body)
+            elif self.path == "/match":
+                self._post_match(body)
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except AdmissionError as exc:
+            self._send_json(
+                429, {"error": "rejected", "reason": exc.reason,
+                      "detail": str(exc)}
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"error": str(exc)})
+
+    # --------------------------------------------------------- handlers
+    def _get_job(self, job_id: str) -> None:
+        try:
+            job = self.service.job(job_id)
+        except KeyError:
+            self._send_json(404, {"error": f"no job {job_id!r}"})
+            return
+        self._send_json(200, job.to_json())
+
+    def _post_graph(self, body: dict[str, Any]) -> None:
+        if "graph" not in body:
+            raise BadRequest("body needs a 'graph' spec")
+        graph = parse_graph_spec(body["graph"])
+        name = body.get("name")
+        fp = self.service.register_graph(
+            graph, str(name) if name is not None else None
+        )
+        handle = self.service.registry.resolve(fp)
+        self._send_json(200, handle.info())
+
+    def _resolve_graph_arg(self, spec: Any) -> str:
+        """A /match 'graph' value: fingerprint, name, or inline spec."""
+        if isinstance(spec, str):
+            try:
+                return self.service.registry.resolve(spec).fingerprint
+            except KeyError:
+                # Not a registered key — maybe a pattern shorthand.
+                return self.service.register_graph(_pattern_graph(spec))
+        return self.service.register_graph(parse_graph_spec(spec))
+
+    def _post_match(self, body: dict[str, Any]) -> None:
+        if "graph" not in body or "query" not in body:
+            raise BadRequest("body needs 'graph' and 'query'")
+        graph_fp = self._resolve_graph_arg(body["graph"])
+        query = parse_graph_spec(body["query"])
+        deadline_ms = body.get("deadline_ms")
+        time_limit_ms = body.get("time_limit_ms")
+        job_id = self.service.submit(
+            graph_fp,
+            query,
+            priority=int(body.get("priority", 0)),
+            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+            materialize=bool(body.get("materialize", False)),
+            time_limit_ms=(
+                float(time_limit_ms) if time_limit_ms is not None else None
+            ),
+        )
+        if not body.get("wait", True):
+            self._send_json(202, {"job_id": job_id})
+            return
+        timeout = body.get("timeout_s")
+        job = self.service.wait(
+            job_id, timeout=float(timeout) if timeout is not None else None
+        )
+        status = 200 if job.done.is_set() else 504
+        self._send_json(status, job.to_json())
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`MatchingService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: MatchingService,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = verbose
+
+
+def serve(
+    service: MatchingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (``port=0`` = ephemeral) without blocking; the caller runs
+    ``serve_forever`` (or drives ``handle_request`` in tests)."""
+    return ServiceHTTPServer((host, port), service, verbose=verbose)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="serve subgraph-isomorphism matching over HTTP",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 = pick an ephemeral port and print it)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="N|auto",
+        help="worker processes per graph engine (default: config)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="admission bound on queued requests",
+    )
+    parser.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="B",
+        help="result/plan cache budget in bytes",
+    )
+    parser.add_argument(
+        "--max-query-vertices", type=int, default=None, metavar="N",
+        help="reject queries larger than N vertices (admission control)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=int, default=None, metavar="MB",
+        help="governor budget; admission rejects past it",
+    )
+    parser.add_argument(
+        "--preload", action="append", default=[], metavar="SPEC",
+        help="register a graph at boot (pattern like K5, or "
+        "generator:mesh:8,8); repeatable",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    overrides: dict[str, Any] = {}
+    if args.queue_depth is not None:
+        overrides["service_queue_depth"] = args.queue_depth
+    if args.cache_bytes is not None:
+        overrides["service_cache_bytes"] = args.cache_bytes
+    if args.max_query_vertices is not None:
+        overrides["service_max_query_vertices"] = args.max_query_vertices
+    if args.memory_budget_mb is not None:
+        overrides["memory_budget_mb"] = args.memory_budget_mb
+    config = CuTSConfig(**overrides)
+
+    service = MatchingService(config, workers=args.workers)
+    for spec in args.preload:
+        if spec.startswith("generator:"):
+            _, kind, raw = spec.split(":", 2)
+            gen_args = [int(x) for x in raw.split(",") if x]
+            graph = parse_graph_spec(
+                {"generator": kind, "args": gen_args}
+            )
+        else:
+            graph = parse_graph_spec(spec)
+        service.register_graph(graph)
+
+    server = serve(service, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0

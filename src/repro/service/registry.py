@@ -1,0 +1,226 @@
+"""Graph registry: load each data graph once, serve it forever.
+
+Every one-shot entry point (``CuTSMatcher``, the CLI) pays the same tax
+per query: copy the data graph in, build a matcher, throw both away.
+The registry is the serving-side fix — the analogue of an inference
+server keeping weights hot.  A graph is registered **once**; the handle
+keeps a persistent engine bound to it (a plain in-process
+:class:`~repro.core.matcher.CuTSMatcher` for ``workers == 1``, a
+:class:`~repro.parallel.ParallelMatcher` — whose
+:class:`~repro.parallel.sharedmem.SharedCSR` segment and process pool
+live as long as the handle — for ``workers > 1``), and every request
+against that graph reuses it.
+
+Handles are keyed two ways: by **fingerprint** (content SHA-256 via
+:func:`repro.fingerprint.graph_fingerprint` — the same function the
+checkpoint store keys on) and by **name**.  Registering the same
+content twice is idempotent.  Re-registering a *name* with different
+content replaces the handle, closes the old engine, and fires
+``on_replace(old_fingerprint)`` so the service can invalidate that
+graph's cache entries — the one channel through which a stale answer
+could otherwise alias a live name.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..core.config import CuTSConfig
+from ..core.matcher import CuTSMatcher
+from ..fingerprint import graph_fingerprint
+from ..graph.csr import CSRGraph
+from ..parallel.matcher import ParallelMatcher
+
+__all__ = ["GraphHandle", "GraphRegistry"]
+
+
+def _graph_bytes(graph: CSRGraph) -> int:
+    """Resident bytes of one registered graph (its CSR arrays)."""
+    total = (
+        graph.indptr.nbytes
+        + graph.indices.nbytes
+        + graph.rindptr.nbytes
+        + graph.rindices.nbytes
+    )
+    if graph.labels is not None:
+        total += graph.labels.nbytes
+    return total
+
+
+class GraphHandle:
+    """One registered data graph plus its persistent engine."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        name: str,
+        fingerprint: str,
+        config: CuTSConfig,
+        workers: int,
+        generation: int,
+    ) -> None:
+        self.graph = graph
+        self.name = name
+        self.fingerprint = fingerprint
+        self.config = config
+        self.workers = workers
+        self.generation = generation
+        self.registered_at = time.time()
+        self.resident_bytes = _graph_bytes(graph)
+        self.queries_served = 0
+        self._lock = threading.RLock()
+        self._serial: CuTSMatcher | None = None
+        self._parallel: ParallelMatcher | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def matcher(self) -> CuTSMatcher | ParallelMatcher:
+        """The handle's persistent engine, built on first use."""
+        with self._lock:
+            if self._closed:
+                raise ValueError(f"graph handle {self.name!r} is closed")
+            if self.workers > 1:
+                if self._parallel is None:
+                    self._parallel = ParallelMatcher(
+                        self.graph, self.config, workers=self.workers
+                    )
+                return self._parallel
+            if self._serial is None:
+                self._serial = CuTSMatcher(self.graph, self.config)
+            return self._serial
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            if self._parallel is not None:
+                self._parallel.close()
+                self._parallel = None
+            self._serial = None
+
+    def info(self) -> dict[str, object]:
+        """JSON description for ``/graphs``."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "num_vertices": self.graph.num_vertices,
+            "num_edges": self.graph.num_edges,
+            "resident_bytes": self.resident_bytes,
+            "generation": self.generation,
+            "workers": self.workers,
+            "queries_served": self.queries_served,
+        }
+
+
+class GraphRegistry:
+    """Fingerprint- and name-keyed store of :class:`GraphHandle`."""
+
+    def __init__(
+        self,
+        config: CuTSConfig,
+        *,
+        workers: int = 1,
+        on_replace: Callable[[str], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.workers = workers
+        self._on_replace = on_replace
+        self._lock = threading.RLock()
+        self._by_name: dict[str, GraphHandle] = {}
+        self._by_fp: dict[str, GraphHandle] = {}
+        self._generation = 0
+        self.registered = 0
+        self.replaced = 0
+
+    # ------------------------------------------------------------------
+    def register(self, graph: CSRGraph, name: str | None = None) -> GraphHandle:
+        """Register ``graph`` (idempotent for identical content).
+
+        Reusing a name for *different* content replaces the old handle
+        (closing its engine) and fires ``on_replace`` with the old
+        fingerprint so dependent caches invalidate.
+        """
+        if graph.num_vertices == 0:
+            raise ValueError("cannot register an empty data graph")
+        fp = graph_fingerprint(graph)
+        name = name or graph.name or fp[:12]
+        replaced_fp: str | None = None
+        with self._lock:
+            existing = self._by_name.get(name)
+            if existing is not None and existing.fingerprint == fp:
+                return existing
+            same_content = self._by_fp.get(fp)
+            if existing is not None:
+                # Name reuse with different content: the old entry (and
+                # everything cached under it) must die with it.
+                self._drop(existing)
+                replaced_fp = existing.fingerprint
+                self.replaced += 1
+            if same_content is not None and replaced_fp is None:
+                # Same bytes under a second name: alias, don't reload.
+                self._by_name[name] = same_content
+                handle = same_content
+            else:
+                self._generation += 1
+                handle = GraphHandle(
+                    graph, name, fp, self.config, self.workers,
+                    self._generation,
+                )
+                self._by_name[name] = handle
+                self._by_fp[fp] = handle
+                self.registered += 1
+        if replaced_fp is not None and self._on_replace is not None:
+            self._on_replace(replaced_fp)
+        return handle
+
+    def _drop(self, handle: GraphHandle) -> None:
+        self._by_fp.pop(handle.fingerprint, None)
+        for alias in [
+            n for n, h in self._by_name.items() if h is handle
+        ]:
+            self._by_name.pop(alias)
+        handle.close()
+
+    def unregister(self, key: str) -> bool:
+        """Remove a graph by name or fingerprint; fires ``on_replace``
+        so cached results for it are invalidated."""
+        with self._lock:
+            handle = self._by_name.get(key) or self._by_fp.get(key)
+            if handle is None:
+                return False
+            self._drop(handle)
+            fp = handle.fingerprint
+        if self._on_replace is not None:
+            self._on_replace(fp)
+        return True
+
+    def resolve(self, key: str) -> GraphHandle:
+        """Handle for a name or fingerprint; raises ``KeyError``."""
+        with self._lock:
+            handle = self._by_name.get(key) or self._by_fp.get(key)
+        if handle is None:
+            raise KeyError(f"no registered graph named {key!r}")
+        return handle
+
+    def by_fingerprint(self, fp: str) -> GraphHandle | None:
+        with self._lock:
+            return self._by_fp.get(fp)
+
+    def handles(self) -> list[GraphHandle]:
+        with self._lock:
+            return list(self._by_fp.values())
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes of registered graph arrays (governor charge)."""
+        with self._lock:
+            return sum(h.resident_bytes for h in self._by_fp.values())
+
+    def close(self) -> None:
+        with self._lock:
+            handles = list(self._by_fp.values())
+            self._by_fp.clear()
+            self._by_name.clear()
+        for handle in handles:
+            handle.close()

@@ -1,0 +1,468 @@
+"""The embedded matching service: registry + scheduler + dispatcher +
+caches behind one long-lived object.
+
+``MatchingService`` is the Python-API face of the serving stack (the
+HTTP face in :mod:`repro.service.http` is a thin shell over it).  One
+background dispatch thread drains the scheduler in graph-affine batches;
+all matching parallelism lives *inside* the batch pass (the registry
+handles' persistent engines), so one drainer is enough and the
+scheduler's ordering guarantees stay trivially true.
+
+Memory accounting: registered graph bytes plus live cache bytes are
+charged to one :class:`~repro.core.governor.MemoryGovernor` (built from
+``config.memory_budget_mb``).  When that budget is exhausted, admission
+rejects new work with ``memory-budget`` — the serving-side analogue of
+the engine's degrade-don't-die rule.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.config import CuTSConfig
+from ..core.governor import MemoryGovernor
+from ..core.result import MatchResult
+from ..fingerprint import config_fingerprint, graph_fingerprint
+from ..graph.csr import CSRGraph
+from ..parallel.matcher import resolve_workers
+from .cache import LRUBytesCache
+from .dispatcher import Dispatcher, payload_from_result
+from .registry import GraphHandle, GraphRegistry
+from .scheduler import AdmissionError, Request, Scheduler
+
+__all__ = [
+    "DeadlineExpired",
+    "Job",
+    "JobFailed",
+    "MatchingService",
+]
+
+# Job lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+
+class DeadlineExpired(RuntimeError):
+    """The request's deadline passed before the dispatcher reached it."""
+
+
+class JobFailed(RuntimeError):
+    """The underlying match raised; the message carries the cause."""
+
+
+@dataclass
+class Job:
+    """One submitted request's lifecycle, visible to clients."""
+
+    id: str
+    request: Request
+    state: str = PENDING
+    result: MatchResult | None = None
+    error: str | None = None
+    cached: bool = False
+    coalesced: bool = False
+    plan_hit: bool = False
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def to_json(self) -> dict[str, object]:
+        """JSON description for ``/jobs/<id>``."""
+        out: dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "graph": self.request.graph_fp,
+            "query": self.request.query_fp,
+            "priority": self.request.priority,
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = payload_from_result(self.result)
+            if self.result.matches is not None:
+                out["matches"] = self.result.matches.tolist()
+        return out
+
+
+class MatchingService:
+    """Long-lived query server over the cuTS engine (embedded form).
+
+    Parameters
+    ----------
+    config:
+        Engine + serving tunables.  ``service_*`` fields size the queue,
+        the batch window, and the cache; ``memory_budget_mb`` funds the
+        governor that admission control consults.
+    workers:
+        Worker processes per graph engine (``None`` → ``config.workers``;
+        ``"auto"``/``0`` → every CPU).  ``1`` serves with persistent
+        in-process matchers.
+    start:
+        Start the dispatch thread immediately (default).  Tests that
+        want to inspect queued state before dispatch pass ``False`` and
+        call :meth:`start` themselves.
+    """
+
+    _POLL_S = 0.05
+
+    def __init__(
+        self,
+        config: CuTSConfig | None = None,
+        *,
+        workers: int | str | None = None,
+        start: bool = True,
+    ) -> None:
+        self.config = config or CuTSConfig()
+        self.workers = resolve_workers(
+            self.config.workers if workers is None else workers
+        )
+        self.config_fp = config_fingerprint(self.config)
+        self.governor = MemoryGovernor.from_config(self.config)
+        self.result_cache = LRUBytesCache(
+            self.config.service_cache_bytes,
+            on_bytes=lambda _total: self._recharge(),
+        )
+        # Plans are tiny; an eighth of the budget is already generous.
+        self.plan_cache = LRUBytesCache(
+            max(4096, self.config.service_cache_bytes // 8),
+            on_bytes=lambda _total: self._recharge(),
+        )
+        self.registry = GraphRegistry(
+            self.config,
+            workers=self.workers,
+            on_replace=self._invalidate_graph,
+        )
+        self.scheduler = Scheduler(
+            max_depth=self.config.service_queue_depth,
+            max_query_vertices=self.config.service_max_query_vertices,
+            governor=self.governor,
+        )
+        self.dispatcher = Dispatcher(
+            self.config, self.result_cache, self.plan_cache, self.config_fp
+        )
+        self._jobs: dict[str, Job] = {}
+        self._jobs_lock = threading.RLock()
+        self._job_seq = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.started_at = time.time()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="matching-service", daemon=True
+            )
+            self._thread.start()
+
+    def close(self) -> None:
+        """Stop dispatching, fail queued jobs, release every engine."""
+        self._stop.set()
+        for request in self.scheduler.close():
+            self._finish_failure(request, "shutdown", state=FAILED)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.registry.close()
+
+    def __enter__(self) -> "MatchingService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Graph management
+    # ------------------------------------------------------------------
+    def register_graph(
+        self, graph: CSRGraph, name: str | None = None
+    ) -> str:
+        """Load ``graph`` into the registry (idempotent); returns its
+        fingerprint, the key to pass to :meth:`submit`/:meth:`match`."""
+        handle = self.registry.register(graph, name)
+        self._recharge()
+        return handle.fingerprint
+
+    def unregister_graph(self, key: str) -> bool:
+        removed = self.registry.unregister(key)
+        self._recharge()
+        return removed
+
+    def graphs(self) -> list[dict[str, object]]:
+        return [h.info() for h in self.registry.handles()]
+
+    def _resolve_graph(self, graph: CSRGraph | str) -> GraphHandle:
+        if isinstance(graph, CSRGraph):
+            handle = self.registry.register(graph)
+            self._recharge()
+            return handle
+        return self.registry.resolve(graph)
+
+    # ------------------------------------------------------------------
+    # Submission / results
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: CSRGraph | str,
+        query: CSRGraph,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+    ) -> str:
+        """Queue one match request; returns its job id.
+
+        Raises :class:`~repro.service.scheduler.AdmissionError`
+        synchronously when admission control refuses (queue depth,
+        oversized query, memory budget) — rejection is an answer, not an
+        exception to be retried blindly; the reason code says which
+        limit was hit.  ``deadline_ms`` bounds *queue wait*: a request
+        not dispatched within it fails with ``deadline-expired``.
+        """
+        if query.num_vertices == 0:
+            raise ValueError("query graph must have at least one vertex")
+        if deadline_ms is not None and deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0")
+        handle = self._resolve_graph(graph)
+        with self._jobs_lock:
+            self._job_seq += 1
+            job_id = f"job-{self._job_seq:08d}"
+        request = Request(
+            job_id=job_id,
+            graph_fp=handle.fingerprint,
+            query=query,
+            query_fp=graph_fingerprint(query),
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+            priority=priority,
+            deadline=(
+                time.monotonic() + deadline_ms / 1000.0
+                if deadline_ms is not None
+                else None
+            ),
+        )
+        job = Job(id=job_id, request=request)
+        with self._jobs_lock:
+            self._jobs[job_id] = job
+        try:
+            self.scheduler.submit(request)
+        except AdmissionError:
+            with self._jobs_lock:
+                self._jobs.pop(job_id, None)
+            raise
+        return job_id
+
+    def job(self, job_id: str) -> Job:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no job {job_id!r}")
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job settles (or ``timeout`` elapses)."""
+        job = self.job(job_id)
+        job.done.wait(timeout=timeout)
+        return job
+
+    def result(self, job_id: str, timeout: float | None = None) -> MatchResult:
+        """The job's :class:`MatchResult`, raising typed errors for the
+        unhappy terminal states."""
+        job = self.wait(job_id, timeout=timeout)
+        if not job.done.is_set():
+            raise TimeoutError(f"job {job_id} still {job.state}")
+        if job.state == DONE:
+            assert job.result is not None
+            return job.result
+        if job.state == EXPIRED:
+            raise DeadlineExpired(f"job {job_id}: {job.error}")
+        if job.state == CANCELLED:
+            raise JobFailed(f"job {job_id} was cancelled")
+        raise JobFailed(f"job {job_id} failed: {job.error}")
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-pending job (returns whether it was pending)."""
+        job = self.job(job_id)
+        if job.done.is_set() or job.state != PENDING:
+            return False
+        job.request.cancelled.set()
+        return True
+
+    # ------------------------------------------------------------------
+    # Synchronous conveniences
+    # ------------------------------------------------------------------
+    def match(
+        self,
+        graph: CSRGraph | str,
+        query: CSRGraph,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> MatchResult:
+        """Submit and wait: the one-call serving equivalent of
+        :meth:`CuTSMatcher.match`."""
+        job_id = self.submit(
+            graph,
+            query,
+            priority=priority,
+            deadline_ms=deadline_ms,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+        )
+        return self.result(job_id, timeout=timeout)
+
+    def match_many(
+        self,
+        graph: CSRGraph | str,
+        queries: list[CSRGraph],
+        *,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        timeout: float | None = None,
+    ) -> list[MatchResult]:
+        """Submit a whole batch at once and gather results in order.
+
+        Submitting everything before waiting is what lets the scheduler
+        hand the dispatcher one graph-affine batch and the engine run it
+        as a single batched pool pass.
+        """
+        job_ids = [
+            self.submit(
+                graph,
+                query,
+                materialize=materialize,
+                time_limit_ms=time_limit_ms,
+            )
+            for query in queries
+        ]
+        return [self.result(job_id, timeout=timeout) for job_id in job_ids]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, object]:
+        """All counters, for ``/metrics`` and the benchmark gates."""
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "workers": self.workers,
+            "config_fingerprint": self.config_fp,
+            "graphs": len(self.registry.handles()),
+            "graph_resident_bytes": self.registry.resident_bytes,
+            "governor": {
+                "budget_bytes": self.governor.budget_bytes,
+                "tracked_bytes": self.governor.tracked_bytes,
+                "pressure": self.governor.pressure,
+            },
+            "scheduler": self.scheduler.snapshot(),
+            "dispatcher": self.dispatcher.snapshot(),
+            "result_cache": self.result_cache.snapshot(),
+            "plan_cache": self.plan_cache.snapshot(),
+        }
+
+    def healthz(self) -> dict[str, object]:
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_at,
+            "graphs": len(self.registry.handles()),
+            "queue_depth": self.scheduler.depth,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _invalidate_graph(self, graph_fp: str) -> None:
+        self.result_cache.invalidate_graph(graph_fp)
+        self.plan_cache.invalidate_graph(graph_fp)
+
+    def _recharge(self) -> None:
+        """Re-point the governor at the service's live footprint."""
+        total = (
+            self.registry.resident_bytes
+            + self.result_cache.current_bytes
+            + self.plan_cache.current_bytes
+        )
+        self.governor.observe_words(total // 8)
+
+    def _finish_failure(
+        self, request: Request, message: str, *, state: str
+    ) -> None:
+        with self._jobs_lock:
+            job = self._jobs.get(request.job_id)
+        if job is None or job.done.is_set():
+            return
+        job.state = state
+        job.error = message
+        job.finished_at = time.time()
+        job.done.set()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            batch, dead = self.scheduler.pop_batch(
+                self.config.service_batch_max, timeout=self._POLL_S
+            )
+            for request in dead:
+                if request.cancelled.is_set():
+                    self._finish_failure(
+                        request, "cancelled before dispatch", state=CANCELLED
+                    )
+                else:
+                    self._finish_failure(
+                        request,
+                        "deadline-expired: request waited past its deadline",
+                        state=EXPIRED,
+                    )
+            if not batch:
+                continue
+            handle = self.registry.by_fingerprint(batch[0].graph_fp)
+            if handle is None:
+                for request in batch:
+                    self._finish_failure(
+                        request, "graph was unregistered while queued",
+                        state=FAILED,
+                    )
+                continue
+            jobs: list[Job] = []
+            for request in batch:
+                with self._jobs_lock:
+                    job = self._jobs.get(request.job_id)
+                if job is not None:
+                    job.state = RUNNING
+                    jobs.append(job)
+            outcomes = self.dispatcher.dispatch(handle, batch)
+            now = time.time()
+            for outcome in outcomes:
+                with self._jobs_lock:
+                    job = self._jobs.get(outcome.request.job_id)
+                if job is None:
+                    continue
+                job.cached = outcome.cached
+                job.coalesced = outcome.coalesced
+                job.plan_hit = outcome.plan_hit
+                if outcome.error is not None:
+                    job.state = FAILED
+                    job.error = outcome.error
+                else:
+                    job.state = DONE
+                    job.result = outcome.result
+                job.finished_at = now
+                job.done.set()
+            self._recharge()

@@ -1,0 +1,39 @@
+"""RP007 fixture: liveness hazards inside the service package."""
+
+import threading
+import time
+from time import sleep as nap
+
+_lock = threading.Lock()
+
+
+def sleeps_holding_locks(cond, backoff_s):
+    with _lock:
+        time.sleep(0.1)                           # line 12: sleep under lock
+    with cond.owner_lock:
+        nap(backoff_s)                            # line 14: aliased sleep
+    with _lock, open("log") as fh:
+        fh.readline()
+        time.sleep(backoff_s)                     # line 17: multi-item with
+
+
+def untimed_queue_waits(work_queue, done):
+    item = work_queue.get()                       # line 21: un-timed get
+    work_queue.join()                             # line 22: un-timed join
+    done.queue.get(block=True)                    # line 23: timeout missing
+    return item
+
+
+def patient_waits_are_fine(work_queue, cond, stop):
+    item = work_queue.get(timeout=0.5)  # fine: bounded wait
+    work_queue.join(timeout=1.0)  # fine: bounded join
+    with _lock:
+        cond.wait(timeout=0.1)  # fine: condition releases the lock
+    time.sleep(0.01)  # fine: pacing outside any lock
+    stop.get()  # fine: receiver is not a queue
+    return item
+
+
+def suppressed_legacy_drain(work_queue):
+    # Grandfathered shutdown drain. # repro: ignore[RP007]
+    return work_queue.get()

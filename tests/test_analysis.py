@@ -58,10 +58,16 @@ EXPECTED = {
     ("RP006", "repro/checkpoint/bad_io.py", 12),
     ("RP006", "repro/checkpoint/bad_io.py", 13),
     ("RP006", "repro/checkpoint/bad_io.py", 14),
+    ("RP007", "repro/service/bad_service.py", 12),
+    ("RP007", "repro/service/bad_service.py", 14),
+    ("RP007", "repro/service/bad_service.py", 17),
+    ("RP007", "repro/service/bad_service.py", 21),
+    ("RP007", "repro/service/bad_service.py", 22),
+    ("RP007", "repro/service/bad_service.py", 23),
 }
 
 # One suppressed violation is seeded per per-module rule.
-EXPECTED_SUPPRESSED = 4
+EXPECTED_SUPPRESSED = 5
 
 
 @pytest.fixture(scope="module")
@@ -83,7 +89,7 @@ def test_fixture_tree_fires_exactly_the_seeded_violations(fixture_report):
 
 
 @pytest.mark.parametrize(
-    "rule", ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006"]
+    "rule", ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007"]
 )
 def test_each_rule_fires_only_at_its_seeded_lines(fixture_report, rule):
     got = {t for t in _triples(fixture_report.active) if t[0] == rule}
@@ -128,6 +134,11 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/checkpoint/bad_io.py", 18),  # read-mode opens
         ("repro/checkpoint/bad_io.py", 20),
         ("repro/checkpoint/bad_io.py", 22),
+        ("repro/service/bad_service.py", 28),  # bounded queue waits
+        ("repro/service/bad_service.py", 29),
+        ("repro/service/bad_service.py", 31),  # condition wait under lock
+        ("repro/service/bad_service.py", 32),  # sleep outside any lock
+        ("repro/service/bad_service.py", 33),  # non-queue receiver
     }
     assert not flagged & fine
 
@@ -144,6 +155,7 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP002", "repro/core/bad_rng.py", 29),
         ("RP003", "repro/core/bad_dtype.py", 21),
         ("RP006", "repro/checkpoint/bad_io.py", 28),
+        ("RP007", "repro/service/bad_service.py", 39),
     }
     assert not _triples(fixture_report.active) & suppressed_sites
 
@@ -323,7 +335,9 @@ def test_cli_write_baseline_then_gate(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert analysis_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+    for rule in (
+        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007"
+    ):
         assert rule in out
 
 

@@ -91,3 +91,60 @@ def test_isolated_data_vertices_ignored():
     data = from_undirected_edges([(0, 1), (1, 2), (0, 2)], num_vertices=10)
     r = subgraph_isomorphism_search(data, clique_graph(3))
     assert r.count == 6
+
+
+# ---------------------------------------------------------------------------
+# match_many: batched API routed through the matching service.
+# ---------------------------------------------------------------------------
+
+
+def test_match_many_parity_with_per_query_search(mesh44):
+    from repro import match_many
+    from repro.graph import chain_graph, cycle_graph
+
+    queries = [chain_graph(3), cycle_graph(4), clique_graph(3), chain_graph(3)]
+    per_query = [
+        subgraph_isomorphism_search(mesh44, q).count for q in queries
+    ]
+    batched = match_many(mesh44, queries)
+    assert [r.count for r in batched] == per_query
+
+
+def test_match_many_parallel_workers_parity(mesh44):
+    from repro import match_many
+    from repro.graph import chain_graph, cycle_graph
+
+    queries = [chain_graph(4), cycle_graph(4)]
+    per_query = [
+        subgraph_isomorphism_search(mesh44, q).count for q in queries
+    ]
+    assert [r.count for r in match_many(mesh44, queries, workers=2)] == (
+        per_query
+    )
+
+
+def test_match_many_empty_and_invalid_inputs(mesh44):
+    from repro import match_many
+
+    assert match_many(mesh44, []) == []
+    with pytest.raises(ValueError):
+        match_many(mesh44, [from_edges([], num_vertices=0)])
+    with pytest.raises(ValueError, match="connected"):
+        match_many(mesh44, [from_undirected_edges([(0, 1), (2, 3)])])
+
+
+def test_match_many_disconnected_data_falls_back(mesh44):
+    from repro import match_many
+
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    data = from_undirected_edges(edges)
+    results = match_many(data, [clique_graph(3)])
+    assert results[0].count == 12
+
+
+def test_match_many_materialize(mesh44, chain4):
+    from repro import match_many
+
+    res = match_many(mesh44, [chain4], materialize=True)[0]
+    assert res.matches is not None and len(res.matches) == res.count
+    assert_valid_embeddings(mesh44, chain4, res.matches)

@@ -308,3 +308,78 @@ def test_cli_workers_rejects_bad_spec():
         main(["match", "roadNet-PA", "P3", "--workers", "nope"])
     with pytest.raises(SystemExit):
         main(["match", "roadNet-PA", "P3", "--workers", "2", "--ranks", "2"])
+
+
+# ---------------------------------------------------------------------------
+# match_many: one pool pass over a batch of queries.
+# ---------------------------------------------------------------------------
+
+
+def test_match_many_matches_per_query_results():
+    data = random_graph(40, 0.15, seed=19)
+    queries = [chain_graph(3), clique_graph(3), chain_graph(4)]
+    serial = [CuTSMatcher(data).match(q).count for q in queries]
+    with ParallelMatcher(data, workers=2) as pm:
+        batched = pm.match_many(queries)
+    assert [r.count for r in batched] == serial
+
+
+def test_match_many_preserves_input_order_with_duplicates():
+    data = random_graph(40, 0.15, seed=19)
+    queries = [chain_graph(4), chain_graph(3), chain_graph(4)]
+    with ParallelMatcher(data, workers=2) as pm:
+        results = pm.match_many(queries)
+    assert results[0].count == results[2].count
+    assert results[0].count != results[1].count
+
+
+def test_match_many_empty_batch():
+    data = random_graph(20, 0.2, seed=3)
+    with ParallelMatcher(data, workers=2) as pm:
+        assert pm.match_many([]) == []
+
+
+def test_match_many_materialize_matches_serial():
+    import numpy as np
+
+    data = random_graph(25, 0.2, seed=5)
+    queries = [chain_graph(3), clique_graph(3)]
+    with ParallelMatcher(data, workers=2) as pm:
+        batched = pm.match_many(queries, materialize=True)
+    for q, res in zip(queries, batched):
+        serial = CuTSMatcher(data).match(q, materialize=True)
+        assert res.count == serial.count
+        got = np.asarray(sorted(map(tuple, res.matches.tolist())))
+        want = np.asarray(sorted(map(tuple, serial.matches.tolist())))
+        assert np.array_equal(got, want)
+
+
+def test_match_many_per_query_time_limits():
+    data = random_graph(30, 0.2, seed=7)
+    queries = [chain_graph(3), chain_graph(4)]
+    with ParallelMatcher(data, workers=2) as pm:
+        results = pm.match_many(queries, time_limit_ms=[None, 1e9])
+    serial = [CuTSMatcher(data).match(q).count for q in queries]
+    assert [r.count for r in results] == serial
+    with ParallelMatcher(data, workers=2) as pm:
+        with pytest.raises(ValueError, match="time_limit_ms"):
+            pm.match_many(queries, time_limit_ms=[None])
+
+
+def test_match_many_accepts_num_parts_hints():
+    data = random_graph(40, 0.15, seed=23)
+    queries = [chain_graph(3), clique_graph(3)]
+    with ParallelMatcher(data, workers=2) as pm:
+        hints = [pm.num_intervals(q) for q in queries]
+        hinted = pm.match_many(queries, num_parts=hints)
+        unhinted = pm.match_many(queries)
+    assert [r.count for r in hinted] == [r.count for r in unhinted]
+
+
+def test_match_many_stats_are_per_query():
+    data = random_graph(40, 0.15, seed=29)
+    queries = [chain_graph(3), chain_graph(4)]
+    with ParallelMatcher(data, workers=2) as pm:
+        results = pm.match_many(queries)
+    a = CuTSMatcher(data).match(queries[0])
+    assert results[0].stats.paths_per_depth == a.stats.paths_per_depth

@@ -1,0 +1,215 @@
+"""Tests for the HTTP face (`python -m repro.serve`) and ServiceClient.
+
+Boots a real ``ServiceHTTPServer`` on an ephemeral port inside the test
+process and drives it exclusively through :class:`ServiceClient`, so the
+wire format, status codes, and admission semantics are exercised exactly
+as an external caller sees them.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.config import CuTSConfig
+from repro.core.matcher import CuTSMatcher
+from repro.graph import chain_graph, clique_graph, cycle_graph, mesh_graph
+from repro.service import MatchingService, ServiceClient, ServiceError
+from repro.service.http import BadRequest, parse_graph_spec, serve
+
+
+@pytest.fixture()
+def live_service():
+    cfg = CuTSConfig(service_max_query_vertices=8)
+    service = MatchingService(cfg)
+    server = serve(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Graph-spec parsing (pure).
+# ---------------------------------------------------------------------------
+
+
+def test_parse_pattern_strings():
+    assert parse_graph_spec("K4").num_vertices == 4
+    assert parse_graph_spec("C5").num_vertices == 5
+    assert parse_graph_spec("P3").num_vertices == 3
+    assert parse_graph_spec("S4").num_vertices == 5  # hub + leaves
+    assert parse_graph_spec({"pattern": "K3"}).num_vertices == 3
+
+
+def test_parse_edge_list_spec():
+    g = parse_graph_spec(
+        {"edges": [[0, 1], [1, 0], [1, 2], [2, 1]], "name": "path"}
+    )
+    assert g.num_vertices == 3
+    assert g.name == "path"
+    labelled = parse_graph_spec(
+        {"edges": [[0, 1], [1, 0]], "labels": [3, 4]}
+    )
+    assert labelled.labels is not None
+
+
+def test_parse_generator_spec():
+    g = parse_graph_spec({"generator": "mesh", "args": [3, 3]})
+    assert g.num_vertices == 9
+    with pytest.raises(BadRequest):
+        parse_graph_spec({"generator": "os_system", "args": []})
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "K",  # no size
+        "X5",  # unknown family
+        42,  # wrong type
+        {},  # no recognised key
+        {"edges": "nope"},
+        {"generator": "mesh", "args": "3,3"},
+    ],
+)
+def test_bad_specs_raise(spec):
+    with pytest.raises(BadRequest):
+        parse_graph_spec(spec)
+
+
+def test_roundtrip_csr_graph_preserves_fingerprint():
+    from repro.fingerprint import graph_fingerprint
+    from repro.service.client import graph_to_spec
+
+    g = mesh_graph(4, 4)
+    assert graph_fingerprint(parse_graph_spec(graph_to_spec(g))) == (
+        graph_fingerprint(g)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Live endpoint behaviour.
+# ---------------------------------------------------------------------------
+
+
+def test_healthz_metrics_and_graphs(live_service):
+    client, _ = live_service
+    assert client.healthz()["status"] == "ok"
+    fp = client.register_graph(mesh_graph(4, 4), name="mesh44")
+    assert len(fp) == 64
+    assert [g["name"] for g in client.graphs()] == ["mesh44"]
+    metrics = client.metrics()
+    assert metrics["graphs"] == 1
+    assert "scheduler" in metrics and "result_cache" in metrics
+
+
+def test_blocking_match_returns_exact_count(live_service):
+    client, service = live_service
+    g = mesh_graph(5, 5)
+    expected = CuTSMatcher(g, service.config).match(chain_graph(4)).count
+    fp = client.register_graph(g)
+    job = client.match(fp, "P4")
+    assert job["state"] == "done"
+    assert job["result"]["count"] == expected
+
+
+def test_async_match_polls_to_completion(live_service):
+    client, _ = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    resp = client.match(fp, "C4", wait=False)
+    job = client.wait_job(resp["job_id"])
+    assert job["state"] == "done"
+    assert job["result"]["count"] > 0
+
+
+def test_oversized_query_is_429_with_reason(live_service):
+    client, _ = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    with pytest.raises(ServiceError) as exc:
+        client.match(fp, "K9")
+    assert exc.value.status == 429
+    assert exc.value.reason == "oversized-query"
+
+
+def test_deadline_expiry_over_http(live_service):
+    client, _ = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    job = client.match(fp, "P3", deadline_ms=0)
+    assert job["state"] == "expired"
+    assert "deadline" in job["error"]
+
+
+def test_unknown_routes_and_jobs_are_404(live_service):
+    client, _ = live_service
+    with pytest.raises(ServiceError) as exc:
+        client.job("job-99999999")
+    assert exc.value.status == 404
+    with pytest.raises(ServiceError) as exc:
+        client._request("GET", "/nope")
+    assert exc.value.status == 404
+
+
+def test_bad_bodies_are_400(live_service):
+    client, _ = live_service
+    with pytest.raises(ServiceError) as exc:
+        client._request("POST", "/match", {"graph": "K3"})  # no query
+    assert exc.value.status == 400
+    with pytest.raises(ServiceError) as exc:
+        client._request("POST", "/graphs", {"graph": {"edges": "x"}})
+    assert exc.value.status == 400
+
+
+def test_inline_graph_specs_register_on_the_fly(live_service):
+    client, service = live_service
+    job = client.match({"generator": "chain", "args": [6]}, "P3")
+    assert job["result"]["count"] == 8
+    assert len(service.registry.handles()) == 1
+
+
+def test_materialized_rows_cross_the_wire(live_service):
+    client, _ = live_service
+    fp = client.register_graph(mesh_graph(3, 3))
+    job = client.match(fp, "P3", materialize=True)
+    assert job["result"]["count"] == len(job["matches"])
+
+
+def test_warm_cache_over_http(live_service):
+    client, service = live_service
+    fp = client.register_graph(mesh_graph(5, 5))
+    first = client.match(fp, "C4")
+    inv = service.dispatcher.matcher_invocations
+    second = client.match(fp, "C4")
+    assert second["result"]["count"] == first["result"]["count"]
+    assert second["cached"]
+    assert service.dispatcher.matcher_invocations == inv
+
+
+def test_mixed_burst_matches_serial_oracle(live_service):
+    """The CI-smoke contract, in-process: a burst of mixed requests all
+    come back exact against a serial oracle."""
+    client, service = live_service
+    g = mesh_graph(5, 5)
+    queries = {
+        "K3": clique_graph(3),
+        "P4": chain_graph(4),
+        "C4": cycle_graph(4),
+    }
+    oracle = {
+        name: CuTSMatcher(g, service.config).match(q).count
+        for name, q in queries.items()
+    }
+    fp = client.register_graph(g)
+    names = [n for _ in range(5) for n in queries]  # 15 mixed requests
+    pending = [
+        (n, client.match(fp, n, wait=False)["job_id"]) for n in names
+    ]
+    for name, job_id in pending:
+        job = client.wait_job(job_id)
+        assert job["state"] == "done"
+        assert job["result"]["count"] == oracle[name]
