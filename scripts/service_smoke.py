@@ -17,18 +17,38 @@ Every count is checked against a serial in-process oracle
 (:class:`CuTSMatcher` on the same graphs); any mismatch, unexpected
 status, or hang fails the script with a non-zero exit.
 
+``--chaos`` instead runs the resilience contract against the same real
+subprocess:
+
+* **faulty load** — the server boots with a deterministic fault plan
+  (injected engine exceptions, dispatcher stalls, corrupted cache
+  reads, periodic pool-worker SIGKILLs) and every request is driven by
+  the self-healing client; jobs that fail to an injected fault are
+  resubmitted until they settle, and every settled count must equal
+  the serial oracle exactly;
+* **kill -9 mid-load** — a second server with ``--state-dir`` is
+  SIGKILLed while the journal provably holds a ``running`` job, then
+  restarted on the same directory.  Completed jobs must come back with
+  their journaled counts, the in-flight-at-crash job must resurface
+  ``retryable``, pending jobs must finish, and replaying every
+  idempotency key must admit **zero** new work (no duplicates).
+
 Usage::
 
-    PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py [--chaos]
 """
 
 from __future__ import annotations
 
+import argparse
+import glob
+import json
 import os
 import re
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -63,7 +83,7 @@ QUERIES = {
 }
 
 
-def boot_server() -> tuple[subprocess.Popen, str]:
+def boot_server(*extra_args: str) -> tuple[subprocess.Popen, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         os.path.join(os.path.dirname(__file__), "..", "src")
@@ -76,6 +96,7 @@ def boot_server() -> tuple[subprocess.Popen, str]:
             "--port", "0",
             "--max-query-vertices", "8",
             "--queue-depth", "64",
+            *extra_args,
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -199,5 +220,240 @@ def main() -> int:
     return 1 if failures else 0
 
 
+# ---------------------------------------------------------------------------
+# Chaos mode
+# ---------------------------------------------------------------------------
+
+CHAOS_FAULTS = (
+    "seed=3,engine_fault_prob=0.15,stall_prob=0.2,stall_ms=5,"
+    "cache_corrupt_prob=0.3,worker_kill_prob=0.1"
+)
+CHAOS_REQUESTS = 30
+CRASH_JOBS = 8
+
+
+def settle_exact(client, fp, qname, expected, failures, *, attempts=10):
+    """Drive one request until it settles done, resubmitting when an
+    injected fault fails it; the settled count must be exact."""
+    for _ in range(attempts):
+        job = client.match(fp, qname, timeout_s=120.0)
+        if job["state"] == "done":
+            if job["result"]["count"] != expected:
+                failures.append(
+                    f"chaos {qname}: count {job['result']['count']} != "
+                    f"oracle {expected}"
+                )
+            return True
+        if job["state"] != "failed":
+            failures.append(
+                f"chaos {qname}: unexpected state {job['state']} "
+                f"({job.get('error')})"
+            )
+            return False
+    failures.append(f"chaos {qname}: still failing after {attempts} tries")
+    return False
+
+
+def run_faulty_load(failures: list[str]) -> None:
+    """Phase 1: every fault class armed, every settled count exact."""
+    cfg = CuTSConfig()
+    graph = DATA_GRAPHS["mesh55"]
+    oracle = {
+        qname: CuTSMatcher(graph, cfg).match(q).count
+        for qname, q in QUERIES.items()
+    }
+    proc, base_url = boot_server(
+        "--faults", CHAOS_FAULTS, "--workers", "2",
+        "--cache-bytes", "65536",
+    )
+    try:
+        client = ServiceClient(base_url, timeout=120.0)
+        fp = client.register_graph(graph, name="mesh55")
+        names = list(QUERIES)
+        for i in range(CHAOS_REQUESTS):
+            qname = names[i % len(names)]
+            settle_exact(client, fp, qname, oracle[qname], failures)
+        metrics = client.metrics()
+        fault_counts = metrics.get("faults", {})
+        if not any(fault_counts.get(k, 0) for k in (
+            "engine_faults", "stalls", "cache_corruptions", "worker_kills"
+        )):
+            failures.append(
+                f"chaos: no faults actually fired ({fault_counts})"
+            )
+        if client.healthz()["status"] not in ("ok", "degraded"):
+            failures.append("chaos: server unhealthy after faulty load")
+        print(
+            f"chaos load: {CHAOS_REQUESTS} requests settled exact under "
+            f"faults {fault_counts}"
+        )
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def wait_for_running_journal(
+    state_dir: str, expected_jobs: int, timeout_s: float
+) -> bool:
+    """Poll the job journal until every submitted job has a durable
+    record *and* at least one of them is ``running`` — only then is a
+    SIGKILL guaranteed to land mid-execution with nothing lost."""
+    deadline = time.monotonic() + timeout_s
+    jobs_glob = os.path.join(state_dir, "jobs", "*.json")
+    while time.monotonic() < deadline:
+        paths = glob.glob(jobs_glob)
+        running = False
+        for path in paths:
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    running = running or (
+                        json.load(fh).get("state") == "running"
+                    )
+            except (OSError, json.JSONDecodeError):
+                running = running or False  # mid-replace; try again
+        if len(paths) >= expected_jobs and running:
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def run_crash_recovery(failures: list[str]) -> None:
+    """Phase 2: kill -9 with a job provably in flight, then recover."""
+    cfg = CuTSConfig()
+    graph = DATA_GRAPHS["mesh55"]
+    oracle = {
+        qname: CuTSMatcher(graph, cfg).match(q).count
+        for qname, q in QUERIES.items()
+    }
+    state_dir = tempfile.mkdtemp(prefix="chaos-state-")
+    # Every dispatch stalls 300ms: a wide window in which the journal
+    # says "running", so the SIGKILL lands mid-execution by design.
+    proc, base_url = boot_server(
+        "--state-dir", state_dir, "--faults",
+        "seed=1,stall_prob=1,stall_ms=300",
+    )
+    submitted: list[tuple[str, str, str]] = []  # (job_id, qname, key)
+    try:
+        client = ServiceClient(base_url, timeout=60.0)
+        fp = client.register_graph(graph, name="mesh55")
+        names = list(QUERIES)
+        for i in range(CRASH_JOBS):
+            qname = names[i % len(names)]
+            key = f"chaos-key-{i}"
+            resp = client.match(
+                fp, qname, wait=False, idempotency_key=key
+            )
+            submitted.append((resp["job_id"], qname, key))
+        if not wait_for_running_journal(
+            state_dir, len(submitted), timeout_s=30.0
+        ):
+            failures.append("crash: no job reached 'running' in journal")
+    finally:
+        proc.kill()  # SIGKILL: no shutdown hook gets to run
+        proc.wait(timeout=10)
+
+    # Restart on the same state dir, faults off.
+    proc, base_url = boot_server("--state-dir", state_dir)
+    try:
+        client = ServiceClient(base_url, timeout=60.0)
+        metrics = client.metrics()
+        recovered = metrics.get("state", {})
+        if recovered.get("recovered_retryable", 0) < 1:
+            failures.append(
+                f"crash: no retryable job resurfaced ({recovered})"
+            )
+        done_ids: set[str] = set()
+        for job_id, qname, key in submitted:
+            job = client.job(job_id)
+            # Recovered pending jobs re-run under their original ids.
+            deadline = time.monotonic() + 60.0
+            while (
+                job["state"] in ("pending", "running")
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+                job = client.job(job_id)
+            if job["state"] == "done":
+                if job["result"]["count"] != oracle[qname]:
+                    failures.append(
+                        f"crash {job_id}: recovered count "
+                        f"{job['result']['count']} != oracle {oracle[qname]}"
+                    )
+                done_ids.add(job_id)
+            elif job["state"] == "retryable":
+                # The client retries under the *same* key; the server
+                # re-executes exactly once and the count is exact.
+                retry = client.match(
+                    fp, qname, idempotency_key=key, timeout_s=120.0
+                )
+                if retry["id"] == job_id:
+                    failures.append(
+                        f"crash {job_id}: retry reused the dead job"
+                    )
+                if retry["state"] != "done" or (
+                    retry["result"]["count"] != oracle[qname]
+                ):
+                    failures.append(
+                        f"crash {job_id}: retry settled "
+                        f"{retry['state']} ({retry.get('error')})"
+                    )
+            else:
+                failures.append(
+                    f"crash {job_id}: unexpected recovered state "
+                    f"{job['state']} ({job.get('error')})"
+                )
+        # Zero duplicates: replaying every completed job's idempotency
+        # key must admit no new work.
+        admitted_before = client.metrics()["scheduler"]["admitted"]
+        for job_id, qname, key in submitted:
+            if job_id not in done_ids:
+                continue
+            replay = client.match(fp, qname, idempotency_key=key)
+            if replay["id"] != job_id:
+                failures.append(
+                    f"crash {job_id}: key replay created {replay['id']}"
+                )
+        admitted_after = client.metrics()["scheduler"]["admitted"]
+        if admitted_after != admitted_before:
+            failures.append(
+                f"crash: key replays admitted "
+                f"{admitted_after - admitted_before} duplicate jobs"
+            )
+        print(
+            f"crash recovery: {len(done_ids)}/{len(submitted)} done with "
+            f"journaled counts, "
+            f"{recovered.get('recovered_retryable', 0)} retryable, "
+            f"{recovered.get('recovered_pending', 0)} re-enqueued, "
+            f"0 duplicates"
+        )
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def chaos_main() -> int:
+    failures: list[str] = []
+    run_faulty_load(failures)
+    run_crash_recovery(failures)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("service chaos smoke OK")
+    return 1 if failures else 0
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the fault-injection + crash-recovery contract "
+        "instead of the plain smoke",
+    )
+    cli_args = parser.parse_args()
+    sys.exit(chaos_main() if cli_args.chaos else main())

@@ -20,6 +20,9 @@ Rule             Invariant
                  only through the atomic tmp+fsync+rename helpers.
 ``RP007``        Service liveness: no ``time.sleep`` while holding a
                  lock; every queue ``get()``/``join()`` has a timeout.
+``RP008``        Swallowed exceptions: in ``service/`` and
+                 ``distributed/``, an except handler must raise, call,
+                 assign, or return — never silently drop the error.
 ================ =====================================================
 """
 
@@ -33,4 +36,5 @@ from . import (  # noqa: F401  (imports register the checkers)
     rp005_config,
     rp006_durable_write,
     rp007_service,
+    rp008_swallowed,
 )

@@ -1,0 +1,106 @@
+"""RP008 — no swallowed exceptions on the resilience path.
+
+The service and distributed layers are exactly where failures *must*
+surface: the dispatcher's fallback logic, the journal, the fault
+injector, and the runtime's recovery machinery all key off exceptions.
+A handler that catches and then does nothing turns a crash the chaos
+suite would catch into a silent wrong answer.
+
+Flagged in ``service/`` and ``distributed/``:
+
+* an ``except`` handler whose body neither raises, nor calls anything,
+  nor binds a fallback value, nor returns — i.e. the body is only
+  ``pass`` / ``continue`` / ``break`` / a bare constant.  Such a
+  handler cannot possibly have *handled* the error; it only hid it.
+* a **bare** ``except:`` that neither re-raises nor calls anything —
+  bare excepts also trap ``KeyboardInterrupt``/``SystemExit``, so
+  hiding those is doubly wrong.
+
+Deliberate recoveries stay legal: assigning a fallback
+(``payload = {...}``), returning a default, logging, re-raising a typed
+error, or counting the failure all involve a call, an assignment, a
+``return``, or a ``raise``.  A genuinely intentional swallow can carry
+``# repro: ignore[RP008]`` with its justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..base import Checker
+from ..diagnostics import Diagnostic
+from ..engine import SourceModule
+from ..registry import register
+
+SCOPES = frozenset({"service", "distributed"})
+
+_HANDLED_NODES = (
+    ast.Raise,
+    ast.Call,
+    ast.Assign,
+    ast.AugAssign,
+    ast.AnnAssign,
+    ast.NamedExpr,
+    ast.Return,
+)
+
+
+def _handles(handler: ast.ExceptHandler) -> set[type[ast.AST]]:
+    """Which "actually did something" node kinds the body contains."""
+    kinds: set[type[ast.AST]] = set()
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            for kind in _HANDLED_NODES:
+                if isinstance(node, kind):
+                    kinds.add(kind)
+    return kinds
+
+
+@register
+class SwallowedExceptionChecker(Checker):
+    rule = "RP008"
+    name = "swallowed-exceptions"
+    description = (
+        "service/ and distributed/ handlers must handle: an except "
+        "body that neither raises, calls, assigns, nor returns "
+        "silently hides the failure it caught"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.package not in SCOPES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Try):
+                for handler in node.handlers:
+                    yield from self._check_handler(module, handler)
+
+    # ------------------------------------------------------------------
+    def _check_handler(
+        self, module: SourceModule, handler: ast.ExceptHandler
+    ) -> Iterator[Diagnostic]:
+        kinds = _handles(handler)
+        if handler.type is None:
+            # Bare except: traps KeyboardInterrupt/SystemExit too, so
+            # anything short of re-raising or reacting (a call) hides
+            # signals the process must honour.
+            if ast.Raise not in kinds and ast.Call not in kinds:
+                yield self.diag(
+                    module,
+                    handler,
+                    "bare except that neither re-raises nor reacts "
+                    "swallows every error including KeyboardInterrupt; "
+                    "catch a specific exception and handle it",
+                )
+            return
+        if kinds:
+            return
+        caught = ast.unparse(handler.type)
+        yield self.diag(
+            module,
+            handler,
+            f"except {caught}: handler neither raises, calls, assigns, "
+            f"nor returns — the failure is silently swallowed; handle "
+            f"it (fallback value, counter, re-raise) or let it "
+            f"propagate",
+        )

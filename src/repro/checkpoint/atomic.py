@@ -18,10 +18,10 @@ import os
 import tempfile
 from typing import Any
 
-__all__ = ["atomic_write_bytes", "atomic_write_json"]
+__all__ = ["atomic_write_bytes", "atomic_write_json", "fsync_dir"]
 
 
-def _fsync_dir(dirname: str) -> None:
+def fsync_dir(dirname: str) -> None:
     """Flush the directory entry (best effort on exotic filesystems)."""
     try:
         fd = os.open(dirname, os.O_RDONLY)
@@ -35,8 +35,14 @@ def _fsync_dir(dirname: str) -> None:
         os.close(fd)
 
 
-def atomic_write_bytes(path: str, data: bytes) -> None:
-    """Durably replace ``path`` with ``data`` (all-or-nothing)."""
+def atomic_write_bytes(path: str, data: bytes, *, sync_dir: bool = True) -> None:
+    """Durably replace ``path`` with ``data`` (all-or-nothing).
+
+    ``sync_dir=False`` skips the directory-entry fsync so a caller
+    writing a batch (e.g. the service journal's group commit) can issue
+    one :func:`fsync_dir` for the whole batch; the file contents are
+    still fsynced and the replace is still atomic.
+    """
     dirname = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=dirname)
     try:
@@ -51,10 +57,13 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
         except OSError:
             pass
         raise
-    _fsync_dir(dirname)
+    if sync_dir:
+        fsync_dir(dirname)
 
 
-def atomic_write_json(path: str, payload: dict[str, Any]) -> None:
+def atomic_write_json(
+    path: str, payload: dict[str, Any], *, sync_dir: bool = True
+) -> None:
     """Durably replace ``path`` with ``payload`` as JSON."""
     data = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
-    atomic_write_bytes(path, data)
+    atomic_write_bytes(path, data, sync_dir=sync_dir)

@@ -111,6 +111,20 @@ class CuTSConfig:
         Admission bound on query size: requests whose query has more
         vertices are rejected as oversized.  ``0`` (default) disables
         the bound.
+    service_request_timeout_s:
+        Per-connection socket timeout of the HTTP face: a client that
+        stalls mid-request (slowloris) is disconnected after this many
+        seconds instead of pinning a handler thread forever.
+    service_max_body_bytes:
+        Upper bound on an HTTP request body; larger bodies are refused
+        with ``413 Payload Too Large`` before being read into memory.
+    service_degraded_after:
+        Consecutive dispatch-loop ticks at or above the governor's
+        high-water pressure before the service enters **degraded
+        read-only mode** (cached count-only answers are served, all
+        other work is rejected with ``503``); the same count of healthy
+        ticks exits it.  Hysteresis keeps one transient spike from
+        flapping the mode.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -139,6 +153,9 @@ class CuTSConfig:
     service_batch_max: int = 16
     service_cache_bytes: int = 32 * 1024 * 1024
     service_max_query_vertices: int = 0
+    service_request_timeout_s: float = 30.0
+    service_max_body_bytes: int = 8 * 1024 * 1024
+    service_degraded_after: int = 3
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -191,3 +208,9 @@ class CuTSConfig:
             raise ValueError(
                 "service_max_query_vertices must be >= 0 (0 = unlimited)"
             )
+        if self.service_request_timeout_s <= 0:
+            raise ValueError("service_request_timeout_s must be positive")
+        if self.service_max_body_bytes < 1024:
+            raise ValueError("service_max_body_bytes must be >= 1024")
+        if self.service_degraded_after < 1:
+            raise ValueError("service_degraded_after must be >= 1")

@@ -60,6 +60,7 @@ class MemoryGovernor:
     peak_tracked_bytes: int = 0
     chunk_halvings: int = 0
     spill_count: int = 0
+    forced_pressure: float | None = None
 
     def __post_init__(self) -> None:
         if self.budget_bytes is not None and self.budget_bytes <= 0:
@@ -96,10 +97,21 @@ class MemoryGovernor:
 
     @property
     def pressure(self) -> float:
-        """Tracked bytes over budget (``0.0`` when unlimited)."""
-        if self.budget_bytes is None:
-            return 0.0
-        return self.tracked_bytes / self.budget_bytes
+        """Tracked bytes over budget (``0.0`` when unlimited).
+
+        ``forced_pressure`` — set by the service fault injector to
+        simulate an OOM episode — acts as a floor, so every consumer
+        (admission control, degraded mode, chunk halving) reacts to a
+        simulated spike exactly as it would to a real one.
+        """
+        base = (
+            0.0
+            if self.budget_bytes is None
+            else self.tracked_bytes / self.budget_bytes
+        )
+        if self.forced_pressure is not None:
+            return max(base, self.forced_pressure)
+        return base
 
     # ------------------------------------------------------------------
     # Decisions

@@ -27,6 +27,7 @@ class SearchStats:
     chunk_halvings: int = 0
     spilled_chunks: int = 0
     peak_tracked_bytes: int = 0
+    cancelled_at_dispatch: int = 0
 
     def record_depth(self, depth: int, num_paths: int) -> None:
         """Accumulate paths produced at a (0-based) depth.
@@ -73,6 +74,7 @@ class SearchStats:
             "chunk_halvings": self.chunk_halvings,
             "spilled_chunks": self.spilled_chunks,
             "peak_tracked_bytes": self.peak_tracked_bytes,
+            "cancelled_at_dispatch": self.cancelled_at_dispatch,
         }
 
     @classmethod
@@ -90,6 +92,9 @@ class SearchStats:
         stats.chunk_halvings = int(payload.get("chunk_halvings", 0))
         stats.spilled_chunks = int(payload.get("spilled_chunks", 0))
         stats.peak_tracked_bytes = int(payload.get("peak_tracked_bytes", 0))
+        stats.cancelled_at_dispatch = int(
+            payload.get("cancelled_at_dispatch", 0)
+        )
         return stats
 
     def merge(self, other: "SearchStats") -> "SearchStats":
@@ -117,4 +122,5 @@ class SearchStats:
         self.peak_tracked_bytes = max(
             self.peak_tracked_bytes, other.peak_tracked_bytes
         )
+        self.cancelled_at_dispatch += other.cancelled_at_dispatch
         return self

@@ -80,6 +80,9 @@ COUNT_IRRELEVANT_FIELDS = frozenset(
         "service_batch_max",
         "service_cache_bytes",
         "service_max_query_vertices",
+        "service_request_timeout_s",
+        "service_max_body_bytes",
+        "service_degraded_after",
     }
 )
 """Config fields excluded from :func:`config_fingerprint`.

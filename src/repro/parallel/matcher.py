@@ -76,6 +76,11 @@ def _worker_init(meta: SharedCSRMeta, config: CuTSConfig) -> None:
     _WORKER["matcher"] = CuTSMatcher(shared.graph, config)
 
 
+def _worker_pid() -> int:
+    """Warm-up no-op task (see :meth:`ParallelMatcher.worker_pids`)."""
+    return os.getpid()
+
+
 def _run_interval(
     query: CSRGraph,
     part: int,
@@ -233,6 +238,20 @@ class ParallelMatcher:
             self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = self._make_pool()
         return self._pool
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool workers (spinning the pool up if
+        needed).  Exists for fault injection: the service chaos harness
+        SIGKILLs one of these mid-batch and asserts the lease/rebuild
+        machinery still produces exact counts."""
+        pool = self._ensure_pool()
+        procs = getattr(pool, "_processes", None) or {}
+        if not procs:
+            # The executor spawns workers lazily on first submit; force
+            # at least one up so there is a pid to report.
+            pool.submit(_worker_pid).result()
+            procs = getattr(pool, "_processes", None) or {}
+        return [p.pid for p in procs.values() if p.is_alive() and p.pid]
 
     def close(self) -> None:
         """Shut the pool down and unlink the shared-memory segment."""

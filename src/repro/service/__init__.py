@@ -21,30 +21,54 @@ many queries; this package is that argument applied at serving scale:
   charged against the memory governor, explicitly invalidated on graph
   re-registration.
 
+Resilience (DESIGN.md §12): :class:`ServiceState` journals graphs and
+job transitions durably so ``--state-dir`` restarts recover them;
+:class:`ServiceFaultPlan` / :class:`ServiceFaultInjector` inject
+deterministic faults end-to-end for chaos testing; the client heals
+itself with :class:`RetryPolicy` backoff, idempotency keys, and a
+:class:`CircuitBreaker`.
+
 Faces: :class:`MatchingService` (embedded Python API),
 ``python -m repro.serve`` (stdlib HTTP, :mod:`repro.service.http`), and
 :class:`ServiceClient` (:mod:`repro.service.client`).
 """
 
 from .cache import LRUBytesCache
-from .client import ServiceClient, ServiceError
+from .client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
 from .dispatcher import Dispatcher
+from .faults import (
+    InjectedEngineFault,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
 from .registry import GraphHandle, GraphRegistry
 from .scheduler import AdmissionError, Request, Scheduler
 from .service import DeadlineExpired, Job, JobFailed, MatchingService
+from .state import ServiceState
 
 __all__ = [
     "AdmissionError",
+    "CircuitBreaker",
     "DeadlineExpired",
     "Dispatcher",
     "GraphHandle",
     "GraphRegistry",
+    "InjectedEngineFault",
     "Job",
     "JobFailed",
     "LRUBytesCache",
     "MatchingService",
     "Request",
+    "RetryPolicy",
     "Scheduler",
     "ServiceClient",
     "ServiceError",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
+    "ServiceState",
 ]

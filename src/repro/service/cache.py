@@ -105,6 +105,20 @@ class LRUBytesCache:
         self._notify(total)
         return True
 
+    def pop(self, key: CacheKey) -> Any | None:
+        """Remove and return one entry (``None`` if absent).  Used to
+        drop an entry that failed checksum verification — a corrupt
+        read must become a miss, never a served answer."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return None
+            self.current_bytes -= entry[1]
+            self.invalidations += 1
+            total = self.current_bytes
+        self._notify(total)
+        return entry[0]
+
     def invalidate_graph(self, graph_fp: str) -> int:
         """Drop every entry keyed under ``graph_fp`` (graph
         re-registration); returns how many were removed."""

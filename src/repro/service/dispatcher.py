@@ -9,7 +9,10 @@ batch into the fewest possible matcher invocations:
    per request, each with its own job).
 2. **Result cache** — cacheable groups (count-only, no time limit)
    probe the LRU result cache first; a hit costs zero matcher
-   invocations and rebuilds the result from the cached payload.
+   invocations and rebuilds the result from the cached payload.  Every
+   payload carries a content **checksum** computed at store time and
+   verified on read: a corrupt entry (torn read, chaos injection) is
+   dropped and treated as a miss, never served.
 3. **Batched execution** — the distinct remaining queries go to the
    graph handle's persistent engine.  Under a
    :class:`~repro.parallel.ParallelMatcher` they run as **one**
@@ -19,6 +22,24 @@ batch into the fewest possible matcher invocations:
    the whole batch, not per query.  The **plan cache** supplies each
    query's interval count when it has seen the triple before, skipping
    the ordering + root-candidate planning pass.
+
+Failure isolation is **per job, not per batch**:
+
+* a group whose engine pass raises settles only that group's requests
+  as failed — the rest of the batch is unaffected (the serial path
+  always worked this way; the pooled path gets it via fallback);
+* when the *pool itself* fails mid-batch (workers SIGKILLed beyond the
+  lease machinery's patience, chaos injection), the dispatcher retries
+  the batch **once, serially** on the handle's fallback engine — a
+  degraded-but-exact answer beats a failed batch;
+* a request whose cancellation or deadline landed after pop but before
+  the engine pass is settled here without burning a matcher run, and
+  the skip is attributed in its :class:`~repro.core.stats.SearchStats`
+  (``cancelled_at_dispatch``);
+* requests carrying a **deadline** execute serially with the remaining
+  time as the engine's cooperative ``wall_limit_s`` — the matcher's
+  chunk loop aborts mid-search instead of running away past the
+  deadline.
 
 Per-request attribution: the result handed to each request carries the
 full :class:`~repro.core.stats.SearchStats` of its execution; requests
@@ -31,31 +52,58 @@ shard.
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import dataclass
+import os
+import signal
+import time
+from dataclasses import dataclass, field
 
 from ..core.config import CuTSConfig
-from ..core.matcher import CuTSMatcher
+from ..core.matcher import CuTSMatcher, SearchTimeout
 from ..core.result import MatchResult
 from ..core.stats import SearchStats
 from ..gpusim.cost import CostModel
 from ..parallel.matcher import ParallelMatcher
 from .cache import LRUBytesCache
+from .faults import InjectedEngineFault, ServiceFaultInjector
 from .registry import GraphHandle
 from .scheduler import Request
 
-__all__ = ["DispatchOutcome", "Dispatcher", "payload_from_result",
-           "result_from_payload"]
+__all__ = ["DispatchOutcome", "Dispatcher", "payload_checksum",
+           "payload_from_result", "result_from_payload", "verify_payload"]
+
+# (key, members) pairs as produced by coalescing: the execution key is
+# (query_fp, materialize, time_limit_ms).
+_Group = tuple[tuple[str, bool, float | None], list[Request]]
+
+
+def payload_checksum(payload: dict[str, object]) -> str:
+    """Content checksum over a result payload (checksum field excluded)."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(body, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()[:16]
 
 
 def payload_from_result(result: MatchResult) -> dict[str, object]:
-    """JSON-safe form of a count-mode result (what the cache stores)."""
-    return {
+    """JSON-safe form of a count-mode result (what the cache stores and
+    the job journal persists), sealed with a content checksum."""
+    payload: dict[str, object] = {
         "count": int(result.count),
         "time_ms": float(result.time_ms),
         "stats": result.stats.to_json(),
         "order": [int(q) for q in result.order],
     }
+    payload["checksum"] = payload_checksum(payload)
+    return payload
+
+
+def verify_payload(payload: dict[str, object]) -> bool:
+    """Whether a payload's checksum matches its content.  Legacy
+    payloads without a checksum fail closed (treated as corrupt): the
+    only writers are this module and the journal, both of which seal."""
+    stored = payload.get("checksum")
+    return isinstance(stored, str) and stored == payload_checksum(payload)
 
 
 def result_from_payload(
@@ -87,6 +135,10 @@ class DispatchOutcome:
     cached: bool = False
     coalesced: bool = False
     plan_hit: bool = False
+    cancelled: bool = False
+    expired: bool = False
+    fallback: bool = False
+    stats: SearchStats | None = None
 
 
 class Dispatcher:
@@ -98,15 +150,23 @@ class Dispatcher:
         result_cache: LRUBytesCache,
         plan_cache: LRUBytesCache,
         config_fp: str,
+        *,
+        faults: ServiceFaultInjector | None = None,
     ) -> None:
         self.config = config
         self.result_cache = result_cache
         self.plan_cache = plan_cache
         self.config_fp = config_fp
+        self.faults = faults
         self.matcher_invocations = 0
         self.batches_dispatched = 0
         self.requests_dispatched = 0
         self.requests_coalesced = 0
+        self.cancelled_at_dispatch = 0
+        self.expired_at_dispatch = 0
+        self.serial_fallbacks = 0
+        self.pool_failures = 0
+        self.corrupt_cache_drops = 0
 
     # ------------------------------------------------------------------
     def dispatch(
@@ -118,13 +178,22 @@ class Dispatcher:
         self.requests_dispatched += len(batch)
         outcomes = {id(req): DispatchOutcome(req) for req in batch}
 
+        if self.faults is not None:
+            stall = self.faults.stall_s()
+            if stall > 0.0:
+                time.sleep(stall)
+
+        # 0. Last-chance liveness check: a cancellation or deadline that
+        # landed after pop must not burn an engine pass.
+        live = self._drop_dead(batch, outcomes)
+
         # 1. Coalesce identical executions.
         groups: dict[tuple[str, bool, float | None], list[Request]] = {}
-        for req in batch:
+        for req in live:
             key = (req.query_fp, req.materialize, req.time_limit_ms)
             groups.setdefault(key, []).append(req)
 
-        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]] = []
+        to_run: list[_Group] = []
         for key, members in groups.items():
             if len(members) > 1:
                 self.requests_coalesced += len(members) - 1
@@ -135,8 +204,7 @@ class Dispatcher:
             # are too big to be worth caching).
             query_fp, materialize, time_limit = key
             if not materialize and time_limit is None:
-                cache_key = (handle.fingerprint, query_fp, self.config_fp)
-                payload = self.result_cache.get(cache_key)
+                payload = self._cache_probe(handle.fingerprint, query_fp)
                 if payload is not None:
                     result = result_from_payload(payload, self.config)
                     for req in members:
@@ -152,10 +220,57 @@ class Dispatcher:
         return [outcomes[id(req)] for req in batch]
 
     # ------------------------------------------------------------------
+    def _drop_dead(
+        self, batch: list[Request], outcomes: dict[int, DispatchOutcome]
+    ) -> list[Request]:
+        """Settle requests cancelled/expired between pop and dispatch;
+        the skip is attributed in ``SearchStats`` so metrics can show
+        how many engine passes the recheck saved."""
+        now = time.monotonic()
+        live: list[Request] = []
+        for req in batch:
+            if req.cancelled.is_set():
+                self.cancelled_at_dispatch += 1
+                out = outcomes[id(req)]
+                out.cancelled = True
+                out.error = "cancelled at dispatch"
+                out.stats = SearchStats(cancelled_at_dispatch=1)
+            elif req.deadline is not None and now >= req.deadline:
+                self.expired_at_dispatch += 1
+                out = outcomes[id(req)]
+                out.expired = True
+                out.error = (
+                    "deadline-expired: request reached dispatch past its "
+                    "deadline"
+                )
+                out.stats = SearchStats(cancelled_at_dispatch=1)
+            else:
+                live.append(req)
+        return live
+
+    def _cache_probe(
+        self, graph_fp: str, query_fp: str
+    ) -> dict[str, object] | None:
+        """A verified cache payload, or ``None``.  Corrupt entries (and
+        chaos-injected corrupt *reads*) fail verification, are dropped,
+        and count as misses."""
+        key = (graph_fp, query_fp, self.config_fp)
+        payload = self.result_cache.get(key)
+        if payload is None:
+            return None
+        if self.faults is not None and self.faults.should_corrupt():
+            payload = self.faults.corrupt_payload(payload)
+        if not verify_payload(payload):
+            self.corrupt_cache_drops += 1
+            self.result_cache.pop(key)
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
     def _execute(
         self,
         handle: GraphHandle,
-        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        to_run: list[_Group],
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
         try:
@@ -164,25 +279,63 @@ class Dispatcher:
             self._fail_all(to_run, outcomes, str(exc))
             return
         if isinstance(matcher, ParallelMatcher):
-            self._execute_parallel(handle, matcher, to_run, outcomes)
+            # Deadline-carrying groups run serially: the serial engine's
+            # cooperative wall_limit_s is the cancellation channel the
+            # chunk loop honours mid-search.
+            deadline_groups = [
+                g for g in to_run
+                if any(r.deadline is not None for r in g[1])
+            ]
+            pool_groups = [
+                g for g in to_run
+                if not any(r.deadline is not None for r in g[1])
+            ]
+            if deadline_groups:
+                self._execute_serial(
+                    handle, handle.fallback_matcher(), deadline_groups,
+                    outcomes,
+                )
+            if pool_groups:
+                self._execute_parallel(handle, matcher, pool_groups, outcomes)
         else:
             self._execute_serial(handle, matcher, to_run, outcomes)
+
+    def _group_wall_limit(self, members: list[Request]) -> float | None:
+        """Remaining seconds before the group's furthest deadline
+        (``None`` when any member is deadline-free)."""
+        deadlines = [req.deadline for req in members]
+        if any(d is None for d in deadlines):
+            return None
+        remaining = max(d for d in deadlines if d is not None) - time.monotonic()
+        return max(1e-3, remaining)
 
     def _execute_serial(
         self,
         handle: GraphHandle,
         matcher: CuTSMatcher,
-        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        to_run: list[_Group],
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
         for (query_fp, materialize, time_limit), members in to_run:
+            wall_limit = self._group_wall_limit(members)
             try:
+                if (
+                    self.faults is not None
+                    and self.faults.should_engine_fault()
+                ):
+                    raise InjectedEngineFault(
+                        "injected engine fault (chaos schedule)"
+                    )
                 self.matcher_invocations += 1
                 result = matcher.match(
                     members[0].query,
                     materialize=materialize,
                     time_limit_ms=time_limit,
+                    wall_limit_s=wall_limit,
                 )
+            except SearchTimeout as exc:
+                self._settle_timeout(members, outcomes, exc, wall_limit)
+                continue
             except Exception as exc:
                 self._settle_error(members, outcomes, str(exc))
                 continue
@@ -191,18 +344,51 @@ class Dispatcher:
                 members, result, outcomes,
             )
 
+    def _settle_timeout(
+        self,
+        members: list[Request],
+        outcomes: dict[int, DispatchOutcome],
+        exc: SearchTimeout,
+        wall_limit: float | None,
+    ) -> None:
+        """A SearchTimeout is a deadline expiry when the group was
+        running under one; otherwise it is the caller's own
+        ``time_limit_ms`` firing, i.e. an ordinary failure."""
+        if wall_limit is not None:
+            for req in members:
+                out = outcomes[id(req)]
+                out.expired = True
+                out.error = "deadline-expired during execution"
+            return
+        self._settle_error(members, outcomes, str(exc))
+
     def _execute_parallel(
         self,
         handle: GraphHandle,
         matcher: ParallelMatcher,
-        to_run: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        to_run: list[_Group],
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
+        if self.faults is not None and self.faults.should_kill_worker():
+            self._kill_one_worker(matcher)
+        # Chaos-injected engine faults hit individual groups here too —
+        # they must fail exactly those jobs, not the pool pass.
+        if self.faults is not None:
+            faulted = [
+                g for g in to_run if self.faults.should_engine_fault()
+            ]
+            if faulted:
+                doomed = {id(g[1]) for g in faulted}
+                self._fail_all(
+                    faulted, outcomes,
+                    "injected engine fault (chaos schedule)",
+                )
+                to_run = [g for g in to_run if id(g[1]) not in doomed]
+                if not to_run:
+                    return
         # One pool pass for every materialize flavour present (almost
         # always just the count-only one).
-        by_flavour: dict[
-            bool, list[tuple[tuple[str, bool, float | None], list[Request]]]
-        ] = {}
+        by_flavour: dict[bool, list[_Group]] = {}
         for item in to_run:
             by_flavour.setdefault(item[0][1], []).append(item)
         for materialize, items in by_flavour.items():
@@ -227,7 +413,12 @@ class Dispatcher:
                     num_parts=hints,
                 )
             except Exception as exc:
-                self._fail_all(items, outcomes, str(exc))
+                # The pool pass itself died (workers killed past the
+                # lease machinery's patience, executor poisoned, ...).
+                # Retry once, serially: degraded throughput, same
+                # answers.
+                self.pool_failures += 1
+                self._retry_serial(handle, items, outcomes, str(exc))
                 continue
             for (key, members), result, hint, plan_hit in zip(
                 items, results, hints, plan_hits
@@ -248,6 +439,57 @@ class Dispatcher:
                     handle, key[0], key[1], key[2],
                     members, result, outcomes,
                 )
+
+    def _kill_one_worker(self, matcher: ParallelMatcher) -> None:
+        """SIGKILL one live pool worker (chaos injection).  Recovery is
+        the engine's own job: heartbeat loss → re-lease, broken pool →
+        rebuild; counts must come out exact regardless."""
+        assert self.faults is not None
+        try:
+            pids = matcher.worker_pids()
+        except Exception:
+            return
+        if not pids:
+            return
+        self.faults.note_kill()
+        os.kill(pids[0], signal.SIGKILL)
+
+    def _retry_serial(
+        self,
+        handle: GraphHandle,
+        items: list[_Group],
+        outcomes: dict[int, DispatchOutcome],
+        cause: str,
+    ) -> None:
+        """One serial retry for a failed pool pass, isolating failures
+        per group from here on."""
+        try:
+            matcher = handle.fallback_matcher()
+        except Exception as exc:
+            self._fail_all(
+                items, outcomes, f"{cause}; serial fallback unavailable: {exc}"
+            )
+            return
+        self.serial_fallbacks += 1
+        for (query_fp, materialize, time_limit), members in items:
+            try:
+                self.matcher_invocations += 1
+                result = matcher.match(
+                    members[0].query,
+                    materialize=materialize,
+                    time_limit_ms=time_limit,
+                )
+            except Exception as exc:
+                self._settle_error(
+                    members, outcomes, f"{cause}; serial retry failed: {exc}"
+                )
+                continue
+            for req in members:
+                outcomes[id(req)].fallback = True
+            self._settle(
+                handle, query_fp, materialize, time_limit,
+                members, result, outcomes,
+            )
 
     # ------------------------------------------------------------------
     def _settle(
@@ -281,7 +523,7 @@ class Dispatcher:
 
     def _fail_all(
         self,
-        items: list[tuple[tuple[str, bool, float | None], list[Request]]],
+        items: list[_Group],
         outcomes: dict[int, DispatchOutcome],
         message: str,
     ) -> None:
@@ -295,4 +537,9 @@ class Dispatcher:
             "batches_dispatched": self.batches_dispatched,
             "requests_dispatched": self.requests_dispatched,
             "requests_coalesced": self.requests_coalesced,
+            "cancelled_at_dispatch": self.cancelled_at_dispatch,
+            "expired_at_dispatch": self.expired_at_dispatch,
+            "serial_fallbacks": self.serial_fallbacks,
+            "pool_failures": self.pool_failures,
+            "corrupt_cache_drops": self.corrupt_cache_drops,
         }

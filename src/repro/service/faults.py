@@ -1,0 +1,230 @@
+"""Deterministic fault injection at the service boundary.
+
+The distributed runtime has an adversary (:mod:`repro.distributed.faults`)
+that drops, duplicates, and delays messages; the serving stack gets the
+same treatment here.  A seeded :class:`ServiceFaultPlan` describes *what*
+can go wrong on the request path and a :class:`ServiceFaultInjector` is
+the runtime oracle the dispatcher and service loop consult to decide
+*when* it goes wrong.
+
+Fault taxonomy (all consulted in dispatch-loop order, so a given
+``(plan, workload)`` pair replays identically):
+
+* **engine fault** — the matcher raises mid-query
+  (:class:`InjectedEngineFault`); exercises per-job failure isolation:
+  one poisoned query must not fail its batch.
+* **dispatch stall** — the dispatcher sleeps before executing a batch,
+  modelling a straggler engine; exercises queue-wait deadlines.
+* **worker kill** — one pool worker process is SIGKILLed right before a
+  batched pool pass; exercises
+  :class:`~repro.parallel.ParallelMatcher`'s pool-rebuild + re-lease
+  recovery and the dispatcher's serial fallback.
+* **cache corruption on read** — a result-cache payload is returned
+  with its count flipped (the *stored* entry is left intact, like a bad
+  sector read); exercises the checksum verification that turns silent
+  wrong answers into cache misses.
+* **simulated OOM** — the memory governor's pressure is forced to a
+  high value for a window of dispatch ticks; exercises admission
+  rejections and degraded read-only mode.
+
+Enable via ``MatchingService(..., faults=...)``, the ``--faults`` flag
+of ``python -m repro.serve``, or the ``REPRO_SERVICE_FAULTS``
+environment variable — all three take the same ``key=value[,...]``
+spec, e.g. ``seed=7,engine_fault_prob=0.1,worker_kill_prob=0.05``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "InjectedEngineFault",
+    "ServiceFaultInjector",
+    "ServiceFaultPlan",
+    "FAULTS_ENV_VAR",
+]
+
+FAULTS_ENV_VAR = "REPRO_SERVICE_FAULTS"
+"""Environment variable holding a default fault spec for the server."""
+
+
+class InjectedEngineFault(RuntimeError):
+    """A deterministic, injected engine failure (not a real bug)."""
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A seeded, declarative description of service-path faults.
+
+    Probabilities apply independently per opportunity: per executed
+    query group for engine faults, per dispatched batch for stalls and
+    worker kills, per cache read for corruption, per dispatch tick for
+    OOM onset.  ``oom_hold_ticks`` is how many ticks a simulated OOM
+    episode lasts once it starts.
+    """
+
+    seed: int = 0
+    engine_fault_prob: float = 0.0
+    stall_prob: float = 0.0
+    stall_ms: float = 20.0
+    worker_kill_prob: float = 0.0
+    cache_corrupt_prob: float = 0.0
+    oom_prob: float = 0.0
+    oom_pressure: float = 1.0
+    oom_hold_ticks: int = 5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "engine_fault_prob",
+            "stall_prob",
+            "worker_kill_prob",
+            "cache_corrupt_prob",
+            "oom_prob",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if self.stall_ms < 0:
+            raise ValueError("stall_ms must be non-negative")
+        if self.oom_pressure <= 0:
+            raise ValueError("oom_pressure must be positive")
+        if self.oom_hold_ticks < 1:
+            raise ValueError("oom_hold_ticks must be >= 1")
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this plan injects nothing at all."""
+        return (
+            self.engine_fault_prob == 0.0
+            and self.stall_prob == 0.0
+            and self.worker_kill_prob == 0.0
+            and self.cache_corrupt_prob == 0.0
+            and self.oom_prob == 0.0
+        )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ServiceFaultPlan":
+        """Parse a ``key=value[,key=value...]`` spec (field names of
+        this dataclass; ints and floats inferred)."""
+        kwargs: dict[str, object] = {}
+        known = {f.name: f.type for f in fields(cls)}
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            if "=" not in chunk:
+                raise ValueError(
+                    f"bad fault spec item {chunk!r}: expected key=value"
+                )
+            key, raw = chunk.split("=", 1)
+            key = key.strip()
+            if key not in known:
+                raise ValueError(
+                    f"unknown fault spec key {key!r}: one of {sorted(known)}"
+                )
+            if key in ("seed", "oom_hold_ticks"):
+                kwargs[key] = int(raw)
+            else:
+                kwargs[key] = float(raw)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_env(cls) -> "ServiceFaultPlan | None":
+        """The plan named by :data:`FAULTS_ENV_VAR`, or ``None``."""
+        spec = os.environ.get(FAULTS_ENV_VAR, "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+
+class ServiceFaultInjector:
+    """Runtime oracle for a :class:`ServiceFaultPlan`.
+
+    All decisions come from one ``random.Random(seed)`` consumed in
+    dispatch-loop order; every injected event is counted so the chaos
+    harness can assert the schedule actually fired.
+    """
+
+    def __init__(self, plan: ServiceFaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.engine_faults = 0
+        self.stalls = 0
+        self.worker_kills = 0
+        self.cache_corruptions = 0
+        self.oom_episodes = 0
+        self._oom_ticks_left = 0
+
+    # -- dispatch-path faults -------------------------------------------
+    def should_engine_fault(self) -> bool:
+        """Consulted once per executed query group."""
+        p = self.plan.engine_fault_prob
+        if p and self._rng.random() < p:
+            self.engine_faults += 1
+            return True
+        return False
+
+    def stall_s(self) -> float:
+        """Seconds the dispatcher should stall before this batch
+        (``0.0`` = no stall).  Consulted once per batch."""
+        p = self.plan.stall_prob
+        if p and self._rng.random() < p:
+            self.stalls += 1
+            return self.plan.stall_ms / 1000.0
+        return 0.0
+
+    def should_kill_worker(self) -> bool:
+        """Whether to SIGKILL one pool worker before this batch's pool
+        pass.  Consulted once per parallel batch; the caller performs
+        the kill (it owns the pids) and must call :meth:`note_kill`."""
+        p = self.plan.worker_kill_prob
+        return bool(p) and self._rng.random() < p
+
+    def note_kill(self) -> None:
+        self.worker_kills += 1
+
+    # -- cache faults ----------------------------------------------------
+    def should_corrupt(self) -> bool:
+        """Consulted once per result-cache hit."""
+        p = self.plan.cache_corrupt_prob
+        if p and self._rng.random() < p:
+            self.cache_corruptions += 1
+            return True
+        return False
+
+    def corrupt_payload(self, payload: dict[str, object]) -> dict[str, object]:
+        """A *copy* of ``payload`` with its count flipped — the stored
+        cache entry is untouched, modelling corruption on the read
+        path.  The checksum is deliberately left stale so verification
+        can catch the tear."""
+        bad = dict(payload)
+        bad["count"] = int(payload.get("count", 0)) + 1  # type: ignore[call-overload]
+        return bad
+
+    # -- memory faults ---------------------------------------------------
+    def tick_oom(self) -> float | None:
+        """Forced governor pressure for this dispatch tick (``None`` =
+        no episode active).  Consulted once per tick; an episode lasts
+        ``oom_hold_ticks`` ticks once it starts."""
+        if self._oom_ticks_left > 0:
+            self._oom_ticks_left -= 1
+            return self.plan.oom_pressure
+        p = self.plan.oom_prob
+        if p and self._rng.random() < p:
+            self.oom_episodes += 1
+            self._oom_ticks_left = self.plan.oom_hold_ticks - 1
+            return self.plan.oom_pressure
+        return None
+
+    # -- introspection ---------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Counter snapshot for ``/metrics``."""
+        return {
+            "engine_faults": self.engine_faults,
+            "stalls": self.stalls,
+            "worker_kills": self.worker_kills,
+            "cache_corruptions": self.cache_corruptions,
+            "oom_episodes": self.oom_episodes,
+        }

@@ -9,17 +9,28 @@ rules apply identically to HTTP and embedded callers.
 
 Endpoints
 ---------
-``GET  /healthz``       liveness + queue depth
+``GET  /healthz``       liveness + queue depth (+ degraded flag)
 ``GET  /metrics``       every counter (scheduler, dispatcher, caches,
-                        governor) as one JSON object
+                        governor, faults, state dir) as one JSON object
 ``GET  /graphs``        registered graphs
 ``POST /graphs``        register a graph: ``{"graph": <spec>, "name"?}``
 ``POST /match``         ``{"graph": <fp|name|spec>, "query": <spec>,
                         "wait"?: true, "priority"?, "deadline_ms"?,
-                        "materialize"?, "time_limit_ms"?}`` —
+                        "materialize"?, "time_limit_ms"?,
+                        "idempotency_key"?}`` —
                         202 + job id when ``wait`` is false,
-                        429 + reason when admission rejects
+                        429 + reason when admission rejects,
+                        503 + ``Retry-After`` in degraded mode
 ``GET  /jobs/<id>``     job state / result
+
+Resilience guardrails (config-driven): each connection carries a socket
+timeout of ``service_request_timeout_s`` so a stalled peer cannot pin a
+handler thread forever (a mid-body stall gets 408 and the connection is
+closed), and request bodies above ``service_max_body_bytes`` are
+refused with 413 *before* any bytes are read.  ``deadline_ms`` may also
+arrive as an ``X-Deadline-Ms`` header — proxies can attach deadlines
+without rewriting bodies — and propagates through the scheduler into
+the engine's cooperative wall-clock limit.
 
 Graph specs are JSON: a pattern shorthand string (``"K5"``, ``"C6"``,
 ``"P4"``, ``"S5"`` — same grammar as the CLI), an explicit edge list
@@ -49,10 +60,18 @@ from ..graph.generators import (
     social_graph,
     star_graph,
 )
+from .faults import ServiceFaultPlan
 from .scheduler import AdmissionError
 from .service import MatchingService
 
-__all__ = ["BadRequest", "ServiceHTTPServer", "main", "parse_graph_spec", "serve"]
+__all__ = [
+    "BadRequest",
+    "PayloadTooLarge",
+    "ServiceHTTPServer",
+    "main",
+    "parse_graph_spec",
+    "serve",
+]
 
 _GENERATORS = {
     "mesh": mesh_graph,
@@ -74,6 +93,10 @@ _PATTERNS = {
 
 class BadRequest(ValueError):
     """A request body that cannot be turned into work."""
+
+
+class PayloadTooLarge(ValueError):
+    """A declared request body above ``service_max_body_bytes``."""
 
 
 def _pattern_graph(spec: str) -> CSRGraph:
@@ -143,20 +166,40 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> MatchingService:
         return self.server.service
 
+    def setup(self) -> None:
+        # A stalled peer must not pin this handler thread: the
+        # per-connection socket timeout turns a dead read into a
+        # TimeoutError the request loop can answer (408) and close.
+        self.timeout = self.server.request_timeout_s
+        super().setup()
+
     def log_message(self, format: str, *args: Any) -> None:
         if self.server.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length", "0"))
+        cap = self.server.max_body_bytes
+        if length > cap:
+            raise PayloadTooLarge(
+                f"request body declares {length} bytes; "
+                f"service_max_body_bytes is {cap}"
+            )
         raw = self.rfile.read(length) if length else b"{}"
         try:
             payload = json.loads(raw.decode("utf-8") or "{}")
@@ -191,13 +234,30 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_match(body)
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}"})
+        except PayloadTooLarge as exc:
+            self._send_json(413, {"error": str(exc)})
         except BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except AdmissionError as exc:
+            # Degraded read-only mode is a service condition (503, try
+            # again once pressure clears); the admission limits are a
+            # client pacing problem (429).  Both carry Retry-After so
+            # the self-healing client can back off precisely.
+            status = 503 if exc.reason == "degraded" else 429
             self._send_json(
-                429, {"error": "rejected", "reason": exc.reason,
-                      "detail": str(exc)}
+                status,
+                {"error": "rejected", "reason": exc.reason,
+                 "detail": str(exc)},
+                headers={"Retry-After": "1"},
             )
+        except TimeoutError:
+            # The peer stalled mid-body past service_request_timeout_s.
+            try:
+                self._send_json(
+                    408, {"error": "timed out reading request body"}
+                )
+            finally:
+                self.close_connection = True
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json(500, {"error": str(exc)})
 
@@ -237,7 +297,17 @@ class _Handler(BaseHTTPRequestHandler):
         graph_fp = self._resolve_graph_arg(body["graph"])
         query = parse_graph_spec(body["query"])
         deadline_ms = body.get("deadline_ms")
+        if deadline_ms is None:
+            header = self.headers.get("X-Deadline-Ms")
+            if header is not None:
+                try:
+                    deadline_ms = float(header)
+                except ValueError:
+                    raise BadRequest(
+                        f"X-Deadline-Ms header is not a number: {header!r}"
+                    )
         time_limit_ms = body.get("time_limit_ms")
+        idempotency_key = body.get("idempotency_key")
         job_id = self.service.submit(
             graph_fp,
             query,
@@ -246,6 +316,9 @@ class _Handler(BaseHTTPRequestHandler):
             materialize=bool(body.get("materialize", False)),
             time_limit_ms=(
                 float(time_limit_ms) if time_limit_ms is not None else None
+            ),
+            idempotency_key=(
+                str(idempotency_key) if idempotency_key is not None else None
             ),
         )
         if not body.get("wait", True):
@@ -274,6 +347,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         super().__init__(address, _Handler)
         self.service = service
         self.verbose = verbose
+        self.request_timeout_s = service.config.service_request_timeout_s
+        self.max_body_bytes = service.config.service_max_body_bytes
 
 
 def serve(
@@ -324,6 +399,26 @@ def main(argv: list[str] | None = None) -> int:
         help="register a graph at boot (pattern like K5, or "
         "generator:mesh:8,8); repeatable",
     )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable journal + graph manifest; restarts recover "
+        "graphs, pending jobs, and terminal results from it",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault plan, key=value[,key=value...] "
+        "(keys: seed, engine_fault_prob, stall_prob, stall_ms, "
+        "worker_kill_prob, cache_corrupt_prob, oom_prob, oom_pressure, "
+        "oom_hold_ticks); default: $REPRO_SERVICE_FAULTS",
+    )
+    parser.add_argument(
+        "--request-timeout-s", type=float, default=None, metavar="S",
+        help="per-connection socket timeout",
+    )
+    parser.add_argument(
+        "--max-body-bytes", type=int, default=None, metavar="B",
+        help="reject request bodies above B bytes with 413",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
@@ -336,9 +431,23 @@ def main(argv: list[str] | None = None) -> int:
         overrides["service_max_query_vertices"] = args.max_query_vertices
     if args.memory_budget_mb is not None:
         overrides["memory_budget_mb"] = args.memory_budget_mb
+    if args.request_timeout_s is not None:
+        overrides["service_request_timeout_s"] = args.request_timeout_s
+    if args.max_body_bytes is not None:
+        overrides["service_max_body_bytes"] = args.max_body_bytes
     config = CuTSConfig(**overrides)
 
-    service = MatchingService(config, workers=args.workers)
+    plan = (
+        ServiceFaultPlan.from_spec(args.faults)
+        if args.faults is not None
+        else ServiceFaultPlan.from_env()
+    )
+    service = MatchingService(
+        config,
+        workers=args.workers,
+        state_dir=args.state_dir,
+        faults=None if plan is None or plan.is_null else plan,
+    )
     for spec in args.preload:
         if spec.startswith("generator:"):
             _, kind, raw = spec.split(":", 2)
@@ -356,7 +465,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
-        pass
+        print("interrupted; shutting down", flush=True)
     finally:
         server.server_close()
         service.close()

@@ -91,6 +91,19 @@ class GraphHandle:
                 self._serial = CuTSMatcher(self.graph, self.config)
             return self._serial
 
+    def fallback_matcher(self) -> CuTSMatcher:
+        """A persistent in-process serial engine for this graph,
+        independent of the worker pool.  The dispatcher retries a
+        failed pool pass on it: a broken pool (or a chaos-injected
+        pool fault) degrades one batch to serial execution instead of
+        failing every job in it."""
+        with self._lock:
+            if self._closed:
+                raise ValueError(f"graph handle {self.name!r} is closed")
+            if self._serial is None:
+                self._serial = CuTSMatcher(self.graph, self.config)
+            return self._serial
+
     def close(self) -> None:
         with self._lock:
             self._closed = True
@@ -210,6 +223,15 @@ class GraphRegistry:
     def handles(self) -> list[GraphHandle]:
         with self._lock:
             return list(self._by_fp.values())
+
+    def names(self) -> dict[str, str]:
+        """Snapshot of the name -> fingerprint map (aliases included);
+        what the service persists to the state dir."""
+        with self._lock:
+            return {
+                name: handle.fingerprint
+                for name, handle in self._by_name.items()
+            }
 
     @property
     def resident_bytes(self) -> int:

@@ -86,6 +86,8 @@ class Scheduler:
         self.rejected: dict[str, int] = {}
         self.expired = 0
         self.cancelled = 0
+        self.cancelled_at_dispatch = 0
+        self.expired_at_dispatch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -137,10 +139,27 @@ class Scheduler:
             self.admitted += 1
             self._cond.notify()
 
+    def reject(self, reason: str, message: str) -> AdmissionError:
+        """Mint (and count) an admission rejection on the service's
+        behalf — used for rejections decided outside the queue itself,
+        e.g. degraded read-only mode."""
+        with self._cond:
+            return self._reject(reason, message)
+
     def cancel_count(self, n: int = 1) -> None:
         """Record ``n`` cancellations observed at pop time."""
         with self._cond:
             self.cancelled += n
+
+    def note_dispatch_skips(self, *, cancelled: int = 0, expired: int = 0) -> None:
+        """Record requests the dispatcher skipped at dispatch time — a
+        cancellation or deadline that landed after pop but before the
+        engine pass (the last chance to avoid burning a matcher run)."""
+        with self._cond:
+            self.cancelled += cancelled
+            self.expired += expired
+            self.cancelled_at_dispatch += cancelled
+            self.expired_at_dispatch += expired
 
     def pop_batch(
         self, max_batch: int, timeout: float
@@ -202,4 +221,6 @@ class Scheduler:
                 "rejected": dict(self.rejected),
                 "expired": self.expired,
                 "cancelled": self.cancelled,
+                "cancelled_at_dispatch": self.cancelled_at_dispatch,
+                "expired_at_dispatch": self.expired_at_dispatch,
             }

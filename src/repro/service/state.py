@@ -1,0 +1,251 @@
+"""Crash-recoverable service state: graph manifest + durable job journal.
+
+``repro serve --state-dir DIR`` makes the matching service survive a
+``kill -9``: every registered graph and every job transition is
+persisted under ``DIR`` in :mod:`repro.checkpoint` format — each byte
+lands via tmp + ``fsync`` + ``os.replace``
+(:func:`~repro.checkpoint.atomic.atomic_write_bytes`), so a crash at
+any instant leaves either the old record or the new one, never a torn
+file.  On restart the service:
+
+* verifies the stored **config fingerprint** (same
+  :func:`~repro.fingerprint.config_fingerprint` the checkpoint store
+  stamps manifests with — a state dir written under a config that could
+  enumerate differently is refused, not silently reused);
+* re-registers every persisted graph (content-addressed as
+  ``graphs/<fingerprint>.npz``) and re-applies the name map;
+* re-enqueues journaled **pending** jobs under their original ids;
+* marks jobs that were **running** at the crash ``retryable`` — the
+  engine pass died with the process, and because results are only
+  journaled *after* completion, a retry can never double-count;
+* restores terminal jobs (count-mode results are journaled as the same
+  payload the result cache stores) and the idempotency-key map, so a
+  client retrying a completed job gets the journaled answer instead of
+  a second execution.
+
+Layout::
+
+    DIR/
+      service.json        format version + config fingerprint
+      graphs.json         name -> fingerprint map
+      graphs/<fp>.npz     CSR arrays (content-addressed)
+      jobs/<job-id>.json  one journal record per job
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+
+import numpy as np
+
+from ..checkpoint.atomic import atomic_write_bytes, atomic_write_json, fsync_dir
+from ..fingerprint import check_fingerprints
+from ..graph.build import from_edges
+from ..graph.csr import CSRGraph, INDEX_DTYPE
+
+__all__ = ["ServiceState", "graph_from_record", "graph_record"]
+
+FORMAT_VERSION = 1
+
+
+def graph_record(graph: CSRGraph) -> dict[str, object]:
+    """JSON-safe description of a (small) graph for the job journal.
+
+    Queries are tiny — a handful of vertices — so an explicit edge list
+    is the right durability format: human-readable in the journal and
+    rebuildable without touching the content-addressed graph store.
+    """
+    record: dict[str, object] = {
+        "edges": [[int(u), int(v)] for u, v in graph.edge_list()],
+        "num_vertices": int(graph.num_vertices),
+        "name": graph.name,
+    }
+    if graph.labels is not None:
+        record["labels"] = [int(x) for x in graph.labels]
+    return record
+
+
+def graph_from_record(record: dict[str, object]) -> CSRGraph:
+    """Inverse of :func:`graph_record`."""
+    edges = np.asarray(record["edges"], dtype=INDEX_DTYPE).reshape(-1, 2)
+    graph = from_edges(
+        edges,
+        num_vertices=int(record["num_vertices"]),  # type: ignore[arg-type]
+        name=str(record.get("name", "graph")),
+    )
+    labels = record.get("labels")
+    if labels is not None:
+        graph = graph.with_labels(labels)
+    return graph
+
+
+class ServiceState:
+    """Durable face of one :class:`~repro.service.MatchingService`.
+
+    Not thread-safe by itself; the service serialises writes through
+    its own locks (one writer: the submit path and the dispatch loop
+    never write the same job record concurrently — a job is journaled
+    pending before the scheduler can hand it to the loop).
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        self.graphs_dir = os.path.join(self.directory, "graphs")
+        self.jobs_dir = os.path.join(self.directory, "jobs")
+        os.makedirs(self.graphs_dir, exist_ok=True)
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        self.jobs_journaled = 0
+        self.graphs_saved = 0
+        # Serialises journal writes: without it the submit thread's
+        # "pending" record could land *after* the dispatch thread's
+        # "done" record for the same job and roll the journal back.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def check_manifest(self, config_fp: str) -> None:
+        """Stamp a fresh state dir, or verify an existing one.
+
+        Raises :class:`~repro.fingerprint.CheckpointMismatchError` when
+        the directory was written under a config whose count-relevant
+        fields differ — resuming against it could serve stale answers.
+        """
+        path = os.path.join(self.directory, "service.json")
+        current = {
+            "format": str(FORMAT_VERSION),
+            "config": config_fp,
+        }
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as fh:
+                stored = json.load(fh)
+            check_fingerprints(
+                {k: str(v) for k, v in stored.items()}, current
+            )
+            return
+        atomic_write_json(path, current)
+
+    # ------------------------------------------------------------------
+    # Graphs
+    # ------------------------------------------------------------------
+    def _graph_path(self, fingerprint: str) -> str:
+        return os.path.join(self.graphs_dir, f"{fingerprint}.npz")
+
+    def save_graph(self, graph: CSRGraph, fingerprint: str) -> None:
+        """Persist ``graph`` content-addressed (idempotent: an existing
+        file for the same fingerprint is already the same bytes)."""
+        path = self._graph_path(fingerprint)
+        if os.path.exists(path):
+            return
+        arrays = {
+            "num_vertices": np.asarray([graph.num_vertices], dtype=INDEX_DTYPE),
+            "indptr": graph.indptr,
+            "indices": graph.indices,
+            "rindptr": graph.rindptr,
+            "rindices": graph.rindices,
+            "name": np.asarray(graph.name),
+        }
+        if graph.labels is not None:
+            arrays["labels"] = graph.labels
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        atomic_write_bytes(path, buffer.getvalue())
+        self.graphs_saved += 1
+
+    def forget_graph(self, fingerprint: str) -> None:
+        try:
+            os.unlink(self._graph_path(fingerprint))
+        except FileNotFoundError:
+            return
+
+    def save_names(self, names: dict[str, str]) -> None:
+        """Persist the full name -> fingerprint map (small; rewritten
+        whole on every registry change)."""
+        atomic_write_json(
+            os.path.join(self.directory, "graphs.json"), {"names": names}
+        )
+
+    def load_names(self) -> dict[str, str]:
+        path = os.path.join(self.directory, "graphs.json")
+        if not os.path.exists(path):
+            return {}
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return {str(k): str(v) for k, v in payload.get("names", {}).items()}
+
+    def load_graphs(self) -> dict[str, CSRGraph]:
+        """Every persisted graph, keyed by stored fingerprint."""
+        graphs: dict[str, CSRGraph] = {}
+        for entry in sorted(os.listdir(self.graphs_dir)):
+            if not entry.endswith(".npz"):
+                continue
+            fp = entry[: -len(".npz")]
+            with np.load(
+                os.path.join(self.graphs_dir, entry), allow_pickle=False
+            ) as npz:
+                labels = npz["labels"] if "labels" in npz.files else None
+                graphs[fp] = CSRGraph(
+                    num_vertices=int(npz["num_vertices"][0]),
+                    indptr=npz["indptr"],
+                    indices=npz["indices"],
+                    rindptr=npz["rindptr"],
+                    rindices=npz["rindices"],
+                    name=str(npz["name"]),
+                    labels=labels,
+                )
+        return graphs
+
+    # ------------------------------------------------------------------
+    # Job journal
+    # ------------------------------------------------------------------
+    def record_job(self, record: dict[str, object]) -> None:
+        """Journal one job state (atomic whole-record replace)."""
+        self.record_jobs([record])
+
+    def record_jobs(self, records: list[dict[str, object]]) -> None:
+        """Group-commit a batch of job records: every file is written
+        tmp + fsync + replace, but the directory entry is fsynced once
+        for the whole batch instead of once per record."""
+        if not records:
+            return
+        with self._lock:
+            for record in records:
+                job_id = str(record["job_id"])
+                atomic_write_json(
+                    os.path.join(self.jobs_dir, f"{job_id}.json"),
+                    dict(record),
+                    sync_dir=False,
+                )
+                self.jobs_journaled += 1
+            fsync_dir(self.jobs_dir)
+
+    def forget_job(self, job_id: str) -> None:
+        """Drop a journal record (admission refused after journaling)."""
+        with self._lock:
+            try:
+                os.unlink(os.path.join(self.jobs_dir, f"{job_id}.json"))
+            except FileNotFoundError:
+                return
+
+    def load_jobs(self) -> list[dict[str, object]]:
+        """Every journaled job record, in job-id order."""
+        records: list[dict[str, object]] = []
+        for entry in sorted(os.listdir(self.jobs_dir)):
+            if not entry.endswith(".json"):
+                continue
+            with open(
+                os.path.join(self.jobs_dir, entry), encoding="utf-8"
+            ) as fh:
+                records.append(json.load(fh))
+        return records
+
+    def snapshot(self) -> dict[str, object]:
+        """Counter snapshot for ``/metrics``."""
+        return {
+            "directory": self.directory,
+            "jobs_journaled": self.jobs_journaled,
+            "graphs_saved": self.graphs_saved,
+        }

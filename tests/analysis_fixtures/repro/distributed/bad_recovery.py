@@ -1,0 +1,9 @@
+"""RP008 fixture: a swallowed send failure in the distributed runtime."""
+
+
+def ship_with_silent_retry(channel, work):
+    try:
+        channel.send(work)
+    except ConnectionError:                       # line 7: swallowed failure
+        pass
+    return work

@@ -1,0 +1,48 @@
+"""RP008 fixture: swallowed exceptions on the resilience path."""
+
+
+def swallowed_handlers(jobs):
+    try:
+        jobs.dispatch()
+    except RuntimeError:                          # line 7: silent pass body
+        pass
+    try:
+        jobs.flush()
+    except (OSError, ValueError):                 # line 11: constant-only body
+        ...
+    for job in jobs:
+        try:
+            job.run()
+        except Exception:                         # line 16: continue drops it
+            continue
+    try:
+        jobs.close()
+    except:                                       # line 20: bare swallow
+        pass
+
+
+def handled_errors_are_fine(jobs, log):
+    try:
+        jobs.dispatch()
+    except RuntimeError as exc:
+        log.warning("dispatch failed: %s", exc)  # fine: reacts to the error
+    try:
+        payload = jobs.load()
+    except ValueError:
+        payload = None  # fine: fallback assignment
+    try:
+        jobs.flush()
+    except OSError:
+        raise  # fine: re-raises
+    try:
+        jobs.probe()
+    except KeyError:
+        return None  # fine: returns a default
+    return payload
+
+
+def suppressed_legacy_swallow(jobs):
+    try:
+        jobs.drain()
+    except Exception:  # historical shutdown drain. # repro: ignore[RP008]
+        pass

@@ -64,10 +64,15 @@ EXPECTED = {
     ("RP007", "repro/service/bad_service.py", 21),
     ("RP007", "repro/service/bad_service.py", 22),
     ("RP007", "repro/service/bad_service.py", 23),
+    ("RP008", "repro/service/bad_handlers.py", 7),
+    ("RP008", "repro/service/bad_handlers.py", 11),
+    ("RP008", "repro/service/bad_handlers.py", 16),
+    ("RP008", "repro/service/bad_handlers.py", 20),
+    ("RP008", "repro/distributed/bad_recovery.py", 7),
 }
 
 # One suppressed violation is seeded per per-module rule.
-EXPECTED_SUPPRESSED = 5
+EXPECTED_SUPPRESSED = 6
 
 
 @pytest.fixture(scope="module")
@@ -89,7 +94,8 @@ def test_fixture_tree_fires_exactly_the_seeded_violations(fixture_report):
 
 
 @pytest.mark.parametrize(
-    "rule", ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007"]
+    "rule",
+    ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007", "RP008"],
 )
 def test_each_rule_fires_only_at_its_seeded_lines(fixture_report, rule):
     got = {t for t in _triples(fixture_report.active) if t[0] == rule}
@@ -139,6 +145,10 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/service/bad_service.py", 31),  # condition wait under lock
         ("repro/service/bad_service.py", 32),  # sleep outside any lock
         ("repro/service/bad_service.py", 33),  # non-queue receiver
+        ("repro/service/bad_handlers.py", 27),  # handler reacts (call)
+        ("repro/service/bad_handlers.py", 31),  # fallback assignment
+        ("repro/service/bad_handlers.py", 35),  # re-raise
+        ("repro/service/bad_handlers.py", 39),  # returns a default
     }
     assert not flagged & fine
 
@@ -156,6 +166,7 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP003", "repro/core/bad_dtype.py", 21),
         ("RP006", "repro/checkpoint/bad_io.py", 28),
         ("RP007", "repro/service/bad_service.py", 39),
+        ("RP008", "repro/service/bad_handlers.py", 46),
     }
     assert not _triples(fixture_report.active) & suppressed_sites
 
@@ -336,7 +347,8 @@ def test_cli_list_rules(capsys):
     assert analysis_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in (
-        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007"
+        "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
+        "RP008",
     ):
         assert rule in out
 

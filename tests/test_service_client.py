@@ -1,0 +1,429 @@
+"""Tests for the self-healing service client (repro.service.client).
+
+Unit half: RetryPolicy retry decisions and backoff math, CircuitBreaker
+state machine under a fake clock.  Integration half: a scripted
+in-process HTTP server plays failure tapes — connection refused,
+mid-body disconnect, malformed JSON, 429s with and without Retry-After
+— and the tests assert the client heals (or correctly refuses to) and
+reuses one idempotency key across every wire-level retry.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.service.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base_s=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+@pytest.mark.parametrize(
+    ("status", "reason", "expected"),
+    [
+        (0, None, True),  # transport failure: ambiguous, retry
+        (503, None, True),
+        (502, None, True),
+        (504, None, True),
+        (429, "queue-full", True),
+        (429, "memory-budget", True),
+        (429, "degraded", True),
+        (429, "oversized-query", False),  # caller bug: would loop forever
+        (400, None, False),
+        (404, None, False),
+        (500, None, False),  # a plain 500 is a server bug, not load
+        (0, "circuit-open", False),  # the breaker already decided
+    ],
+)
+def test_should_retry(status, reason, expected):
+    policy = RetryPolicy()
+    err = ServiceError(status, "boom", reason=reason)
+    assert policy.should_retry(err) is expected
+
+
+def test_backoff_grows_and_caps():
+    client = ServiceClient(
+        "http://127.0.0.1:1",
+        retry=RetryPolicy(
+            backoff_base_s=0.1, backoff_cap_s=0.5, jitter=0.0
+        ),
+    )
+    assert client._backoff_s(0, None) == pytest.approx(0.1)
+    assert client._backoff_s(1, None) == pytest.approx(0.2)
+    assert client._backoff_s(2, None) == pytest.approx(0.4)
+    assert client._backoff_s(3, None) == pytest.approx(0.5)  # capped
+    assert client._backoff_s(10, None) == pytest.approx(0.5)
+
+
+def test_backoff_honours_retry_after_capped():
+    client = ServiceClient(
+        "http://127.0.0.1:1",
+        retry=RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.5, jitter=0.5),
+    )
+    # Retry-After overrides the schedule (jitter does not apply to it).
+    assert client._backoff_s(0, 0.25) == pytest.approx(0.25)
+    assert client._backoff_s(0, 99.0) == pytest.approx(0.5)  # capped
+    assert client._backoff_s(0, -3.0) == pytest.approx(0.0)
+
+
+def test_backoff_jitter_is_deterministic_per_seed():
+    def series(seed):
+        c = ServiceClient(
+            "http://127.0.0.1:1", retry=RetryPolicy(seed=seed)
+        )
+        return [c._backoff_s(i, None) for i in range(5)]
+
+    assert series(7) == series(7)
+    assert series(7) != series(8)
+
+
+# ---------------------------------------------------------------------------
+# CircuitBreaker (fake clock)
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def tripped_breaker(clock, *, threshold=3):
+    breaker = CircuitBreaker(
+        window=8, failure_threshold=threshold, cooldown_s=5.0, clock=clock
+    )
+    for _ in range(threshold):
+        breaker.before_request()
+        breaker.record_failure()
+    return breaker
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(window=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(window=4, failure_threshold=5)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1)
+
+
+def test_breaker_opens_at_threshold_and_fails_fast():
+    clock = FakeClock()
+    breaker = tripped_breaker(clock)
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.opens == 1
+    with pytest.raises(ServiceError) as exc_info:
+        breaker.before_request()
+    assert exc_info.value.reason == "circuit-open"
+    assert exc_info.value.status == 0
+    assert breaker.fast_fails == 1
+
+
+def test_breaker_half_open_probe_success_closes():
+    clock = FakeClock()
+    breaker = tripped_breaker(clock)
+    clock.now = 5.0  # cooldown elapsed
+    breaker.before_request()  # admitted: this is the probe
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    # A second caller during the probe still fails fast.
+    with pytest.raises(ServiceError):
+        breaker.before_request()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+    # The window was cleared: old failures cannot instantly re-trip.
+    assert breaker.snapshot()["window_failures"] == 0
+    breaker.before_request()  # closed again: free flow
+
+
+def test_breaker_half_open_probe_failure_reopens():
+    clock = FakeClock()
+    breaker = tripped_breaker(clock)
+    clock.now = 5.0
+    breaker.before_request()
+    breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    with pytest.raises(ServiceError):
+        breaker.before_request()  # new cooldown from the probe failure
+    clock.now = 10.0
+    breaker.before_request()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_failures_age_out_of_window():
+    breaker = CircuitBreaker(window=4, failure_threshold=3)
+    for outcome in (False, False, True, True, False):
+        if outcome:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+    # Window holds [False, True, True, False]: 2 failures < 3.
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+# ---------------------------------------------------------------------------
+# Scripted HTTP server
+# ---------------------------------------------------------------------------
+
+
+class _ScriptedHandler(BaseHTTPRequestHandler):
+    """Replays the server's ``tape`` one entry per request."""
+
+    def _play(self):
+        server = self.server
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        server.requests.append(
+            {
+                "method": self.command,
+                "path": self.path,
+                "body": json.loads(body) if body else None,
+            }
+        )
+        if not server.tape:
+            step = {"status": 200, "json": {"ok": True}}
+        else:
+            step = server.tape.pop(0)
+        kind = step.get("kind", "json")
+        if kind == "disconnect":
+            # Headers promise a body that never arrives: the client
+            # sees the connection break mid-response.
+            self.send_response(200)
+            self.send_header("Content-Length", "1000")
+            self.end_headers()
+            self.wfile.write(b"{")
+            self.wfile.flush()
+            self.connection.close()
+            return
+        payload = step.get("raw")
+        if payload is None:
+            payload = json.dumps(step.get("json", {})).encode("utf-8")
+        self.send_response(step.get("status", 200))
+        for key, value in step.get("headers", {}).items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _play
+    do_POST = _play
+
+    def log_message(self, *args):  # noqa: ARG002 - silence test output
+        pass
+
+
+@pytest.fixture()
+def scripted_server():
+    server = HTTPServer(("127.0.0.1", 0), _ScriptedHandler)
+    server.tape = []
+    server.requests = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, f"http://127.0.0.1:{server.server_address[1]}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def fast_client(url, **kwargs):
+    """Client with zero real sleeping; returns (client, recorded sleeps)."""
+    kwargs.setdefault(
+        "retry", RetryPolicy(backoff_base_s=0.001, jitter=0.0)
+    )
+    client = ServiceClient(url, timeout=5.0, **kwargs)
+    sleeps = []
+    client._sleep = sleeps.append
+    return client, sleeps
+
+
+# ---------------------------------------------------------------------------
+# Client error paths against the scripted server
+# ---------------------------------------------------------------------------
+
+
+def test_connection_refused_surfaces_status_zero():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    client, _ = fast_client(
+        f"http://127.0.0.1:{port}",
+        retry=RetryPolicy(max_attempts=2, backoff_base_s=0.0, jitter=0.0),
+    )
+    with pytest.raises(ServiceError) as exc_info:
+        client.healthz()
+    assert exc_info.value.status == 0
+    assert "cannot reach" in str(exc_info.value)
+    assert client.retries == 1  # it did try again before giving up
+
+
+def test_mid_body_disconnect_retries_to_success(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {"kind": "disconnect"},
+        {"json": {"status": "ok"}},
+    ]
+    client, _ = fast_client(url)
+    assert client.healthz() == {"status": "ok"}
+    assert client.retries == 1
+
+
+def test_malformed_json_retries_to_success(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {"raw": b"<html>not json at all</html>"},
+        {"json": {"status": "ok"}},
+    ]
+    client, _ = fast_client(url)
+    assert client.healthz() == {"status": "ok"}
+    assert client.retries == 1
+
+
+def test_oversized_query_429_is_not_retried(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {
+            "status": 429,
+            "json": {"error": "query too large", "reason": "oversized-query"},
+        }
+    ]
+    client, sleeps = fast_client(url)
+    with pytest.raises(ServiceError) as exc_info:
+        client.healthz()
+    assert exc_info.value.status == 429
+    assert exc_info.value.reason == "oversized-query"
+    assert client.retries == 0 and sleeps == []
+    assert len(server.requests) == 1  # exactly one wire request
+
+
+def test_queue_full_429_retries_and_honours_retry_after(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {
+            "status": 429,
+            "json": {"error": "queue full", "reason": "queue-full"},
+            "headers": {"Retry-After": "0.25"},
+        },
+        {"json": {"status": "ok"}},
+    ]
+    client, sleeps = fast_client(url)
+    assert client.healthz() == {"status": "ok"}
+    assert client.retries == 1
+    assert sleeps == [pytest.approx(0.25)]  # server's hint, not the schedule
+
+
+def test_503_degraded_retries(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {
+            "status": 503,
+            "json": {"error": "degraded", "reason": "degraded"},
+            "headers": {"Retry-After": "0.01"},
+        },
+        {"json": {"status": "ok"}},
+    ]
+    client, sleeps = fast_client(url)
+    assert client.healthz() == {"status": "ok"}
+    assert sleeps == [pytest.approx(0.01)]
+
+
+def test_exhausted_attempts_raise_the_last_error(scripted_server):
+    server, url = scripted_server
+    server.tape = [{"status": 503, "json": {"error": "down"}}] * 5
+    client, _ = fast_client(
+        url, retry=RetryPolicy(max_attempts=3, backoff_base_s=0.0, jitter=0.0)
+    )
+    with pytest.raises(ServiceError) as exc_info:
+        client.healthz()
+    assert exc_info.value.status == 503
+    assert client.retries == 2
+    assert len(server.requests) == 3
+
+
+def test_match_reuses_one_idempotency_key_across_retries(scripted_server):
+    server, url = scripted_server
+    server.tape = [
+        {"status": 503, "json": {"error": "blip"}},
+        {"json": {"job_id": "job-1", "state": "done"}},
+    ]
+    client, _ = fast_client(url)
+    spec = {"edges": [[0, 1]], "num_vertices": 2}
+    client.match(spec, spec)
+    keys = [r["body"]["idempotency_key"] for r in server.requests]
+    assert len(keys) == 2
+    assert keys[0] == keys[1]  # the retry cannot double-count
+    assert keys[0]  # auto-generated, non-empty
+
+
+def test_match_respects_caller_supplied_key(scripted_server):
+    server, url = scripted_server
+    client, _ = fast_client(url)
+    spec = {"edges": [[0, 1]], "num_vertices": 2}
+    client.match(spec, spec, idempotency_key="my-key")
+    assert server.requests[0]["body"]["idempotency_key"] == "my-key"
+
+
+def test_4xx_records_breaker_success(scripted_server):
+    # A 404 proves the server is alive: the breaker must not count it.
+    server, url = scripted_server
+    server.tape = [{"status": 404, "json": {"error": "no such job"}}] * 6
+    breaker = CircuitBreaker(window=8, failure_threshold=2)
+    client, _ = fast_client(
+        url,
+        retry=RetryPolicy(max_attempts=1),
+        breaker=breaker,
+    )
+    for _ in range(6):
+        with pytest.raises(ServiceError):
+            client.job("nope")
+    assert breaker.state == CircuitBreaker.CLOSED
+    assert breaker.snapshot()["window_failures"] == 0
+
+
+def test_breaker_opens_then_recovers_end_to_end(scripted_server):
+    server, url = scripted_server
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        window=8, failure_threshold=2, cooldown_s=1.0, clock=clock
+    )
+    client, _ = fast_client(
+        url, retry=RetryPolicy(max_attempts=1), breaker=breaker
+    )
+    server.tape = [{"status": 503, "json": {"error": "down"}}] * 2
+    for _ in range(2):
+        with pytest.raises(ServiceError):
+            client.healthz()
+    assert breaker.state == CircuitBreaker.OPEN
+    # While open: fail fast, nothing reaches the wire.
+    wire_before = len(server.requests)
+    with pytest.raises(ServiceError) as exc_info:
+        client.healthz()
+    assert exc_info.value.reason == "circuit-open"
+    assert len(server.requests) == wire_before
+    # After the cooldown the probe goes through and closes the circuit.
+    clock.now = 1.0
+    assert client.healthz() == {"ok": True}
+    assert breaker.state == CircuitBreaker.CLOSED

@@ -8,14 +8,24 @@ as an external caller sees them.
 
 from __future__ import annotations
 
+import contextlib
+import json
+import socket
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
 from repro.core.config import CuTSConfig
 from repro.core.matcher import CuTSMatcher
 from repro.graph import chain_graph, clique_graph, cycle_graph, mesh_graph
-from repro.service import MatchingService, ServiceClient, ServiceError
+from repro.service import (
+    MatchingService,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.http import BadRequest, parse_graph_spec, serve
 
 
@@ -213,3 +223,124 @@ def test_mixed_burst_matches_serial_oracle(live_service):
         job = client.wait_job(job_id)
         assert job["state"] == "done"
         assert job["result"]["count"] == oracle[name]
+
+
+# ---------------------------------------------------------------------------
+# Resilience over the wire.
+# ---------------------------------------------------------------------------
+
+
+@contextlib.contextmanager
+def boot(cfg, **service_kwargs):
+    """A live server for one test with a non-default config."""
+    service = MatchingService(cfg, **service_kwargs)
+    server = serve(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield ServiceClient(f"http://{host}:{port}"), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        thread.join(timeout=5.0)
+
+
+def test_oversized_body_is_413():
+    with boot(CuTSConfig(service_max_body_bytes=1024)) as (client, _):
+        big = {"graph": {"edges": [[0, 1]] * 400, "num_vertices": 2}}
+        with pytest.raises(ServiceError) as exc:
+            client._request("POST", "/graphs", big)
+        assert exc.value.status == 413
+        assert "service_max_body_bytes" in str(exc.value)
+        # Small requests still flow on the same server.
+        assert client.healthz()["status"] == "ok"
+
+
+def test_stalled_request_cannot_pin_a_thread():
+    with boot(CuTSConfig(service_request_timeout_s=0.2)) as (client, _):
+        host, port = client.base_url.rsplit(":", 2)[-2:]
+        with socket.create_connection(
+            (host.lstrip("/"), int(port)), timeout=5.0
+        ) as sock:
+            # Promise a body, never send it: the server must give up
+            # after service_request_timeout_s instead of waiting forever.
+            sock.sendall(
+                b"POST /match HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 100\r\n\r\n"
+            )
+            sock.settimeout(5.0)
+            data = sock.recv(4096)
+        assert b"408" in data.split(b"\r\n", 1)[0]
+        assert client.healthz()["status"] == "ok"  # thread survived
+
+
+def test_degraded_mode_is_503_with_retry_after(live_service):
+    client, service = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    service.governor.forced_pressure = 1.0
+    try:
+        deadline = 50
+        while not service.degraded and deadline:
+            deadline -= 1
+            threading.Event().wait(0.05)  # loop thread accrues strikes
+        assert service.degraded
+        bare = ServiceClient(
+            client.base_url, retry=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(ServiceError) as exc:
+            bare.match(fp, "C5")
+        assert exc.value.status == 503
+        assert exc.value.reason == "degraded"
+        assert exc.value.retry_after == pytest.approx(1.0)
+        assert bare.healthz()["status"] == "degraded"
+    finally:
+        service.governor.forced_pressure = None
+
+
+def test_idempotency_key_deduplicates_over_http(live_service):
+    client, service = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    first = client.match(fp, "K3", idempotency_key="wire-key")
+    admitted = service.scheduler.admitted
+    second = client.match(fp, "K3", idempotency_key="wire-key")
+    assert second["id"] == first["id"]
+    assert second["result"]["count"] == first["result"]["count"]
+    assert service.scheduler.admitted == admitted  # nothing re-ran
+
+
+def test_deadline_header_propagates(live_service):
+    client, _ = live_service
+    fp = client.register_graph(mesh_graph(4, 4))
+    body = json.dumps(
+        {"graph": fp, "query": "P3", "wait": True}
+    ).encode("utf-8")
+    req = urllib.request.Request(
+        client.base_url + "/match",
+        data=body,
+        headers={
+            "Content-Type": "application/json",
+            "X-Deadline-Ms": "0",  # a proxy-attached deadline
+        },
+    )
+    with urllib.request.urlopen(req, timeout=30.0) as resp:
+        job = json.loads(resp.read())
+    assert job["state"] == "expired"
+
+
+def test_bad_deadline_header_is_400(live_service):
+    client, _ = live_service
+    body = json.dumps({"graph": "K3", "query": "P3"}).encode("utf-8")
+    req = urllib.request.Request(
+        client.base_url + "/match",
+        data=body,
+        headers={
+            "Content-Type": "application/json",
+            "X-Deadline-Ms": "soon",
+        },
+    )
+    with pytest.raises(urllib.error.HTTPError) as exc_info:
+        urllib.request.urlopen(req, timeout=30.0)
+    assert exc_info.value.code == 400

@@ -1,0 +1,261 @@
+"""Tests for crash-recoverable service state (repro.service.state).
+
+Covers the durable pieces in isolation (graph store, name map, job
+journal, manifest fingerprint gate) and the service-level recovery
+semantics: restarts re-register graphs, restore terminal jobs with
+their exact journaled counts, re-enqueue pending jobs, mark formerly
+running jobs retryable, and keep idempotency keys deduplicating across
+the crash — the journal-after-completion ordering is what makes a
+retry provably unable to double-count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import CuTSConfig
+from repro.core.matcher import CuTSMatcher
+from repro.fingerprint import CheckpointMismatchError, graph_fingerprint
+from repro.graph import clique_graph, cycle_graph, mesh_graph
+from repro.service import JobFailed, MatchingService, ServiceState
+from repro.service.state import graph_from_record, graph_record
+
+
+@pytest.fixture()
+def data_graph():
+    return mesh_graph(6, 6)
+
+
+# ---------------------------------------------------------------------------
+# Journal graph records.
+# ---------------------------------------------------------------------------
+
+
+def test_graph_record_roundtrip_preserves_fingerprint(data_graph):
+    back = graph_from_record(graph_record(data_graph))
+    assert graph_fingerprint(back) == graph_fingerprint(data_graph)
+    assert back.name == data_graph.name
+
+
+def test_graph_record_roundtrip_keeps_labels():
+    g = clique_graph(3).with_labels([5, 6, 7])
+    back = graph_from_record(graph_record(g))
+    assert back.labels is not None
+    assert list(back.labels) == [5, 6, 7]
+    assert graph_fingerprint(back) == graph_fingerprint(g)
+
+
+# ---------------------------------------------------------------------------
+# ServiceState in isolation.
+# ---------------------------------------------------------------------------
+
+
+def test_graph_store_roundtrip(tmp_path, data_graph):
+    state = ServiceState(str(tmp_path))
+    fp = graph_fingerprint(data_graph)
+    state.save_graph(data_graph, fp)
+    state.save_graph(data_graph, fp)  # idempotent
+    assert state.graphs_saved == 1
+    loaded = state.load_graphs()
+    assert set(loaded) == {fp}
+    assert graph_fingerprint(loaded[fp]) == fp
+    state.forget_graph(fp)
+    state.forget_graph(fp)  # gone is fine
+    assert state.load_graphs() == {}
+
+
+def test_labelled_graph_store_roundtrip(tmp_path):
+    g = clique_graph(3).with_labels([1, 2, 3])
+    state = ServiceState(str(tmp_path))
+    fp = graph_fingerprint(g)
+    state.save_graph(g, fp)
+    assert graph_fingerprint(state.load_graphs()[fp]) == fp
+
+
+def test_names_roundtrip(tmp_path):
+    state = ServiceState(str(tmp_path))
+    assert state.load_names() == {}
+    state.save_names({"mesh": "abc", "alias": "abc"})
+    assert state.load_names() == {"mesh": "abc", "alias": "abc"}
+
+
+def test_job_journal_keeps_latest_record(tmp_path):
+    state = ServiceState(str(tmp_path))
+    state.record_job({"job_id": "job-00000001", "state": "pending"})
+    state.record_job({"job_id": "job-00000001", "state": "done"})
+    state.record_job({"job_id": "job-00000002", "state": "running"})
+    records = state.load_jobs()
+    assert [r["job_id"] for r in records] == ["job-00000001", "job-00000002"]
+    assert records[0]["state"] == "done"  # whole-record replace
+    assert state.jobs_journaled == 3
+
+
+def test_manifest_gates_on_config_fingerprint(tmp_path, data_graph):
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        svc.register_graph(data_graph)
+    # Same count-relevant config: fine (knob changes are irrelevant).
+    MatchingService(
+        CuTSConfig(service_queue_depth=3), state_dir=str(tmp_path)
+    ).close()
+    # A config that could enumerate differently is refused.
+    with pytest.raises(CheckpointMismatchError):
+        MatchingService(
+            CuTSConfig(chunk_size=17), state_dir=str(tmp_path)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Service-level recovery.
+# ---------------------------------------------------------------------------
+
+
+def test_restart_recovers_graphs_names_and_done_jobs(tmp_path, data_graph):
+    oracle = CuTSMatcher(data_graph, CuTSConfig()).match(clique_graph(3))
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        svc.register_graph(data_graph, "mesh")
+        job_id = svc.submit("mesh", clique_graph(3))
+        assert svc.result(job_id, timeout=30.0).count == oracle.count
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc2:
+        # Graph back under both its name and fingerprint.
+        assert any(h["name"] == "mesh" for h in svc2.graphs())
+        job = svc2.job(job_id)
+        assert job.state == "done"
+        assert job.result is not None and job.result.count == oracle.count
+        assert job.cached
+        # The restored answer serves without re-execution.
+        assert svc2.result(job_id, timeout=5.0).count == oracle.count
+        assert svc2.scheduler.admitted == 0
+        # Job ids continue past the recovered sequence — no reuse.
+        new_id = svc2.submit("mesh", cycle_graph(4))
+        assert new_id > job_id
+        svc2.result(new_id, timeout=30.0)
+
+
+def test_idempotency_keys_survive_restart(tmp_path, data_graph):
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        svc.register_graph(data_graph, "mesh")
+        job_id = svc.submit("mesh", clique_graph(3), idempotency_key="k-1")
+        count = svc.result(job_id, timeout=30.0).count
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc2:
+        # A client retry after the crash maps to the journaled job:
+        # nothing is re-enqueued, nothing can double-count.
+        assert svc2.submit("mesh", clique_graph(3), idempotency_key="k-1") == job_id
+        assert svc2.scheduler.admitted == 0
+        assert svc2.result(job_id, timeout=5.0).count == count
+
+
+def test_pending_jobs_are_reenqueued_and_finish(tmp_path, data_graph):
+    oracle = CuTSMatcher(data_graph, CuTSConfig()).match(cycle_graph(4))
+    # start=False: the job is journaled pending and never dispatched.
+    svc = MatchingService(
+        CuTSConfig(), start=False, state_dir=str(tmp_path)
+    )
+    svc.register_graph(data_graph, "mesh")
+    job_id = svc.submit("mesh", cycle_graph(4))
+    svc.flush_journal()  # the pending record is on disk
+    # Simulate a crash: release the engines, but never run close()'s
+    # drain (which would journal a clean shutdown).
+    svc.registry.close()
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc2:
+        assert svc2.recovered_pending == 1
+        job = svc2.wait(job_id, timeout=30.0)
+        assert job.state == "done"
+        assert job.result is not None and job.result.count == oracle.count
+
+
+def test_running_jobs_resurface_as_retryable(tmp_path, data_graph):
+    query = clique_graph(3)
+    state = ServiceState(str(tmp_path))
+    state.save_graph(data_graph, graph_fingerprint(data_graph))
+    state.record_job(
+        {
+            "job_id": "job-00000007",
+            "state": "running",
+            "graph_fp": graph_fingerprint(data_graph),
+            "query_fp": graph_fingerprint(query),
+            "query": graph_record(query),
+            "materialize": False,
+            "time_limit_ms": None,
+            "priority": 0,
+            "idempotency_key": "k-crashed",
+            "error": None,
+            "submitted_at": 0.0,
+            "finished_at": None,
+        }
+    )
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        assert svc.recovered_retryable == 1
+        job = svc.job("job-00000007")
+        assert job.state == "retryable"
+        assert job.error is not None and "crashed" in job.error
+        with pytest.raises(JobFailed):
+            svc.result("job-00000007", timeout=1.0)
+        # Retryable jobs do not hold their idempotency key: the retry
+        # really re-executes (journal-after-completion makes it safe).
+        new_id = svc.submit(
+            graph_fingerprint(data_graph), query, idempotency_key="k-crashed"
+        )
+        assert new_id != "job-00000007"
+        assert svc.result(new_id, timeout=30.0).count >= 0
+        # Job ids continued past the crashed job's sequence number.
+        assert int(new_id.rsplit("-", 1)[1]) > 7
+
+
+def test_failed_jobs_restore_terminal(tmp_path, data_graph):
+    query = clique_graph(3)
+    state = ServiceState(str(tmp_path))
+    state.record_job(
+        {
+            "job_id": "job-00000003",
+            "state": "failed",
+            "graph_fp": graph_fingerprint(data_graph),
+            "query_fp": graph_fingerprint(query),
+            "query": graph_record(query),
+            "materialize": False,
+            "time_limit_ms": None,
+            "priority": 0,
+            "idempotency_key": None,
+            "error": "engine exploded",
+            "submitted_at": 0.0,
+            "finished_at": 1.0,
+        }
+    )
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        job = svc.job("job-00000003")
+        assert job.state == "failed" and job.error == "engine exploded"
+        with pytest.raises(JobFailed, match="engine exploded"):
+            svc.result("job-00000003", timeout=1.0)
+
+
+def test_torn_journal_record_is_skipped_not_fatal(tmp_path, data_graph):
+    state = ServiceState(str(tmp_path))
+    state.record_job({"job_id": "job-00000009", "state": "pending"})
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        with pytest.raises(KeyError):
+            svc.job("job-00000009")
+        # The service still works after skipping the torn record.
+        fp = svc.register_graph(data_graph)
+        svc.result(svc.submit(fp, clique_graph(3)), timeout=30.0)
+
+
+def test_stateless_service_has_no_state_section(data_graph):
+    with MatchingService(CuTSConfig()) as svc:
+        svc.register_graph(data_graph)
+        assert "state" not in svc.metrics()
+
+
+def test_metrics_report_journal_counters(tmp_path, data_graph):
+    with MatchingService(CuTSConfig(), state_dir=str(tmp_path)) as svc:
+        fp = svc.register_graph(data_graph)
+        svc.result(svc.submit(fp, clique_graph(3)), timeout=30.0)
+        svc.flush_journal()  # writes are async; settle them first
+        snap = svc.metrics()["state"]
+        assert snap["graphs_saved"] == 1
+        # Group commit may coalesce pending -> running -> done into a
+        # single write, but at least one record must have landed and
+        # the journal's final word must be the terminal state.
+        assert snap["jobs_journaled"] >= 1
+        assert snap["journal_errors"] == 0
+    state = ServiceState(str(tmp_path))
+    (record,) = state.load_jobs()
+    assert record["state"] == "done"
