@@ -43,6 +43,33 @@ CHAIN_LENGTH = 8
 DEFAULT_WORKERS = (1, 2, 4)
 
 
+def detect_cpus() -> tuple[int, int | None, int | None]:
+    """CPUs usable by this process: ``(usable, logical, affinity)``.
+
+    ``os.cpu_count()`` reports the machine's logical CPUs, which
+    over-counts inside cgroup/affinity-restricted containers (where the
+    ≥2x speedup gate must not fire) — and historically this benchmark
+    recorded whichever number the container surfaced, so the gate
+    silently skipped on restricted multi-core hosts.  ``usable`` is
+    ``os.process_cpu_count()`` where available (Python 3.13+), else the
+    scheduler-affinity size, else the logical count; the report records
+    all three so a reader can tell *why* the gate did or didn't apply.
+    """
+    logical = os.cpu_count()
+    affinity: int | None = None
+    getaff = getattr(os, "sched_getaffinity", None)
+    if getaff is not None:  # Linux/some BSDs only
+        try:
+            affinity = len(getaff(0))
+        except OSError:
+            affinity = None
+    process_cpus = getattr(os, "process_cpu_count", None)
+    usable = process_cpus() if process_cpus is not None else None
+    if not usable:
+        usable = affinity or logical or 1
+    return usable, logical, affinity
+
+
 def figure2_workload(scale: float):
     """The Figure 2 shape (mesh + chain), scaled so vertex count grows
     linearly with ``scale`` (side grows with its square root)."""
@@ -95,6 +122,7 @@ def run_scaling(
             }
         )
 
+    cpus, logical, affinity = detect_cpus()
     return {
         "benchmark": "parallel_scaling",
         "workload": {
@@ -104,7 +132,9 @@ def run_scaling(
             "query": query.name,
             "scale": scale,
         },
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
+        "cpu_logical": logical,
+        "cpu_affinity": affinity,
         "serial": {
             "wall_s": round(serial_s, 4),
             "count": serial_res.count,
@@ -114,11 +144,22 @@ def run_scaling(
     }
 
 
-def check_report(report: dict, min_speedup: float = 2.0) -> list[str]:
-    """Hard failures in a scaling report (count divergence, missed
-    speedup gate where the hardware can express one)."""
+def check_report(
+    report: dict,
+    min_speedup: float = 2.0,
+    max_serial_wall: float = 0.0,
+) -> list[str]:
+    """Hard failures in a scaling report (count divergence, serial
+    wall-clock regression, missed speedup gate where the hardware can
+    express one)."""
     errors = []
     serial_count = report["serial"]["count"]
+    if max_serial_wall > 0 and report["serial"]["wall_s"] > max_serial_wall:
+        errors.append(
+            f"serial wall {report['serial']['wall_s']} s exceeds the "
+            f"{max_serial_wall} s regression guard "
+            f"(scale {report['workload']['scale']})"
+        )
     for run in report["runs"]:
         if run["count"] != serial_count:
             errors.append(
@@ -148,11 +189,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workers", type=int, nargs="+", default=list(DEFAULT_WORKERS)
     )
-    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
         "--min-speedup", type=float, default=2.0,
         help="fail below this speedup at >=4 workers (0 disables; "
         "auto-skipped when the host has fewer CPUs than workers)",
+    )
+    parser.add_argument(
+        "--max-serial-wall", type=float, default=0.0,
+        help="fail if the serial best-of wall exceeds this many seconds "
+        "(0 disables; CI's columnar-regression guard)",
     )
     args = parser.parse_args(argv)
 
@@ -165,7 +211,9 @@ def main(argv=None) -> int:
     print(
         f"workload {report['workload']['data']} x "
         f"{report['workload']['query']} (scale {scale}, "
-        f"{report['cpu_count']} CPUs)"
+        f"{report['cpu_count']} usable CPUs, "
+        f"logical={report['cpu_logical']}, "
+        f"affinity={report['cpu_affinity']})"
     )
     print(f"serial  : {serial['wall_s']:8.3f} s  count={serial['count']:,}")
     for run in report["runs"]:
@@ -175,7 +223,7 @@ def main(argv=None) -> int:
         )
     print(f"wrote {args.out}")
 
-    errors = check_report(report, args.min_speedup)
+    errors = check_report(report, args.min_speedup, args.max_serial_wall)
     for err in errors:
         print(f"FAIL: {err}", file=sys.stderr)
     return 1 if errors else 0

@@ -13,6 +13,7 @@ IntersectionStrategy = str
 
 _VALID_STRATEGIES = ("adaptive", "c", "p")
 _VALID_ORDERINGS = ("max_degree", "id", "max_constraints", "rare_label")
+_VALID_ENGINES = ("columnar", "reference")
 
 
 @dataclass(frozen=True)
@@ -35,6 +36,19 @@ class CuTSConfig:
     ordering:
         Query-vertex ordering: ``"max_degree"`` (paper) or ``"id"``
         (GSI-style, kept for the ordering ablation).
+    engine:
+        Expansion-kernel implementation.  ``"columnar"`` (default) runs
+        the allocation-free columnar frontier engine
+        (:mod:`repro.core.columnar`); ``"reference"`` runs the original
+        straightforward expansion path, kept as the bit-exact oracle the
+        columnar engine is tested against.  Counts, materialised rows,
+        modeled time and statistics are identical between the two.
+    profile_expansion:
+        Record per-stage wall-clock timings (anchor-gather / filter /
+        intersection / write-out) of every fused expansion into
+        ``SearchStats.stage_wall_s``.  Off by default — the reads cost a
+        few ``perf_counter`` calls per expansion and the timings are
+        diagnostic only (they never influence control flow).
     virtual_warp_size:
         Fixed virtual-warp width; ``0`` (default) derives it from the
         data graph's average degree (§4.1.2).
@@ -132,6 +146,8 @@ class CuTSConfig:
     randomize_placement: bool = True
     intersection: IntersectionStrategy = "adaptive"
     ordering: str = "max_degree"
+    engine: str = "columnar"
+    profile_expansion: bool = False
     virtual_warp_size: int = 0
     trie_buffer_fraction: float = 0.5
     seed: int = 0
@@ -169,6 +185,11 @@ class CuTSConfig:
             raise ValueError(
                 f"ordering must be one of {_VALID_ORDERINGS}, "
                 f"got {self.ordering!r}"
+            )
+        if self.engine not in _VALID_ENGINES:
+            raise ValueError(
+                f"engine must be one of {_VALID_ENGINES}, "
+                f"got {self.engine!r}"
             )
         if self.virtual_warp_size < 0:
             raise ValueError("virtual_warp_size must be >= 0 (0 = auto)")

@@ -38,6 +38,7 @@ __all__ = [
     "adaptive_intersection",
     "estimate_c_cost",
     "estimate_p_cost",
+    "fused_constraint_mask",
 ]
 
 
@@ -164,6 +165,36 @@ def estimate_p_cost(graph: CSRGraph, verts: np.ndarray) -> int:
     kids = graph.children(int(verts[0]))
     in_degs = graph.rindptr[kids + 1] - graph.rindptr[kids]
     return int(len(kids) + in_degs.sum())
+
+
+def fused_constraint_mask(
+    graph: CSRGraph,
+    lanes: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Conjunction of edge-existence probes, one sweep for all lanes.
+
+    Each ``(sources, targets)`` pair in ``lanes`` asks whether edge
+    ``(sources[i], targets[i])`` exists; all pairs have equal length
+    ``L``.  Rather than running one segmented binary search per
+    constraint, the lanes are concatenated and resolved in a **single**
+    segmented-searchsorted sweep over the out-CSR (a backward
+    constraint is expressed by swapping its pair), then AND-reduced
+    back to length ``L`` — the batched membership pass of the columnar
+    expansion engine's fused filter.
+    """
+    if not lanes:
+        raise ValueError("need at least one constraint lane")
+    if len(lanes) == 1:
+        src, tgt = lanes[0]
+        return graph.has_edges(src, tgt)
+    sources = np.concatenate([src for src, _ in lanes])
+    targets = np.concatenate([tgt for _, tgt in lanes])
+    flat = graph.has_edges(sources, targets)
+    width = len(lanes[0][0])
+    out: np.ndarray = np.logical_and.reduce(
+        flat.reshape(len(lanes), width), axis=0
+    )
+    return out
 
 
 def adaptive_intersection(

@@ -40,6 +40,13 @@ from ..gpusim.warp import (
 from ..graph.csr import CSRGraph
 from ..storage.trie import PathTrie
 from .candidates import root_candidates
+from .columnar import (
+    AncColumns,
+    ColumnarEngine,
+    Fanout,
+    QueryPlan,
+    slice_fanouts,
+)
 from .config import CuTSConfig
 from .governor import MemoryGovernor
 from .ordering import MatchOrder, build_order
@@ -106,6 +113,10 @@ class CuTSMatcher:
         self._mean_in_degree = (
             data.num_edges / data.num_vertices if data.num_vertices else 0.0
         )
+        # Columnar frontier engine: workspace arena + per-graph tables.
+        # Construction is cheap (all caches lazy); runs dispatch to it
+        # only when ``config.engine == "columnar"`` set a plan on state.
+        self.engine = ColumnarEngine(self)
 
     # ------------------------------------------------------------------
     # Public API
@@ -242,6 +253,7 @@ class CuTSMatcher:
         state.governor = MemoryGovernor.from_config(self.config)
         state.governor.observe_words(state.trie_words)
         state.on_tick = self.on_tick
+        self._arm_engine(state, query, order)
         if wall_limit_s is not None:
             state.wall_deadline = _time.monotonic() + wall_limit_s
         stats.record_trie_words(state.trie_words)
@@ -318,7 +330,20 @@ class CuTSMatcher:
         state.max_materialized = self.config.max_materialized
         state.governor = MemoryGovernor.from_config(self.config)
         state.on_tick = self.on_tick
+        self._arm_engine(state, query, order)
         return state
+
+    def _arm_engine(
+        self, state: "_RunState", query: CSRGraph, order: MatchOrder
+    ) -> None:
+        """Attach the configured expansion engine to a run.
+
+        A non-``None`` ``state.plan`` routes every expansion through the
+        columnar engine; ``None`` keeps the reference path (the oracle).
+        """
+        if self.config.engine == "columnar":
+            state.plan = self.engine.plan_for(query, order)
+        state.profile = self.config.profile_expansion
 
     def initial_frontier(
         self, state: "_RunState", *, part: int = 0, num_parts: int = 1
@@ -353,19 +378,41 @@ class CuTSMatcher:
         step: int,
         frontier: np.ndarray,
         state: "_RunState",
+        *,
+        columns: AncColumns | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Expand ``frontier`` (paths at the trie's deepest level) through
         query step ``step``; returns ``(global parent indices, candidates)``
-        without mutating the trie.  All costs are charged to ``state``."""
+        without mutating the trie.  All costs are charged to ``state``.
+
+        ``columns`` optionally supplies the frontier's materialised
+        ancestor columns (one array per trie level, as produced by
+        :meth:`~repro.storage.trie.PathTrie.columns_at`), letting a
+        stack-driving caller carry them forward incrementally; when
+        omitted they are rebuilt from the trie — which is also how a
+        resumed checkpoint re-derives the expansion workspace."""
         frontier = np.asarray(frontier, dtype=np.int64)
         if frontier.size == 0:
             return (
                 np.zeros(0, dtype=np.int64),
                 np.zeros(0, dtype=np.int64),
             )
-        ancestors = trie.paths_at(trie.depth - 1, frontier)
-        fwd, bwd = state.order.constraints_at(step)
-        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state)
+        if state.plan is not None:
+            anc = (
+                columns
+                if columns is not None
+                else trie.columns_at(trie.depth - 1, frontier)
+            )
+            out = self.engine.extend(
+                state.plan, anc, step, state,
+                bloom=self.engine.bloom_of(anc),
+            )
+            assert not isinstance(out, int)
+            pa_local, ca = out
+        else:
+            ancestors = trie.paths_at(trie.depth - 1, frontier)
+            fwd, bwd = state.order.constraints_at(step)
+            pa_local, ca = self._extend(ancestors, step, fwd, bwd, state)
         state.stats.record_depth(step, len(ca))
         return frontier[pa_local], ca
 
@@ -378,10 +425,24 @@ class CuTSMatcher:
         step: int,
         frontier: np.ndarray,
         state: "_RunState",
+        anc: AncColumns | None = None,
+        bloom: np.ndarray | None = None,
+        fanouts: tuple[Fanout, ...] | None = None,
     ) -> int:
         """Expand ``frontier`` (paths at trie's deepest level) through
         query step ``step`` and recurse to completion.  Returns the number
-        of full embeddings found below this frontier."""
+        of full embeddings found below this frontier.
+
+        ``anc`` carries the frontier's materialised ancestor columns for
+        the columnar engine (maintained level-to-level by gather and
+        sliced in lockstep with chunk peels, so the trie is never walked
+        upward past the first call); ``bloom`` rides along with it (the
+        per-path 64-bit ancestor signature the injectivity prefilter
+        reads), and ``fanouts`` carries this frontier's constraint
+        fanout table (chunk peels pass slices of the parent's instead of
+        re-gathering the pointer tables).  ``None`` rebuilds any of the
+        three — or, on the reference engine, falls back to the row-major
+        ``paths_at`` walk."""
         if frontier.size == 0:
             return 0
         if (
@@ -399,8 +460,29 @@ class CuTSMatcher:
             if _time.monotonic() > state.wall_deadline:
                 raise SearchTimeout("wall-clock limit exceeded")
 
-        ancestors = trie.paths_at(trie.depth - 1, frontier)
-        fwd, bwd = state.order.constraints_at(step)
+        plan = state.plan
+        col_fanouts: tuple[Fanout, ...] | None = None
+        ref_fanouts: tuple[tuple[str, int, int], ...] | None = None
+        ancestors: np.ndarray | None = None
+        fwd: tuple[int, ...] = ()
+        bwd: tuple[int, ...] = ()
+        if plan is not None:
+            if anc is None:
+                anc = trie.columns_at(trie.depth - 1, frontier)
+                bloom = self.engine.bloom_of(anc)
+            elif bloom is None:
+                bloom = self.engine.bloom_of(anc)
+            col_fanouts = (
+                fanouts
+                if fanouts is not None
+                else self.engine.constraint_fanouts(plan, anc, step)
+            )
+            pool_estimate = self._estimate_pool(frontier.size, col_fanouts)
+        else:
+            ancestors = trie.paths_at(trie.depth - 1, frontier)
+            fwd, bwd = state.order.constraints_at(step)
+            ref_fanouts = self._constraint_fanouts(ancestors, fwd, bwd)
+            pool_estimate = self._estimate_pool(frontier.size, ref_fanouts)
 
         # --- memory-pressure chunking (hybrid BFS-DFS, §4.1.2) ---------
         # The candidate pool streams through shared memory per virtual
@@ -409,8 +491,6 @@ class CuTSMatcher:
         # levels of the active DFS branch always keep room), projected
         # via the survival ratio measured at this step so far
         # (conservatively 1.0 before the first probe chunk).
-        fanouts = self._constraint_fanouts(ancestors, fwd, bwd)
-        pool_estimate = self._estimate_pool(ancestors, fanouts)
         remaining_levels = max(1, state.order.num_steps - step)
         # The governor's host budget tightens the effective trie budget
         # (the device budget is the hard bound; the host budget is soft).
@@ -437,44 +517,99 @@ class CuTSMatcher:
             # is re-projected with real data every iteration — a run that
             # merely *looked* oversized proceeds after one probe chunk,
             # while a genuinely memory-bound run keeps chunking (bounded
-            # recursion: sub-chunks only ever halve).
+            # recursion: sub-chunks only ever halve).  Ancestor columns
+            # are sliced in lockstep with the frontier peel.
             total = 0
-            remaining = frontier
-            while remaining.size:
-                if remaining.size == 1 or fits(remaining.size / frontier.size):
-                    chunk, remaining = remaining, remaining[:0]
+            start = 0
+            n = frontier.size
+            while start < n:
+                rem = n - start
+                if rem == 1 or fits(rem / n):
+                    split = rem
                 else:
                     base_chunk = state.governor.effective_chunk(
                         self.config.chunk_size
                     )
-                    split = min(base_chunk, max(1, remaining.size // 2))
-                    chunk, remaining = remaining[:split], remaining[split:]
+                    split = min(base_chunk, max(1, rem // 2))
+                stop = start + split
+                chunk_anc = None
+                chunk_bloom = None
+                chunk_fans = None
+                if plan is not None and anc is not None:
+                    chunk_anc = tuple(c[start:stop] for c in anc)
+                    if bloom is not None:
+                        chunk_bloom = bloom[start:stop]
+                    if col_fanouts is not None:
+                        chunk_fans = slice_fanouts(col_fanouts, start, stop)
                 state.stats.record_chunk(step)
-                total += self._search(trie, step, chunk, state)
+                total += self._search(
+                    trie, step, frontier[start:stop], state,
+                    chunk_anc, chunk_bloom, chunk_fans,
+                )
+                start = stop
             return total
 
-        pa_local, ca = self._extend(ancestors, step, fwd, bwd, state, fanouts)
-        state.stats.record_depth(step, len(ca))
+        pa_local: np.ndarray | None = None
+        ca: np.ndarray | None = None
+        if plan is not None:
+            assert anc is not None
+            # Leaf steps of a count-only run need just the survivor
+            # count: the level would be appended, counted, and dropped
+            # — skip materialising the survivor arrays entirely.
+            leaf_count_only = (
+                not state.materialize
+                and step + 1 == state.order.num_steps
+            )
+            out = self.engine.extend(
+                plan, anc, step, state, col_fanouts, bloom,
+                count_only=leaf_count_only,
+            )
+            if isinstance(out, int):
+                results = out
+            else:
+                pa_local, ca = out
+                results = len(ca)
+        else:
+            assert ancestors is not None
+            pa_local, ca = self._extend(
+                ancestors, step, fwd, bwd, state, ref_fanouts
+            )
+            results = len(ca)
+        state.stats.record_depth(step, results)
         if pool_estimate > 0:
             # Exponential-moving survival ratio for the chunk projector.
-            observed = len(ca) / pool_estimate
+            observed = results / pool_estimate
             prior = state.sigma_by_step.get(step)
             state.sigma_by_step[step] = (
                 observed if prior is None else 0.5 * prior + 0.5 * observed
             )
-        if len(ca) == 0:
+        if results == 0:
             return 0
 
-        new_words = 2 * len(ca)
+        new_words = 2 * results
         if state.trie_words + new_words > soft_budget_words:
             if frontier.size > 1:
-                # Estimate was too optimistic; fall back to chunking.
+                # Estimate was too optimistic; fall back to chunking
+                # (halves at the same boundary ``np.array_split`` used).
                 total = 0
-                for chunk in np.array_split(frontier, 2):
-                    if chunk.size == 0:
+                half = (frontier.size + 1) // 2
+                for lo, hi in ((0, half), (half, frontier.size)):
+                    if hi <= lo:
                         continue
+                    chunk_anc = None
+                    chunk_bloom = None
+                    chunk_fans = None
+                    if plan is not None and anc is not None:
+                        chunk_anc = tuple(c[lo:hi] for c in anc)
+                        if bloom is not None:
+                            chunk_bloom = bloom[lo:hi]
+                        if col_fanouts is not None:
+                            chunk_fans = slice_fanouts(col_fanouts, lo, hi)
                     state.stats.record_chunk(step)
-                    total += self._search(trie, step, chunk, state)
+                    total += self._search(
+                        trie, step, frontier[lo:hi], state,
+                        chunk_anc, chunk_bloom, chunk_fans,
+                    )
                 return total
             if state.trie_words + new_words > self.trie_budget_words:
                 # The *device* budget is a hard bound: a single path's
@@ -487,17 +622,51 @@ class CuTSMatcher:
             # Over the soft host budget only, with an unsplittable
             # frontier: proceed (graceful degradation, never abort).
 
-        trie.append_level(frontier[pa_local], ca)
+        if pa_local is None or ca is None:
+            # Count-only leaf: the reference flow appends the level,
+            # counts it, and immediately drops it — observe and record
+            # the words it would have occupied, without trie mutation.
+            words = state.trie_words + new_words
+            state.governor.observe_words(words)
+            state.stats.record_trie_words(words)
+            return results
+
+        # Parent indices are survivor compactions of this frontier —
+        # in range by construction, so the PA validation scan is skipped.
+        trie.append_level(frontier[pa_local], ca, validate=False)
         state.trie_words += new_words
         state.governor.observe_words(state.trie_words)
         state.stats.record_trie_words(state.trie_words)
         try:
             if step + 1 == state.order.num_steps:
-                count = len(ca)
-                state.collect(trie, np.arange(len(ca), dtype=np.int64))
+                count = results
+                state.collect(trie, np.arange(results, dtype=np.int64))
             else:
+                # Incremental ancestor carry: the child frontier's columns
+                # and Bloom signatures are the surviving parents' gathered
+                # by pa_local plus the new candidate column — no upward
+                # trie walk.
+                child_anc: AncColumns | None = None
+                child_bloom: np.ndarray | None = None
+                if plan is not None and anc is not None and bloom is not None:
+                    child_anc, child_bloom = self.engine.child_carry(
+                        anc, bloom, pa_local, ca
+                    )
+                # Child frontier ids are always 0..results-1: reuse the
+                # engine's shared read-only iota instead of allocating
+                # (every consumer slices or gathers, never writes).
+                child_frontier = (
+                    self.engine.iota(results)
+                    if plan is not None
+                    else np.arange(results, dtype=np.int64)
+                )
                 count = self._search(
-                    trie, step + 1, np.arange(len(ca), dtype=np.int64), state
+                    trie,
+                    step + 1,
+                    child_frontier,
+                    state,
+                    child_anc,
+                    child_bloom,
                 )
         finally:
             trie.drop_last_level()
@@ -537,15 +706,18 @@ class CuTSMatcher:
 
     def _estimate_pool(
         self,
-        ancestors: np.ndarray,
-        fanouts: tuple[tuple[str, int, int], ...],
+        num_frontier: int,
+        fanouts: tuple[tuple[str, int, int], ...] | tuple[Fanout, ...],
     ) -> int:
         """Upper-bound the candidate-pool size for this frontier (the
-        cheapest constraint's fanout; every constraint is a valid bound)."""
+        cheapest constraint's fanout; every constraint is a valid bound).
+
+        Accepts both engines' fanout shapes — the total is the last
+        element of either tuple form."""
         if not fanouts:
             # Unconstrained step (disconnected query component).
-            return ancestors.shape[0] * self.data.num_vertices
-        return min(total for _, _, total in fanouts)
+            return num_frontier * self.data.num_vertices
+        return min(int(entry[-1]) for entry in fanouts)
 
     def _extend(
         self,
@@ -697,7 +869,7 @@ class CuTSMatcher:
 
     def _choose_intersection(
         self,
-        fanouts: tuple[tuple[str, int, int], ...],
+        fanouts: tuple[tuple[str, int, int], ...] | tuple[Fanout, ...],
         anchor_kind: str,
         anchor_j: int,
         pool_size: int,
@@ -706,16 +878,16 @@ class CuTSMatcher:
 
         The c-cost is the fanout of every non-anchor constraint — read
         straight off the shared fanout table instead of recomputing the
-        degree sums.
+        degree sums.  Accepts both engines' fanout shapes.
         """
         if self.config.intersection in ("c", "p"):
             return self.config.intersection
         cost_c = 0
         num_rest = 0
-        for kind, j, total in fanouts:
-            if kind == anchor_kind and j == anchor_j:
+        for entry in fanouts:
+            if entry[0] == anchor_kind and entry[1] == anchor_j:
                 continue
-            cost_c += total
+            cost_c += int(entry[-1])
             num_rest += 1
         cost_p = pool_size * self._mean_in_degree * num_rest
         return "p" if cost_p < cost_c else "c"
@@ -785,6 +957,10 @@ class _RunState:
         self.wall_deadline: float | None = None
         self.trie_words = trie_words
         self.sigma_by_step: dict[int, float] = {}
+        # Columnar-engine routing: a non-None plan sends every expansion
+        # through CuTSMatcher.engine; profile enables per-stage timers.
+        self.plan: QueryPlan | None = None
+        self.profile = False
         self.max_materialized: int | None = None
         self.governor: MemoryGovernor = MemoryGovernor()
         self.on_tick: Callable[["_RunState"], None] | None = None

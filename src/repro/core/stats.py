@@ -28,6 +28,7 @@ class SearchStats:
     spilled_chunks: int = 0
     peak_tracked_bytes: int = 0
     cancelled_at_dispatch: int = 0
+    stage_wall_s: dict[str, float] = field(default_factory=dict)
 
     def record_depth(self, depth: int, num_paths: int) -> None:
         """Accumulate paths produced at a (0-based) depth.
@@ -52,6 +53,13 @@ class SearchStats:
             self.intersection_calls.get(kind, 0) + calls
         )
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock seconds spent in one expansion stage
+        (anchor_gather / filter / intersection / write_out).  Only
+        populated when ``CuTSConfig.profile_expansion`` is on; purely
+        diagnostic, never read by the engine."""
+        self.stage_wall_s[stage] = self.stage_wall_s.get(stage, 0.0) + seconds
+
     def record_governor(self, governor: object) -> None:
         """Fold a :class:`~repro.core.governor.MemoryGovernor`'s
         counters into this run's statistics (additive; peaks max)."""
@@ -75,6 +83,7 @@ class SearchStats:
             "spilled_chunks": self.spilled_chunks,
             "peak_tracked_bytes": self.peak_tracked_bytes,
             "cancelled_at_dispatch": self.cancelled_at_dispatch,
+            "stage_wall_s": dict(self.stage_wall_s),
         }
 
     @classmethod
@@ -95,6 +104,10 @@ class SearchStats:
         stats.cancelled_at_dispatch = int(
             payload.get("cancelled_at_dispatch", 0)
         )
+        stats.stage_wall_s = {
+            str(k): float(v)
+            for k, v in payload.get("stage_wall_s", {}).items()
+        }
         return stats
 
     def merge(self, other: "SearchStats") -> "SearchStats":
@@ -123,4 +136,8 @@ class SearchStats:
             self.peak_tracked_bytes, other.peak_tracked_bytes
         )
         self.cancelled_at_dispatch += other.cancelled_at_dispatch
+        for stage, seconds in other.stage_wall_s.items():
+            self.stage_wall_s[stage] = (
+                self.stage_wall_s.get(stage, 0.0) + seconds
+            )
         return self

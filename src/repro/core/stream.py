@@ -24,6 +24,9 @@ from .matcher import CuTSMatcher
 
 __all__ = ["iter_matches"]
 
+_Columns = tuple[np.ndarray, ...] | None
+"""Ancestor columns carried on the work stack (None = rebuild)."""
+
 
 def iter_matches(
     matcher: CuTSMatcher,
@@ -83,18 +86,32 @@ def iter_matches(
         yield from flush(force=True)
         return
 
-    stack: list[tuple[PathTrie, int, np.ndarray]] = []
+    # Stack entries carry the frontier's materialised ancestor columns
+    # for the columnar engine (None = rebuild from the trie, and always
+    # None on the reference engine); columns are sliced in lockstep with
+    # governor chunking and gathered forward level-to-level, mirroring
+    # the recursive engine's incremental ancestor carry.
+    stack: list[tuple[PathTrie, int, np.ndarray, _Columns]] = []
     if roots:
-        stack.append((trie, 1, np.arange(roots, dtype=np.int64)))
+        stack.append((trie, 1, np.arange(roots, dtype=np.int64), None))
     while stack:
-        item_trie, step, frontier = stack.pop()
+        item_trie, step, frontier, cols = stack.pop()
         # Governor-aware chunk sizing: under memory pressure the BFS
         # chunk shrinks (toward pure DFS), bounding the live footprint.
         chunk = state.governor.effective_chunk(matcher.config.chunk_size)
         if frontier.size > chunk:
-            stack.append((item_trie, step, frontier[chunk:]))
+            rest_cols = (
+                tuple(c[chunk:] for c in cols) if cols is not None else None
+            )
+            stack.append((item_trie, step, frontier[chunk:], rest_cols))
             frontier = frontier[:chunk]
-        pa, ca = matcher.expand_frontier(item_trie, step, frontier, state)
+            if cols is not None:
+                cols = tuple(c[:chunk] for c in cols)
+        if cols is None and state.plan is not None:
+            cols = item_trie.columns_at(item_trie.depth - 1, frontier)
+        pa, ca = matcher.expand_frontier(
+            item_trie, step, frontier, state, columns=cols
+        )
         if len(ca) == 0:
             continue
         child = PathTrie(levels=[*item_trie.levels, TrieLevel(pa=pa, ca=ca)])
@@ -107,7 +124,16 @@ def iter_matches(
             pending_rows += len(paths)
             yield from flush()
         else:
+            child_cols: _Columns = None
+            if cols is not None:
+                # Recover chunk-local parent positions from the global
+                # indices (stream frontiers are strictly increasing).
+                pa_local = np.searchsorted(frontier, pa)
+                child_cols = tuple(
+                    np.take(c, pa_local) for c in cols
+                ) + (ca,)
             stack.append(
-                (child, step + 1, np.arange(len(ca), dtype=np.int64))
+                (child, step + 1, np.arange(len(ca), dtype=np.int64),
+                 child_cols)
             )
     yield from flush(force=True)

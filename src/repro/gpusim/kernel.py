@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .cost import CostModel
-from .warp import load_imbalance, shuffled_worker_loads, strided_worker_loads
+from .warp import strided_worker_loads
 
 __all__ = ["KernelLaunch", "launch_kernel", "LAUNCH_OVERHEAD_CYCLES"]
 
@@ -54,6 +54,7 @@ def launch_kernel(
     dram_words: int,
     *,
     rng: np.random.Generator | None = None,
+    owners: np.ndarray | None = None,
 ) -> KernelLaunch:
     """Simulate one kernel launch and charge its time to ``cost``.
 
@@ -75,13 +76,39 @@ def launch_kernel(
         If given, items are placed randomly before the strided schedule —
         the paper's randomized-placement optimisation.  If ``None`` the
         id-order static schedule is used.
+    owners:
+        Optional precomputed ownership vector (``arange(n) %
+        num_workers`` or a prefix-compatible superset); purely a host
+        fast path, the modeled schedule is identical.
     """
     item_cycles = np.asarray(item_cycles, dtype=np.float64)
-    if rng is None:
-        loads = strided_worker_loads(item_cycles, num_workers)
+    n_items = item_cycles.size
+    if n_items <= num_workers:
+        # At most one item per worker under the strided schedule: every
+        # worker's load is a single item (or the zero pad), so the
+        # busiest worker is the costliest item, the mean is
+        # sum/workers, and randomised placement only permutes which
+        # worker holds which single item — no observable changes.  The
+        # worker-length load vector (and the shuffle draw it would
+        # consume) is skipped entirely.
+        if n_items:
+            compute = float(item_cycles.max())
+            if n_items < num_workers:
+                compute = max(compute, 0.0)
+            mean = float(item_cycles.sum()) / num_workers
+        else:
+            compute = 0.0
+            mean = 0.0
     else:
-        loads = shuffled_worker_loads(item_cycles, num_workers, rng)
-    compute = float(loads.max()) if loads.size else 0.0
+        if rng is not None:
+            # Randomised placement (the paper's fix for id-order
+            # clustering): shuffle, then bin with the strided schedule.
+            item_cycles = rng.permutation(item_cycles)
+        loads = strided_worker_loads(item_cycles, num_workers, owners)
+        compute = float(loads.max())
+        mean = float(loads.sum()) / loads.size
+    # Same values load_imbalance would produce on the binned loads.
+    imbalance = compute / mean if mean != 0 else 1.0
     memory = dram_words / cost.device.dram_words_per_cycle
     launch = KernelLaunch(
         name=name,
@@ -89,7 +116,7 @@ def launch_kernel(
         num_workers=num_workers,
         compute_cycles=compute,
         memory_cycles=memory,
-        imbalance=load_imbalance(loads),
+        imbalance=imbalance,
     )
     cost.cycles += launch.cycles
     cost.kernel_launches += 1

@@ -49,24 +49,39 @@ def select_virtual_warp_size(average_degree: float, warp_size: int = 32) -> int:
     return min(width, warp_size)
 
 
-def strided_worker_loads(costs: np.ndarray, num_workers: int) -> np.ndarray:
+def strided_worker_loads(
+    costs: np.ndarray,
+    num_workers: int,
+    owners: np.ndarray | None = None,
+) -> np.ndarray:
     """Per-worker totals of the grid-stride static schedule.
 
     Item ``m`` goes to worker ``m % num_workers`` (the kernel's
     ``start/stride`` loop).  Returns an array of length
     ``min(num_workers, ...)`` with each worker's summed cost.
+
+    ``owners`` may carry a precomputed ``arange(len(costs)) %
+    num_workers`` (or any prefix-compatible superset of it) so hot
+    callers launching many small kernels skip rebuilding the identical
+    ownership vector on every call; the schedule is unchanged.
     """
     if num_workers <= 0:
         raise ValueError("num_workers must be positive")
     costs = np.asarray(costs, dtype=np.float64)
     if costs.size == 0:
         return np.zeros(num_workers, dtype=np.float64)
-    owners = np.arange(costs.size, dtype=np.int64) % num_workers
+    if owners is None:
+        owners = np.arange(costs.size, dtype=np.int64) % num_workers
+    else:
+        owners = owners[: costs.size]
     return np.bincount(owners, weights=costs, minlength=num_workers)
 
 
 def shuffled_worker_loads(
-    costs: np.ndarray, num_workers: int, rng: np.random.Generator
+    costs: np.ndarray,
+    num_workers: int,
+    rng: np.random.Generator,
+    owners: np.ndarray | None = None,
 ) -> np.ndarray:
     """Strided schedule after randomised path placement.
 
@@ -75,7 +90,7 @@ def shuffled_worker_loads(
     good intra-warp and intra thread block load balance."
     """
     costs = np.asarray(costs, dtype=np.float64)
-    return strided_worker_loads(rng.permutation(costs), num_workers)
+    return strided_worker_loads(rng.permutation(costs), num_workers, owners)
 
 
 def load_imbalance(worker_loads: np.ndarray) -> float:

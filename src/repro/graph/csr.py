@@ -243,14 +243,6 @@ class CSRGraph:
         starts = self.indptr[sources]
         ends = self.indptr[sources + 1]
         # Binary-search each target inside its source's sorted segment.
-        # searchsorted over the global indices array with per-row bounds:
-        # positions are found in the full array restricted via sorter-free
-        # trick — each row is already sorted and rows are disjoint slices,
-        # so a per-row search is emulated by searching the whole array and
-        # clamping: we instead iterate in a vectorised fashion using
-        # np.searchsorted on the flat array per unique row would be O(rows);
-        # the standard approach below does one searchsorted per call using
-        # the "offset" technique.
         pos = _segmented_searchsorted(self.indices, starts, ends, targets)
         in_range = pos < ends
         found = np.zeros(sources.shape, dtype=bool)

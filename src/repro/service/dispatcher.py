@@ -167,6 +167,11 @@ class Dispatcher:
         self.serial_fallbacks = 0
         self.pool_failures = 0
         self.corrupt_cache_drops = 0
+        # Per-stage expansion wall totals (anchor_gather / filter /
+        # intersection / write_out), folded from every settled result's
+        # SearchStats.  Empty unless the engine config has
+        # ``profile_expansion`` on.
+        self.stage_wall_s: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def dispatch(
@@ -502,6 +507,10 @@ class Dispatcher:
         result: MatchResult,
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
+        for stage, seconds in result.stats.stage_wall_s.items():
+            self.stage_wall_s[stage] = (
+                self.stage_wall_s.get(stage, 0.0) + seconds
+            )
         if not materialize and time_limit is None:
             payload = payload_from_result(result)
             self.result_cache.put(
@@ -530,7 +539,7 @@ class Dispatcher:
         for _, members in items:
             self._settle_error(members, outcomes, message)
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, object]:
         """Counter snapshot for ``/metrics``."""
         return {
             "matcher_invocations": self.matcher_invocations,
@@ -542,4 +551,5 @@ class Dispatcher:
             "serial_fallbacks": self.serial_fallbacks,
             "pool_failures": self.pool_failures,
             "corrupt_cache_drops": self.corrupt_cache_drops,
+            "stage_wall_s": dict(self.stage_wall_s),
         }

@@ -67,22 +67,30 @@ class PathTrie:
         pa = np.full(len(roots), -1, dtype=np.int64)
         return cls(levels=[TrieLevel(pa=pa, ca=roots)])
 
-    def append_level(self, pa: np.ndarray, ca: np.ndarray) -> TrieLevel:
+    def append_level(
+        self, pa: np.ndarray, ca: np.ndarray, *, validate: bool = True
+    ) -> TrieLevel:
         """Append a new deepest level; PA must index the current deepest.
+
+        ``validate=False`` skips the PA range scan — for internal callers
+        whose parent indices are correct by construction (the expansion
+        engine's survivor compaction), where the two extra reductions per
+        appended level are measurable.  External writers must validate.
 
         Returns the created :class:`TrieLevel`.
         """
         pa = np.ascontiguousarray(pa, dtype=np.int64)
         ca = np.ascontiguousarray(ca, dtype=np.int64)
-        if not self.levels:
-            if pa.size and pa.max() >= 0:
-                raise ValueError("first level must have pa == -1")
-        else:
-            parent_count = self.levels[-1].num_paths
-            if pa.size and (pa.min() < 0 or pa.max() >= parent_count):
-                raise ValueError(
-                    f"pa out of range: parent level has {parent_count} paths"
-                )
+        if validate:
+            if not self.levels:
+                if pa.size and pa.max() >= 0:
+                    raise ValueError("first level must have pa == -1")
+            else:
+                parent_count = self.levels[-1].num_paths
+                if pa.size and (pa.min() < 0 or pa.max() >= parent_count):
+                    raise ValueError(
+                        f"pa out of range: parent level has {parent_count} paths"
+                    )
         level = TrieLevel(pa=pa, ca=ca)
         self.levels.append(level)
         return level
@@ -154,6 +162,34 @@ class PathTrie:
     def ancestors_at(self, level: int, path_indices: np.ndarray) -> np.ndarray:
         """Alias of :meth:`paths_at` restricted to explicit indices."""
         return self.paths_at(level, path_indices)
+
+    def columns_at(
+        self, level: int, path_indices: np.ndarray | None = None
+    ) -> tuple[np.ndarray, ...]:
+        """Ancestor *columns* of paths ending at ``level``.
+
+        The columnar expansion engine keeps the frontier's materialised
+        prefix as one contiguous array per trie level (gathers along a
+        column are then unit-stride); this is :meth:`paths_at` transposed
+        at the storage level — the same upward PA walk, one gather per
+        level, writing each level into its own owned 1-D array.
+
+        Returns a ``level + 1`` tuple; element ``lv`` holds the data
+        vertex matched at level ``lv`` for every requested path, in
+        request order.
+        """
+        if level < 0 or level >= len(self.levels):
+            raise IndexError(f"level {level} out of range (depth {self.depth})")
+        if path_indices is None:
+            idx = np.arange(self.levels[level].num_paths, dtype=np.int64)
+        else:
+            idx = np.asarray(path_indices, dtype=np.int64)
+        cols: list[np.ndarray] = [idx] * (level + 1)
+        cur = idx
+        for lv in range(level, -1, -1):
+            cols[lv] = self.levels[lv].ca[cur]
+            cur = self.levels[lv].pa[cur]
+        return tuple(cols)
 
     # ------------------------------------------------------------------
     # Sub-trie extraction (distributed work shipping)
