@@ -35,7 +35,7 @@ def _default_baseline(root: Path) -> Path | None:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="repo-specific static analysis (rules RP001-RP005)",
+        description="repo-specific static analysis (rules RP001-RP011)",
     )
     parser.add_argument(
         "paths",
@@ -49,8 +49,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fail on warnings and stale baseline entries (CI gate)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default=None,
+        help="output format: human text (default), machine-readable "
+        "JSON, or GitHub Actions ::error annotations for PR lines",
+    )
+    parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit machine-readable JSON instead of human text",
+        help="shorthand for --format json",
     )
     parser.add_argument(
         "--baseline",
@@ -70,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalog and exit",
     )
     return parser
+
+
+def _escape_gh(text: str) -> str:
+    """Escape a GitHub Actions workflow-command message payload."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _github_annotation(diag) -> str:
+    """One ``::error`` line the Actions runner turns into a PR
+    annotation at the offending file/line."""
+    level = "error" if diag.severity.value == "error" else "warning"
+    return (
+        f"::{level} file={diag.path},line={diag.line},col={diag.col},"
+        f"title={diag.rule} {diag.severity.value}::"
+        f"{_escape_gh(diag.message)}"
+    )
 
 
 def _merge(reports: list[AnalysisReport]) -> AnalysisReport:
@@ -121,8 +146,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"wrote {len(report.active)} entries to {target}")
         return 0
 
-    if args.as_json:
+    out_format = args.format or ("json" if args.as_json else "text")
+    if out_format == "json":
         print(json.dumps(report.to_json(), indent=2))
+    elif out_format == "github":
+        for diag in report.active:
+            print(_github_annotation(diag))
+        for entry in report.stale_baseline:
+            print(
+                "::warning title=stale baseline::"
+                f"{_escape_gh(f'remove paid-off entry: {entry}')}"
+            )
     else:
         for diag in report.active:
             print(diag.format())

@@ -1,0 +1,365 @@
+"""Project symbol table and call graph for interprocedural rules.
+
+The per-module checkers (RP001-RP008) only ever look at one AST at a
+time; the concurrency rules (RP009-RP011) need to know *who calls whom*
+so a field access inside a private helper can inherit the locks its
+callers hold, and a ``with self._lock:`` block can "see" the blocking
+pool shutdown three calls away.
+
+:class:`ProjectIndex` builds, from a :class:`~..engine.Project`:
+
+* every top-level class with its methods, the inferred types of its
+  ``self.<attr>`` fields, and its declared lock attributes
+  (``self._lock = threading.Lock()`` / ``make_lock("Cls._lock")``);
+* every module-level function;
+* a conservative call resolver.  Resolution is *annotation driven*: a
+  receiver resolves only through ``self``, a parameter annotation, an
+  ``x: T`` / ``x = ClassName(...)`` local, a ``self.attr`` whose type
+  was pinned in ``__init__``, or a call to a function with a return
+  annotation.  Anything else resolves to nothing — the concurrency
+  rules prefer silence over guessing, because a wrong edge turns into a
+  wrong "deadlock" report.
+
+Class names are assumed project-unique (true in this repo; the analyzer
+would merely merge methods of homonymous classes, never crash).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .base import attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import Project, SourceModule
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "LockDecl",
+    "ProjectIndex",
+    "annotation_type",
+]
+
+# Constructors recognised as lock declarations, mapped to their kind.
+_LOCK_CONSTRUCTORS = {
+    "Lock": "Lock",
+    "RLock": "RLock",
+    "Condition": "Condition",
+    "make_lock": "Lock",
+    "make_rlock": "RLock",
+    "make_condition": "Condition",
+}
+
+# Kinds a thread may re-acquire without deadlocking itself.
+_REENTRANT_KINDS = frozenset({"RLock", "Condition"})
+
+
+def annotation_type(node: ast.expr | None) -> str | None:
+    """Best-effort class name out of an annotation expression.
+
+    ``Foo`` -> ``"Foo"``; ``pkg.Foo`` -> ``"Foo"``; ``"Foo"`` (string
+    annotation) is parsed; ``Foo | None`` / ``Optional[Foo]`` unwrap to
+    ``Foo``.  Containers (``list[Foo]``) return ``None`` — the element
+    type is not the receiver type.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = annotation_type(node.left)
+        if left is not None and left != "None":
+            return left
+        right = annotation_type(node.right)
+        return right if right != "None" else None
+    if isinstance(node, ast.Subscript):
+        base = annotation_type(node.value)
+        if base == "Optional":
+            return annotation_type(node.slice)
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One lock attribute declared in a class ``__init__``."""
+
+    attr: str  # "_lock"
+    lock_id: str  # "Scheduler._cond" — canonical name for order graphs
+    kind: str  # "Lock" | "RLock" | "Condition"
+    lineno: int
+
+    @property
+    def reentrant(self) -> bool:
+        return self.kind in _REENTRANT_KINDS
+
+
+@dataclass(eq=False)
+class FunctionInfo:
+    """One function or method, plus where it lives.
+
+    Identity-hashed: two infos are the same function only if they are
+    the same object, so summaries can key dicts on them.
+    """
+
+    name: str
+    qualname: str  # "Scheduler.submit" or "module.func"
+    module: "SourceModule"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str = ""  # "" for module-level functions
+
+    @property
+    def is_method(self) -> bool:
+        return bool(self.class_name)
+
+
+@dataclass(eq=False)
+class ClassInfo:
+    """One top-level class: methods, field types, and lock attrs."""
+
+    name: str
+    module: "SourceModule"
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    locks: dict[str, LockDecl] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+
+class ProjectIndex:
+    """Symbol table + call resolver over every module of a project."""
+
+    def __init__(self, project: "Project") -> None:
+        self.project = project
+        self.classes: dict[str, ClassInfo] = {}
+        # (module rel-path, function name) -> module-level function.
+        self.module_functions: dict[tuple[str, str], FunctionInfo] = {}
+        self.functions: list[FunctionInfo] = []
+        for module in project.modules:
+            self._index_module(module)
+        for info in self.classes.values():
+            self._infer_class_attrs(info)
+
+    # -- construction ---------------------------------------------------
+    def _index_module(self, module: "SourceModule") -> None:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                info = self.classes.setdefault(
+                    node.name,
+                    ClassInfo(
+                        name=node.name,
+                        module=module,
+                        node=node,
+                        bases=tuple(
+                            b.id
+                            for b in node.bases
+                            if isinstance(b, ast.Name)
+                        ),
+                    ),
+                )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        fn = FunctionInfo(
+                            name=item.name,
+                            qualname=f"{node.name}.{item.name}",
+                            module=module,
+                            node=item,
+                            class_name=node.name,
+                        )
+                        info.methods[item.name] = fn
+                        self.functions.append(fn)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(
+                    name=node.name,
+                    qualname=node.name,
+                    module=module,
+                    node=node,
+                )
+                self.module_functions[(module.rel, node.name)] = fn
+                self.functions.append(fn)
+
+    def _infer_class_attrs(self, info: ClassInfo) -> None:
+        """Field types and lock declarations from ``__init__`` (plus
+        ``self.attr: T`` annotations anywhere in the class body)."""
+        for method in info.methods.values():
+            for node in ast.walk(method.node):
+                if isinstance(node, ast.AnnAssign):
+                    chain = attribute_chain(node.target)
+                    if chain and len(chain) == 2 and chain[0] == "self":
+                        t = annotation_type(node.annotation)
+                        if t is not None:
+                            info.attr_types.setdefault(chain[1], t)
+        init = info.methods.get("__init__")
+        if init is None:
+            return
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            chain = attribute_chain(node.targets[0])
+            if chain is None or len(chain) != 2 or chain[0] != "self":
+                continue
+            attr = chain[1]
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            fchain = attribute_chain(value.func)
+            if fchain is None:
+                continue
+            ctor = fchain[-1]
+            kind = _LOCK_CONSTRUCTORS.get(ctor)
+            if kind is not None:
+                info.locks.setdefault(
+                    attr,
+                    LockDecl(
+                        attr=attr,
+                        lock_id=f"{info.name}.{attr}",
+                        kind=kind,
+                        lineno=node.lineno,
+                    ),
+                )
+            elif ctor in self.classes:
+                info.attr_types.setdefault(attr, ctor)
+
+    # -- lookups --------------------------------------------------------
+    def lock_decl(self, class_name: str, attr: str) -> LockDecl | None:
+        info = self.classes.get(class_name)
+        if info is None:
+            return None
+        decl = info.locks.get(attr)
+        if decl is not None:
+            return decl
+        for base in info.bases:
+            decl = self.lock_decl(base, attr)
+            if decl is not None:
+                return decl
+        return None
+
+    def method(self, class_name: str, name: str) -> FunctionInfo | None:
+        info = self.classes.get(class_name)
+        if info is None:
+            return None
+        fn = info.methods.get(name)
+        if fn is not None:
+            return fn
+        for base in info.bases:
+            fn = self.method(base, name)
+            if fn is not None:
+                return fn
+        return None
+
+    def attr_type(self, class_name: str, attr: str) -> str | None:
+        info = self.classes.get(class_name)
+        if info is None:
+            return None
+        t = info.attr_types.get(attr)
+        if t is not None:
+            return t
+        for base in info.bases:
+            t = self.attr_type(base, attr)
+            if t is not None:
+                return t
+        return None
+
+    # -- local type environments ----------------------------------------
+    def local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Map of local variable name -> class name, from parameter
+        annotations, ``x: T`` declarations, ``x = ClassName(...)``
+        constructor calls, and calls with a class return annotation."""
+        env: dict[str, str] = {}
+        args = fn.node.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ):
+            t = annotation_type(arg.annotation)
+            if t is not None and t in self.classes:
+                env[arg.arg] = t
+        for node in ast.walk(fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.AnnAssign):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    t = annotation_type(node.annotation)
+                    if t is not None and t in self.classes:
+                        env[target.id] = t
+                continue
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            if not isinstance(value, ast.Call):
+                continue
+            t = self._call_result_type(value, fn, env)
+            if t is not None:
+                env[target.id] = t
+        return env
+
+    def _call_result_type(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        env: dict[str, str],
+    ) -> str | None:
+        chain = attribute_chain(call.func)
+        if chain is None:
+            return None
+        if len(chain) == 1 and chain[0] in self.classes:
+            return chain[0]
+        callee = self.resolve_call(call, fn, env)
+        if callee is None or callee.name == "__init__":
+            return callee.class_name if callee is not None else None
+        t = annotation_type(callee.node.returns)
+        if t is not None and t in self.classes:
+            return t
+        return None
+
+    # -- call resolution -------------------------------------------------
+    def receiver_type(
+        self,
+        receiver: tuple[str, ...],
+        fn: FunctionInfo,
+        env: dict[str, str],
+    ) -> str | None:
+        """Class name of a dotted receiver chain, or ``None``."""
+        if receiver == ("self",):
+            return fn.class_name or None
+        if len(receiver) == 1:
+            return env.get(receiver[0])
+        base = self.receiver_type(receiver[:-1], fn, env)
+        if base is None:
+            return None
+        return self.attr_type(base, receiver[-1])
+
+    def resolve_call(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        env: dict[str, str],
+    ) -> FunctionInfo | None:
+        """The single function a call resolves to, or ``None``."""
+        chain = attribute_chain(call.func)
+        if chain is None:
+            return None
+        if len(chain) == 1:
+            name = chain[0]
+            if name in self.classes:
+                return self.method(name, "__init__")
+            return self.module_functions.get((fn.module.rel, name))
+        recv_type = self.receiver_type(chain[:-1], fn, env)
+        if recv_type is None:
+            return None
+        return self.method(recv_type, chain[-1])

@@ -18,11 +18,22 @@ Rule             Invariant
                  every CLI flag is read.
 ``RP006``        Durable-write safety: ``checkpoint/`` persists bytes
                  only through the atomic tmp+fsync+rename helpers.
-``RP007``        Service liveness: no ``time.sleep`` while holding a
-                 lock; every queue ``get()``/``join()`` has a timeout.
+``RP007``        Service liveness: every queue ``get()``/``join()``
+                 carries a timeout (the sleep-under-lock half moved to
+                 the dataflow-based RP010).
 ``RP008``        Swallowed exceptions: in ``service/`` and
                  ``distributed/``, an except handler must raise, call,
                  assign, or return — never silently drop the error.
+``RP009``        Lock discipline: a field guarded by a lock at most
+                 access sites is guarded at every site, including
+                 through private helper calls (inferred, not declared).
+``RP010``        Lock order: no acquisition cycles across the call
+                 graph, no re-acquiring a held non-reentrant lock, no
+                 unbounded blocking while holding a lock.
+``RP011``        Arena aliasing: an ``ExpansionArena`` buffer is never
+                 re-taken under an outstanding view, never escapes
+                 into results uncopied, never written under a live
+                 slice.
 ================ =====================================================
 """
 
@@ -37,4 +48,7 @@ from . import (  # noqa: F401  (imports register the checkers)
     rp006_durable_write,
     rp007_service,
     rp008_swallowed,
+    rp009_lock_discipline,
+    rp010_lock_order,
+    rp011_arena_alias,
 )

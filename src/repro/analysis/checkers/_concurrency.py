@@ -1,0 +1,126 @@
+"""Shared lock semantics for the concurrency rules (RP009/RP010).
+
+Two things both rules need to agree on:
+
+* **what counts as acquiring a lock** — :func:`resolve_lock` maps a
+  ``with`` item (or an explicit receiver) to a canonical lock id.
+  ``self._lock`` inside ``Scheduler`` resolves through the
+  :class:`~..callgraph.ProjectIndex` to the declared ``Scheduler._lock``
+  (same spelling the runtime sanitizer uses, so the static and dynamic
+  order graphs diff cleanly).  A lock-*named* expression that does not
+  resolve to a declaration still participates — under a module-scoped
+  anonymous id — so fixture code and locals are not invisible, but
+  anonymous ids never collide across modules into phantom cycles.
+
+* **what counts as blocking indefinitely** — :func:`blocking_call`
+  classifies calls that can park a thread with no bound: ``time.sleep``,
+  un-timed queue/thread ``get``/``join``, un-timed ``Event``/
+  ``Condition`` ``wait``, socket I/O, pool ``shutdown(wait=True)`` and
+  un-timed ``Future.result``.  A single positional argument on
+  ``get``/``join``/``wait``/``result`` is assumed to be a timeout (the
+  stdlib signatures put it first or second); being wrong there only
+  makes the rule quieter, never noisier.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..base import attribute_chain, call_keywords
+from ..callgraph import FunctionInfo, LockDecl, ProjectIndex
+
+__all__ = [
+    "SCOPE_PACKAGES",
+    "resolve_lock",
+    "blocking_call",
+]
+
+# Packages whose threading discipline the rules enforce.
+SCOPE_PACKAGES = frozenset({"service", "parallel", "checkpoint"})
+
+_LOCKISH = ("lock", "cond", "mutex")
+
+_QUEUEISH = ("queue", "thread", "worker", "proc", "pool", "_q")
+_EVENTISH = ("event", "cond", "stop", "done", "ready")
+_SOCKISH = ("sock", "conn")
+_POOLISH = ("pool", "executor")
+_FUTUREISH = ("future", "fut")
+
+_SOCKET_OPS = frozenset({"recv", "recv_into", "accept", "connect", "sendall"})
+
+
+def _receiver_has(chain: tuple[str, ...], keys: tuple[str, ...]) -> bool:
+    return any(key in part.lower() for part in chain for key in keys)
+
+
+def resolve_lock(
+    expr: ast.expr,
+    fn: FunctionInfo,
+    index: ProjectIndex,
+    env: dict[str, str],
+) -> tuple[str, LockDecl | None] | None:
+    """``(lock_id, decl)`` if ``expr`` denotes a lock, else ``None``.
+
+    ``decl`` is the class-level declaration when the receiver type is
+    known (giving reentrancy information); ``None`` for anonymous
+    lock-named expressions.
+    """
+    if isinstance(expr, ast.Call):
+        expr = expr.func  # ``registry.lock()`` style accessors
+    chain = attribute_chain(expr)
+    if chain is None:
+        return None
+    if len(chain) >= 2:
+        recv_type = index.receiver_type(chain[:-1], fn, env)
+        if recv_type is not None:
+            decl = index.lock_decl(recv_type, chain[-1])
+            if decl is not None:
+                return decl.lock_id, decl
+    if _receiver_has(chain, _LOCKISH):
+        return f"{fn.module.rel}:{'.'.join(chain)}", None
+    return None
+
+
+def blocking_call(
+    call: ast.Call, aliases: dict[str, str]
+) -> tuple[str, str] | None:
+    """``(description, kind)`` if the call can block without bound.
+
+    Kinds: ``sleep``, ``queue-wait``, ``cond-wait`` (releases its own
+    receiver while waiting), ``socket``, ``pool-shutdown``,
+    ``future-result``.
+    """
+    chain = attribute_chain(call.func)
+    if chain is None:
+        return None
+    kw = call_keywords(call)
+    if (len(chain) == 1 and aliases.get(chain[0], "") == "time.sleep") or (
+        len(chain) == 2
+        and chain[1] == "sleep"
+        and aliases.get(chain[0], "") == "time"
+    ):
+        return "time.sleep()", "sleep"
+    if len(chain) < 2:
+        return None
+    receiver, meth = chain[:-1], chain[-1]
+    dotted = ".".join(chain)
+    timed = bool(call.args) or "timeout" in kw
+    if meth in ("get", "join") and not timed and _receiver_has(
+        receiver, _QUEUEISH
+    ):
+        return f"un-timed {dotted}()", "queue-wait"
+    if meth == "wait" and not timed and _receiver_has(receiver, _EVENTISH):
+        return f"un-timed {dotted}()", "cond-wait"
+    if meth in _SOCKET_OPS and _receiver_has(receiver, _SOCKISH):
+        return f"socket {dotted}()", "socket"
+    if meth == "shutdown" and _receiver_has(receiver, _POOLISH):
+        wait = kw.get("wait")
+        if not (
+            isinstance(wait, ast.Constant) and wait.value is False
+        ):
+            return f"{dotted}(wait=True)", "pool-shutdown"
+    if meth == "result" and not timed and _receiver_has(
+        receiver, _FUTUREISH
+    ):
+        return f"un-timed {dotted}()", "future-result"
+    return None

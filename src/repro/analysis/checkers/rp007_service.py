@@ -1,25 +1,22 @@
 """RP007 — liveness safety in the service package.
 
 The matching service multiplexes every client onto one scheduler and
-one dispatch thread; a single blocked holder stalls all of them.  Two
-patterns defeat that liveness and are banned in ``service/``:
+one dispatch thread; a worker parked on a wait that can never end
+wedges shutdown for all of them.  The rule bans **un-timed queue
+``get()`` / ``join()``** in ``service/``: a ``.get()`` or ``.join()``
+without a ``timeout=`` on a queue-named receiver blocks forever when
+the producer died; shutdown then hangs on a thread that can never
+observe the stop flag.  Every queue wait must carry a timeout and
+re-check for shutdown.
 
-* ``time.sleep(...)`` **while holding a lock** — sleeping inside a
-  ``with <something lock-like>:`` block turns a pacing delay into a
-  global stall: every submitter and the dispatch loop queue up behind
-  the sleeper.  Waiting must go through ``Condition.wait`` /
-  ``Event.wait`` (which release or never take the lock) so waiters can
-  be woken early.
-* **un-timed queue ``get()`` / ``join()``** — a ``.get()`` or
-  ``.join()`` without a ``timeout=`` on a queue-named receiver blocks
-  forever when the producer died; shutdown then hangs on a thread that
-  can never observe the stop flag.  Every queue wait must carry a
-  timeout and re-check for shutdown.
+Queue-named receivers are recognised by name: any component of the
+receiver's dotted chain containing ``queue``.
 
-Lock-like context managers are recognised by name: any component of the
-``with`` expression's dotted chain containing ``lock`` or ``cond``
-(``self._lock``, ``registry.lock()``, ``self._cond``).  Queue-named
-receivers likewise: any chain component containing ``queue``.
+The other half this rule used to carry — ``time.sleep`` while holding
+a lock — is superseded by RP010, which tracks the held-lock set
+through dataflow and the call graph instead of matching ``with``
+blocks syntactically, and covers the full blocking-call catalog
+(sleep, socket I/O, pool shutdown, un-timed waits).
 """
 
 from __future__ import annotations
@@ -27,31 +24,14 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
-from ..base import Checker, attribute_chain, call_keywords, import_aliases
+from ..base import Checker, attribute_chain, call_keywords
 from ..diagnostics import Diagnostic
 from ..engine import SourceModule
 from ..registry import register
 
 SCOPE = "service"
 
-LOCKISH = ("lock", "cond")
-
 UNTIMED_WAITERS = frozenset({"get", "join"})
-
-
-def _chain_of(node: ast.expr) -> tuple[str, ...] | None:
-    """Dotted chain of an expression, looking through calls
-    (``registry.lock()`` -> ``("registry", "lock")``)."""
-    if isinstance(node, ast.Call):
-        node = node.func
-    return attribute_chain(node)
-
-
-def _is_lockish(node: ast.expr) -> bool:
-    chain = _chain_of(node)
-    return chain is not None and any(
-        key in part.lower() for part in chain for key in LOCKISH
-    )
 
 
 def _is_queueish(chain: tuple[str, ...]) -> bool:
@@ -63,61 +43,18 @@ class ServiceSafetyChecker(Checker):
     rule = "RP007"
     name = "service-liveness-safety"
     description = (
-        "service/ must stay responsive: no time.sleep while holding a "
-        "lock, and every queue get()/join() carries a timeout"
+        "service/ must stay responsive: every queue get()/join() "
+        "carries a timeout"
     )
 
     def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
         if module.package != SCOPE:
             return
-        aliases = import_aliases(module.tree)
-        seen: set[tuple[int, int]] = set()
         for node in ast.walk(module.tree):
-            if isinstance(node, (ast.With, ast.AsyncWith)):
-                yield from self._check_with(module, node, aliases, seen)
-            elif isinstance(node, ast.Call):
+            if isinstance(node, ast.Call):
                 yield from self._check_untimed_wait(module, node)
 
     # ------------------------------------------------------------------
-    def _is_time_sleep(
-        self, node: ast.Call, aliases: dict[str, str]
-    ) -> bool:
-        chain = attribute_chain(node.func)
-        if chain is None:
-            return False
-        if len(chain) == 1:
-            # ``from time import sleep`` (possibly aliased).
-            return aliases.get(chain[0], "") == "time.sleep"
-        # ``import time [as t]; t.sleep(...)``.
-        return chain[-1] == "sleep" and aliases.get(chain[0], "") == "time"
-
-    def _check_with(
-        self,
-        module: SourceModule,
-        node: ast.With | ast.AsyncWith,
-        aliases: dict[str, str],
-        seen: set[tuple[int, int]],
-    ) -> Iterator[Diagnostic]:
-        if not any(_is_lockish(item.context_expr) for item in node.items):
-            return
-        for stmt in node.body:
-            for inner in ast.walk(stmt):
-                if not isinstance(inner, ast.Call):
-                    continue
-                if not self._is_time_sleep(inner, aliases):
-                    continue
-                site = (inner.lineno, inner.col_offset)
-                if site in seen:
-                    continue  # nested lock blocks report once
-                seen.add(site)
-                yield self.diag(
-                    module,
-                    inner,
-                    "time.sleep() while holding a lock stalls every "
-                    "other service thread; wait on a Condition/Event "
-                    "(which releases the lock) instead",
-                )
-
     def _check_untimed_wait(
         self, module: SourceModule, node: ast.Call
     ) -> Iterator[Diagnostic]:

@@ -1,0 +1,292 @@
+"""RP009 — inferred lock discipline for shared class state.
+
+The service/parallel/checkpoint packages share mutable objects across
+threads (HTTP handlers, the dispatch thread, the journal writer, pool
+callbacks).  Their guard protocol is *conventional* — "``Scheduler``
+counters are touched under ``self._cond``" — and nothing enforced it:
+one new method reading ``self.admitted`` without the lock compiles,
+passes every test that doesn't race, and corrupts ``/metrics`` under
+load.
+
+This rule infers the convention instead of asking for annotations.  For
+every class in scope it runs a must-held-locks dataflow over each
+method (``__init__`` exempt — construction happens-before sharing) and
+records, per attribute, which locks were held at every access site.  A
+lock that guards **at least two sites and a strict majority** of an
+attribute's sites is inferred to protect it; the minority sites are
+reported, with the evidence (guarded/total counts and an example
+guarded site) in the message.
+
+Helper methods are not loopholes: a private method (``_name``) called
+only with a lock held inherits that lock as held on entry — computed
+as the intersection of the held sets at its intra-class call sites,
+iterated to a fixed point so helpers-calling-helpers resolve too.
+
+Attributes that are never written outside ``__init__`` are skipped
+(immutable configuration needs no guard), as are the lock attributes
+themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..base import Checker, attribute_chain
+from ..callgraph import ClassInfo, FunctionInfo, ProjectIndex
+from ..dataflow import FlowAnalysis, FlowState
+from ..diagnostics import Diagnostic
+from ..engine import Project
+from ..registry import register
+from ._concurrency import SCOPE_PACKAGES, resolve_lock
+
+# An inferred guard needs this many guarded sites...
+_MIN_GUARDED_SITES = 2
+# ...and guarded > unguarded (strict majority), checked at report time.
+
+
+@dataclass(eq=False)
+class _Access:
+    attr: str
+    fn: FunctionInfo
+    node: ast.AST
+    is_write: bool
+    held: frozenset[str]
+
+
+class _HeldState(FlowState):
+    """Must-held lock multiset (count handles nested re-acquires)."""
+
+    def __init__(self, held: dict[str, int] | None = None) -> None:
+        self.held: dict[str, int] = dict(held or {})
+        self.dead = False
+
+    def copy(self) -> "_HeldState":
+        state = _HeldState(self.held)
+        state.dead = self.dead
+        return state
+
+    def join(self, other: "_HeldState") -> None:
+        self.held = {
+            lock: min(count, other.held[lock])
+            for lock, count in self.held.items()
+            if lock in other.held
+        }
+
+    def acquire(self, lock: str) -> None:
+        self.held[lock] = self.held.get(lock, 0) + 1
+
+    def release(self, lock: str) -> None:
+        count = self.held.get(lock, 0)
+        if count <= 1:
+            self.held.pop(lock, None)
+        else:
+            self.held[lock] = count - 1
+
+    def ids(self) -> frozenset[str]:
+        return frozenset(self.held)
+
+
+class _MethodFlow(FlowAnalysis[_HeldState]):
+    """Collect ``self.<attr>`` accesses and intra-class call sites with
+    the must-held lock set at each."""
+
+    def __init__(
+        self, fn: FunctionInfo, index: ProjectIndex, env: dict[str, str]
+    ) -> None:
+        self.fn = fn
+        self.index = index
+        self.env = env
+        self.accesses: list[_Access] = []
+        # (callee method name, held ids at the call)
+        self.calls: list[tuple[str, frozenset[str]]] = []
+
+    # -- hooks ---------------------------------------------------------
+    def on_with_enter(self, state, item, node):
+        resolved = resolve_lock(item.context_expr, self.fn, self.index,
+                                self.env)
+        if resolved is not None:
+            state.acquire(resolved[0])
+
+    def on_with_exit(self, state, item, node):
+        resolved = resolve_lock(item.context_expr, self.fn, self.index,
+                                self.env)
+        if resolved is not None:
+            state.release(resolved[0])
+
+    def _record(self, state, node: ast.expr, is_write: bool) -> None:
+        chain = attribute_chain(node)
+        if chain is None or len(chain) != 2 or chain[0] != "self":
+            return
+        self.accesses.append(
+            _Access(
+                attr=chain[1],
+                fn=self.fn,
+                node=node,
+                is_write=is_write,
+                held=state.ids(),
+            )
+        )
+
+    def on_load(self, state, node):
+        if isinstance(node, ast.Attribute):
+            self._record(state, node, is_write=False)
+
+    def on_store(self, state, target, value, node):
+        if isinstance(target, ast.Attribute):
+            self._record(state, target, is_write=True)
+        elif isinstance(target, ast.Subscript):
+            # ``self.d[k] = v`` mutates the container held in ``self.d``.
+            self._record(state, target.value, is_write=True)
+
+    def on_call(self, state, node):
+        chain = attribute_chain(node.func)
+        if chain is not None and len(chain) == 2 and chain[0] == "self":
+            self.calls.append((chain[1], state.ids()))
+
+
+def _is_private(name: str) -> bool:
+    return name.startswith("_") and not name.startswith("__")
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "RP009"
+    name = "lock-discipline"
+    description = (
+        "in service/, parallel/, checkpoint/: fields guarded by a lock "
+        "at most access sites must be guarded at every site, including "
+        "through private helper calls"
+    )
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        index = ProjectIndex(project)
+        for info in sorted(
+            index.classes.values(), key=lambda c: (c.module.rel, c.name)
+        ):
+            if info.module.package not in SCOPE_PACKAGES:
+                continue
+            yield from self._check_class(index, info)
+
+    # ------------------------------------------------------------------
+    def _check_class(
+        self, index: ProjectIndex, info: ClassInfo
+    ) -> Iterable[Diagnostic]:
+        flows: dict[str, _MethodFlow] = {}
+        for name, fn in sorted(info.methods.items()):
+            if name == "__init__":
+                continue
+            flow = _MethodFlow(fn, index, index.local_types(fn))
+            flow.run(fn.node, _HeldState())
+            flows[name] = flow
+
+        entry = self._entry_held(flows)
+
+        # Per attribute: unique access sites (one per line) with the
+        # effective held set (method-body locks + inherited entry locks).
+        sites: dict[str, dict[int, tuple[_Access, frozenset[str]]]] = (
+            defaultdict(dict)
+        )
+        wrote: set[str] = set()
+        for name, flow in flows.items():
+            inherited = entry.get(name, frozenset())
+            for access in flow.accesses:
+                if access.attr in info.locks:
+                    continue
+                if access.is_write:
+                    wrote.add(access.attr)
+                effective = access.held | inherited
+                line = access.node.lineno
+                prev = sites[access.attr].get(line)
+                if prev is None:
+                    sites[access.attr][line] = (access, effective)
+                else:
+                    # Same line twice (e.g. augmented assign): the site
+                    # counts as guarded only if every access on it is.
+                    old_access, old_held = prev
+                    sites[access.attr][line] = (
+                        old_access if old_access.is_write else access,
+                        old_held & effective,
+                    )
+
+        for attr in sorted(sites):
+            if attr not in wrote:
+                continue  # set in __init__, read-only after: no guard
+            yield from self._check_attr(info, attr, sites[attr])
+
+    def _entry_held(
+        self, flows: dict[str, _MethodFlow]
+    ) -> dict[str, frozenset[str]]:
+        """Locks a private method can assume held on entry: the
+        intersection over its intra-class call sites, to fixed point."""
+        call_sites: dict[str, list[tuple[str, frozenset[str]]]] = (
+            defaultdict(list)
+        )
+        for caller, flow in flows.items():
+            for callee, held in flow.calls:
+                if callee in flows and _is_private(callee):
+                    call_sites[callee].append((caller, held))
+        entry: dict[str, frozenset[str]] = {
+            name: frozenset() for name in flows
+        }
+        for _ in range(len(flows) + 1):
+            changed = False
+            for callee, callers in call_sites.items():
+                held_sets = [
+                    held | entry[caller] for caller, held in callers
+                ]
+                new = frozenset.intersection(*held_sets)
+                if new != entry[callee]:
+                    entry[callee] = new
+                    changed = True
+            if not changed:
+                break
+        return entry
+
+    def _check_attr(
+        self,
+        info: ClassInfo,
+        attr: str,
+        by_line: dict[int, tuple[_Access, frozenset[str]]],
+    ) -> Iterable[Diagnostic]:
+        candidates: set[str] = set()
+        for _, held in by_line.values():
+            candidates.update(held)
+        total = len(by_line)
+        best: tuple[int, str] | None = None
+        for lock in sorted(candidates):
+            guarded = sum(
+                1 for _, held in by_line.values() if lock in held
+            )
+            if best is None or guarded > best[0]:
+                best = (guarded, lock)
+        if best is None:
+            return
+        guarded, lock = best
+        if guarded < _MIN_GUARDED_SITES or guarded <= total - guarded:
+            return
+        example = min(
+            line
+            for line, (_, held) in by_line.items()
+            if lock in held
+        )
+        hint = (
+            f"with self.{lock.split('.', 1)[1]}:"
+            if lock.startswith(f"{info.name}.")
+            else f"with {lock}:"
+        )
+        for line in sorted(by_line):
+            access, held = by_line[line]
+            if lock in held:
+                continue
+            kind = "write" if access.is_write else "read"
+            yield self.diag(
+                info.module,
+                access.node,
+                f"unguarded {kind} of {info.name}.{attr}: {lock} guards "
+                f"it at {guarded}/{total} access sites (e.g. "
+                f"{info.module.rel}:{example}); hold '{hint}' here too, "
+                f"or justify with a suppression comment",
+            )

@@ -1,0 +1,413 @@
+"""RP010 — static lock-order and held-lock-blocking detection.
+
+Deadlocks in the service stack need two threads and a scheduler fluke
+to reproduce, so tests rarely see them; the *order graph* that causes
+them is fully static.  This rule builds it: a node per lock
+(``Class._attr`` ids shared with the runtime sanitizer), and an edge
+``A -> B`` wherever code acquires ``B`` while holding ``A`` — directly
+via nested ``with``, or transitively through any call the
+:class:`~..callgraph.ProjectIndex` can resolve (each function's
+may-acquire set is propagated over the call graph to a fixed point).
+
+Findings, all in ``service/``, ``parallel/``, ``checkpoint/``:
+
+* **lock-order cycles** — edges whose endpoints sit in one strongly
+  connected component; two threads walking a 2-cycle from opposite
+  ends deadlock.  Each offending edge is reported with the conflicting
+  edge's site as evidence.
+* **self-deadlock** — re-acquiring a held non-reentrant ``Lock``.
+* **blocking while holding a lock** — un-bounded operations
+  (``time.sleep``, un-timed queue ``get``/``join``, un-timed
+  ``Event``/``Condition.wait``, socket I/O, pool ``shutdown(wait=True)``,
+  un-timed ``Future.result``) reached — directly or through resolved
+  calls — while a lock is held.  A blocked holder stalls every thread
+  queued on that lock, which is a liveness bug even when no cycle
+  exists.  (This supersedes the ``time.sleep``-under-lock half of the
+  old syntactic RP007; the un-timed-queue-wait half stays in RP007
+  because it applies with no lock held at all.)
+
+``Condition.wait`` releases the condition it waits on, so waiting on
+the *held* condition is the sanctioned idiom and is exempt; waiting
+un-timed while holding any *other* lock still reports.
+
+:func:`lock_order_edges` exposes the edge graph for the runtime
+sanitizer's static-vs-dynamic diff (``analysis/sanitizer.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..base import Checker, attribute_chain, import_aliases
+from ..callgraph import FunctionInfo, ProjectIndex
+from ..dataflow import FlowAnalysis, FlowState
+from ..diagnostics import Diagnostic
+from ..engine import Project
+from ..registry import register
+from ._concurrency import SCOPE_PACKAGES, blocking_call, resolve_lock
+
+__all__ = ["lock_order_edges", "LockOrderChecker"]
+
+
+@dataclass(eq=False)
+class _Summary:
+    """Per-function may-facts, closed over the call graph."""
+
+    acquires: set[str] = field(default_factory=set)
+    # How this function blocks, e.g. "time.sleep()" or a call chain
+    # "GraphHandle.close() -> ParallelMatcher.close() -> ...".
+    blocks: str | None = None
+
+
+@dataclass(frozen=True)
+class _Edge:
+    held: str
+    acquired: str
+
+    def reversed(self) -> "_Edge":
+        return _Edge(self.acquired, self.held)
+
+
+@dataclass(eq=False)
+class _EdgeInfo:
+    rel: str
+    line: int
+    via: str | None  # callee qualname when the edge is transitive
+
+
+class _HeldState(FlowState):
+    def __init__(self, held: dict[str, int] | None = None) -> None:
+        self.held: dict[str, int] = dict(held or {})
+        self.dead = False
+
+    def copy(self) -> "_HeldState":
+        state = _HeldState(self.held)
+        state.dead = self.dead
+        return state
+
+    def join(self, other: "_HeldState") -> None:
+        self.held = {
+            lock: min(count, other.held[lock])
+            for lock, count in self.held.items()
+            if lock in other.held
+        }
+
+
+class _Graph:
+    """The whole-project lock-order graph plus per-function facts."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.edges: dict[_Edge, _EdgeInfo] = {}
+        self.summaries: dict[FunctionInfo, _Summary] = {}
+        self.callees: dict[FunctionInfo, list[tuple[ast.Call, FunctionInfo]]] = {}
+        self.envs: dict[FunctionInfo, dict[str, str]] = {}
+        self.aliases: dict[str, dict[str, str]] = {}
+        self._summarize()
+
+    def module_aliases(self, fn: FunctionInfo) -> dict[str, str]:
+        rel = fn.module.rel
+        if rel not in self.aliases:
+            self.aliases[rel] = import_aliases(fn.module.tree)
+        return self.aliases[rel]
+
+    # -- phase A: function summaries to a fixed point -------------------
+    def _summarize(self) -> None:
+        for fn in self.index.functions:
+            env = self.index.local_types(fn)
+            self.envs[fn] = env
+            summary = _Summary()
+            callees: list[tuple[ast.Call, FunctionInfo]] = []
+            aliases = self.module_aliases(fn)
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        resolved = resolve_lock(
+                            item.context_expr, fn, self.index, env
+                        )
+                        if resolved is not None:
+                            summary.acquires.add(resolved[0])
+                elif isinstance(node, ast.Call):
+                    callee = self.index.resolve_call(node, fn, env)
+                    if callee is not None and callee is not fn:
+                        callees.append((node, callee))
+                    elif summary.blocks is None:
+                        hit = blocking_call(node, aliases)
+                        if hit is not None:
+                            summary.blocks = hit[0]
+            self.summaries[fn] = summary
+            self.callees[fn] = callees
+
+        for _ in range(len(self.summaries) + 1):
+            changed = False
+            for fn, summary in self.summaries.items():
+                for _, callee in self.callees[fn]:
+                    callee_summary = self.summaries.get(callee)
+                    if callee_summary is None:
+                        continue
+                    if not callee_summary.acquires <= summary.acquires:
+                        summary.acquires |= callee_summary.acquires
+                        changed = True
+                    if summary.blocks is None and callee_summary.blocks:
+                        summary.blocks = (
+                            f"{callee.qualname}() -> "
+                            f"{callee_summary.blocks}"
+                        )
+                        changed = True
+            if not changed:
+                break
+
+    def add_edge(self, held: str, acquired: str, fn: FunctionInfo,
+                 line: int, via: str | None) -> None:
+        edge = _Edge(held, acquired)
+        if edge not in self.edges:
+            self.edges[edge] = _EdgeInfo(fn.module.rel, line, via)
+
+
+class _OrderFlow(FlowAnalysis[_HeldState]):
+    """Phase B: walk one function with must-held state, recording order
+    edges and blocking-while-held findings."""
+
+    def __init__(self, graph: _Graph, fn: FunctionInfo,
+                 checker: "LockOrderChecker") -> None:
+        self.graph = graph
+        self.fn = fn
+        self.checker = checker
+        self.env = graph.envs[fn]
+        self.aliases = graph.module_aliases(fn)
+        self.findings: list[Diagnostic] = []
+        self._reported: set[int] = set()
+        self._callees = {
+            id(call): callee for call, callee in graph.callees[fn]
+        }
+
+    def _in_scope(self) -> bool:
+        return self.fn.module.package in SCOPE_PACKAGES
+
+    def on_with_enter(self, state, item, node):
+        resolved = resolve_lock(item.context_expr, self.fn,
+                                self.graph.index, self.env)
+        if resolved is None:
+            return
+        lock, decl = resolved
+        if (
+            lock in state.held
+            and decl is not None
+            and not decl.reentrant
+            and self._in_scope()
+            and node.lineno not in self._reported
+        ):
+            self._reported.add(node.lineno)
+            self.findings.append(self.checker.diag(
+                self.fn.module, node,
+                f"self-deadlock: re-acquiring non-reentrant {lock} "
+                f"already held by this thread blocks forever; use an "
+                f"RLock or restructure so the lock is taken once",
+            ))
+        for held in sorted(state.held):
+            if held != lock:
+                self.graph.add_edge(held, lock, self.fn, node.lineno,
+                                    None)
+        state.held[lock] = state.held.get(lock, 0) + 1
+
+    def on_with_exit(self, state, item, node):
+        resolved = resolve_lock(item.context_expr, self.fn,
+                                self.graph.index, self.env)
+        if resolved is None:
+            return
+        lock = resolved[0]
+        count = state.held.get(lock, 0)
+        if count <= 1:
+            state.held.pop(lock, None)
+        else:
+            state.held[lock] = count - 1
+
+    def on_call(self, state, node):
+        callee = self._callees.get(id(node))
+        if callee is not None:
+            summary = self.graph.summaries.get(callee)
+            if summary is None:
+                return
+            for acquired in sorted(summary.acquires):
+                for held in sorted(state.held):
+                    if held != acquired:
+                        self.graph.add_edge(held, acquired, self.fn,
+                                            node.lineno, callee.qualname)
+            if state.held and summary.blocks and self._in_scope():
+                self._report_blocking(
+                    state, node,
+                    f"call to {callee.qualname}() may block "
+                    f"({summary.blocks})",
+                    releases=None,
+                )
+            return
+        hit = blocking_call(node, self.aliases)
+        if hit is None or not state.held or not self._in_scope():
+            return
+        desc, kind = hit
+        releases = None
+        if kind == "cond-wait":
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                resolved = resolve_lock(func.value, self.fn,
+                                        self.graph.index, self.env)
+                if resolved is not None:
+                    releases = resolved[0]
+        self._report_blocking(state, node, desc, releases=releases)
+
+    def _report_blocking(self, state, node, desc: str,
+                         releases: str | None) -> None:
+        held = sorted(lock for lock in state.held if lock != releases)
+        if not held or node.lineno in self._reported:
+            return
+        self._reported.add(node.lineno)
+        self.findings.append(self.checker.diag(
+            self.fn.module, node,
+            f"{desc} while holding {', '.join(held)}: a blocked holder "
+            f"stalls every thread queued on the lock; release it first "
+            f"or bound the wait with a timeout",
+        ))
+
+
+def _strongly_connected(nodes: set[str],
+                        succ: dict[str, set[str]]) -> dict[str, int]:
+    """Iterative Tarjan; returns node -> component id."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    comp: dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    for root in sorted(nodes):
+        if root in index_of:
+            continue
+        work: list[tuple[str, list[str]]] = [(root, sorted(succ.get(root, ())))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children = work[-1]
+            if children:
+                child = children.pop(0)
+                if child not in index_of:
+                    index_of[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, sorted(succ.get(child, ()))))
+                elif child in on_stack:
+                    low[node] = min(low[node], index_of[child])
+            else:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index_of[node]:
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        comp[member] = comp_id[0]
+                        if member == node:
+                            break
+                    comp_id[0] += 1
+    return comp
+
+
+def _build_graph(project: Project) -> _Graph:
+    index = ProjectIndex(project)
+    graph = _Graph(index)
+    # Phase B runs over every function so edges contributed by helper
+    # modules exist even when findings are scoped; findings collected
+    # by the checker below.
+    return graph
+
+
+def lock_order_edges(
+    project: Project,
+) -> dict[tuple[str, str], tuple[str, int]]:
+    """``(held, acquired) -> (path, line)`` static order edges, for the
+    runtime sanitizer's dead-discipline diff."""
+    checker = LockOrderChecker()
+    graph = checker.analyze(project)
+    return {
+        (edge.held, edge.acquired): (info.rel, info.line)
+        for edge, info in graph.edges.items()
+    }
+
+
+@register
+class LockOrderChecker(Checker):
+    rule = "RP010"
+    name = "lock-order-safety"
+    description = (
+        "in service/, parallel/, checkpoint/: no lock-order cycles, no "
+        "re-acquiring a held non-reentrant lock, and no unbounded "
+        "blocking (sleep/queue/socket/pool waits) while holding a lock"
+    )
+
+    def analyze(self, project: Project) -> _Graph:
+        graph = _build_graph(project)
+        self._flows = []
+        for fn in graph.index.functions:
+            flow = _OrderFlow(graph, fn, self)
+            flow.run(fn.node, _HeldState())
+            self._flows.append(flow)
+        return graph
+
+    def check_project(self, project: Project) -> Iterable[Diagnostic]:
+        graph = self.analyze(project)
+        for flow in self._flows:
+            yield from flow.findings
+        yield from self._cycle_findings(graph)
+
+    # ------------------------------------------------------------------
+    def _cycle_findings(self, graph: _Graph) -> Iterable[Diagnostic]:
+        nodes: set[str] = set()
+        succ: dict[str, set[str]] = {}
+        for edge in graph.edges:
+            nodes.add(edge.held)
+            nodes.add(edge.acquired)
+            succ.setdefault(edge.held, set()).add(edge.acquired)
+        comp = _strongly_connected(nodes, succ)
+        by_rel = graph.index.project.by_rel()
+        for edge in sorted(graph.edges,
+                           key=lambda e: (e.held, e.acquired)):
+            if comp.get(edge.held) != comp.get(edge.acquired):
+                continue
+            info = graph.edges[edge]
+            module = by_rel.get(info.rel)
+            if module is None or module.package not in SCOPE_PACKAGES:
+                continue
+            conflict = self._conflicting_site(graph, edge)
+            via = f" (via {info.via}())" if info.via else ""
+            yield Diagnostic(
+                path=info.rel,
+                line=info.line,
+                col=1,
+                rule=self.rule,
+                message=(
+                    f"lock-order cycle: acquiring {edge.acquired} while "
+                    f"holding {edge.held}{via} conflicts with the "
+                    f"opposite order established at {conflict}; two "
+                    f"threads taking both paths deadlock — pick one "
+                    f"global order"
+                ),
+            )
+
+    def _conflicting_site(self, graph: _Graph, edge: _Edge) -> str:
+        reverse = graph.edges.get(edge.reversed())
+        if reverse is not None:
+            return f"{reverse.rel}:{reverse.line}"
+        # Longer cycle: cite any edge leaving the acquired lock.
+        for other, info in sorted(
+            graph.edges.items(),
+            key=lambda kv: (kv[0].held, kv[0].acquired),
+        ):
+            if other.held == edge.acquired:
+                return f"{info.rel}:{info.line}"
+        return "<unknown>"

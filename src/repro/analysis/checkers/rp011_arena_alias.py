@@ -1,0 +1,295 @@
+"""RP011 — aliasing safety for ``ExpansionArena`` buffers.
+
+The columnar engine's zero-allocation property comes from
+``arena.take(name, size, dtype)`` handing out *reused* views of named
+backing buffers (DESIGN.md §13).  That reuse is a sharp edge: the same
+name taken twice returns overlapping memory, and a view that outlives
+the kernel stage it was taken for silently changes under the next
+``take``.  GSI's Preallocated-Combined-Array has the identical
+discipline, enforced there by the kernel launch structure; here it is
+only a calling convention — so this rule checks it.
+
+Per function (in ``core/`` modules), a forward may-alias dataflow tags
+each local with the set of arena buffer names its value may view.
+Tags propagate through ``.reshape``/``.view``/slice expressions and
+conditional joins; assignment kills the target's old tags;
+``.copy()``/``np.array``/arithmetic produce fresh memory.  A variable
+is *outstanding* while any later line still reads it.  Three patterns
+report:
+
+* **double take** — ``take("x")`` while another outstanding variable
+  still views buffer ``"x"``: the earlier view is silently clobbered.
+* **escape** — a tagged view passed into ``MatchResult(...)`` or
+  ``SearchStats(...)``: results must own their memory (``.copy()``
+  first), or the next expansion rewrites a caller-visible array.
+* **write under view** — storing into ``buf[...]`` (or ``out=buf``)
+  while an outstanding *slice* of the same buffer exists: the view's
+  contents change mid-use.
+
+``take`` with a non-literal name (the fanout tables' computed names)
+yields no tag and is deliberately unchecked — a dynamic name cannot be
+proven to collide, and the rule prefers silence over guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..base import Checker, attribute_chain, call_keywords, walk_functions
+from ..dataflow import FlowAnalysis, FlowState
+from ..diagnostics import Diagnostic
+from ..engine import SourceModule
+from ..registry import register
+
+SCOPE = "core"
+
+# Calls whose result owns fresh memory, killing view tags.
+_FRESHENERS = frozenset({"copy", "compress", "astype", "tolist", "sum",
+                         "array", "ascontiguousarray", "concatenate"})
+# Methods that return another view of the same buffer.
+_VIEWERS = frozenset({"reshape", "view", "ravel"})
+
+_RESULT_TYPES = frozenset({"MatchResult", "SearchStats"})
+
+
+def _is_arena_take(call: ast.Call) -> str | None:
+    """The literal buffer name if this is ``<arena-ish>.take("lit", ...)``."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr != "take":
+        return None
+    chain = attribute_chain(func.value)
+    if chain is None or not any("arena" in part.lower() for part in chain):
+        return None
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        return call.args[0].value
+    return None
+
+
+class _AliasState(FlowState):
+    """May-alias facts: variable -> buffer tags (+ which are slices)."""
+
+    def __init__(self) -> None:
+        self.tags: dict[str, frozenset[str]] = {}
+        self.views: set[str] = set()  # vars whose tags came via a slice
+        self.dead = False
+
+    def copy(self) -> "_AliasState":
+        state = _AliasState()
+        state.tags = dict(self.tags)
+        state.views = set(self.views)
+        state.dead = self.dead
+        return state
+
+    def join(self, other: "_AliasState") -> None:
+        merged: dict[str, frozenset[str]] = {}
+        for var in set(self.tags) | set(other.tags):
+            union = self.tags.get(var, frozenset()) | other.tags.get(
+                var, frozenset()
+            )
+            if union:
+                merged[var] = union
+        self.tags = merged
+        self.views |= other.views
+
+
+class _ArenaFlow(FlowAnalysis[_AliasState]):
+    def __init__(self, checker: "ArenaAliasChecker",
+                 module: SourceModule,
+                 fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.checker = checker
+        self.module = module
+        self.findings: list[Diagnostic] = []
+        self._reported: set[tuple[int, str]] = set()
+        # The Name being assigned by the current statement: re-taking a
+        # buffer into the variable that already viewed it is a rebind,
+        # not a clobber.
+        self._assign_target: str | None = None
+        # Lexical liveness: the lines on which each name is read.
+        self.loads: dict[str, list[int]] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                self.loads.setdefault(node.id, []).append(node.lineno)
+
+    def stmt(self, stmt, state):
+        target: str | None = None
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            target = stmt.targets[0].id
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            target = stmt.target.id
+        previous = self._assign_target
+        self._assign_target = target
+        try:
+            super().stmt(stmt, state)
+        finally:
+            self._assign_target = previous
+
+    def _outstanding(self, var: str, after_line: int) -> bool:
+        return any(line > after_line for line in self.loads.get(var, ()))
+
+    def _report(self, node: ast.AST, key: str, message: str) -> None:
+        site = (node.lineno, key)
+        if site in self._reported:
+            return
+        self._reported.add(site)
+        self.findings.append(
+            self.checker.diag(self.module, node, message)
+        )
+
+    # -- tagging -------------------------------------------------------
+    def _value_tags(
+        self, expr: ast.expr | None, state: _AliasState
+    ) -> tuple[frozenset[str], bool]:
+        """(may-alias tags, came-through-a-slice) of an expression."""
+        if expr is None:
+            return frozenset(), False
+        if isinstance(expr, ast.Name):
+            return state.tags.get(expr.id, frozenset()), (
+                expr.id in state.views
+            )
+        if isinstance(expr, ast.Subscript):
+            tags, _ = self._value_tags(expr.value, state)
+            # Slicing a tagged array yields a *view* of the buffer;
+            # fancy/scalar indexing copies (numpy semantics).
+            if isinstance(expr.slice, ast.Slice):
+                return tags, True
+            return frozenset(), False
+        if isinstance(expr, ast.IfExp):
+            body_tags, body_view = self._value_tags(expr.body, state)
+            else_tags, else_view = self._value_tags(expr.orelse, state)
+            return body_tags | else_tags, body_view or else_view
+        if isinstance(expr, ast.Call):
+            name = _is_arena_take(expr)
+            if name is not None:
+                return frozenset({name}), False
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in _VIEWERS:
+                    tags, is_view = self._value_tags(func.value, state)
+                    return tags, is_view
+                if func.attr in _FRESHENERS:
+                    return frozenset(), False
+            chain = attribute_chain(func)
+            if chain is not None and chain[-1] in _FRESHENERS:
+                return frozenset(), False
+            return frozenset(), False
+        return frozenset(), False
+
+    # -- hooks ---------------------------------------------------------
+    def on_call(self, state, node):
+        name = _is_arena_take(node)
+        if name is not None:
+            self._check_double_take(state, node, name)
+            return
+        chain = attribute_chain(node.func)
+        if chain is not None and chain[-1] in _RESULT_TYPES:
+            self._check_escape(state, node, chain[-1])
+            return
+        out = call_keywords(node).get("out")
+        if isinstance(out, ast.Name):
+            self._check_write(state, node, out.id)
+
+    def _check_double_take(self, state: _AliasState, node: ast.Call,
+                           name: str) -> None:
+        for var in sorted(state.tags):
+            if var == self._assign_target or name not in state.tags[var]:
+                continue
+            if not self._outstanding(var, node.lineno):
+                continue
+            self._report(
+                node, f"take:{name}",
+                f"buffer '{name}' taken again while '{var}' (still read "
+                f"after line {node.lineno}) views it: take() reuses the "
+                f"backing array, so '{var}' is silently clobbered — "
+                f"finish with the old view first or use a second buffer "
+                f"name",
+            )
+
+    def _check_escape(self, state: _AliasState, node: ast.Call,
+                      ctor: str) -> None:
+        args: list[ast.expr] = list(node.args)
+        args.extend(kw.value for kw in node.keywords
+                    if kw.value is not None)
+        for arg in args:
+            tags, _ = self._value_tags(arg, state)
+            if not tags:
+                continue
+            named = ", ".join(f"'{t}'" for t in sorted(tags))
+            self._report(
+                node, f"escape:{named}",
+                f"arena view of buffer {named} escapes into {ctor}(): "
+                f"the next take() rewrites it under the caller — pass "
+                f"a .copy() instead",
+            )
+
+    def _check_write(self, state: _AliasState, node: ast.AST,
+                     target_var: str) -> None:
+        target_tags = state.tags.get(target_var, frozenset())
+        if not target_tags:
+            return
+        for var in sorted(state.tags):
+            if var == target_var or var not in state.views:
+                continue
+            shared = state.tags[var] & target_tags
+            if not shared:
+                continue
+            if not self._outstanding(var, node.lineno):
+                continue
+            named = ", ".join(f"'{t}'" for t in sorted(shared))
+            self._report(
+                node, f"write:{var}",
+                f"write to '{target_var}' (buffer {named}) while the "
+                f"outstanding slice '{var}' views the same buffer: the "
+                f"view's contents change mid-use — write before "
+                f"slicing, or copy the slice",
+            )
+
+    def on_store(self, state, target, value, node):
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Name
+        ):
+            self._check_write(state, node, target.value.id)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        tags, is_view = self._value_tags(value, state)
+        if tags:
+            state.tags[target.id] = tags
+            if is_view:
+                state.views.add(target.id)
+            else:
+                state.views.discard(target.id)
+        else:
+            state.tags.pop(target.id, None)
+            state.views.discard(target.id)
+
+
+@register
+class ArenaAliasChecker(Checker):
+    rule = "RP011"
+    name = "arena-aliasing-safety"
+    description = (
+        "in core/: an ExpansionArena buffer is never re-taken while an "
+        "outstanding view exists, never escapes into MatchResult/"
+        "SearchStats uncopied, and is never written under a live slice"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
+        if module.package != SCOPE:
+            return
+        if ".take(" not in module.source:
+            return
+        for fn in walk_functions(module.tree):
+            flow = _ArenaFlow(self, module, fn)
+            flow.run(fn, _AliasState())
+            yield from flow.findings

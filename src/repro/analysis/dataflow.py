@@ -1,0 +1,265 @@
+"""Forward dataflow framework over function bodies.
+
+The concurrency rules all answer questions of the form "what is true at
+this program point?" — which locks are *must*-held, which arena buffers
+*may* be aliased.  :class:`FlowAnalysis` walks one function body in
+source order, threading an abstract :class:`FlowState` through the
+statement structure:
+
+* ``if``/``else``: both arms run on copies of the entry state and the
+  results are joined (a dead arm — one that returned/raised — is
+  dropped from the join, so early-return guards refine the state).
+* ``while``/``for``: the body runs twice and joins with the entry
+  state, which reaches the fixed point for both lattice directions used
+  here (must-sets shrink once, may-sets grow once per loop-carried
+  binding; a second pass flags patterns like re-taking a buffer whose
+  first-iteration view is still live).
+* ``with``: :meth:`on_with_enter` / :meth:`on_with_exit` bracket the
+  body — the hook pair the lock rules live on.
+* ``try``: the body runs normally; each handler and the ``finally``
+  run on a *copy of the entry state* joined back in, approximating
+  "the body may have stopped anywhere".
+* ``return``/``raise``/``break``/``continue`` mark the state dead;
+  dead states stop propagating.
+
+Nested ``def``/``lambda``/class bodies are *not* entered — they execute
+at call time, not at definition time, and the interprocedural rules
+handle calls explicitly.
+
+Subclasses observe the walk through ``on_call`` / ``on_load`` /
+``on_store`` / ``on_with_enter`` / ``on_with_exit``; expression
+operands are visited left-to-right before the hook for the enclosing
+node fires, matching Python evaluation order closely enough for these
+rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Generic, TypeVar
+
+__all__ = ["FlowState", "FlowAnalysis"]
+
+
+class FlowState:
+    """Base class for abstract states.  Subclasses must override
+    :meth:`copy` and :meth:`join` (in-place merge)."""
+
+    dead: bool = False
+
+    def copy(self) -> "FlowState":
+        raise NotImplementedError
+
+    def join(self, other: "FlowState") -> None:
+        raise NotImplementedError
+
+
+S = TypeVar("S", bound=FlowState)
+
+_LOOP_PASSES = 2
+
+
+class FlowAnalysis(Generic[S]):
+    """Structured forward walk of one function body."""
+
+    # -- hooks (override what the rule needs) ---------------------------
+    def on_call(self, state: S, node: ast.Call) -> None:
+        """After a call's receiver and arguments were visited."""
+
+    def on_load(self, state: S, node: ast.expr) -> None:
+        """A Name/Attribute/Subscript read in a load context."""
+
+    def on_store(self, state: S, target: ast.expr, value: ast.expr | None,
+                 node: ast.stmt) -> None:
+        """One assignment target, after the value was visited."""
+
+    def on_with_enter(self, state: S, item: ast.withitem,
+                      node: ast.With | ast.AsyncWith) -> None:
+        """A ``with`` item's context manager was entered."""
+
+    def on_with_exit(self, state: S, item: ast.withitem,
+                     node: ast.With | ast.AsyncWith) -> None:
+        """A ``with`` item's context manager is about to exit."""
+
+    # -- driver ---------------------------------------------------------
+    def run(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
+            state: S) -> S:
+        self.block(fn.body, state)
+        return state
+
+    def block(self, stmts: list[ast.stmt], state: S) -> None:
+        for stmt in stmts:
+            if state.dead:
+                return
+            self.stmt(stmt, state)
+
+    # -- statements -----------------------------------------------------
+    def stmt(self, stmt: ast.stmt, state: S) -> None:
+        if isinstance(stmt, ast.If):
+            self.expr(stmt.test, state)
+            self._branch(state, stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            self._loop(stmt, state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._with(stmt, state)
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt, state)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.expr(stmt.value, state)
+            state.dead = True
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.expr(stmt.exc, state)
+            state.dead = True
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            state.dead = True
+        elif isinstance(stmt, ast.Assign):
+            self.expr(stmt.value, state)
+            for target in stmt.targets:
+                self._store_target(target, stmt.value, stmt, state)
+        elif isinstance(stmt, ast.AugAssign):
+            self.expr(stmt.value, state)
+            # ``x += v`` reads then writes the target.
+            self.expr(stmt.target, state)
+            self.on_store(state, stmt.target, stmt.value, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.expr(stmt.value, state)
+                self._store_target(stmt.target, stmt.value, stmt, state)
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.expr(child, state)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # bodies run at call time, not here
+        else:
+            # Import/Global/Pass/...: visit any expression children.
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.expr(child, state)
+
+    def _store_target(self, target: ast.expr, value: ast.expr | None,
+                      stmt: ast.stmt, state: S) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._store_target(elt, None, stmt, state)
+            return
+        if isinstance(target, ast.Starred):
+            self._store_target(target.value, None, stmt, state)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            # The base object is *read* to perform the store.
+            self.expr(target.value, state)
+            if isinstance(target, ast.Subscript):
+                self.expr(target.slice, state)
+        self.on_store(state, target, value, stmt)
+
+    def _branch(self, state: S, body: list[ast.stmt],
+                orelse: list[ast.stmt]) -> None:
+        then_state = state.copy()
+        else_state = state.copy()
+        self.block(body, then_state)
+        self.block(orelse, else_state)
+        self._merge_into(state, [then_state, else_state])
+
+    def _merge_into(self, state: S, results: list[S]) -> None:
+        live = [s for s in results if not s.dead]
+        if not live:
+            state.dead = True
+            return
+        merged = live[0]
+        for other in live[1:]:
+            merged.join(other)
+        state.__dict__.update(merged.__dict__)
+        state.dead = False
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor, state: S
+              ) -> None:
+        if isinstance(stmt, ast.While):
+            self.expr(stmt.test, state)
+        else:
+            self.expr(stmt.iter, state)
+            self._store_target(stmt.target, None, stmt, state)
+        # Zero-iteration path joins with one- and two-iteration paths.
+        paths = [state.copy()]
+        body_state = state.copy()
+        for _ in range(_LOOP_PASSES):
+            self.block(stmt.body, body_state)
+            if body_state.dead:
+                break
+            paths.append(body_state.copy())
+        self._merge_into(state, paths)
+        if not state.dead:
+            self.block(stmt.orelse, state)
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, state: S) -> None:
+        for item in stmt.items:
+            self.expr(item.context_expr, state)
+            self.on_with_enter(state, item, stmt)
+            if item.optional_vars is not None:
+                self._store_target(item.optional_vars, item.context_expr,
+                                   stmt, state)
+        self.block(stmt.body, state)
+        for item in reversed(stmt.items):
+            self.on_with_exit(state, item, stmt)
+
+    def _try(self, stmt: ast.Try, state: S) -> None:
+        entry = state.copy()
+        self.block(stmt.body, state)
+        if not state.dead:
+            self.block(stmt.orelse, state)
+        results = [state.copy()]
+        for handler in stmt.handlers:
+            h_state = entry.copy()
+            self.block(handler.body, h_state)
+            results.append(h_state)
+        self._merge_into(state, results)
+        if stmt.finalbody:
+            if state.dead:
+                final_state = entry
+                self.block(stmt.finalbody, final_state)
+                state.__dict__.update(final_state.__dict__)
+                state.dead = True
+            else:
+                self.block(stmt.finalbody, state)
+
+    # -- expressions ----------------------------------------------------
+    def expr(self, node: ast.expr, state: S) -> None:
+        if isinstance(node, ast.Call):
+            self.expr(node.func, state)
+            for arg in node.args:
+                inner = arg.value if isinstance(arg, ast.Starred) else arg
+                self.expr(inner, state)
+            for kw in node.keywords:
+                self.expr(kw.value, state)
+            self.on_call(state, node)
+            return
+        if isinstance(node, (ast.Lambda, ast.GeneratorExp)):
+            return  # deferred execution
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            # Comprehensions *do* run here; visit generators and element.
+            for gen in node.generators:
+                self.expr(gen.iter, state)
+                for cond in gen.ifs:
+                    self.expr(cond, state)
+            if isinstance(node, ast.DictComp):
+                self.expr(node.key, state)
+                self.expr(node.value, state)
+            else:
+                self.expr(node.elt, state)
+            return
+        if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+            if isinstance(node, ast.Attribute):
+                self.expr(node.value, state)
+            elif isinstance(node, ast.Subscript):
+                self.expr(node.value, state)
+                self.expr(node.slice, state)
+            if isinstance(getattr(node, "ctx", ast.Load()), ast.Load):
+                self.on_load(state, node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child, state)

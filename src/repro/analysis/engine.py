@@ -174,13 +174,18 @@ class Analyzer:
             try:
                 tree = ast.parse(source, filename=str(path))
             except SyntaxError as exc:
+                line = exc.lineno or 1
+                col = exc.offset or 1
                 parse_errors.append(
                     Diagnostic(
                         path=rel,
-                        line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1,
+                        line=line,
+                        col=col,
                         rule=_PARSE_RULE,
-                        message=f"syntax error: {exc.msg}",
+                        message=(
+                            f"syntax error: {exc.msg} "
+                            f"(line {line}, offset {col})"
+                        ),
                     )
                 )
                 continue

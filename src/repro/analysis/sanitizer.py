@@ -1,0 +1,275 @@
+"""Opt-in runtime lock-order sanitizer (``REPRO_SANITIZE=1``).
+
+RP010 proves properties of the *static* lock graph; this module is the
+dynamic half of the cross-check.  Production code creates its locks
+through the factories here::
+
+    self._lock = make_lock("Scheduler._lock")
+
+With ``REPRO_SANITIZE`` unset the factories return the plain
+``threading`` primitives — zero overhead, nothing imported beyond this
+module.  With ``REPRO_SANITIZE=1`` they return instrumented wrappers
+that record, per thread, the stack of held locks and every *acquisition
+order edge* (lock B acquired while A is held).  The canonical names
+match the static rule's ``Class._attr`` lock ids, so the two graphs
+diff line-for-line:
+
+* a **runtime inversion** — edge ``(B, A)`` observed after ``(A, B)``
+  — is a deadlock the scheduler just happened not to hit; the test
+  session fails (see ``tests/conftest.py``).
+* a **static edge never exercised** is *dead discipline*: ordering
+  code paths the suite never drives, reported so either a test or the
+  nesting gets removed.
+
+The wrappers also record *contended-while-held* events (an acquisition
+that had to wait while the thread already held another lock) — the
+runtime shadow of RP010's blocking-while-held rule — reported for
+diagnosis but not failed on, since contention is timing-dependent.
+
+``make_condition`` wraps an instrumented RLock in a
+``threading.Condition``; the wrapper forwards ``_release_save`` /
+``_acquire_restore`` / ``_is_owned`` (with bookkeeping) so
+``Condition.wait`` fully releases and correctly re-acquires it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "enabled",
+    "make_lock",
+    "make_rlock",
+    "make_condition",
+    "registry",
+    "SanitizerRegistry",
+]
+
+_ENV = "REPRO_SANITIZE"
+
+
+def enabled() -> bool:
+    return os.environ.get(_ENV, "") == "1"
+
+
+@dataclass(frozen=True)
+class OrderEdge:
+    """Observed: ``acquired`` taken while ``held`` was held."""
+
+    held: str
+    acquired: str
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """Both orders of one lock pair were observed at runtime."""
+
+    first: OrderEdge
+    second: OrderEdge
+    thread: str
+
+
+@dataclass
+class SanitizerRegistry:
+    """Global record of everything the instrumented locks observed."""
+
+    edges: dict[OrderEdge, int] = field(default_factory=dict)
+    inversions: list[Inversion] = field(default_factory=list)
+    contended_while_held: dict[tuple[str, str], int] = field(
+        default_factory=dict
+    )
+    _guard: threading.Lock = field(default_factory=threading.Lock)
+    _local: threading.local = field(default_factory=threading.local)
+
+    # -- per-thread held stack ------------------------------------------
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        return tuple(self._stack())
+
+    # -- recording ------------------------------------------------------
+    def record_acquired(self, name: str) -> None:
+        stack = self._stack()
+        if name in stack:  # reentrant re-acquire: no new edges
+            stack.append(name)
+            return
+        with self._guard:
+            for held in set(stack):
+                if held == name:
+                    continue
+                edge = OrderEdge(held=held, acquired=name)
+                self.edges[edge] = self.edges.get(edge, 0) + 1
+                reverse = OrderEdge(held=name, acquired=held)
+                if reverse in self.edges:
+                    self.inversions.append(
+                        Inversion(
+                            first=reverse,
+                            second=edge,
+                            thread=threading.current_thread().name,
+                        )
+                    )
+        stack.append(name)
+
+    def record_released(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+    def record_contended(self, name: str) -> None:
+        stack = self._stack()
+        if not stack or stack == [name]:
+            return
+        with self._guard:
+            for held in set(stack):
+                if held == name:
+                    continue
+                key = (held, name)
+                self.contended_while_held[key] = (
+                    self.contended_while_held.get(key, 0) + 1
+                )
+
+    # -- reporting ------------------------------------------------------
+    def report(self) -> dict[str, Any]:
+        with self._guard:
+            return {
+                "edges": sorted(
+                    (e.held, e.acquired, count)
+                    for e, count in self.edges.items()
+                ),
+                "inversions": [
+                    {
+                        "pair": sorted(
+                            (inv.first.held, inv.first.acquired)
+                        ),
+                        "first": (inv.first.held, inv.first.acquired),
+                        "second": (inv.second.held, inv.second.acquired),
+                        "thread": inv.thread,
+                    }
+                    for inv in self.inversions
+                ],
+                "contended_while_held": sorted(
+                    (held, acquired, count)
+                    for (held, acquired), count in
+                    self.contended_while_held.items()
+                ),
+            }
+
+    def unexercised(
+        self, static_edges: dict[tuple[str, str], tuple[str, int]]
+    ) -> list[tuple[str, str, str]]:
+        """Static order edges the run never observed (dead discipline).
+
+        Anonymous static ids (``path:expr``) have no runtime
+        counterpart and are skipped.
+        """
+        with self._guard:
+            seen = {(e.held, e.acquired) for e in self.edges}
+        out = []
+        for (held, acquired), (rel, line) in sorted(static_edges.items()):
+            if ":" in held or ":" in acquired:
+                continue
+            if (held, acquired) not in seen:
+                out.append((held, acquired, f"{rel}:{line}"))
+        return out
+
+    def reset(self) -> None:
+        with self._guard:
+            self.edges.clear()
+            self.inversions.clear()
+            self.contended_while_held.clear()
+
+
+_REGISTRY = SanitizerRegistry()
+
+
+def registry() -> SanitizerRegistry:
+    return _REGISTRY
+
+
+class _InstrumentedLock:
+    """Bookkeeping proxy around ``threading.Lock``/``RLock``."""
+
+    def __init__(self, name: str, inner: Any,
+                 reg: SanitizerRegistry) -> None:
+        self.name = name
+        self._inner = inner
+        self._reg = reg
+
+    # -- lock protocol --------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if blocking:
+            # A failed fast-path acquire means we are about to wait
+            # while (possibly) holding other locks.
+            if not self._inner.acquire(False):
+                self._reg.record_contended(self.name)
+                if not self._inner.acquire(True, timeout):
+                    return False
+        else:
+            if not self._inner.acquire(False):
+                return False
+        self._reg.record_acquired(self.name)
+        return True
+
+    def release(self) -> None:
+        self._reg.record_released(self.name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<sanitized {self._inner!r} name={self.name!r}>"
+
+    # -- Condition integration (RLock inner only) -----------------------
+    # Forwarding these three lets threading.Condition fully release the
+    # lock in wait() and re-acquire it afterwards, with our bookkeeping.
+    def _release_save(self) -> object:
+        state = self._inner._release_save()
+        self._reg.record_released(self.name)
+        return state
+
+    def _acquire_restore(self, state: object) -> None:
+        self._inner._acquire_restore(state)
+        self._reg.record_acquired(self.name)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+def make_lock(name: str) -> Any:
+    """A ``threading.Lock``, instrumented under ``REPRO_SANITIZE=1``."""
+    if not enabled():
+        return threading.Lock()
+    return _InstrumentedLock(name, threading.Lock(), _REGISTRY)
+
+
+def make_rlock(name: str) -> Any:
+    """A ``threading.RLock``, instrumented under ``REPRO_SANITIZE=1``."""
+    if not enabled():
+        return threading.RLock()
+    return _InstrumentedLock(name, threading.RLock(), _REGISTRY)
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A ``threading.Condition`` whose lock carries the sanitizer."""
+    if not enabled():
+        return threading.Condition()
+    return threading.Condition(
+        _InstrumentedLock(name, threading.RLock(), _REGISTRY)
+    )

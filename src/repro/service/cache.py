@@ -25,9 +25,10 @@ hits, misses, puts, evictions, invalidations — are exposed for
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Callable
+
+from ..analysis.sanitizer import make_rlock
 
 __all__ = ["CacheKey", "LRUBytesCache"]
 
@@ -61,7 +62,7 @@ class LRUBytesCache:
             raise ValueError("max_bytes must be >= 0 (0 = disabled)")
         self.max_bytes = max_bytes
         self._on_bytes = on_bytes
-        self._lock = threading.RLock()
+        self._lock = make_rlock("LRUBytesCache._lock")
         self._entries: OrderedDict[CacheKey, tuple[Any, int]] = OrderedDict()
         self.current_bytes = 0
         self.hits = 0
@@ -88,9 +89,13 @@ class LRUBytesCache:
         was admitted (an oversized entry or a disabled cache refuses)."""
         if nbytes < 0:
             raise ValueError("nbytes must be >= 0")
-        if self.max_bytes == 0 or nbytes > self.max_bytes:
-            return False
         with self._lock:
+            # The admission decision reads the same sizing fields the
+            # eviction loop below maintains; taking it under the lock
+            # makes check-then-insert one atomic step and keeps every
+            # sizing-field access on the _lock discipline (RP009).
+            if self.max_bytes == 0 or nbytes > self.max_bytes:
+                return False
             old = self._entries.pop(key, None)
             if old is not None:
                 self.current_bytes -= old[1]

@@ -35,7 +35,6 @@ from __future__ import annotations
 import http.client
 import json
 import random
-import threading
 import time
 import urllib.error
 import urllib.request
@@ -44,6 +43,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..analysis.sanitizer import make_lock
 from ..graph.csr import CSRGraph
 
 __all__ = [
@@ -164,7 +164,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock")
         self._events: deque[bool] = deque(maxlen=window)
         self.state = self.CLOSED
         self._opened_at = 0.0

@@ -59,6 +59,7 @@ import signal
 import time
 from dataclasses import dataclass, field
 
+from ..analysis.sanitizer import make_lock
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher, SearchTimeout
 from ..core.result import MatchResult
@@ -158,6 +159,11 @@ class Dispatcher:
         self.plan_cache = plan_cache
         self.config_fp = config_fp
         self.faults = faults
+        # Counters are bumped by the dispatch thread and read by HTTP
+        # threads via snapshot(); unguarded, the stage_wall_s dict walk
+        # could see a mid-resize dict.  The lock is held only around
+        # counter touches, never across engine or cache calls.
+        self._stats_lock = make_lock("Dispatcher._stats_lock")
         self.matcher_invocations = 0
         self.batches_dispatched = 0
         self.requests_dispatched = 0
@@ -179,8 +185,9 @@ class Dispatcher:
     ) -> list[DispatchOutcome]:
         """Run one graph-affine batch; never raises per-request errors
         (they come back in the outcomes)."""
-        self.batches_dispatched += 1
-        self.requests_dispatched += len(batch)
+        with self._stats_lock:
+            self.batches_dispatched += 1
+            self.requests_dispatched += len(batch)
         outcomes = {id(req): DispatchOutcome(req) for req in batch}
 
         if self.faults is not None:
@@ -201,7 +208,8 @@ class Dispatcher:
         to_run: list[_Group] = []
         for key, members in groups.items():
             if len(members) > 1:
-                self.requests_coalesced += len(members) - 1
+                with self._stats_lock:
+                    self.requests_coalesced += len(members) - 1
                 for req in members:
                     outcomes[id(req)].coalesced = True
             # 2. Result-cache probe (count-only, untimed groups only:
@@ -221,7 +229,7 @@ class Dispatcher:
         # 3. Execute the distinct remaining queries.
         if to_run:
             self._execute(handle, to_run, outcomes)
-        handle.queries_served += len(batch)
+        handle.note_served(len(batch))
         return [outcomes[id(req)] for req in batch]
 
     # ------------------------------------------------------------------
@@ -235,13 +243,15 @@ class Dispatcher:
         live: list[Request] = []
         for req in batch:
             if req.cancelled.is_set():
-                self.cancelled_at_dispatch += 1
+                with self._stats_lock:
+                    self.cancelled_at_dispatch += 1
                 out = outcomes[id(req)]
                 out.cancelled = True
                 out.error = "cancelled at dispatch"
                 out.stats = SearchStats(cancelled_at_dispatch=1)
             elif req.deadline is not None and now >= req.deadline:
-                self.expired_at_dispatch += 1
+                with self._stats_lock:
+                    self.expired_at_dispatch += 1
                 out = outcomes[id(req)]
                 out.expired = True
                 out.error = (
@@ -266,7 +276,8 @@ class Dispatcher:
         if self.faults is not None and self.faults.should_corrupt():
             payload = self.faults.corrupt_payload(payload)
         if not verify_payload(payload):
-            self.corrupt_cache_drops += 1
+            with self._stats_lock:
+                self.corrupt_cache_drops += 1
             self.result_cache.pop(key)
             return None
         return payload
@@ -331,7 +342,8 @@ class Dispatcher:
                     raise InjectedEngineFault(
                         "injected engine fault (chaos schedule)"
                     )
-                self.matcher_invocations += 1
+                with self._stats_lock:
+                    self.matcher_invocations += 1
                 result = matcher.match(
                     members[0].query,
                     materialize=materialize,
@@ -410,7 +422,8 @@ class Dispatcher:
                 )
                 plan_hits.append(plan is not None)
             try:
-                self.matcher_invocations += len(queries)
+                with self._stats_lock:
+                    self.matcher_invocations += len(queries)
                 results = matcher.match_many(
                     queries,
                     materialize=materialize,
@@ -422,7 +435,8 @@ class Dispatcher:
                 # lease machinery's patience, executor poisoned, ...).
                 # Retry once, serially: degraded throughput, same
                 # answers.
-                self.pool_failures += 1
+                with self._stats_lock:
+                    self.pool_failures += 1
                 self._retry_serial(handle, items, outcomes, str(exc))
                 continue
             for (key, members), result, hint, plan_hit in zip(
@@ -475,10 +489,12 @@ class Dispatcher:
                 items, outcomes, f"{cause}; serial fallback unavailable: {exc}"
             )
             return
-        self.serial_fallbacks += 1
+        with self._stats_lock:
+            self.serial_fallbacks += 1
         for (query_fp, materialize, time_limit), members in items:
             try:
-                self.matcher_invocations += 1
+                with self._stats_lock:
+                    self.matcher_invocations += 1
                 result = matcher.match(
                     members[0].query,
                     materialize=materialize,
@@ -507,10 +523,11 @@ class Dispatcher:
         result: MatchResult,
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
-        for stage, seconds in result.stats.stage_wall_s.items():
-            self.stage_wall_s[stage] = (
-                self.stage_wall_s.get(stage, 0.0) + seconds
-            )
+        with self._stats_lock:
+            for stage, seconds in result.stats.stage_wall_s.items():
+                self.stage_wall_s[stage] = (
+                    self.stage_wall_s.get(stage, 0.0) + seconds
+                )
         if not materialize and time_limit is None:
             payload = payload_from_result(result)
             self.result_cache.put(
@@ -540,16 +557,19 @@ class Dispatcher:
             self._settle_error(members, outcomes, message)
 
     def snapshot(self) -> dict[str, object]:
-        """Counter snapshot for ``/metrics``."""
-        return {
-            "matcher_invocations": self.matcher_invocations,
-            "batches_dispatched": self.batches_dispatched,
-            "requests_dispatched": self.requests_dispatched,
-            "requests_coalesced": self.requests_coalesced,
-            "cancelled_at_dispatch": self.cancelled_at_dispatch,
-            "expired_at_dispatch": self.expired_at_dispatch,
-            "serial_fallbacks": self.serial_fallbacks,
-            "pool_failures": self.pool_failures,
-            "corrupt_cache_drops": self.corrupt_cache_drops,
-            "stage_wall_s": dict(self.stage_wall_s),
-        }
+        """Counter snapshot for ``/metrics`` (HTTP threads; the lock
+        makes the ``stage_wall_s`` copy safe against a concurrent
+        ``_settle`` resizing the dict mid-iteration)."""
+        with self._stats_lock:
+            return {
+                "matcher_invocations": self.matcher_invocations,
+                "batches_dispatched": self.batches_dispatched,
+                "requests_dispatched": self.requests_dispatched,
+                "requests_coalesced": self.requests_coalesced,
+                "cancelled_at_dispatch": self.cancelled_at_dispatch,
+                "expired_at_dispatch": self.expired_at_dispatch,
+                "serial_fallbacks": self.serial_fallbacks,
+                "pool_failures": self.pool_failures,
+                "corrupt_cache_drops": self.corrupt_cache_drops,
+                "stage_wall_s": dict(self.stage_wall_s),
+            }

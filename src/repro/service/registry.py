@@ -23,10 +23,10 @@ could otherwise alias a live name.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable
 
+from ..analysis.sanitizer import make_rlock
 from ..core.config import CuTSConfig
 from ..core.matcher import CuTSMatcher
 from ..fingerprint import graph_fingerprint
@@ -70,7 +70,7 @@ class GraphHandle:
         self.registered_at = time.time()
         self.resident_bytes = _graph_bytes(graph)
         self.queries_served = 0
-        self._lock = threading.RLock()
+        self._lock = make_rlock("GraphHandle._lock")
         self._serial: CuTSMatcher | None = None
         self._parallel: ParallelMatcher | None = None
         self._closed = False
@@ -105,15 +105,26 @@ class GraphHandle:
             return self._serial
 
     def close(self) -> None:
+        # Swap the engines out under the lock, shut them down outside
+        # it: ParallelMatcher.close() blocks on pool shutdown, and a
+        # blocked holder would stall every thread touching this handle
+        # (RP010).
         with self._lock:
             self._closed = True
-            if self._parallel is not None:
-                self._parallel.close()
-                self._parallel = None
+            parallel, self._parallel = self._parallel, None
             self._serial = None
+        if parallel is not None:
+            parallel.close()
+
+    def note_served(self, count: int) -> None:
+        """Credit ``count`` settled requests (dispatch thread)."""
+        with self._lock:
+            self.queries_served += count
 
     def info(self) -> dict[str, object]:
         """JSON description for ``/graphs``."""
+        with self._lock:
+            served = self.queries_served
         return {
             "name": self.name,
             "fingerprint": self.fingerprint,
@@ -122,7 +133,7 @@ class GraphHandle:
             "resident_bytes": self.resident_bytes,
             "generation": self.generation,
             "workers": self.workers,
-            "queries_served": self.queries_served,
+            "queries_served": served,
         }
 
 
@@ -139,7 +150,7 @@ class GraphRegistry:
         self.config = config
         self.workers = workers
         self._on_replace = on_replace
-        self._lock = threading.RLock()
+        self._lock = make_rlock("GraphRegistry._lock")
         self._by_name: dict[str, GraphHandle] = {}
         self._by_fp: dict[str, GraphHandle] = {}
         self._generation = 0
@@ -159,6 +170,7 @@ class GraphRegistry:
         fp = graph_fingerprint(graph)
         name = name or graph.name or fp[:12]
         replaced_fp: str | None = None
+        to_close: GraphHandle | None = None
         with self._lock:
             existing = self._by_name.get(name)
             if existing is not None and existing.fingerprint == fp:
@@ -167,7 +179,8 @@ class GraphRegistry:
             if existing is not None:
                 # Name reuse with different content: the old entry (and
                 # everything cached under it) must die with it.
-                self._drop(existing)
+                self._unlink(existing)
+                to_close = existing
                 replaced_fp = existing.fingerprint
                 self.replaced += 1
             if same_content is not None and replaced_fp is None:
@@ -183,17 +196,23 @@ class GraphRegistry:
                 self._by_name[name] = handle
                 self._by_fp[fp] = handle
                 self.registered += 1
+        # The dead engine shuts down only after the lock is released:
+        # its pool shutdown blocks, and registrations of *other* graphs
+        # must not queue behind it (RP010).
+        if to_close is not None:
+            to_close.close()
         if replaced_fp is not None and self._on_replace is not None:
             self._on_replace(replaced_fp)
         return handle
 
-    def _drop(self, handle: GraphHandle) -> None:
+    def _unlink(self, handle: GraphHandle) -> None:
+        """Remove ``handle`` from both maps.  Caller holds ``_lock``
+        and closes the handle *after* releasing it."""
         self._by_fp.pop(handle.fingerprint, None)
         for alias in [
             n for n, h in self._by_name.items() if h is handle
         ]:
             self._by_name.pop(alias)
-        handle.close()
 
     def unregister(self, key: str) -> bool:
         """Remove a graph by name or fingerprint; fires ``on_replace``
@@ -202,8 +221,9 @@ class GraphRegistry:
             handle = self._by_name.get(key) or self._by_fp.get(key)
             if handle is None:
                 return False
-            self._drop(handle)
+            self._unlink(handle)
             fp = handle.fingerprint
+        handle.close()
         if self._on_replace is not None:
             self._on_replace(fp)
         return True

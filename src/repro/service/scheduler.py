@@ -33,6 +33,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..analysis.sanitizer import make_condition
 from ..core.governor import MemoryGovernor
 from ..graph.csr import CSRGraph
 
@@ -78,7 +79,7 @@ class Scheduler:
         self.max_depth = max_depth
         self.max_query_vertices = max_query_vertices
         self.governor = governor
-        self._cond = threading.Condition()
+        self._cond = make_condition("Scheduler._cond")
         self._heap: list[tuple[int, int, Request]] = []
         self._seq = 0
         self._closed = False

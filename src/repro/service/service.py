@@ -40,6 +40,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from ..analysis.sanitizer import make_rlock
 from ..core.config import CuTSConfig
 from ..core.governor import MemoryGovernor
 from ..core.result import MatchResult
@@ -206,7 +207,7 @@ class MatchingService:
             faults=self.faults,
         )
         self._jobs: dict[str, Job] = {}
-        self._jobs_lock = threading.RLock()
+        self._jobs_lock = make_rlock("MatchingService._jobs_lock")
         self._job_seq = 0
         self._idempotency: dict[str, str] = {}
         self._degraded = False
@@ -314,7 +315,12 @@ class MatchingService:
             seq = int(job_id.rsplit("-", 1)[-1])
         except ValueError:
             seq = 0
-        self._job_seq = max(self._job_seq, seq)
+        with self._jobs_lock:
+            # Recovery runs before the dispatch thread starts, but the
+            # sequence counter's discipline is _jobs_lock everywhere
+            # else; keeping it here costs nothing and keeps the
+            # invariant machine-checkable (RP009).
+            self._job_seq = max(self._job_seq, seq)
         try:
             query = graph_from_record(record["query"])  # type: ignore[arg-type]
         except Exception:

@@ -37,10 +37,10 @@ from __future__ import annotations
 import io
 import json
 import os
-import threading
 
 import numpy as np
 
+from ..analysis.sanitizer import make_lock
 from ..checkpoint.atomic import atomic_write_bytes, atomic_write_json, fsync_dir
 from ..fingerprint import check_fingerprints
 from ..graph.build import from_edges
@@ -102,7 +102,7 @@ class ServiceState:
         # Serialises journal writes: without it the submit thread's
         # "pending" record could land *after* the dispatch thread's
         # "done" record for the same job and roll the journal back.
-        self._lock = threading.Lock()
+        self._lock = make_lock("ServiceState._lock")
 
     # ------------------------------------------------------------------
     # Manifest

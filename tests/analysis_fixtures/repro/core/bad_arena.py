@@ -1,0 +1,49 @@
+"""RP011 fixture: ExpansionArena view-aliasing hazards."""
+
+
+class MatchResult:
+    def __init__(self, rows=None, count=0):
+        self.rows = rows
+        self.count = count
+
+
+def double_take(arena, n):
+    idx = arena.take("idx", n)
+    tmp = arena.take("idx", n)         # line 12: 'idx' retaken while live
+    return idx[0] + tmp[0]
+
+
+def escaping_view(arena, n):
+    rows = arena.take("rows", n)
+    return MatchResult(rows=rows)      # line 18: view escapes uncopied
+
+
+def write_under_slice(arena, n, k):
+    buf = arena.take("buf", n)
+    head = buf[:k]
+    buf[0] = 1                         # line 24: write under live slice
+    return head
+
+
+def copied_result_is_fine(arena, n):
+    rows = arena.take("rows", n)
+    return MatchResult(rows=rows.copy())  # fine: result owns its memory
+
+
+def rebind_is_fine(arena, n):
+    scratch = arena.take("scratch", n)
+    total = scratch[0]
+    scratch = arena.take("scratch", n)  # fine: rebinding the same name
+    return total + scratch[0]
+
+
+def dynamic_names_are_unchecked(arena, name, n):
+    a = arena.take(name, n)
+    b = arena.take(name, n)  # fine by design: non-literal buffer name
+    return a[0] + b[0]
+
+
+def suppressed_overlap(arena, n):
+    lo = arena.take("pair", n)
+    hi = arena.take("pair", n)  # staged reuse. # repro: ignore[RP011]
+    return lo[0] + hi[0]

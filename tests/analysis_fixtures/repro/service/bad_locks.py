@@ -1,0 +1,49 @@
+"""RP009 fixture: inferred lock discipline for shared class state."""
+
+import threading
+
+
+class FlowMetrics:
+    """Counters shared between handler threads and the dispatch loop."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.window = 64  # written only here: needs no guard
+        self.served = 0
+        self.dropped = 0
+        self.peak = 0
+        self.last_error = None
+
+    def record(self, n):
+        with self._lock:
+            self.served += n
+            self._bump_peak()
+
+    def record_drop(self):
+        with self._lock:
+            self.dropped += 1
+            self.served += 0
+
+    def snapshot(self):
+        with self._lock:
+            return {"served": self.served, "dropped": self.dropped}
+
+    def racy_reset(self):
+        self.served = 0                   # line 32: unguarded write
+        return self.window  # fine: immutable after __init__
+
+    def _bump_peak(self):
+        # Fine: only called with self._lock held, so the inferred
+        # entry lock covers both accesses below.
+        if self.served > self.peak:
+            self.peak = self.served
+
+    def note_error(self, exc):
+        self.last_error = str(exc)  # fine: no majority guard (1/2 sites)
+
+    def clear_error(self):
+        with self._lock:
+            self.last_error = None
+
+    def suppressed_probe(self):
+        return self.served  # vetted hot path. # repro: ignore[RP009]

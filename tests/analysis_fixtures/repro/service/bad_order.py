@@ -1,0 +1,61 @@
+"""RP010 fixture: lock-order cycles, self-deadlock, blocking holds."""
+
+import threading
+import time
+
+
+def _drain_slowly():
+    time.sleep(0.05)  # fine here: no lock is held in this helper
+
+
+class ShardPair:
+    """Two shards whose locks are taken in both orders (the bug)."""
+
+    def __init__(self):
+        self._east = threading.Lock()
+        self._west = threading.Lock()
+        self._gate = threading.Lock()
+        self._north = threading.Lock()
+        self._south = threading.Lock()
+        self._cond = threading.Condition()
+
+    def east_to_west(self):
+        with self._east:
+            with self._west:              # line 24: cycle edge east->west
+                pass
+
+    def west_to_east(self):
+        with self._west:
+            with self._east:              # line 29: cycle edge west->east
+                pass
+
+    def flush_holding_gate(self):
+        with self._gate:
+            _drain_slowly()               # line 34: blocks via helper call
+
+    def relock_gate(self):
+        with self._gate:
+            with self._gate:              # line 38: self-deadlock (Lock)
+                pass
+
+    def north_then_south(self):
+        with self._north:
+            with self._south:  # fine: consistent nesting order
+                pass
+
+    def also_north_then_south(self):
+        with self._north:
+            with self._south:  # fine: same direction, no cycle
+                pass
+
+    def paced_wait_is_fine(self):
+        with self._cond:
+            self._cond.wait()  # fine: wait releases the held condition
+
+    def bounded_hold_is_fine(self, done_event):
+        with self._gate:
+            done_event.wait(timeout=0.1)  # fine: bounded wait under lock
+
+    def suppressed_pacing(self):
+        with self._gate:
+            time.sleep(0.01)  # legacy pacing. # repro: ignore[RP010]

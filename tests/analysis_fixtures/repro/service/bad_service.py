@@ -1,4 +1,4 @@
-"""RP007 fixture: liveness hazards inside the service package."""
+"""RP007 + RP010 fixture: sleeps under locks (RP010), un-timed queue waits (RP007)."""
 
 import threading
 import time

@@ -16,6 +16,45 @@ from repro.graph import (
 )
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Under ``REPRO_SANITIZE=1``, diff the lock orders the run actually
+    observed against RP010's static order graph: a runtime inversion
+    fails the session (a deadlock the scheduler happened not to hit);
+    static edges the suite never exercised are reported as dead
+    discipline so either a test or the nesting gets removed."""
+    import os
+
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        return
+    from pathlib import Path
+
+    from repro.analysis.checkers.rp010_lock_order import lock_order_edges
+    from repro.analysis.engine import Analyzer
+    from repro.analysis.sanitizer import registry
+
+    reg = registry()
+    report = reg.report()
+    src_root = Path(__file__).resolve().parent.parent / "src"
+    project, _ = Analyzer(src_root).collect()
+    dead = reg.unexercised(lock_order_edges(project))
+    print("\n=== lock-order sanitizer ===")
+    print(f"observed order edges: {len(report['edges'])}")
+    for held, acquired, site in dead:
+        print(
+            f"dead discipline: static edge {held} -> {acquired} "
+            f"({site}) never exercised by this run"
+        )
+    for held, acquired, count in report["contended_while_held"]:
+        print(f"contended while held: {held} -> {acquired} x{count}")
+    for inv in report["inversions"]:
+        print(
+            f"LOCK-ORDER INVERSION: {inv['first']} then {inv['second']} "
+            f"(thread {inv['thread']})"
+        )
+    if report["inversions"]:
+        session.exitstatus = 1
+
+
 @pytest.fixture
 def mesh44() -> CSRGraph:
     """The paper's Figure 2 data graph: a 4x4 mesh."""

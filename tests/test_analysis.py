@@ -58,9 +58,6 @@ EXPECTED = {
     ("RP006", "repro/checkpoint/bad_io.py", 12),
     ("RP006", "repro/checkpoint/bad_io.py", 13),
     ("RP006", "repro/checkpoint/bad_io.py", 14),
-    ("RP007", "repro/service/bad_service.py", 12),
-    ("RP007", "repro/service/bad_service.py", 14),
-    ("RP007", "repro/service/bad_service.py", 17),
     ("RP007", "repro/service/bad_service.py", 21),
     ("RP007", "repro/service/bad_service.py", 22),
     ("RP007", "repro/service/bad_service.py", 23),
@@ -69,10 +66,21 @@ EXPECTED = {
     ("RP008", "repro/service/bad_handlers.py", 16),
     ("RP008", "repro/service/bad_handlers.py", 20),
     ("RP008", "repro/distributed/bad_recovery.py", 7),
+    ("RP009", "repro/service/bad_locks.py", 32),
+    ("RP010", "repro/service/bad_order.py", 24),
+    ("RP010", "repro/service/bad_order.py", 29),
+    ("RP010", "repro/service/bad_order.py", 34),
+    ("RP010", "repro/service/bad_order.py", 38),
+    ("RP010", "repro/service/bad_service.py", 12),
+    ("RP010", "repro/service/bad_service.py", 14),
+    ("RP010", "repro/service/bad_service.py", 17),
+    ("RP011", "repro/core/bad_arena.py", 12),
+    ("RP011", "repro/core/bad_arena.py", 18),
+    ("RP011", "repro/core/bad_arena.py", 24),
 }
 
-# One suppressed violation is seeded per per-module rule.
-EXPECTED_SUPPRESSED = 6
+# One suppressed violation is seeded per concrete-behavior rule.
+EXPECTED_SUPPRESSED = 9
 
 
 @pytest.fixture(scope="module")
@@ -95,7 +103,8 @@ def test_fixture_tree_fires_exactly_the_seeded_violations(fixture_report):
 
 @pytest.mark.parametrize(
     "rule",
-    ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007", "RP008"],
+    ["RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
+     "RP008", "RP009", "RP010", "RP011"],
 )
 def test_each_rule_fires_only_at_its_seeded_lines(fixture_report, rule):
     got = {t for t in _triples(fixture_report.active) if t[0] == rule}
@@ -149,6 +158,17 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/service/bad_handlers.py", 31),  # fallback assignment
         ("repro/service/bad_handlers.py", 35),  # re-raise
         ("repro/service/bad_handlers.py", 39),  # returns a default
+        ("repro/service/bad_locks.py", 33),  # immutable config read
+        ("repro/service/bad_locks.py", 38),  # helper inherits entry lock
+        ("repro/service/bad_locks.py", 39),
+        ("repro/service/bad_locks.py", 42),  # minority guard: no inference
+        ("repro/service/bad_order.py", 43),  # consistent nesting order
+        ("repro/service/bad_order.py", 48),
+        ("repro/service/bad_order.py", 53),  # cond.wait releases its cond
+        ("repro/service/bad_order.py", 57),  # bounded wait under lock
+        ("repro/core/bad_arena.py", 30),  # .copy() escapes safely
+        ("repro/core/bad_arena.py", 36),  # rebind into the same name
+        ("repro/core/bad_arena.py", 42),  # dynamic buffer name
     }
     assert not flagged & fine
 
@@ -167,6 +187,9 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP006", "repro/checkpoint/bad_io.py", 28),
         ("RP007", "repro/service/bad_service.py", 39),
         ("RP008", "repro/service/bad_handlers.py", 46),
+        ("RP009", "repro/service/bad_locks.py", 49),
+        ("RP010", "repro/service/bad_order.py", 61),
+        ("RP011", "repro/core/bad_arena.py", 48),
     }
     assert not _triples(fixture_report.active) & suppressed_sites
 
@@ -186,6 +209,29 @@ def test_suppression_comment_parsing():
     assert sup[3] == {"*"}  # bare ignore silences every rule
     assert sup[5] == {"RP002"}  # standalone comment covers the next line
     assert 4 not in sup and 6 not in sup
+
+
+@pytest.mark.parametrize(
+    "rule,rel",
+    [
+        ("RP009", "repro/service/bad_locks.py"),
+        ("RP010", "repro/service/bad_order.py"),
+        ("RP011", "repro/core/bad_arena.py"),
+    ],
+)
+def test_unsuppressing_a_seeded_bug_fails_strict(tmp_path, rule, rel):
+    """Each concurrency rule demonstrably catches its bug class: strip
+    the fixture's suppression comment and the strict gate fails on the
+    resurfaced finding."""
+    dst = tmp_path / rel
+    dst.parent.mkdir(parents=True)
+    dst.write_text(
+        (FIXTURES / rel).read_text().replace(f"# repro: ignore[{rule}]", "")
+    )
+    report = Analyzer(tmp_path).run(baseline=None)
+    assert report.suppressed_count == 0
+    assert any(d.rule == rule for d in report.active)
+    assert report.exit_code(strict=True) == 1
 
 
 def test_suppression_scoping_is_per_rule(tmp_path):
@@ -348,7 +394,7 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in (
         "RP001", "RP002", "RP003", "RP004", "RP005", "RP006", "RP007",
-        "RP008",
+        "RP008", "RP009", "RP010", "RP011",
     ):
         assert rule in out
 

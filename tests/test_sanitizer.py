@@ -1,0 +1,173 @@
+"""Tests for the runtime lock-order sanitizer (analysis/sanitizer.py).
+
+The sanitizer is opt-in: with ``REPRO_SANITIZE`` unset the factories
+return plain ``threading`` primitives, so these tests flip the
+environment per-test (the factories read it at call time) and reset the
+global registry around each one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    enabled,
+    make_condition,
+    make_lock,
+    make_rlock,
+    registry,
+)
+
+PLAIN_LOCK_TYPE = type(threading.Lock())
+PLAIN_RLOCK_TYPE = type(threading.RLock())
+
+
+@pytest.fixture
+def sanitize(monkeypatch):
+    """Enable the sanitizer and hand back a clean registry.
+
+    The registry is global and the session-finish hook in conftest.py
+    reads it, so the fixture snapshots whatever the suite recorded so
+    far and restores it afterwards — the toy inversions provoked here
+    must not fail the real session, and real edges must survive."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    reg = registry()
+    saved = (
+        dict(reg.edges),
+        list(reg.inversions),
+        dict(reg.contended_while_held),
+    )
+    reg.reset()
+    yield reg
+    reg.reset()
+    reg.edges.update(saved[0])
+    reg.inversions.extend(saved[1])
+    reg.contended_while_held.update(saved[2])
+
+
+def test_factories_return_plain_primitives_when_disabled(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not enabled()
+    assert isinstance(make_lock("X._lock"), PLAIN_LOCK_TYPE)
+    assert isinstance(make_rlock("X._lock"), PLAIN_RLOCK_TYPE)
+    cond = make_condition("X._cond")
+    assert isinstance(cond, threading.Condition)
+    assert isinstance(cond._lock, PLAIN_RLOCK_TYPE)
+
+
+def test_instrumented_lock_still_locks(sanitize):
+    lock = make_lock("Toy._lock")
+    with lock:
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+    assert not lock.locked()
+    assert registry().held_names() == ()
+
+
+def test_two_threads_taking_opposite_orders_is_an_inversion(sanitize):
+    """The toy deadlock: thread 1 nests A->B, thread 2 nests B->A.  The
+    schedule here is serialized, so the run completes — but the order
+    graph has both edges, which is exactly the latent deadlock RP010
+    models, and the sanitizer must report it."""
+    a = make_lock("ToyEast._lock")
+    b = make_lock("ToyWest._lock")
+
+    def east_first():
+        with a:
+            with b:
+                pass
+
+    def west_first():
+        with b:
+            with a:
+                pass
+
+    t1 = threading.Thread(target=east_first, name="east")
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=west_first, name="west")
+    t2.start()
+    t2.join()
+
+    report = registry().report()
+    assert ("ToyEast._lock", "ToyWest._lock", 1) in report["edges"]
+    assert ("ToyWest._lock", "ToyEast._lock", 1) in report["edges"]
+    assert len(report["inversions"]) == 1
+    inv = report["inversions"][0]
+    assert inv["pair"] == ["ToyEast._lock", "ToyWest._lock"]
+    assert inv["thread"] == "west"
+
+
+def test_consistent_order_is_not_an_inversion(sanitize):
+    a = make_lock("OrderedA._lock")
+    b = make_lock("OrderedB._lock")
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    report = registry().report()
+    assert report["inversions"] == []
+    assert ("OrderedA._lock", "OrderedB._lock", 3) in report["edges"]
+
+
+def test_reentrant_reacquire_records_no_extra_edges(sanitize):
+    outer = make_lock("Outer._lock")
+    inner = make_rlock("Inner._lock")
+    with outer:
+        with inner:
+            with inner:  # re-entry: no second (Outer, Inner) edge
+                pass
+    report = registry().report()
+    assert report["edges"] == [("Outer._lock", "Inner._lock", 1)]
+
+
+def test_condition_wait_fully_releases_the_instrumented_lock(sanitize):
+    cond = make_condition("Toy._cond")
+    entered = threading.Event()
+    hits = []
+
+    def waiter():
+        with cond:
+            entered.set()
+            hits.append("waiting")
+            cond.wait(timeout=5.0)
+            hits.append("woken")
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    entered.wait(timeout=5.0)
+    # wait() must have released the lock or this acquire deadlocks.
+    with cond:
+        cond.notify_all()
+    t.join(timeout=5.0)
+    assert not t.is_alive()
+    assert hits == ["waiting", "woken"]
+
+
+def test_unexercised_reports_dead_static_edges(sanitize):
+    a = make_lock("Live._lock")
+    b = make_lock("Also._lock")
+    with a:
+        with b:
+            pass
+    static = {
+        ("Live._lock", "Also._lock"): ("repro/service/x.py", 10),
+        ("Dead._lock", "Deader._lock"): ("repro/service/y.py", 20),
+        ("m.py:local_lock", "Dead._lock"): ("repro/service/y.py", 30),
+    }
+    dead = registry().unexercised(static)
+    # The exercised edge is gone; the anonymous id is skipped.
+    assert dead == [
+        ("Dead._lock", "Deader._lock", "repro/service/y.py:20")
+    ]
+
+
+def test_production_lock_names_match_the_static_ids(sanitize):
+    """The service stack's factories use ``Class._attr`` names, so the
+    runtime edges diff against RP010's static graph by construction."""
+    from repro.service.cache import LRUBytesCache
+
+    cache = LRUBytesCache(max_bytes=1024)
+    assert cache._lock.name == "LRUBytesCache._lock"
