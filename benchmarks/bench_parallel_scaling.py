@@ -26,7 +26,6 @@ from __future__ import annotations
 import argparse
 import json
 import math
-import os
 import sys
 import time
 
@@ -35,39 +34,13 @@ import pytest
 from repro.core import CuTSMatcher
 from repro.core.config import CuTSConfig
 from repro.graph import chain_graph, mesh_graph
+from repro.hostinfo import detect_cpus
 from repro.parallel import ParallelMatcher
 
 from conftest import bench_scale
 
 CHAIN_LENGTH = 8
 DEFAULT_WORKERS = (1, 2, 4)
-
-
-def detect_cpus() -> tuple[int, int | None, int | None]:
-    """CPUs usable by this process: ``(usable, logical, affinity)``.
-
-    ``os.cpu_count()`` reports the machine's logical CPUs, which
-    over-counts inside cgroup/affinity-restricted containers (where the
-    ≥2x speedup gate must not fire) — and historically this benchmark
-    recorded whichever number the container surfaced, so the gate
-    silently skipped on restricted multi-core hosts.  ``usable`` is
-    ``os.process_cpu_count()`` where available (Python 3.13+), else the
-    scheduler-affinity size, else the logical count; the report records
-    all three so a reader can tell *why* the gate did or didn't apply.
-    """
-    logical = os.cpu_count()
-    affinity: int | None = None
-    getaff = getattr(os, "sched_getaffinity", None)
-    if getaff is not None:  # Linux/some BSDs only
-        try:
-            affinity = len(getaff(0))
-        except OSError:
-            affinity = None
-    process_cpus = getattr(os, "process_cpu_count", None)
-    usable = process_cpus() if process_cpus is not None else None
-    if not usable:
-        usable = affinity or logical or 1
-    return usable, logical, affinity
 
 
 def figure2_workload(scale: float):

@@ -46,6 +46,7 @@ import pytest
 from repro.core import CuTSMatcher
 from repro.core.config import CuTSConfig
 from repro.graph import chain_graph, cycle_graph, mesh_graph, star_graph
+from repro.hostinfo import cpu_report
 from repro.service import JobFailed, MatchingService
 from repro.service.faults import ServiceFaultPlan
 
@@ -187,7 +188,7 @@ def run_resilience(scale: float, requests: int | None = None) -> dict:
     return {
         "benchmark": "service_resilience",
         "scale": scale,
-        "cpu_count": os.cpu_count(),
+        **cpu_report(),
         "journal_overhead": run_journal_overhead(scale, requests),
         "goodput_under_faults": run_goodput(scale, max(40, 2 * requests)),
     }

@@ -30,7 +30,6 @@ from __future__ import annotations
 import argparse
 import json
 import math
-import os
 import sys
 import time
 
@@ -39,6 +38,7 @@ import pytest
 from repro.core import CuTSMatcher
 from repro.core.config import CuTSConfig
 from repro.graph import chain_graph, cycle_graph, mesh_graph, star_graph
+from repro.hostinfo import cpu_report, detect_cpus
 from repro.service import MatchingService
 
 from conftest import bench_scale
@@ -67,7 +67,7 @@ def service_workload(scale: float):
 def run_throughput(scale: float, workers: int | None = None) -> dict:
     data, queries = service_workload(scale)
     config = CuTSConfig()
-    workers = workers or min(4, os.cpu_count() or 1)
+    workers = workers or min(4, detect_cpus()[0])
 
     # Sequential baseline: the one-shot cost structure (new engine per
     # query, no reuse of anything).
@@ -105,7 +105,7 @@ def run_throughput(scale: float, workers: int | None = None) -> dict:
             "queries": [q.name for q in queries],
             "scale": scale,
         },
-        "cpu_count": os.cpu_count(),
+        **cpu_report(),
         "workers": workers,
         "sequential": {
             "wall_s": round(sequential_s, 4),

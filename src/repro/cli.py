@@ -284,12 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser(
         "serve",
         help="run the matching service over HTTP (same as "
-        "python -m repro.serve)",
+        "python -m repro.serve); --ranks N --replication R serves a "
+        "replicated shard-routed cluster",
     )
     s.add_argument(
         "serve_args", nargs=argparse.REMAINDER, metavar="ARGS",
         help="arguments forwarded to repro.serve (--port, --workers, "
-        "--preload, ...)",
+        "--ranks, --replication, --preload, ...)",
     )
     s.set_defaults(func=_cmd_serve)
     return parser

@@ -139,6 +139,25 @@ class CuTSConfig:
         other work is rejected with ``503``); the same count of healthy
         ticks exits it.  Hysteresis keeps one transient spike from
         flapping the mode.
+    service_ranks:
+        Replicated serving (:mod:`repro.service.cluster`): number of
+        ranks in the cluster.  ``1`` (default) serves from a single
+        :class:`~repro.service.MatchingService` with no router.
+    service_replication:
+        Replicas per shard on the cluster's consistent-hash ring
+        (clamped to the rank count).  A shard with fewer than a
+        majority of its replicas reachable is **below quorum** and
+        sheds load with ``503`` + ``Retry-After``.
+    service_route_timeout_s:
+        Router-side wall clock per routed attempt: a replica that has
+        not answered within this window is treated as failed and the
+        request fails over to the next replica (the original attempt
+        is revoked — its late answer, if any, is never integrated).
+    service_heal_after_ticks:
+        Supervisor ticks a rank must stay crashed before the cluster
+        restarts it from its durable state dir; the restarted replica
+        is re-admitted to the ring only after it has caught up from
+        the content-addressed graph store.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -172,6 +191,10 @@ class CuTSConfig:
     service_request_timeout_s: float = 30.0
     service_max_body_bytes: int = 8 * 1024 * 1024
     service_degraded_after: int = 3
+    service_ranks: int = 1
+    service_replication: int = 2
+    service_route_timeout_s: float = 10.0
+    service_heal_after_ticks: int = 2
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -235,3 +258,11 @@ class CuTSConfig:
             raise ValueError("service_max_body_bytes must be >= 1024")
         if self.service_degraded_after < 1:
             raise ValueError("service_degraded_after must be >= 1")
+        if self.service_ranks < 1:
+            raise ValueError("service_ranks must be >= 1")
+        if self.service_replication < 1:
+            raise ValueError("service_replication must be >= 1")
+        if self.service_route_timeout_s <= 0:
+            raise ValueError("service_route_timeout_s must be positive")
+        if self.service_heal_after_ticks < 1:
+            raise ValueError("service_heal_after_ticks must be >= 1")

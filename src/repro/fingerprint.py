@@ -83,6 +83,13 @@ COUNT_IRRELEVANT_FIELDS = frozenset(
         "service_request_timeout_s",
         "service_max_body_bytes",
         "service_degraded_after",
+        # Cluster topology: routing and replication decide *where* a
+        # query runs, never what it enumerates (replicas execute the
+        # same engine under the same count-relevant config).
+        "service_ranks",
+        "service_replication",
+        "service_route_timeout_s",
+        "service_heal_after_ticks",
     }
 )
 """Config fields excluded from :func:`config_fingerprint`.

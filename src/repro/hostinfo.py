@@ -1,0 +1,56 @@
+"""Host CPU topology as this *process* actually sees it.
+
+``os.cpu_count()`` reports the machine's logical CPUs, which
+over-counts inside cgroup/affinity-restricted containers — exactly the
+environments CI benchmarks run in.  A speedup gate keyed on the logical
+count silently mis-fires there: it either demands parallel speedup the
+scheduler cannot deliver or skips on hosts that could deliver it.
+
+Every benchmark that reports host capacity goes through
+:func:`detect_cpus` and records **all three** counts — usable, logical,
+affinity — so a reader of a ``BENCH_*.json`` report can tell not just
+how many CPUs the gate assumed but *why* (Python's own
+``process_cpu_count`` on 3.13+, the scheduler-affinity mask on Linux,
+or the raw logical count as the last resort).
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["cpu_report", "detect_cpus"]
+
+
+def detect_cpus() -> tuple[int, int | None, int | None]:
+    """CPUs usable by this process: ``(usable, logical, affinity)``.
+
+    ``usable`` is ``os.process_cpu_count()`` where available (Python
+    3.13+), else the scheduler-affinity size, else the logical count
+    (minimum 1).  ``logical`` and ``affinity`` are reported as-is
+    (``None`` when the platform cannot say).
+    """
+    logical = os.cpu_count()
+    affinity: int | None = None
+    getaff = getattr(os, "sched_getaffinity", None)
+    if getaff is not None:  # Linux/some BSDs only
+        try:
+            affinity = len(getaff(0))
+        except OSError:
+            affinity = None
+    process_cpus = getattr(os, "process_cpu_count", None)
+    usable = process_cpus() if process_cpus is not None else None
+    if not usable:
+        usable = affinity or logical or 1
+    return usable, logical, affinity
+
+
+def cpu_report() -> dict[str, int | None]:
+    """The three counts as the dict benchmark reports embed:
+    ``cpu_count`` stays the *usable* figure (what gates key on), with
+    the raw ``cpu_logical`` / ``cpu_affinity`` beside it."""
+    usable, logical, affinity = detect_cpus()
+    return {
+        "cpu_count": usable,
+        "cpu_logical": logical,
+        "cpu_affinity": affinity,
+    }

@@ -28,12 +28,21 @@ deterministic faults end-to-end for chaos testing; the client heals
 itself with :class:`RetryPolicy` backoff, idempotency keys, and a
 :class:`CircuitBreaker`.
 
+Scale-out (DESIGN.md §15): :class:`ClusterService` replicates the
+service across N ranks behind a consistent-hash router
+(:class:`HashRing`) with R-way replication per graph shard — requests
+fail over across replicas with exactly-once integration, oversized
+split queries resume on survivors, and below-quorum shards shed load
+with machine-readable 503s until a replacement replica catches up.
+
 Faces: :class:`MatchingService` (embedded Python API),
-``python -m repro.serve`` (stdlib HTTP, :mod:`repro.service.http`), and
+``python -m repro.serve`` (stdlib HTTP, :mod:`repro.service.http`;
+``--ranks N`` serves a :class:`ClusterService`), and
 :class:`ServiceClient` (:mod:`repro.service.client`).
 """
 
 from .cache import LRUBytesCache
+from .cluster import ClusterJob, ClusterRank, ClusterService, HashRing
 from .client import (
     CircuitBreaker,
     RetryPolicy,
@@ -54,8 +63,12 @@ from .state import ServiceState
 __all__ = [
     "AdmissionError",
     "CircuitBreaker",
+    "ClusterJob",
+    "ClusterRank",
+    "ClusterService",
     "DeadlineExpired",
     "Dispatcher",
+    "HashRing",
     "GraphHandle",
     "GraphRegistry",
     "InjectedEngineFault",

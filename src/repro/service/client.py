@@ -61,7 +61,9 @@ class ServiceError(RuntimeError):
     ``status == 0`` marks transport-level failures (unreachable host,
     mid-body disconnect, malformed response body, open circuit).
     ``retry_after`` carries the server's ``Retry-After`` header in
-    seconds when one was sent.
+    seconds when one was sent.  ``replica`` is the cluster rank the
+    request was routed to when the server reported one — against a
+    replicated service it says *which* replica produced the failure.
     """
 
     def __init__(
@@ -70,11 +72,13 @@ class ServiceError(RuntimeError):
         message: str,
         reason: str | None = None,
         retry_after: float | None = None,
+        replica: int | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.reason = reason
         self.retry_after = retry_after
+        self.replica = replica
 
 
 def graph_to_spec(graph: CSRGraph) -> dict[str, Any]:
@@ -294,6 +298,7 @@ class ServiceClient:
                 retry_after = float(header) if header is not None else None
             except ValueError:
                 retry_after = None
+            replica = payload.get("replica")
             raise ServiceError(
                 exc.code,
                 str(
@@ -301,6 +306,7 @@ class ServiceClient:
                 ),
                 reason=payload.get("reason"),
                 retry_after=retry_after,
+                replica=int(replica) if replica is not None else None,
             ) from None
         except urllib.error.URLError as exc:
             raise ServiceError(
@@ -390,6 +396,7 @@ class ServiceClient:
         time_limit_ms: float | None = None,
         timeout_s: float | None = None,
         idempotency_key: str | None = None,
+        num_parts: int = 1,
     ) -> dict[str, Any]:
         """Submit one match.  ``wait=True`` returns the finished job
         JSON; ``wait=False`` returns ``{"job_id": ...}`` immediately.
@@ -418,6 +425,10 @@ class ServiceClient:
             body["time_limit_ms"] = time_limit_ms
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
+        if num_parts != 1:
+            # Against a cluster the router stripes the query across its
+            # shard's replicas and resumes surviving parts on failure.
+            body["num_parts"] = num_parts
         return self._request("POST", "/match", body)
 
     def job(self, job_id: str) -> dict[str, Any]:

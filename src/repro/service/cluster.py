@@ -1,0 +1,1185 @@
+"""Replicated, shard-routed serving: the matching service on N ranks.
+
+The single-process :class:`~repro.service.MatchingService` owns every
+graph, so one crash takes the whole registry down.  This module runs
+**N replicas** of it behind a router so capacity and fault domains grow
+by adding ranks — the serving-side form of the paper's multi-GPU
+scale-out, built from the same reliability pieces as the distributed
+runtime (DESIGN.md §15):
+
+* :class:`HashRing` — a consistent-hash ring over the live ranks maps
+  each graph fingerprint to ``replication`` distinct replicas.  The
+  ring is a pure function of the sorted live-member set (SHA-256 over
+  rank/vnode labels), so every membership change rebuilds it
+  deterministically: two routers that agree on membership agree on
+  placement.
+* :class:`ClusterRank` — one replica: a ``MatchingService`` over its
+  own durable state dir.  A crash is *abrupt abandonment*
+  (:meth:`MatchingService.kill` — pool workers SIGKILLed, nothing
+  settles, nothing flushes); a restart builds a fresh incarnation over
+  the same state dir, replaying the durable job journal.
+* :class:`ClusterService` — the router.  ``/match`` goes to the
+  primary replica by graph affinity and **fails over** to a secondary
+  on rank crash, partition, or route timeout.  Every attempt carries a
+  sequence number in a :class:`~repro.distributed.protocol.
+  ShipmentTracker` (PR 1's envelope bookkeeping): a timed-out or
+  crashed attempt is *revoked* before the failover is dispatched, so a
+  late answer from the old replica is never integrated, and the same
+  idempotency key rides every attempt, so a replica that did execute
+  before dying answers the retry from its journal instead of running
+  again — together, exactly-once integration.
+
+**Split queries** reuse the engine's ``part=/num_parts=`` striding:
+``num_parts > 1`` fans one query out as strided part-requests across
+the shard's replicas, tracked in a
+:class:`~repro.distributed.protocol.StrideLedger` keyed
+``(0, part, part + 1)``.  A replica crash mid-split invalidates only
+that rank's uncommitted parts (``begin_recovery`` → ``adopt``);
+committed parts keep their counts, so the query *resumes* on the
+survivors instead of restarting.  Part counts sum exactly because the
+root stride sets partition.
+
+**Degradation and healing**: a shard with fewer than a majority of its
+replicas reachable is below quorum; the router sheds those requests
+through the scheduler's rejection machinery (reason
+``shard-unavailable``, HTTP 503 + ``Retry-After``) instead of queueing
+doomed work.  A supervisor thread restarts a crashed rank after
+``service_heal_after_ticks`` ticks and re-admits it to the ring **only
+after** it has caught up — re-registered every shard it will serve —
+from the router's content-addressed graph store; the ring rebuild then
+returns the shard to full R-way replication.
+
+Fault injection is end-to-end: the same ``--faults`` spec that drives
+the single service adds ``rank_crash_prob`` / ``partition_prob`` /
+``slow_replica_prob`` here, consulted once per routed attempt, and
+``scripts/cluster_chaos.py`` gates the whole loop against the serial
+oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..analysis.sanitizer import make_lock
+from ..core.config import CuTSConfig
+from ..core.result import MatchResult
+from ..core.stats import SearchStats
+from ..distributed.protocol import ShipmentTracker, StrideLedger
+from ..fingerprint import graph_fingerprint
+from ..gpusim.cost import CostModel
+from ..graph.csr import CSRGraph
+from .dispatcher import payload_from_result
+from .faults import ServiceFaultInjector, ServiceFaultPlan
+from .scheduler import AdmissionError, Scheduler
+from .service import (
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    JobFailed,
+    MatchingService,
+)
+
+__all__ = [
+    "ClusterJob",
+    "ClusterRank",
+    "ClusterService",
+    "HashRing",
+    "RankUnavailable",
+]
+
+# Rank lifecycle states.
+LIVE = "live"
+CRASHED = "crashed"
+RECOVERING = "recovering"
+
+# Protocol phases at which the router hands control to a test hook.
+PHASES = ("pre-dispatch", "mid-shard", "post-commit-pre-reply")
+
+
+class RankUnavailable(RuntimeError):
+    """One routed attempt failed (crash/partition/timeout); the router
+    revokes the attempt and fails over to the next replica."""
+
+    def __init__(self, rank_id: int, message: str) -> None:
+        super().__init__(message)
+        self.rank_id = rank_id
+
+
+def _ring_hash(label: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring with virtual nodes.
+
+    The layout is a pure function of the member set: every member
+    contributes ``vnodes`` points hashed from ``rank-<id>-vnode-<k>``,
+    sorted once.  Rebuilding with the same members yields the same
+    ring, so routers (and restarted routers) agree on placement
+    without coordination.
+    """
+
+    def __init__(self, members: Iterable[int], *, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self.members = tuple(sorted(set(members)))
+        points = [
+            (_ring_hash(f"rank-{rank}-vnode-{v}"), rank)
+            for rank in self.members
+            for v in range(vnodes)
+        ]
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def replicas_for(self, key: str, count: int) -> list[int]:
+        """The first ``count`` distinct members clockwise from
+        ``key``'s position — the shard's replica set, primary first."""
+        if not self.members:
+            return []
+        count = min(count, len(self.members))
+        start = bisect.bisect_right(self._hashes, _ring_hash(key))
+        out: list[int] = []
+        total = len(self._points)
+        for step in range(total):
+            rank = self._points[(start + step) % total][1]
+            if rank not in out:
+                out.append(rank)
+                if len(out) == count:
+                    break
+        return out
+
+    def primary_for(self, key: str) -> int:
+        replicas = self.replicas_for(key, 1)
+        if not replicas:
+            raise LookupError("hash ring has no members")
+        return replicas[0]
+
+
+class ClusterRank:
+    """One replica: a :class:`MatchingService` plus liveness state.
+
+    The lifecycle is ``live -> crashed -> recovering -> live``.  A
+    crash abandons the running incarnation exactly as ``kill -9``
+    would (see :meth:`MatchingService.kill`); recovery builds a fresh
+    incarnation over the same durable state dir, so the job journal
+    and graph store written before the crash are replayed, not lost.
+    """
+
+    def __init__(
+        self,
+        rank_id: int,
+        config: CuTSConfig,
+        *,
+        workers: int | str | None = 1,
+        state_dir: str | None = None,
+        faults: ServiceFaultPlan | None = None,
+    ) -> None:
+        self.rank_id = rank_id
+        self.config = config
+        self.workers = workers
+        self.state_dir = state_dir
+        self.faults = faults
+        self.state = LIVE
+        self.generation = 0
+        self.crashes = 0
+        self.service = MatchingService(
+            config, workers=workers, state_dir=state_dir, faults=faults
+        )
+
+    def crash(self) -> None:
+        """SIGKILL this replica: mark it dead first (routes start
+        failing immediately), then kill the service abruptly."""
+        if self.state == CRASHED:
+            return
+        self.state = CRASHED
+        self.crashes += 1
+        self.service.kill()
+
+    def begin_recovery(self) -> None:
+        """Boot a fresh incarnation over the durable state dir.  The
+        rank stays out of the ring (``recovering``) until the router
+        has finished catch-up and calls :meth:`admit`."""
+        old = self.service
+        self.state = RECOVERING
+        self.service = MatchingService(
+            self.config, workers=self.workers,
+            state_dir=self.state_dir, faults=self.faults,
+        )
+        self.generation += 1
+        old.close()
+
+    def admit(self) -> None:
+        self.state = LIVE
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "rank": self.rank_id,
+            "state": self.state,
+            "generation": self.generation,
+            "crashes": self.crashes,
+            "graphs": len(self.service.registry.handles()),
+        }
+
+
+@dataclass
+class ClusterJob:
+    """One routed request's lifecycle, visible to clients."""
+
+    id: str
+    graph_fp: str
+    query: CSRGraph
+    query_fp: str
+    materialize: bool = False
+    time_limit_ms: float | None = None
+    deadline_ms: float | None = None
+    priority: int = 0
+    num_parts: int = 1
+    idempotency_key: str | None = None
+    state: str = PENDING
+    result: MatchResult | None = None
+    error: str | None = None
+    reason: str | None = None
+    retry_after: float | None = None
+    replica: int | None = None
+    failovers: int = 0
+    parts_recovered: int = 0
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def to_json(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "id": self.id,
+            "state": self.state,
+            "graph": self.graph_fp,
+            "query": self.query_fp,
+            "priority": self.priority,
+            "replica": self.replica,
+            "failovers": self.failovers,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+        }
+        if self.num_parts > 1:
+            out["num_parts"] = self.num_parts
+            out["parts_recovered"] = self.parts_recovered
+        if self.idempotency_key is not None:
+            out["idempotency_key"] = self.idempotency_key
+        if self.reason is not None:
+            out["reason"] = self.reason
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["result"] = payload_from_result(self.result)
+            if self.result.matches is not None:
+                out["matches"] = self.result.matches.tolist()
+        return out
+
+
+@dataclass
+class _Attempt:
+    """One routed attempt: where it went and its envelope sequence."""
+
+    rank_id: int
+    generation: int
+    seq: int
+    rank_job_id: str
+
+
+class ClusterService:
+    """Router over N replicated :class:`MatchingService` ranks.
+
+    Duck-types the single-process service's surface (``submit`` /
+    ``wait`` / ``result`` / ``match`` / ``register_graph`` /
+    ``healthz`` / ``metrics`` / ``graphs`` / ``resolve_key`` /
+    ``graph_info``), so the HTTP face serves either interchangeably.
+
+    Parameters mirror :class:`MatchingService`; ``ranks`` and
+    ``replication`` default from ``config.service_ranks`` /
+    ``config.service_replication`` (replication clamped to the rank
+    count).  ``state_dir`` gives each rank its own durable subdir
+    (``rank-<i>``).  ``auto_heal=False`` disables the supervisor so
+    tests can drive crash/restart phases by hand.
+    """
+
+    _SUPERVISE_POLL_S = 0.05
+    _WAIT_POLL_S = 0.005
+
+    def __init__(
+        self,
+        config: CuTSConfig | None = None,
+        *,
+        ranks: int | None = None,
+        replication: int | None = None,
+        workers: int | str | None = None,
+        state_dir: str | None = None,
+        faults: ServiceFaultPlan | ServiceFaultInjector | None = None,
+        start: bool = True,
+        auto_heal: bool = True,
+    ) -> None:
+        self.config = config or CuTSConfig()
+        n = ranks if ranks is not None else self.config.service_ranks
+        if n < 1:
+            raise ValueError("a cluster needs at least one rank")
+        r = (
+            replication
+            if replication is not None
+            else self.config.service_replication
+        )
+        self.replication = max(1, min(r, n))
+        self.quorum = self.replication // 2 + 1
+        # The router keeps its own injector for topology fates (crash /
+        # partition / slow); each rank's service gets the *plan*, so
+        # engine-level faults keep firing inside the replicas too.
+        rank_plan: ServiceFaultPlan | None = None
+        if isinstance(faults, ServiceFaultPlan):
+            rank_plan = faults
+            faults = ServiceFaultInjector(faults)
+        elif isinstance(faults, ServiceFaultInjector):
+            rank_plan = faults.plan
+        self.faults = faults
+        self.auto_heal = auto_heal
+        self.ranks: dict[int, ClusterRank] = {}
+        for rank_id in range(n):
+            sub = None
+            if state_dir is not None:
+                sub = f"{state_dir}/rank-{rank_id}"
+            self.ranks[rank_id] = ClusterRank(
+                rank_id, self.config,
+                workers=1 if workers is None else workers,
+                state_dir=sub,
+                faults=rank_plan,
+            )
+        # _lock guards membership-derived state (ring, catalog, names,
+        # partitions); _jobs_lock guards the job table; _tracker_lock
+        # guards envelope bookkeeping.  They are never nested, and no
+        # rank call or wait happens under any of them (RP010).
+        self._lock = make_lock("ClusterService._lock")
+        self._jobs_lock = make_lock("ClusterService._jobs_lock")
+        self._tracker_lock = make_lock("ClusterService._tracker_lock")
+        self._ring = HashRing(range(n))
+        self._catalog: dict[str, tuple[CSRGraph, str]] = {}
+        self._names: dict[str, str] = {}
+        self._partitioned: dict[int, int] = {}
+        self._tracker = ShipmentTracker()
+        # The front door reuses the scheduler's rejection machinery so
+        # shard-unavailable sheds are minted and counted the same way
+        # degraded-mode rejections are.
+        self._front = Scheduler(max_depth=self.config.service_queue_depth)
+        self._jobs: dict[str, ClusterJob] = {}
+        self._job_seq = 0
+        self._idempotency: dict[str, str] = {}
+        self.phase_hook: Callable[[str, int, str], None] | None = None
+        self.routes = 0
+        self.failovers = 0
+        self.shed = 0
+        self.revoked_replies = 0
+        self.split_queries = 0
+        self.recovered_parts = 0
+        self.heals = 0
+        self.heal_failures = 0
+        self.catchup_graphs = 0
+        self.last_heal_error: str | None = None
+        self._heal_strikes: dict[int, int] = {}
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self.started_at = time.time()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._supervisor is None or not self._supervisor.is_alive():
+            self._stop.clear()
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="cluster-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10.0)
+            self._supervisor = None
+        for rank in self.ranks.values():
+            rank.service.close()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Membership / fault control
+    # ------------------------------------------------------------------
+    def _rebuild_ring(self) -> None:
+        """Caller holds ``_lock``.  Deterministic: the ring is a pure
+        function of the live-member set."""
+        live = [
+            rank_id
+            for rank_id, rank in self.ranks.items()
+            if rank.state == LIVE
+        ]
+        self._ring = HashRing(live, vnodes=self._ring.vnodes)
+
+    def crash_rank(self, rank_id: int) -> None:
+        """Kill one replica abruptly (chaos entry point: the in-process
+        equivalent of SIGKILLing its process).  Routing continues; the
+        shard's surviving replicas absorb its traffic."""
+        rank = self.ranks[rank_id]
+        rank.crash()
+        with self._lock:
+            self._partitioned.pop(rank_id, None)
+            self._rebuild_ring()
+
+    def partition_rank(self, rank_id: int, ticks: int) -> None:
+        """Make one replica unreachable for ``ticks`` routed attempts
+        without losing its state (a network partition, not a crash)."""
+        with self._lock:
+            self._partitioned[rank_id] = max(1, int(ticks))
+
+    def restart_rank(self, rank_id: int) -> None:
+        """Restart a crashed replica and re-admit it to the ring.
+
+        Ordering is the whole point: the fresh incarnation first
+        replays its own journal, then **catches up** — registers every
+        graph whose prospective replica set includes it — from the
+        router's content-addressed store, and only then rejoins the
+        ring.  Traffic never reaches a replica that is still missing
+        its shards.
+        """
+        rank = self.ranks[rank_id]
+        if rank.state == LIVE:
+            return
+        rank.begin_recovery()
+        with self._lock:
+            live = [
+                rid for rid, r in self.ranks.items() if r.state == LIVE
+            ]
+            prospective = HashRing(
+                live + [rank_id], vnodes=self._ring.vnodes
+            )
+            needed = [
+                (fp, graph, name)
+                for fp, (graph, name) in self._catalog.items()
+                if rank_id in prospective.replicas_for(fp, self.replication)
+            ]
+        for fp, graph, name in needed:
+            if rank.service.registry.by_fingerprint(fp) is None:
+                rank.service.register_graph(graph, name)
+                self.catchup_graphs += 1
+        with self._lock:
+            rank.admit()
+            self._partitioned.pop(rank_id, None)
+            self._rebuild_ring()
+        self.heals += 1
+
+    def _supervise(self) -> None:
+        """Heal loop: a rank that stays crashed for
+        ``service_heal_after_ticks`` consecutive ticks is restarted
+        and re-admitted once caught up."""
+        while not self._stop.wait(self._SUPERVISE_POLL_S):
+            if not self.auto_heal:
+                continue
+            for rank_id, rank in self.ranks.items():
+                if rank.state != CRASHED:
+                    self._heal_strikes[rank_id] = 0
+                    continue
+                strikes = self._heal_strikes.get(rank_id, 0) + 1
+                self._heal_strikes[rank_id] = strikes
+                if strikes < self.config.service_heal_after_ticks:
+                    continue
+                self._heal_strikes[rank_id] = 0
+                try:
+                    self.restart_rank(rank_id)
+                except Exception as exc:
+                    # A failed heal must not kill the supervisor; the
+                    # next tick retries and the counter says it failed.
+                    self.heal_failures += 1
+                    self.last_heal_error = str(exc)
+
+    # ------------------------------------------------------------------
+    # Graph management
+    # ------------------------------------------------------------------
+    def register_graph(
+        self, graph: CSRGraph, name: str | None = None
+    ) -> str:
+        """Register ``graph`` cluster-wide: store it content-addressed
+        in the router catalog and on each of its shard's live replicas
+        (each replica persists it durably when it has a state dir)."""
+        fp = graph_fingerprint(graph)
+        resolved = name or graph.name or fp[:12]
+        with self._lock:
+            self._catalog[fp] = (graph, resolved)
+            self._names[resolved] = fp
+            replicas = self._ring.replicas_for(fp, self.replication)
+        for rank_id in replicas:
+            rank = self.ranks[rank_id]
+            if rank.state == LIVE:
+                rank.service.register_graph(graph, resolved)
+        return fp
+
+    def resolve_key(self, key: str) -> str:
+        """Fingerprint for a catalogued name or fingerprint."""
+        with self._lock:
+            if key in self._catalog:
+                return key
+            fp = self._names.get(key)
+        if fp is None:
+            raise KeyError(f"no registered graph named {key!r}")
+        return fp
+
+    def graph_info(self, key: str) -> dict[str, object]:
+        fp = self.resolve_key(key)
+        with self._lock:
+            graph, name = self._catalog[fp]
+            replicas = self._ring.replicas_for(fp, self.replication)
+        live = [
+            rank_id
+            for rank_id in replicas
+            if self.ranks[rank_id].state == LIVE
+            and self.ranks[rank_id].service.registry.by_fingerprint(fp)
+            is not None
+        ]
+        return {
+            "name": name,
+            "fingerprint": fp,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "replicas": replicas,
+            "live_replicas": live,
+            "below_quorum": len(self._reachable_replicas(fp)) < self.quorum,
+        }
+
+    def graphs(self) -> list[dict[str, object]]:
+        with self._lock:
+            fps = list(self._catalog)
+        return [self.graph_info(fp) for fp in fps]
+
+    def replication_of(self, key: str) -> int:
+        """How many live replicas currently hold this graph — the
+        chaos harness's 'shard back at full replication' probe."""
+        info = self.graph_info(key)
+        return len(info["live_replicas"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Submission / results
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        graph: CSRGraph | str,
+        query: CSRGraph,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        idempotency_key: str | None = None,
+        num_parts: int = 1,
+    ) -> str:
+        """Route one match request; returns a cluster job id.
+
+        Raises :class:`AdmissionError` with reason
+        ``shard-unavailable`` (and a ``retry_after``) synchronously
+        when the target shard is below quorum — shedding at the front
+        door through the same rejection machinery the scheduler uses,
+        instead of queueing work that cannot be served.
+        """
+        if query.num_vertices == 0:
+            raise ValueError("query graph must have at least one vertex")
+        if num_parts < 1:
+            raise ValueError("num_parts must be >= 1")
+        if num_parts > 1 and materialize:
+            raise ValueError("split queries are count-only")
+        if isinstance(graph, CSRGraph):
+            fp = self.register_graph(graph)
+        else:
+            fp = self.resolve_key(graph)
+        if idempotency_key is not None:
+            with self._jobs_lock:
+                known = self._idempotency.get(idempotency_key)
+                if known is not None and known in self._jobs:
+                    return known
+        self._check_quorum(fp)
+        with self._jobs_lock:
+            self._job_seq += 1
+            job_id = f"cjob-{self._job_seq:08d}"
+            job = ClusterJob(
+                id=job_id,
+                graph_fp=fp,
+                query=query,
+                query_fp=graph_fingerprint(query),
+                materialize=materialize,
+                time_limit_ms=time_limit_ms,
+                deadline_ms=deadline_ms,
+                priority=priority,
+                num_parts=num_parts,
+                idempotency_key=idempotency_key,
+            )
+            self._jobs[job_id] = job
+            if idempotency_key is not None:
+                self._idempotency[idempotency_key] = job_id
+        runner = threading.Thread(
+            target=self._run_job, args=(job,),
+            name=f"cluster-route-{job_id}", daemon=True,
+        )
+        runner.start()
+        return job_id
+
+    def job(self, job_id: str) -> ClusterJob:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"no job {job_id!r}")
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> ClusterJob:
+        job = self.job(job_id)
+        job.done.wait(timeout=timeout)
+        return job
+
+    def result(
+        self, job_id: str, timeout: float | None = None
+    ) -> MatchResult:
+        job = self.wait(job_id, timeout=timeout)
+        if not job.done.is_set():
+            raise TimeoutError(f"job {job_id} still {job.state}")
+        if job.state == DONE and job.result is not None:
+            return job.result
+        if job.reason is not None:
+            # A mid-request shed (e.g. the shard fell below quorum
+            # while routing) surfaces with the same typed reason a
+            # submit-time rejection carries.
+            raise AdmissionError(
+                job.reason,
+                job.error or f"job {job_id} was rejected",
+                retry_after=job.retry_after,
+            )
+        raise JobFailed(f"job {job_id} failed: {job.error}")
+
+    def match(
+        self,
+        graph: CSRGraph | str,
+        query: CSRGraph,
+        *,
+        priority: int = 0,
+        deadline_ms: float | None = None,
+        materialize: bool = False,
+        time_limit_ms: float | None = None,
+        idempotency_key: str | None = None,
+        num_parts: int = 1,
+        timeout: float | None = None,
+    ) -> MatchResult:
+        """Submit and wait — the cluster equivalent of
+        :meth:`MatchingService.match`."""
+        job_id = self.submit(
+            graph,
+            query,
+            priority=priority,
+            deadline_ms=deadline_ms,
+            materialize=materialize,
+            time_limit_ms=time_limit_ms,
+            idempotency_key=idempotency_key,
+            num_parts=num_parts,
+        )
+        return self.result(job_id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, object]:
+        rank_states = {
+            rank_id: rank.state for rank_id, rank in self.ranks.items()
+        }
+        with self._lock:
+            fps = list(self._catalog)
+        below = sum(
+            1
+            for fp in fps
+            if len(self._reachable_replicas(fp)) < self.quorum
+        )
+        live = sum(1 for s in rank_states.values() if s == LIVE)
+        return {
+            "status": "ok" if below == 0 else "degraded",
+            "degraded": below > 0,
+            "uptime_s": time.time() - self.started_at,
+            "ranks": rank_states,
+            "live_ranks": live,
+            "replication": self.replication,
+            "quorum": self.quorum,
+            "shards_below_quorum": below,
+            "graphs": len(fps),
+        }
+
+    def metrics(self) -> dict[str, object]:
+        with self._tracker_lock:
+            tracker = {
+                "seen": len(self._tracker.seen),
+                "revoked": len(self._tracker.revoked),
+                "retransmissions": self._tracker.retransmissions,
+            }
+        with self._lock:
+            ring_members = list(self._ring.members)
+            partitioned = dict(self._partitioned)
+        out: dict[str, object] = {
+            "uptime_s": time.time() - self.started_at,
+            "replication": self.replication,
+            "quorum": self.quorum,
+            "router": {
+                "routes": self.routes,
+                "failovers": self.failovers,
+                "shed": self.shed,
+                "revoked_replies": self.revoked_replies,
+                "split_queries": self.split_queries,
+                "recovered_parts": self.recovered_parts,
+                "heals": self.heals,
+                "heal_failures": self.heal_failures,
+                "catchup_graphs": self.catchup_graphs,
+                "rejected": self._front.snapshot()["rejected"],
+            },
+            "ring": {"members": ring_members, "partitioned": partitioned},
+            "tracker": tracker,
+            "ranks": {
+                rank_id: rank.snapshot()
+                for rank_id, rank in self.ranks.items()
+            },
+        }
+        if self.faults is not None:
+            out["faults"] = self.faults.snapshot()
+        return out
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+    def _phase(self, phase: str, rank_id: int, job_id: str) -> None:
+        hook = self.phase_hook
+        if hook is not None:
+            hook(phase, rank_id, job_id)
+
+    def _reachable_replicas(self, fp: str) -> list[int]:
+        with self._lock:
+            replicas = self._ring.replicas_for(fp, self.replication)
+            return [
+                rank_id
+                for rank_id in replicas
+                if self.ranks[rank_id].state == LIVE
+                and rank_id not in self._partitioned
+            ]
+
+    def _tick_partitions(self) -> None:
+        """One router tick: every active partition window shrinks by
+        one routed attempt and heals at zero (state was never lost)."""
+        with self._lock:
+            healed = [
+                rank_id
+                for rank_id, left in self._partitioned.items()
+                if left <= 1
+            ]
+            for rank_id in healed:
+                del self._partitioned[rank_id]
+            for rank_id in list(self._partitioned):
+                self._partitioned[rank_id] -= 1
+
+    def _check_quorum(self, fp: str) -> None:
+        reachable = self._reachable_replicas(fp)
+        if len(reachable) >= self.quorum:
+            return
+        self.shed += 1
+        retry_after = max(
+            1.0,
+            self.config.service_heal_after_ticks * self._SUPERVISE_POLL_S,
+        )
+        raise self._front.reject(
+            "shard-unavailable",
+            f"shard for graph {fp[:12]} has {len(reachable)} of "
+            f"{self.replication} replicas reachable (quorum "
+            f"{self.quorum}); retry after recovery",
+            retry_after=retry_after,
+        )
+
+    def _apply_route_fate(self, rank_id: int) -> float:
+        """Consult the fault injector for this routed attempt; returns
+        seconds to delay the dispatch (slow-replica fate)."""
+        if self.faults is None:
+            return 0.0
+        fate, magnitude = self.faults.route_fate()
+        if fate == "crash":
+            self.crash_rank(rank_id)
+        elif fate == "partition":
+            self.partition_rank(rank_id, int(magnitude))
+        elif fate == "slow":
+            return magnitude
+        return 0.0
+
+    def _revoke(self, attempt: _Attempt) -> None:
+        with self._tracker_lock:
+            self._tracker.revoke(attempt.rank_id, attempt.seq)
+
+    def _next_seq(self) -> int:
+        with self._tracker_lock:
+            return self._tracker.next_seq()
+
+    def _dispatch_attempt(
+        self,
+        job: ClusterJob,
+        rank_id: int,
+        *,
+        key: str,
+        part: int,
+        num_parts: int,
+    ) -> _Attempt:
+        """Submit one routed attempt to ``rank_id`` (asynchronously on
+        the rank; the caller collects).  Raises :class:`RankUnavailable`
+        when the replica cannot take it."""
+        seq = self._next_seq()
+        attempt = _Attempt(
+            rank_id=rank_id,
+            generation=self.ranks[rank_id].generation,
+            seq=seq,
+            rank_job_id="",
+        )
+        self.routes += 1
+        self._phase("pre-dispatch", rank_id, job.id)
+        delay = self._apply_route_fate(rank_id)
+        self._tick_partitions()
+        rank = self.ranks[rank_id]
+        with self._lock:
+            partitioned = rank_id in self._partitioned
+        if rank.state != LIVE or partitioned:
+            self._revoke(attempt)
+            raise RankUnavailable(
+                rank_id,
+                f"rank {rank_id} is {rank.state}"
+                + (" (partitioned)" if partitioned else ""),
+            )
+        if delay > 0.0:
+            time.sleep(delay)
+        try:
+            if rank.service.registry.by_fingerprint(job.graph_fp) is None:
+                # Lazy catch-up: this replica was remapped onto the
+                # shard after a membership change and has not seen the
+                # graph yet; feed it from the content-addressed store.
+                with self._lock:
+                    graph, name = self._catalog[job.graph_fp]
+                rank.service.register_graph(graph, name)
+                self.catchup_graphs += 1
+            attempt.rank_job_id = rank.service.submit(
+                job.graph_fp,
+                job.query,
+                priority=job.priority,
+                deadline_ms=job.deadline_ms,
+                materialize=job.materialize,
+                time_limit_ms=job.time_limit_ms,
+                idempotency_key=key,
+                part=part,
+                num_parts=num_parts,
+            )
+        except AdmissionError as exc:
+            # A replica-local rejection (queue-full, degraded, a killed
+            # incarnation's shutdown) is failover-eligible — another
+            # replica may well take the work.  The cause is kept so the
+            # router can surface the admission reason when *every*
+            # replica rejected.
+            self._revoke(attempt)
+            raise RankUnavailable(
+                rank_id,
+                f"rank {rank_id} rejected admission ({exc.reason}): {exc}",
+            ) from exc
+        except Exception as exc:
+            # The replica died (or was killed) under the submit.
+            self._revoke(attempt)
+            raise RankUnavailable(
+                rank_id, f"rank {rank_id} refused dispatch: {exc}"
+            ) from exc
+        self._phase("mid-shard", rank_id, job.id)
+        return attempt
+
+    def _collect_attempt(
+        self, job: ClusterJob, attempt: _Attempt
+    ) -> MatchResult:
+        """Wait for one routed attempt, enforcing the route timeout and
+        exactly-once integration.  Raises :class:`RankUnavailable` when
+        the attempt was revoked (crash/partition/timeout) and
+        :class:`JobFailed` when the replica answered with a failure."""
+        rank = self.ranks[attempt.rank_id]
+        deadline = time.monotonic() + self.config.service_route_timeout_s
+        try:
+            rank_job = rank.service.job(attempt.rank_job_id)
+        except KeyError as exc:
+            # The incarnation that took the dispatch is gone already.
+            self._revoke(attempt)
+            raise RankUnavailable(
+                attempt.rank_id,
+                f"rank {attempt.rank_id} lost job {attempt.rank_job_id} "
+                f"(service incarnation replaced)",
+            ) from exc
+        while not rank_job.done.wait(timeout=self._WAIT_POLL_S):
+            if (
+                rank.state != LIVE
+                or rank.generation != attempt.generation
+            ):
+                self._revoke(attempt)
+                raise RankUnavailable(
+                    attempt.rank_id,
+                    f"rank {attempt.rank_id} crashed mid-request",
+                )
+            if time.monotonic() >= deadline:
+                self._revoke(attempt)
+                raise RankUnavailable(
+                    attempt.rank_id,
+                    f"rank {attempt.rank_id} exceeded the route timeout "
+                    f"({self.config.service_route_timeout_s}s)",
+                )
+        self._phase("post-commit-pre-reply", attempt.rank_id, job.id)
+        with self._lock:
+            partitioned = attempt.rank_id in self._partitioned
+        if (
+            rank.state != LIVE
+            or rank.generation != attempt.generation
+            or partitioned
+        ):
+            # The replica committed (its journal has the result) but
+            # the reply is lost on the wire.  Revoke so the answer is
+            # never integrated from this channel; the failover replica
+            # supplies the one integrated result, and the restarted
+            # primary answers any later retry from its journal.
+            self._revoke(attempt)
+            self.revoked_replies += 1
+            raise RankUnavailable(
+                attempt.rank_id,
+                f"rank {attempt.rank_id} became unreachable before its "
+                f"reply was integrated",
+            )
+        with self._tracker_lock:
+            if self._tracker.is_revoked(attempt.rank_id, attempt.seq):
+                raise RankUnavailable(
+                    attempt.rank_id,
+                    f"attempt seq {attempt.seq} was revoked",
+                )
+            if self._tracker.is_seen(attempt.rank_id, attempt.seq):
+                raise RankUnavailable(
+                    attempt.rank_id,
+                    f"attempt seq {attempt.seq} was already integrated",
+                )
+            self._tracker.mark_seen(attempt.rank_id, attempt.seq)
+        if rank_job.state == DONE and rank_job.result is not None:
+            return rank_job.result
+        if rank_job.state in (FAILED, EXPIRED, CANCELLED):
+            raise JobFailed(
+                f"rank {attempt.rank_id} job {attempt.rank_job_id} "
+                f"{rank_job.state}: {rank_job.error}"
+            )
+        raise RankUnavailable(
+            attempt.rank_id,
+            f"rank {attempt.rank_id} job {attempt.rank_job_id} settled "
+            f"{rank_job.state} without a result",
+        )
+
+    def _route_with_failover(
+        self, job: ClusterJob, *, key: str, part: int, num_parts: int
+    ) -> tuple[MatchResult, int]:
+        """Try the shard's replicas in affinity order until one
+        answers; each failed attempt is revoked before the next is
+        dispatched, and the idempotency key is identical across
+        attempts, so at most one result is ever integrated."""
+        errors: list[str] = []
+        tried: set[int] = set()
+        last_failure: JobFailed | None = None
+        last_admission: AdmissionError | None = None
+        for round_no in range(2 * len(self.ranks) + 1):
+            replicas = self._reachable_replicas(job.graph_fp)
+            if len(replicas) < self.quorum:
+                self.shed += 1
+                raise self._front.reject(
+                    "shard-unavailable",
+                    f"shard for graph {job.graph_fp[:12]} fell below "
+                    f"quorum mid-request "
+                    f"({len(replicas)}/{self.replication} reachable): "
+                    + ("; ".join(errors) or "no attempts"),
+                    retry_after=1.0,
+                )
+            fresh = [r for r in replicas if r not in tried]
+            target = (fresh or replicas)[0]
+            if not fresh:
+                tried.clear()
+            tried.add(target)
+            if round_no > 0:
+                self.failovers += 1
+                job.failovers += 1
+                with self._tracker_lock:
+                    self._tracker.retransmissions += 1
+            try:
+                attempt = self._dispatch_attempt(
+                    job, target, key=key, part=part, num_parts=num_parts
+                )
+                return self._collect_attempt(job, attempt), target
+            except RankUnavailable as exc:
+                errors.append(str(exc))
+                if isinstance(exc.__cause__, AdmissionError):
+                    last_admission = exc.__cause__
+                continue
+            except JobFailed as exc:
+                # The replica *answered* with a failure.  It may be
+                # replica-local (an injected engine fault); give the
+                # other replicas one shot before surfacing it.
+                errors.append(str(exc))
+                last_failure = exc
+                continue
+        if last_failure is not None:
+            raise last_failure
+        if last_admission is not None:
+            # Every replica rejected for an admission reason — surface
+            # it machine-readably (429/503 on the HTTP face) instead of
+            # a generic routing failure.
+            raise last_admission
+        raise JobFailed(
+            f"job {job.id}: every routed attempt failed: "
+            + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------------
+    # Split queries
+    # ------------------------------------------------------------------
+    def _run_split(self, job: ClusterJob) -> tuple[MatchResult, int]:
+        """Fan one query out as ``num_parts`` strided part-requests
+        across the shard's replicas, accounted in a
+        :class:`StrideLedger`.  A replica failure invalidates only its
+        uncommitted parts (``begin_recovery``/``adopt``); committed
+        part counts survive, so the query resumes instead of
+        restarting."""
+        n = job.num_parts
+        base_key = job.idempotency_key or job.id
+        self.split_queries += 1
+        ledger = StrideLedger()
+        pending: dict[int, _Attempt] = {}
+
+        def part_key(part: int) -> str:
+            return f"{base_key}#p{part}.{n}"
+
+        def dispatch_part(part: int, exclude: set[int]) -> _Attempt:
+            last: RankUnavailable | None = None
+            for _ in range(len(self.ranks) + 1):
+                replicas = self._reachable_replicas(job.graph_fp)
+                if len(replicas) < self.quorum:
+                    self.shed += 1
+                    raise self._front.reject(
+                        "shard-unavailable",
+                        f"shard for graph {job.graph_fp[:12]} fell "
+                        f"below quorum during a split query",
+                        retry_after=1.0,
+                    )
+                pool = [r for r in replicas if r not in exclude] or replicas
+                target = pool[part % len(pool)]
+                try:
+                    return self._dispatch_attempt(
+                        job, target, key=part_key(part),
+                        part=part, num_parts=n,
+                    )
+                except RankUnavailable as exc:
+                    last = exc
+                    exclude.add(target)
+                    continue
+            raise last if last is not None else JobFailed(
+                f"job {job.id}: no replica accepted part {part}/{n}"
+            )
+
+        for part in range(n):
+            attempt = dispatch_part(part, set())
+            ledger.open((0, part, part + 1), attempt.rank_id)
+            pending[part] = attempt
+
+        parts_done: dict[int, MatchResult] = {}
+        remaining = set(range(n))
+        recoveries = 0
+        served_by = -1
+        while remaining:
+            part = min(remaining)
+            attempt = pending[part]
+            stride_key = (0, part, part + 1)
+            try:
+                result = self._collect_attempt(job, attempt)
+            except (RankUnavailable, JobFailed) as exc:
+                recoveries += 1
+                if recoveries > 3 * (n + len(self.ranks)):
+                    raise JobFailed(
+                        f"job {job.id}: split recovery did not "
+                        f"converge: {exc}"
+                    ) from exc
+                failed_rank = attempt.rank_id
+                dirty = ledger.begin_recovery(failed_rank)
+                if stride_key not in dirty:
+                    dirty.append(stride_key)
+                self.recovered_parts += len(dirty)
+                job.parts_recovered += len(dirty)
+                self.failovers += 1
+                job.failovers += 1
+                with self._tracker_lock:
+                    self._tracker.retransmissions += 1
+                for key in dirty:
+                    dirty_part = key[1]
+                    redo = dispatch_part(dirty_part, {failed_rank})
+                    ledger.adopt(key, redo.rank_id)
+                    pending[dirty_part] = redo
+                    remaining.add(dirty_part)
+                continue
+            gen = ledger.gen_of(stride_key)
+            ledger.finish_item(
+                stride_key, gen, attempt.rank_id, int(result.count)
+            )
+            parts_done[part] = result
+            served_by = attempt.rank_id
+            remaining.discard(part)
+
+        stats = SearchStats()
+        for result in parts_done.values():
+            stats = stats.merge(result.stats)
+        first = parts_done[min(parts_done)]
+        merged = MatchResult(
+            count=ledger.committed_total,
+            matches=None,
+            time_ms=sum(r.time_ms for r in parts_done.values()),
+            cost=CostModel(self.config.device),
+            stats=stats,
+            order=first.order,
+        )
+        return merged, served_by
+
+    # ------------------------------------------------------------------
+    def _run_job(self, job: ClusterJob) -> None:
+        job.state = RUNNING
+        try:
+            if job.num_parts > 1:
+                result, replica = self._run_split(job)
+            else:
+                key = job.idempotency_key or job.id
+                result, replica = self._route_with_failover(
+                    job, key=key, part=0, num_parts=1
+                )
+            job.result = result
+            job.replica = replica
+            job.state = DONE
+        except AdmissionError as exc:
+            job.state = FAILED
+            job.reason = exc.reason
+            job.retry_after = exc.retry_after
+            job.error = str(exc)
+        except Exception as exc:
+            job.state = FAILED
+            job.error = str(exc)
+        job.finished_at = time.time()
+        job.done.set()

@@ -75,8 +75,9 @@ __all__ = ["DispatchOutcome", "Dispatcher", "payload_checksum",
            "payload_from_result", "result_from_payload", "verify_payload"]
 
 # (key, members) pairs as produced by coalescing: the execution key is
-# (query_fp, materialize, time_limit_ms).
-_Group = tuple[tuple[str, bool, float | None], list[Request]]
+# (query_fp, materialize, time_limit_ms, part, num_parts) — two
+# requests are the same computation only when their striding matches.
+_Group = tuple[tuple[str, bool, float | None, int, int], list[Request]]
 
 
 def payload_checksum(payload: dict[str, object]) -> str:
@@ -200,9 +201,14 @@ class Dispatcher:
         live = self._drop_dead(batch, outcomes)
 
         # 1. Coalesce identical executions.
-        groups: dict[tuple[str, bool, float | None], list[Request]] = {}
+        groups: dict[
+            tuple[str, bool, float | None, int, int], list[Request]
+        ] = {}
         for req in live:
-            key = (req.query_fp, req.materialize, req.time_limit_ms)
+            key = (
+                req.query_fp, req.materialize, req.time_limit_ms,
+                req.part, req.num_parts,
+            )
             groups.setdefault(key, []).append(req)
 
         to_run: list[_Group] = []
@@ -212,11 +218,12 @@ class Dispatcher:
                     self.requests_coalesced += len(members) - 1
                 for req in members:
                     outcomes[id(req)].coalesced = True
-            # 2. Result-cache probe (count-only, untimed groups only:
-            # a time limit can truncate counts and materialised rows
-            # are too big to be worth caching).
-            query_fp, materialize, time_limit = key
-            if not materialize and time_limit is None:
+            # 2. Result-cache probe (count-only, untimed, unsplit
+            # groups only: a time limit can truncate counts,
+            # materialised rows are too big to be worth caching, and a
+            # strided part's count must never alias the full query's).
+            query_fp, materialize, time_limit, _part, num_parts = key
+            if not materialize and time_limit is None and num_parts == 1:
                 payload = self._cache_probe(handle.fingerprint, query_fp)
                 if payload is not None:
                     result = result_from_payload(payload, self.config)
@@ -297,14 +304,18 @@ class Dispatcher:
         if isinstance(matcher, ParallelMatcher):
             # Deadline-carrying groups run serially: the serial engine's
             # cooperative wall_limit_s is the cancellation channel the
-            # chunk loop honours mid-search.
+            # chunk loop honours mid-search.  Strided parts run serially
+            # too — the pool pass leases whole queries, while a part is
+            # already one replica's slice of a cluster-split query.
             deadline_groups = [
                 g for g in to_run
                 if any(r.deadline is not None for r in g[1])
+                or g[0][4] > 1
             ]
             pool_groups = [
                 g for g in to_run
                 if not any(r.deadline is not None for r in g[1])
+                and g[0][4] == 1
             ]
             if deadline_groups:
                 self._execute_serial(
@@ -332,7 +343,8 @@ class Dispatcher:
         to_run: list[_Group],
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
-        for (query_fp, materialize, time_limit), members in to_run:
+        for key, members in to_run:
+            query_fp, materialize, time_limit, part, num_parts = key
             wall_limit = self._group_wall_limit(members)
             try:
                 if (
@@ -349,6 +361,8 @@ class Dispatcher:
                     materialize=materialize,
                     time_limit_ms=time_limit,
                     wall_limit_s=wall_limit,
+                    part=part,
+                    num_parts=num_parts,
                 )
             except SearchTimeout as exc:
                 self._settle_timeout(members, outcomes, exc, wall_limit)
@@ -357,8 +371,7 @@ class Dispatcher:
                 self._settle_error(members, outcomes, str(exc))
                 continue
             self._settle(
-                handle, query_fp, materialize, time_limit,
-                members, result, outcomes,
+                handle, key, members, result, outcomes,
             )
 
     def _settle_timeout(
@@ -455,8 +468,7 @@ class Dispatcher:
                         _payload_bytes(plan_payload),
                     )
                 self._settle(
-                    handle, key[0], key[1], key[2],
-                    members, result, outcomes,
+                    handle, key, members, result, outcomes,
                 )
 
     def _kill_one_worker(self, matcher: ParallelMatcher) -> None:
@@ -491,7 +503,8 @@ class Dispatcher:
             return
         with self._stats_lock:
             self.serial_fallbacks += 1
-        for (query_fp, materialize, time_limit), members in items:
+        for key, members in items:
+            query_fp, materialize, time_limit, part, num_parts = key
             try:
                 with self._stats_lock:
                     self.matcher_invocations += 1
@@ -499,6 +512,8 @@ class Dispatcher:
                     members[0].query,
                     materialize=materialize,
                     time_limit_ms=time_limit,
+                    part=part,
+                    num_parts=num_parts,
                 )
             except Exception as exc:
                 self._settle_error(
@@ -508,27 +523,25 @@ class Dispatcher:
             for req in members:
                 outcomes[id(req)].fallback = True
             self._settle(
-                handle, query_fp, materialize, time_limit,
-                members, result, outcomes,
+                handle, key, members, result, outcomes,
             )
 
     # ------------------------------------------------------------------
     def _settle(
         self,
         handle: GraphHandle,
-        query_fp: str,
-        materialize: bool,
-        time_limit: float | None,
+        key: tuple[str, bool, float | None, int, int],
         members: list[Request],
         result: MatchResult,
         outcomes: dict[int, DispatchOutcome],
     ) -> None:
+        query_fp, materialize, time_limit, _part, num_parts = key
         with self._stats_lock:
             for stage, seconds in result.stats.stage_wall_s.items():
                 self.stage_wall_s[stage] = (
                     self.stage_wall_s.get(stage, 0.0) + seconds
                 )
-        if not materialize and time_limit is None:
+        if not materialize and time_limit is None and num_parts == 1:
             payload = payload_from_result(result)
             self.result_cache.put(
                 (handle.fingerprint, query_fp, self.config_fp),

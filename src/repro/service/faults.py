@@ -27,6 +27,19 @@ Fault taxonomy (all consulted in dispatch-loop order, so a given
   high value for a window of dispatch ticks; exercises admission
   rejections and degraded read-only mode.
 
+The replicated cluster (:mod:`repro.service.cluster`) consults the
+same injector per routed attempt, adding three topology faults:
+
+* **rank crash** — the routed replica is killed abruptly (its journal
+  is left exactly as a ``kill -9`` would leave it); exercises failover
+  to a secondary and supervisor-driven restart + catch-up.
+* **partition** — the routed replica becomes unreachable for a window
+  of router ticks without losing state; exercises failover without
+  recovery and quorum-based load shedding.
+* **slow replica** — the routed attempt is delayed before dispatch;
+  exercises the route timeout and revoke-then-failover (the slow
+  replica's late answer must never be integrated).
+
 Enable via ``MatchingService(..., faults=...)``, the ``--faults`` flag
 of ``python -m repro.serve``, or the ``REPRO_SERVICE_FAULTS``
 environment variable — all three take the same ``key=value[,...]``
@@ -74,6 +87,11 @@ class ServiceFaultPlan:
     oom_prob: float = 0.0
     oom_pressure: float = 1.0
     oom_hold_ticks: int = 5
+    rank_crash_prob: float = 0.0
+    partition_prob: float = 0.0
+    partition_ticks: int = 3
+    slow_replica_prob: float = 0.0
+    slow_replica_ms: float = 50.0
 
     def __post_init__(self) -> None:
         for name in (
@@ -82,6 +100,9 @@ class ServiceFaultPlan:
             "worker_kill_prob",
             "cache_corrupt_prob",
             "oom_prob",
+            "rank_crash_prob",
+            "partition_prob",
+            "slow_replica_prob",
         ):
             p = getattr(self, name)
             if not 0.0 <= p <= 1.0:
@@ -92,6 +113,10 @@ class ServiceFaultPlan:
             raise ValueError("oom_pressure must be positive")
         if self.oom_hold_ticks < 1:
             raise ValueError("oom_hold_ticks must be >= 1")
+        if self.partition_ticks < 1:
+            raise ValueError("partition_ticks must be >= 1")
+        if self.slow_replica_ms < 0:
+            raise ValueError("slow_replica_ms must be non-negative")
 
     @property
     def is_null(self) -> bool:
@@ -102,6 +127,9 @@ class ServiceFaultPlan:
             and self.worker_kill_prob == 0.0
             and self.cache_corrupt_prob == 0.0
             and self.oom_prob == 0.0
+            and self.rank_crash_prob == 0.0
+            and self.partition_prob == 0.0
+            and self.slow_replica_prob == 0.0
         )
 
     @classmethod
@@ -124,7 +152,7 @@ class ServiceFaultPlan:
                 raise ValueError(
                     f"unknown fault spec key {key!r}: one of {sorted(known)}"
                 )
-            if key in ("seed", "oom_hold_ticks"):
+            if key in ("seed", "oom_hold_ticks", "partition_ticks"):
                 kwargs[key] = int(raw)
             else:
                 kwargs[key] = float(raw)
@@ -156,6 +184,9 @@ class ServiceFaultInjector:
         self.cache_corruptions = 0
         self.oom_episodes = 0
         self._oom_ticks_left = 0
+        self.rank_crashes = 0
+        self.partitions = 0
+        self.slow_routes = 0
 
     # -- dispatch-path faults -------------------------------------------
     def should_engine_fault(self) -> bool:
@@ -218,6 +249,31 @@ class ServiceFaultInjector:
             return self.plan.oom_pressure
         return None
 
+    # -- cluster faults --------------------------------------------------
+    def route_fate(self) -> tuple[str, float]:
+        """Fate of one routed attempt: ``("crash", 0)``,
+        ``("partition", ticks)``, ``("slow", seconds)``, or
+        ``("none", 0)``.  Consulted once per routed attempt, in routing
+        order, so a seeded plan replays identically.  The router
+        performs the fault (it owns the ranks); the counters here
+        record that the schedule fired."""
+        if self.plan.rank_crash_prob and (
+            self._rng.random() < self.plan.rank_crash_prob
+        ):
+            self.rank_crashes += 1
+            return ("crash", 0.0)
+        if self.plan.partition_prob and (
+            self._rng.random() < self.plan.partition_prob
+        ):
+            self.partitions += 1
+            return ("partition", float(self.plan.partition_ticks))
+        if self.plan.slow_replica_prob and (
+            self._rng.random() < self.plan.slow_replica_prob
+        ):
+            self.slow_routes += 1
+            return ("slow", self.plan.slow_replica_ms / 1000.0)
+        return ("none", 0.0)
+
     # -- introspection ---------------------------------------------------
     def snapshot(self) -> dict[str, int]:
         """Counter snapshot for ``/metrics``."""
@@ -227,4 +283,7 @@ class ServiceFaultInjector:
             "worker_kills": self.worker_kills,
             "cache_corruptions": self.cache_corruptions,
             "oom_episodes": self.oom_episodes,
+            "rank_crashes": self.rank_crashes,
+            "partitions": self.partitions,
+            "slow_routes": self.slow_routes,
         }

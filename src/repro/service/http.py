@@ -17,11 +17,13 @@ Endpoints
 ``POST /match``         ``{"graph": <fp|name|spec>, "query": <spec>,
                         "wait"?: true, "priority"?, "deadline_ms"?,
                         "materialize"?, "time_limit_ms"?,
-                        "idempotency_key"?}`` —
+                        "idempotency_key"?, "num_parts"?}`` —
                         202 + job id when ``wait`` is false,
                         429 + reason when admission rejects,
-                        503 + ``Retry-After`` in degraded mode
-``GET  /jobs/<id>``     job state / result
+                        503 + ``Retry-After`` in degraded mode or
+                        when a cluster shard is below quorum
+``GET  /jobs/<id>``     job state / result (cluster jobs also carry
+                        the serving ``replica`` and failover count)
 
 Resilience guardrails (config-driven): each connection carries a socket
 timeout of ``service_request_timeout_s`` so a stalled peer cannot pin a
@@ -36,6 +38,13 @@ Graph specs are JSON: a pattern shorthand string (``"K5"``, ``"C6"``,
 ``"P4"``, ``"S5"`` — same grammar as the CLI), an explicit edge list
 ``{"edges": [[u, v], ...], "num_vertices"?, "name"?}``, or a whitelisted
 generator ``{"generator": "mesh", "args": [8, 8]}``.
+
+The handler duck-types its backend: ``--ranks N`` (with ``N > 1``)
+serves a replicated :class:`~repro.service.cluster.ClusterService`
+instead of a single :class:`~repro.service.MatchingService`, behind the
+exact same endpoints — routing, failover, and quorum shedding are
+invisible to clients except for the ``replica`` field on jobs and the
+``shard-unavailable`` 503 reason.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ from ..graph.generators import (
     social_graph,
     star_graph,
 )
+from .cluster import ClusterService
 from .faults import ServiceFaultPlan
 from .scheduler import AdmissionError
 from .service import MatchingService
@@ -163,7 +173,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -------------------------------------------------------------- util
     @property
-    def service(self) -> MatchingService:
+    def service(self) -> MatchingService | ClusterService:
         return self.server.service
 
     def setup(self) -> None:
@@ -239,16 +249,25 @@ class _Handler(BaseHTTPRequestHandler):
         except BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except AdmissionError as exc:
-            # Degraded read-only mode is a service condition (503, try
-            # again once pressure clears); the admission limits are a
-            # client pacing problem (429).  Both carry Retry-After so
-            # the self-healing client can back off precisely.
-            status = 503 if exc.reason == "degraded" else 429
+            # Degraded read-only mode and a below-quorum shard are
+            # service conditions (503, try again once they heal); the
+            # admission limits are a client pacing problem (429).  All
+            # carry Retry-After so the self-healing client can back off
+            # precisely — the rejecting layer's own estimate when it
+            # gave one (the cluster router knows its heal cadence).
+            status = (
+                503
+                if exc.reason in ("degraded", "shard-unavailable")
+                else 429
+            )
+            retry_after = (
+                exc.retry_after if exc.retry_after is not None else 1.0
+            )
             self._send_json(
                 status,
                 {"error": "rejected", "reason": exc.reason,
                  "detail": str(exc)},
-                headers={"Retry-After": "1"},
+                headers={"Retry-After": f"{retry_after:g}"},
             )
         except TimeoutError:
             # The peer stalled mid-body past service_request_timeout_s.
@@ -278,14 +297,13 @@ class _Handler(BaseHTTPRequestHandler):
         fp = self.service.register_graph(
             graph, str(name) if name is not None else None
         )
-        handle = self.service.registry.resolve(fp)
-        self._send_json(200, handle.info())
+        self._send_json(200, self.service.graph_info(fp))
 
     def _resolve_graph_arg(self, spec: Any) -> str:
         """A /match 'graph' value: fingerprint, name, or inline spec."""
         if isinstance(spec, str):
             try:
-                return self.service.registry.resolve(spec).fingerprint
+                return self.service.resolve_key(spec)
             except KeyError:
                 # Not a registered key — maybe a pattern shorthand.
                 return self.service.register_graph(_pattern_graph(spec))
@@ -308,6 +326,21 @@ class _Handler(BaseHTTPRequestHandler):
                     )
         time_limit_ms = body.get("time_limit_ms")
         idempotency_key = body.get("idempotency_key")
+        extra: dict[str, Any] = {}
+        num_parts = int(body.get("num_parts", 1))
+        if num_parts != 1:
+            # The cluster stripes the query across its shard's replicas
+            # (resuming on survivors); a single service computes one
+            # strided part — "part" selects which (router use only).
+            extra["num_parts"] = num_parts
+        if "part" in body:
+            if not isinstance(self.service, MatchingService):
+                raise BadRequest(
+                    "'part' selects one stride of a single-rank service;"
+                    " against a cluster send 'num_parts' and let the"
+                    " router stripe the query"
+                )
+            extra["part"] = int(body["part"])
         job_id = self.service.submit(
             graph_fp,
             query,
@@ -320,6 +353,7 @@ class _Handler(BaseHTTPRequestHandler):
             idempotency_key=(
                 str(idempotency_key) if idempotency_key is not None else None
             ),
+            **extra,
         )
         if not body.get("wait", True):
             self._send_json(202, {"job_id": job_id})
@@ -333,14 +367,15 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`MatchingService`."""
+    """A threading HTTP server bound to one service backend — a single
+    :class:`MatchingService` or a replicated :class:`ClusterService`."""
 
     daemon_threads = True
 
     def __init__(
         self,
         address: tuple[str, int],
-        service: MatchingService,
+        service: MatchingService | ClusterService,
         *,
         verbose: bool = False,
     ) -> None:
@@ -352,7 +387,7 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
 
 def serve(
-    service: MatchingService,
+    service: MatchingService | ClusterService,
     host: str = "127.0.0.1",
     port: int = 0,
     *,
@@ -377,6 +412,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workers", default=None, metavar="N|auto",
         help="worker processes per graph engine (default: config)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=None, metavar="N",
+        help="service replicas; N > 1 serves a shard-routed cluster "
+        "that fails over across replicas on rank crashes "
+        "(default: config service_ranks)",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=None, metavar="R",
+        help="replicas per graph shard (clamped to --ranks; "
+        "default: config service_replication)",
+    )
+    parser.add_argument(
+        "--route-timeout-s", type=float, default=None, metavar="S",
+        help="per-attempt routing timeout before the cluster fails "
+        "over to the next replica",
     )
     parser.add_argument(
         "--queue-depth", type=int, default=None, metavar="N",
@@ -409,7 +460,9 @@ def main(argv: list[str] | None = None) -> int:
         help="deterministic fault plan, key=value[,key=value...] "
         "(keys: seed, engine_fault_prob, stall_prob, stall_ms, "
         "worker_kill_prob, cache_corrupt_prob, oom_prob, oom_pressure, "
-        "oom_hold_ticks); default: $REPRO_SERVICE_FAULTS",
+        "oom_hold_ticks, rank_crash_prob, partition_prob, "
+        "partition_ticks, slow_replica_prob, slow_replica_ms); "
+        "default: $REPRO_SERVICE_FAULTS",
     )
     parser.add_argument(
         "--request-timeout-s", type=float, default=None, metavar="S",
@@ -435,6 +488,12 @@ def main(argv: list[str] | None = None) -> int:
         overrides["service_request_timeout_s"] = args.request_timeout_s
     if args.max_body_bytes is not None:
         overrides["service_max_body_bytes"] = args.max_body_bytes
+    if args.ranks is not None:
+        overrides["service_ranks"] = args.ranks
+    if args.replication is not None:
+        overrides["service_replication"] = args.replication
+    if args.route_timeout_s is not None:
+        overrides["service_route_timeout_s"] = args.route_timeout_s
     config = CuTSConfig(**overrides)
 
     plan = (
@@ -442,12 +501,22 @@ def main(argv: list[str] | None = None) -> int:
         if args.faults is not None
         else ServiceFaultPlan.from_env()
     )
-    service = MatchingService(
-        config,
-        workers=args.workers,
-        state_dir=args.state_dir,
-        faults=None if plan is None or plan.is_null else plan,
-    )
+    faults = None if plan is None or plan.is_null else plan
+    service: MatchingService | ClusterService
+    if config.service_ranks > 1:
+        service = ClusterService(
+            config,
+            workers=args.workers,
+            state_dir=args.state_dir,
+            faults=faults,
+        )
+    else:
+        service = MatchingService(
+            config,
+            workers=args.workers,
+            state_dir=args.state_dir,
+            faults=faults,
+        )
     for spec in args.preload:
         if spec.startswith("generator:"):
             _, kind, raw = spec.split(":", 2)

@@ -104,6 +104,20 @@ class GraphHandle:
                 self._serial = CuTSMatcher(self.graph, self.config)
             return self._serial
 
+    def live_worker_pids(self) -> list[int]:
+        """Pids of an already-built pool engine (empty when the handle
+        serves in-process or the pool was never built).  Read-only: it
+        never *creates* an engine — the cluster's kill path uses it to
+        SIGKILL a crashed replica's workers without booting new ones."""
+        with self._lock:
+            parallel = self._parallel
+        if parallel is None:
+            return []
+        try:
+            return list(parallel.worker_pids())
+        except Exception:
+            return []  # pool already torn down under us
+
     def close(self) -> None:
         # Swap the engines out under the lock, shut them down outside
         # it: ParallelMatcher.close() blocks on pool shutdown, and a

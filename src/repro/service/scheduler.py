@@ -41,11 +41,24 @@ __all__ = ["AdmissionError", "Request", "Scheduler"]
 
 
 class AdmissionError(RuntimeError):
-    """A request was rejected at the front door, with a reason code."""
+    """A request was rejected at the front door, with a reason code.
 
-    def __init__(self, reason: str, message: str) -> None:
+    ``retry_after`` (seconds) is set when the rejecting layer knows how
+    long the condition is expected to last — the cluster router sets it
+    on ``shard-unavailable`` so the HTTP face can send a precise
+    ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.reason = reason
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -61,6 +74,12 @@ class Request:
     priority: int = 0
     deadline: float | None = None  # absolute time.monotonic() instant
     seq: int = 0
+    # Strided sub-query: execute only roots[part::num_parts] (the same
+    # striding CuTSMatcher.match exposes).  The cluster router splits
+    # one oversized query into num_parts such requests across replicas;
+    # summing the part counts is exact because the root sets partition.
+    part: int = 0
+    num_parts: int = 1
     cancelled: threading.Event = field(default_factory=threading.Event)
 
 
@@ -96,9 +115,14 @@ class Scheduler:
         with self._cond:
             return len(self._heap)
 
-    def _reject(self, reason: str, message: str) -> AdmissionError:
+    def _reject(
+        self,
+        reason: str,
+        message: str,
+        retry_after: float | None = None,
+    ) -> AdmissionError:
         self.rejected[reason] = self.rejected.get(reason, 0) + 1
-        return AdmissionError(reason, message)
+        return AdmissionError(reason, message, retry_after=retry_after)
 
     def submit(self, request: Request) -> None:
         """Admit ``request`` or raise :class:`AdmissionError`."""
@@ -140,12 +164,18 @@ class Scheduler:
             self.admitted += 1
             self._cond.notify()
 
-    def reject(self, reason: str, message: str) -> AdmissionError:
+    def reject(
+        self,
+        reason: str,
+        message: str,
+        *,
+        retry_after: float | None = None,
+    ) -> AdmissionError:
         """Mint (and count) an admission rejection on the service's
         behalf — used for rejections decided outside the queue itself,
-        e.g. degraded read-only mode."""
+        e.g. degraded read-only mode or a below-quorum shard."""
         with self._cond:
-            return self._reject(reason, message)
+            return self._reject(reason, message, retry_after)
 
     def cancel_count(self, n: int = 1) -> None:
         """Record ``n`` cancellations observed at pop time."""

@@ -35,7 +35,9 @@ Resilience (see DESIGN.md §12):
 
 from __future__ import annotations
 
+import os
 import queue
+import signal
 import threading
 import time
 from dataclasses import dataclass, field
@@ -211,6 +213,7 @@ class MatchingService:
         self._job_seq = 0
         self._idempotency: dict[str, str] = {}
         self._degraded = False
+        self._killed = False
         self._pressure_strikes = 0
         self._healthy_strikes = 0
         self.degraded_entries = 0
@@ -256,6 +259,11 @@ class MatchingService:
 
     def close(self) -> None:
         """Stop dispatching, fail queued jobs, release every engine."""
+        if self._killed:
+            # A killed service has no journal writer left to drain and
+            # must not settle anything; just release the engines.
+            self.registry.close()
+            return
         self._stop.set()
         for request in self.scheduler.close():
             self._finish_failure(request, "shutdown", state=FAILED)
@@ -269,6 +277,43 @@ class MatchingService:
             self._journal_thread.join(timeout=10.0)
             self._journal_thread = None
         self.registry.close()
+
+    def kill(self) -> None:
+        """Abandon the service abruptly — the in-process analogue of a
+        ``kill -9`` landing on a replica.
+
+        Unlike :meth:`close`: queued jobs are not failed, in-flight
+        work never settles (its waiters stay blocked, exactly as a
+        client of a dead process would), nothing further is journaled
+        (records already queued at the writer may still land, the same
+        way writes racing a real SIGKILL may), and pool worker
+        processes are SIGKILLed instead of joined.  The journal on
+        disk is left for the next incarnation's recovery to replay.
+        """
+        self._killed = True
+        self._stop.set()
+        for pid in self._live_worker_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except OSError:  # repro: ignore[RP008] — kill raced its exit
+                continue
+        if self._journal_q is not None:
+            # Stop the writer without draining or waiting: anything
+            # enqueued after this marker is lost, like an unflushed
+            # buffer at SIGKILL (the _killed guard means nothing new
+            # is enqueued anyway).
+            self._journal_q.put(("stop", threading.Event()))
+
+    @property
+    def killed(self) -> bool:
+        """Whether :meth:`kill` has been called on this incarnation."""
+        return self._killed
+
+    def _live_worker_pids(self) -> list[int]:
+        pids: list[int] = []
+        for handle in self.registry.handles():
+            pids.extend(handle.live_worker_pids())
+        return pids
 
     def flush_journal(self, timeout: float | None = 10.0) -> None:
         """Block until every queued journal write has reached disk."""
@@ -334,6 +379,8 @@ class MatchingService:
             materialize=bool(record.get("materialize", False)),
             time_limit_ms=float(limit) if limit is not None else None,
             priority=int(record.get("priority", 0)),  # type: ignore[arg-type]
+            part=int(record.get("part", 0)),  # type: ignore[arg-type]
+            num_parts=int(record.get("num_parts", 1)),  # type: ignore[arg-type]
         )
         raw_key = record.get("idempotency_key")
         job = Job(
@@ -428,6 +475,17 @@ class MatchingService:
     def graphs(self) -> list[dict[str, object]]:
         return [h.info() for h in self.registry.handles()]
 
+    def resolve_key(self, key: str) -> str:
+        """Fingerprint for a registered name or fingerprint.  Raises
+        ``KeyError`` for unknown keys.  (The HTTP face calls this
+        instead of touching the registry, so the single-process service
+        and the cluster router stay interchangeable behind it.)"""
+        return self.registry.resolve(key).fingerprint
+
+    def graph_info(self, key: str) -> dict[str, object]:
+        """The ``/graphs`` JSON entry for one registered graph."""
+        return self.registry.resolve(key).info()
+
     def _resolve_graph(self, graph: CSRGraph | str) -> GraphHandle:
         if isinstance(graph, CSRGraph):
             handle = self.registry.register(graph)
@@ -451,6 +509,8 @@ class MatchingService:
         materialize: bool = False,
         time_limit_ms: float | None = None,
         idempotency_key: str | None = None,
+        part: int = 0,
+        num_parts: int = 1,
     ) -> str:
         """Queue one match request; returns its job id.
 
@@ -463,11 +523,23 @@ class MatchingService:
         cooperative wall-clock limit.  ``idempotency_key`` deduplicates
         retries: a key already bound to a job that is not ``retryable``
         returns that job's id without executing anything.
+        ``part``/``num_parts`` execute only that stride of the query's
+        roots (the cluster router's unit of cross-replica splitting);
+        summing the part counts over a full stride set is exact.
         """
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
         if deadline_ms is not None and deadline_ms < 0:
             raise ValueError("deadline_ms must be >= 0")
+        if num_parts < 1 or not 0 <= part < num_parts:
+            raise ValueError(
+                f"need 0 <= part < num_parts, got part={part} "
+                f"num_parts={num_parts}"
+            )
+        if self._killed:
+            raise self.scheduler.reject(
+                "shutdown", "this service incarnation was killed"
+            )
         if idempotency_key is not None:
             with self._jobs_lock:
                 known = self._idempotency.get(idempotency_key)
@@ -476,6 +548,12 @@ class MatchingService:
         handle = self._resolve_graph(graph)
         query_fp = graph_fingerprint(query)
         if self._degraded:
+            if num_parts != 1:
+                raise self.scheduler.reject(
+                    "degraded",
+                    "service is in degraded read-only mode; strided "
+                    "part queries are not served from cache",
+                )
             return self._submit_degraded(
                 handle, query, query_fp,
                 materialize=materialize,
@@ -499,6 +577,8 @@ class MatchingService:
                 if deadline_ms is not None
                 else None
             ),
+            part=part,
+            num_parts=num_parts,
         )
         job = Job(id=job_id, request=request, idempotency_key=idempotency_key)
         with self._jobs_lock:
@@ -634,6 +714,8 @@ class MatchingService:
         materialize: bool = False,
         time_limit_ms: float | None = None,
         idempotency_key: str | None = None,
+        part: int = 0,
+        num_parts: int = 1,
         timeout: float | None = None,
     ) -> MatchResult:
         """Submit and wait: the one-call serving equivalent of
@@ -646,6 +728,8 @@ class MatchingService:
             materialize=materialize,
             time_limit_ms=time_limit_ms,
             idempotency_key=idempotency_key,
+            part=part,
+            num_parts=num_parts,
         )
         return self.result(job_id, timeout=timeout)
 
@@ -746,8 +830,9 @@ class MatchingService:
         *,
         result_payload: dict[str, object] | None = None,
     ) -> None:
-        """Persist one job transition (no-op without a state dir)."""
-        if self.state is None:
+        """Persist one job transition (no-op without a state dir, and
+        suppressed after :meth:`kill` — a dead process writes nothing)."""
+        if self.state is None or self._killed:
             return
         request = job.request
         record: dict[str, object] = {
@@ -760,6 +845,8 @@ class MatchingService:
             "materialize": request.materialize,
             "time_limit_ms": request.time_limit_ms,
             "priority": request.priority,
+            "part": request.part,
+            "num_parts": request.num_parts,
             "idempotency_key": job.idempotency_key,
             "error": job.error,
             "submitted_at": job.submitted_at,
@@ -851,6 +938,8 @@ class MatchingService:
     def _finish_failure(
         self, request: Request, message: str, *, state: str
     ) -> None:
+        if self._killed:
+            return
         with self._jobs_lock:
             job = self._jobs.get(request.job_id)
         if job is None or job.done.is_set():
@@ -862,6 +951,12 @@ class MatchingService:
         job.done.set()
 
     def _settle_outcomes(self, outcomes: list[object]) -> None:
+        if self._killed:
+            # The process "died" mid-batch: results computed but never
+            # delivered, jobs left running in the journal — exactly the
+            # state recovery marks retryable.  Settling them here would
+            # resurrect work a real SIGKILL would have lost.
+            return
         now = time.time()
         for outcome in outcomes:  # type: ignore[assignment]
             with self._jobs_lock:

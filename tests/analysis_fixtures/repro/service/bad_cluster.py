@@ -1,0 +1,78 @@
+"""RP008/RP010 fixture: the cluster router's failure paths.
+
+Seeds the two bug classes DESIGN.md §15 bans from
+``service/cluster.py``: swallowed failover errors (RP008) and
+blocking — or inconsistently ordered — work under a router lock
+(RP010)."""
+
+import threading
+import time
+
+
+class ClusterRouter:
+    """Shard router with seeded routing/locking bugs."""
+
+    def __init__(self):
+        self._ring_lock = threading.Lock()
+        self._jobs_lock = threading.Lock()
+        self.failovers = 0
+
+    def route_swallowing_failover(self, replicas):
+        for rank in replicas:
+            try:
+                return rank.dispatch()
+            except RuntimeError:          # line 24: swallowed failover
+                continue
+        return None
+
+    def heal_swallowing_everything(self, ranks):
+        for rank in ranks:
+            try:
+                rank.restart()
+            except:                       # line 32: bare swallow in heal
+                pass
+
+    def rebuild_sleeping_under_ring_lock(self):
+        with self._ring_lock:
+            time.sleep(0.05)              # line 37: stalls every router
+
+    def wait_unbounded_under_jobs_lock(self, job):
+        with self._jobs_lock:
+            job.done.wait()               # line 41: un-timed reply wait
+
+    def ring_then_jobs(self):
+        with self._ring_lock:
+            with self._jobs_lock:         # line 45: cycle edge ring->jobs
+                pass
+
+    def jobs_then_ring(self):
+        with self._jobs_lock:
+            with self._ring_lock:         # line 50: cycle edge jobs->ring
+                pass
+
+    def failover_that_reacts(self, replicas):
+        last = None
+        for rank in replicas:
+            try:
+                return rank.dispatch()
+            except RuntimeError as exc:
+                self.failovers += 1  # fine: the failover is counted
+                last = exc
+        raise last
+
+    def shed_reraises(self, scheduler):
+        try:
+            scheduler.admit()
+        except MemoryError:
+            raise  # fine: sheds by re-raising, never swallows
+
+    def bounded_catchup_wait_is_fine(self, caught_up):
+        with self._ring_lock:
+            caught_up.wait(timeout=0.1)  # fine: bounded wait under lock
+
+    def suppressed_legacy_drain(self, ranks):
+        for rank in ranks:
+            try:
+                rank.drain()
+            except Exception:  # shutdown drain. # repro: ignore[RP008]
+                pass

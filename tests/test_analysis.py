@@ -66,7 +66,13 @@ EXPECTED = {
     ("RP008", "repro/service/bad_handlers.py", 16),
     ("RP008", "repro/service/bad_handlers.py", 20),
     ("RP008", "repro/distributed/bad_recovery.py", 7),
+    ("RP008", "repro/service/bad_cluster.py", 24),
+    ("RP008", "repro/service/bad_cluster.py", 32),
     ("RP009", "repro/service/bad_locks.py", 32),
+    ("RP010", "repro/service/bad_cluster.py", 37),
+    ("RP010", "repro/service/bad_cluster.py", 41),
+    ("RP010", "repro/service/bad_cluster.py", 45),
+    ("RP010", "repro/service/bad_cluster.py", 50),
     ("RP010", "repro/service/bad_order.py", 24),
     ("RP010", "repro/service/bad_order.py", 29),
     ("RP010", "repro/service/bad_order.py", 34),
@@ -79,8 +85,9 @@ EXPECTED = {
     ("RP011", "repro/core/bad_arena.py", 24),
 }
 
-# One suppressed violation is seeded per concrete-behavior rule.
-EXPECTED_SUPPRESSED = 9
+# One suppressed violation per concrete-behavior rule, plus a second
+# RP008 suppression in the cluster-router fixture.
+EXPECTED_SUPPRESSED = 10
 
 
 @pytest.fixture(scope="module")
@@ -166,6 +173,9 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/service/bad_order.py", 48),
         ("repro/service/bad_order.py", 53),  # cond.wait releases its cond
         ("repro/service/bad_order.py", 57),  # bounded wait under lock
+        ("repro/service/bad_cluster.py", 59),  # failover counted
+        ("repro/service/bad_cluster.py", 67),  # shed re-raises
+        ("repro/service/bad_cluster.py", 71),  # bounded catch-up wait
         ("repro/core/bad_arena.py", 30),  # .copy() escapes safely
         ("repro/core/bad_arena.py", 36),  # rebind into the same name
         ("repro/core/bad_arena.py", 42),  # dynamic buffer name
@@ -187,6 +197,7 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP006", "repro/checkpoint/bad_io.py", 28),
         ("RP007", "repro/service/bad_service.py", 39),
         ("RP008", "repro/service/bad_handlers.py", 46),
+        ("RP008", "repro/service/bad_cluster.py", 77),
         ("RP009", "repro/service/bad_locks.py", 49),
         ("RP010", "repro/service/bad_order.py", 61),
         ("RP011", "repro/core/bad_arena.py", 48),

@@ -1,0 +1,198 @@
+"""Failover-parity suite: kill the primary at every protocol phase.
+
+The exactly-once argument for the cluster router has three failure
+windows, one per protocol phase:
+
+* ``pre-dispatch`` — the primary dies before the request reaches it
+  (nothing executed; the failover must be a plain retry);
+* ``mid-shard`` — the primary dies while executing (it may or may not
+  have journaled; the idempotency key makes the retry safe);
+* ``post-commit-pre-reply`` — the primary executed, journaled, and
+  *then* died, so its reply is lost (the classic duplicated-side-effect
+  window; the revoked sequence number keeps the late answer out and the
+  journal's dedupe keeps the retry from re-executing on a restart).
+
+For each phase x seed, a fresh 3-rank cluster serves randomized
+workloads while a hook SIGKILLs the routed rank exactly once at that
+phase.  Afterward three invariants must hold exactly:
+
+1. every count equals the serial oracle (no loss, no double count);
+2. no rank's durable journal holds two records for one idempotency
+   key (a duplicate would mean the same work executed twice on one
+   replica — the side-effect the envelope protocol exists to prevent);
+3. replaying a failed-over key against the *restarted* primary admits
+   nothing new — the journal answers it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from tests.conftest import oracle_count
+from repro.core.config import CuTSConfig
+from repro.graph import chain_graph, cycle_graph, mesh_graph, star_graph
+from repro.service import ClusterService
+
+PHASES = ("pre-dispatch", "mid-shard", "post-commit-pre-reply")
+SEEDS = (3, 17)
+
+
+def journal_files(jobs_dir: str) -> list[str]:
+    """Committed journal records only — a SIGKILLed incarnation may
+    leave a ``.tmp-*`` file from an interrupted atomic write behind,
+    which is exactly the torn state the tmp+rename protocol exists to
+    make ignorable."""
+    return sorted(
+        name
+        for name in os.listdir(jobs_dir)
+        if name.startswith("job-") and name.endswith(".json")
+    )
+
+
+def journal_keys_by_rank(state_dir: str) -> dict[str, list[str]]:
+    """Idempotency keys journaled per rank (duplicates preserved)."""
+    out: dict[str, list[str]] = {}
+    for rank_dir in sorted(os.listdir(state_dir)):
+        jobs_dir = os.path.join(state_dir, rank_dir, "jobs")
+        keys: list[str] = []
+        if os.path.isdir(jobs_dir):
+            for name in journal_files(jobs_dir):
+                with open(os.path.join(jobs_dir, name)) as fh:
+                    record = json.load(fh)
+                key = record.get("idempotency_key")
+                if key is not None:
+                    keys.append(str(key))
+        out[rank_dir] = keys
+    return out
+
+
+@pytest.mark.parametrize("phase", PHASES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_primary_kill_at_phase_preserves_exactly_once(
+    tmp_path, phase: str, seed: int
+):
+    rng = random.Random(seed)
+    data = mesh_graph(4 + rng.randrange(2), 4 + rng.randrange(2))
+    queries = [chain_graph(3), cycle_graph(4), star_graph(3)]
+    rng.shuffle(queries)
+    expected = {q.name: oracle_count(data, q) for q in queries}
+
+    state_dir = str(tmp_path / "cluster")
+    cluster = ClusterService(
+        CuTSConfig(),
+        ranks=3,
+        replication=2,
+        state_dir=state_dir,
+        auto_heal=False,
+    )
+    try:
+        fp = cluster.register_graph(data)
+        killed: list[int] = []
+
+        def hook(hook_phase: str, rank_id: int, job_id: str) -> None:
+            if hook_phase == phase and not killed:
+                killed.append(rank_id)
+                cluster.crash_rank(rank_id)
+
+        cluster.phase_hook = hook
+        keys = []
+        for i, query in enumerate(queries):
+            key = f"parity-{phase}-{seed}-{i}"
+            keys.append(key)
+            result = cluster.match(
+                fp, query, idempotency_key=key, timeout=60
+            )
+            assert result.count == expected[query.name], (
+                f"count diverged after a {phase} kill (seed {seed})"
+            )
+        assert killed, "the kill hook never fired"
+        assert cluster.metrics()["router"]["failovers"] >= (
+            1 if phase != "pre-dispatch" else 0
+        )
+
+        # Invariant 2: zero duplicate journal entries on any rank.
+        for rank_dir, rank_keys in journal_keys_by_rank(
+            state_dir
+        ).items():
+            assert len(rank_keys) == len(set(rank_keys)), (
+                f"{rank_dir} journaled a duplicate idempotency key "
+                f"after a {phase} kill: {sorted(rank_keys)}"
+            )
+
+        # Invariant 3: the restarted primary answers a replayed key
+        # from its journal — a key that *committed* before the crash
+        # admits no new job and re-executes nothing.
+        victim = killed[0]
+        cluster.restart_rank(victim)
+        rank_service = cluster.ranks[victim].service
+        jobs_dir = os.path.join(state_dir, f"rank-{victim}", "jobs")
+        committed: dict[str, str] = {}
+        if os.path.isdir(jobs_dir):
+            for name in journal_files(jobs_dir):
+                with open(os.path.join(jobs_dir, name)) as fh:
+                    record = json.load(fh)
+                if record.get("state") == "done" and record.get(
+                    "idempotency_key"
+                ) in keys:
+                    committed[str(record["idempotency_key"])] = str(
+                        record["job_id"]
+                    )
+        files_before = journal_files(jobs_dir)
+        for i, key in enumerate(keys):
+            if key in committed:
+                replay_id = rank_service.submit(
+                    fp, queries[i], idempotency_key=key
+                )
+                assert replay_id == committed[key]
+        rank_service.flush_journal()
+        assert journal_files(jobs_dir) == files_before
+    finally:
+        cluster.close()
+
+
+def test_back_to_back_kills_across_phases(tmp_path):
+    """One cluster, one kill per phase in sequence: counts stay exact
+    and the ring returns to full replication after each heal."""
+    data = mesh_graph(5, 5)
+    query = chain_graph(3)
+    expected = oracle_count(data, query)
+    state_dir = str(tmp_path / "cluster")
+    cluster = ClusterService(
+        CuTSConfig(),
+        ranks=3,
+        replication=2,
+        state_dir=state_dir,
+        auto_heal=False,
+    )
+    try:
+        fp = cluster.register_graph(data)
+        for round_no, phase in enumerate(PHASES):
+            killed: list[int] = []
+
+            def hook(
+                hook_phase: str, rank_id: int, job_id: str
+            ) -> None:
+                if hook_phase == phase and not killed:
+                    killed.append(rank_id)
+                    cluster.crash_rank(rank_id)
+
+            cluster.phase_hook = hook
+            result = cluster.match(
+                fp,
+                query,
+                idempotency_key=f"seq-{round_no}",
+                timeout=60,
+            )
+            assert result.count == expected
+            cluster.phase_hook = None
+            assert killed
+            cluster.restart_rank(killed[0])
+            assert cluster.replication_of(fp) == 2
+        for rank_keys in journal_keys_by_rank(state_dir).values():
+            assert len(rank_keys) == len(set(rank_keys))
+    finally:
+        cluster.close()
