@@ -1,0 +1,309 @@
+"""Benchmark: incremental re-matching vs full re-match across a commit.
+
+The workload is the Figure 2 scaling shape (mesh data graph x chain
+query, the same generator :mod:`bench_parallel_scaling` uses) extended
+with a disjoint degree-6 circulant component whose vertices are the
+only ones that can root high-degree queries — the degree segregation
+that makes cache promotion provable (DESIGN.md §16).
+
+One commit applies a <= 1% edge delta confined to a corner of the mesh,
+then three figures are measured:
+
+* **incremental speedup** — wall-clock of the delta-aware re-match
+  (dirty-ball re-execution + arithmetic merge) vs a full re-match of
+  the chain query on the child version, at **exact count parity**
+  (hard failure on divergence, the equivalence oracle);
+* **cache survival** — a battery of circulant-rooted queries is cached
+  pre-commit; post-commit every one must be answered from the promoted
+  cache (gate: hit rate >= 90%) with unchanged counts;
+* **service parity** — the served post-commit chain count must equal a
+  fresh full match, and the dispatcher must report the incremental
+  path actually ran.
+
+Run as a script to produce ``BENCH_incremental.json``::
+
+    REPRO_BENCH_SCALE=0.5 python benchmarks/bench_incremental.py \
+        --out BENCH_incremental.json
+
+Also collected by ``pytest benchmarks/`` as a tiny-scale smoke test
+(the speedup gate needs real problem sizes; parity and promotion gates
+hold at every scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import CuTSConfig
+from repro.core.matcher import CuTSMatcher
+from repro.graph import chain_graph, from_edges, star_graph
+from repro.service import MatchingService
+from repro.storage.overlay import spliced_graph
+from repro.versioning import EdgeDelta
+
+from bench_parallel_scaling import figure2_workload
+from conftest import bench_scale
+
+DENSE_M = 24      # circulant vertices
+DENSE_SPAN = 3    # connected to +-1..3 -> degree 6, no K5
+
+
+def _circulant_edges(m: int, span: int, offset: int) -> np.ndarray:
+    pairs = [
+        [offset + i, offset + (i + d) % m]
+        for i in range(m)
+        for d in range(1, span + 1)
+    ]
+    arr = np.asarray(pairs, dtype=np.int64)
+    return np.concatenate([arr, arr[:, ::-1]], axis=0)
+
+
+def build_workload(scale: float):
+    """Figure 2 mesh + chain, plus the disjoint circulant component."""
+    mesh, query = figure2_workload(scale)
+    edges = np.concatenate(
+        [mesh.edge_list(), _circulant_edges(DENSE_M, DENSE_SPAN,
+                                            mesh.num_vertices)],
+        axis=0,
+    )
+    side = int(round(math.sqrt(mesh.num_vertices)))
+    data = from_edges(edges, num_vertices=mesh.num_vertices + DENSE_M)
+    return data, query, side
+
+
+def corner_delta(parent, side: int) -> EdgeDelta:
+    """<= 1% of edges, confined to one mesh corner, degree-preserving:
+    no mesh vertex reaches degree 5, so the battery's root sets stay
+    disjoint from the dirty ball in both versions."""
+    return EdgeDelta.build(
+        inserts=[[0, 2], [1, 3]],
+        deletes=[[0, 1], [side, side + 1]],
+        parent=parent,
+        directed=False,
+    )
+
+
+def _with_extra_edges(base, extra):
+    extra = np.asarray(extra, dtype=np.int64)
+    edges = np.concatenate([base.edge_list(), extra, extra[:, ::-1]], axis=0)
+    n = max(base.num_vertices, int(extra.max()) + 1)
+    return from_edges(edges, num_vertices=n)
+
+
+def query_battery() -> dict[str, object]:
+    """Ten distinct queries whose max-degree vertex (the root) needs
+    degree >= 5: only the circulant component can host them."""
+    s5, s6 = star_graph(5), star_graph(6)
+    return {
+        "S5": s5,
+        "S6": s6,
+        "S5+fan": _with_extra_edges(s5, [[1, 2]]),
+        "S6+fan": _with_extra_edges(s6, [[1, 2]]),
+        "S5+fan2": _with_extra_edges(s5, [[1, 2], [3, 4]]),
+        "S6+fan2": _with_extra_edges(s6, [[1, 2], [3, 4]]),
+        "S5+tail": _with_extra_edges(s5, [[1, 6]]),
+        "S6+tail": _with_extra_edges(s6, [[1, 7]]),
+        "S5+fan+tail": _with_extra_edges(s5, [[1, 2], [3, 6]]),
+        "S6+fan+tail": _with_extra_edges(s6, [[1, 2], [3, 7]]),
+    }
+
+
+def _best_of(repeats: int, fn) -> tuple[float, object]:
+    best, result = math.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_incremental(scale: float, repeats: int = 3) -> dict:
+    config = CuTSConfig()
+    parent, query, side = build_workload(scale)
+    delta = corner_delta(parent, side)
+    child = spliced_graph(parent, delta.inserts, delta.deletes)
+    delta_arcs = len(delta.inserts) + len(delta.deletes)
+    delta_fraction = delta_arcs / parent.num_edges
+
+    # -- direct engine: full re-match vs incremental, same child graph.
+    old_matcher = CuTSMatcher(parent, config)
+    base = old_matcher.match(query)
+    new_matcher = CuTSMatcher(child, config)
+    new_matcher.match(chain_graph(2))  # warm, same footing for both
+    full_s, full_res = _best_of(repeats, lambda: new_matcher.match(query))
+    inc_s, inc_res = _best_of(
+        repeats,
+        lambda: new_matcher.match(query, base_result=base, delta=delta),
+    )
+
+    # -- served path: battery cached, one commit, battery re-served.
+    battery = query_battery()
+    with tempfile.TemporaryDirectory() as state_dir:
+        service = MatchingService(config, state_dir=state_dir)
+        try:
+            service.register_graph(parent, "bench")
+            cold = {
+                name: service.match("bench", q, timeout=300).count
+                for name, q in battery.items()
+            }
+            service.match("bench", query, timeout=300)  # incremental base
+            summary = service.mutate_graph(
+                "bench",
+                inserts=delta.inserts.tolist(),
+                deletes=delta.deletes.tolist(),
+            )
+            hits_before = service.metrics()["result_cache"]["hits"]
+            warm = {
+                name: service.match("bench", q, timeout=300).count
+                for name, q in battery.items()
+            }
+            battery_hits = (
+                service.metrics()["result_cache"]["hits"] - hits_before
+            )
+            served = service.match("bench", query, timeout=300)
+            incremental_matches = service.metrics()["dispatcher"][
+                "incremental_matches"
+            ]
+        finally:
+            service.close()
+
+    return {
+        "benchmark": "incremental_rematch",
+        "workload": {
+            "num_vertices": parent.num_vertices,
+            "num_edges": parent.num_edges,
+            "query": query.name,
+            "scale": scale,
+            "delta_arcs": delta_arcs,
+            "delta_fraction": round(delta_fraction, 6),
+        },
+        "full": {"wall_s": round(full_s, 4), "count": full_res.count},
+        "incremental": {"wall_s": round(inc_s, 4), "count": inc_res.count},
+        "speedup": round(full_s / inc_s, 3) if inc_s else None,
+        "cache": {
+            "battery": len(battery),
+            "battery_hits": battery_hits,
+            "hit_rate": round(battery_hits / len(battery), 3),
+            "promoted": summary["promoted"],
+            "counts_stable": warm == cold,
+        },
+        "service": {
+            "count": served.count,
+            "incremental_matches": incremental_matches,
+        },
+    }
+
+
+def check_report(
+    report: dict,
+    min_speedup: float = 5.0,
+    min_hit_rate: float = 0.9,
+) -> list[str]:
+    """Hard failures: count divergence anywhere, an oversized delta,
+    a missed speedup gate, or a missed cache-survival gate."""
+    errors = []
+    full = report["full"]
+    if report["incremental"]["count"] != full["count"]:
+        errors.append(
+            f"incremental count {report['incremental']['count']} != "
+            f"full re-match {full['count']} (equivalence oracle)"
+        )
+    if report["service"]["count"] != full["count"]:
+        errors.append(
+            f"served post-commit count {report['service']['count']} != "
+            f"full re-match {full['count']}"
+        )
+    if not report["cache"]["counts_stable"]:
+        errors.append("a promoted cache entry changed its count")
+    if report["workload"]["delta_fraction"] > 0.01:
+        errors.append(
+            f"delta fraction {report['workload']['delta_fraction']} "
+            f"exceeds the 1% contract"
+        )
+    if min_speedup > 0 and report["speedup"] < min_speedup:
+        errors.append(
+            f"incremental speedup {report['speedup']}x below the "
+            f"{min_speedup}x gate"
+        )
+    if report["cache"]["hit_rate"] < min_hit_rate:
+        errors.append(
+            f"post-commit hit rate {report['cache']['hit_rate']} below "
+            f"the {min_hit_rate} gate "
+            f"({report['cache']['battery_hits']}/"
+            f"{report['cache']['battery']})"
+        )
+    if report["service"]["incremental_matches"] < 1:
+        errors.append("the served chain query never took the "
+                      "incremental path")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_incremental.json", help="JSON report path"
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--min-speedup", type=float, default=5.0,
+        help="fail below this incremental-vs-full speedup (0 disables)",
+    )
+    parser.add_argument(
+        "--min-hit-rate", type=float, default=0.9,
+        help="fail below this post-commit cache hit rate",
+    )
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    report = run_incremental(scale, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    w = report["workload"]
+    print(
+        f"workload: {w['num_vertices']} vertices, {w['num_edges']} arcs, "
+        f"delta {w['delta_arcs']} arcs ({w['delta_fraction']:.4%})"
+    )
+    print(
+        f"full re-match : {report['full']['wall_s']:8.3f} s  "
+        f"count={report['full']['count']:,}"
+    )
+    print(
+        f"incremental   : {report['incremental']['wall_s']:8.3f} s  "
+        f"speedup={report['speedup']:.2f}x"
+    )
+    print(
+        f"cache survival: {report['cache']['battery_hits']}/"
+        f"{report['cache']['battery']} hits "
+        f"(promoted {report['cache']['promoted']})"
+    )
+    print(f"wrote {args.out}")
+
+    errors = check_report(report, args.min_speedup, args.min_hit_rate)
+    for err in errors:
+        print(f"FAIL: {err}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+# ---------------------------------------------------------------- pytest
+@pytest.mark.benchmark(group="incremental")
+def test_incremental_smoke(benchmark):
+    """Tiny-scale smoke: parity and promotion gates hold (the speedup
+    gate needs real problem sizes and is exercised by the script/CI)."""
+    report = benchmark.pedantic(
+        run_incremental, args=(0.05,), kwargs={"repeats": 1},
+        rounds=1, iterations=1,
+    )
+    assert check_report(report, min_speedup=0) == []
+
+
+if __name__ == "__main__":
+    sys.exit(main())

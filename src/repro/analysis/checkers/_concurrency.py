@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 # Packages whose threading discipline the rules enforce.
-SCOPE_PACKAGES = frozenset({"service", "parallel", "checkpoint"})
+SCOPE_PACKAGES = frozenset({"service", "parallel", "checkpoint", "versioning"})
 
 _LOCKISH = ("lock", "cond", "mutex")
 

@@ -33,7 +33,7 @@ from ..diagnostics import Diagnostic
 from ..engine import SourceModule
 from ..registry import register
 
-SCOPES = frozenset({"service", "distributed"})
+SCOPES = frozenset({"service", "distributed", "versioning"})
 
 _HANDLED_NODES = (
     ast.Raise,

@@ -9,7 +9,8 @@ the kernel stage it was taken for silently changes under the next
 discipline, enforced there by the kernel launch structure; here it is
 only a calling convention — so this rule checks it.
 
-Per function (in ``core/`` modules), a forward may-alias dataflow tags
+Per function (in ``core/`` and ``versioning/`` modules), a forward
+may-alias dataflow tags
 each local with the set of arena buffer names its value may view.
 Tags propagate through ``.reshape``/``.view``/slice expressions and
 conditional joins; assignment kills the target's old tags;
@@ -42,7 +43,7 @@ from ..diagnostics import Diagnostic
 from ..engine import SourceModule
 from ..registry import register
 
-SCOPE = "core"
+SCOPE = frozenset({"core", "versioning"})
 
 # Calls whose result owns fresh memory, killing view tags.
 _FRESHENERS = frozenset({"copy", "compress", "astype", "tolist", "sum",
@@ -279,13 +280,13 @@ class ArenaAliasChecker(Checker):
     rule = "RP011"
     name = "arena-aliasing-safety"
     description = (
-        "in core/: an ExpansionArena buffer is never re-taken while an "
+        "in core/ and versioning/: an ExpansionArena buffer is never re-taken while an "
         "outstanding view exists, never escapes into MatchResult/"
         "SearchStats uncopied, and is never written under a live slice"
     )
 
     def check_module(self, module: SourceModule) -> Iterable[Diagnostic]:
-        if module.package != SCOPE:
+        if module.package not in SCOPE:
             return
         if ".take(" not in module.source:
             return

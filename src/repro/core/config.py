@@ -158,6 +158,19 @@ class CuTSConfig:
         restarts it from its durable state dir; the restarted replica
         is re-admitted to the ring only after it has caught up from
         the content-addressed graph store.
+    versioning_max_versions:
+        Retained versions per named graph (head included).  Mutating a
+        graph past this depth prunes the oldest retained version: its
+        engine closes, its cache entries drop, and ``as_of`` requests
+        against it are refused as pruned.  Must be >= 1 (``1`` keeps
+        only the head — time travel effectively off).
+    versioning_incremental:
+        Serve a result-cache miss on a freshly committed version by
+        incremental re-matching from the parent's cached result
+        (dirty-ball re-execution + arithmetic merge) when the request
+        shape allows it.  Off, every miss is a full re-match.  Count-
+        invariant: the incremental path is gated by an equivalence
+        oracle and produces the same counts by construction.
     """
 
     device: DeviceSpec = field(default=V100)
@@ -195,6 +208,8 @@ class CuTSConfig:
     service_replication: int = 2
     service_route_timeout_s: float = 10.0
     service_heal_after_ticks: int = 2
+    versioning_max_versions: int = 4
+    versioning_incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
@@ -266,3 +281,5 @@ class CuTSConfig:
             raise ValueError("service_route_timeout_s must be positive")
         if self.service_heal_after_ticks < 1:
             raise ValueError("service_heal_after_ticks must be >= 1")
+        if self.versioning_max_versions < 1:
+            raise ValueError("versioning_max_versions must be >= 1")

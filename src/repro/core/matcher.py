@@ -133,6 +133,9 @@ class CuTSMatcher:
         checkpoint_dir: str | None = None,
         checkpoint_every: int | None = None,
         resume: bool = False,
+        root_filter: np.ndarray | None = None,
+        base_result: "MatchResult | int | None" = None,
+        delta: object | None = None,
     ) -> MatchResult:
         """Enumerate all monomorphism embeddings of ``query`` in the data.
 
@@ -169,6 +172,20 @@ class CuTSMatcher:
         resume:
             Continue the job already in ``checkpoint_dir`` (fingerprints
             of config/data/query must match the manifest).
+        root_filter:
+            Restrict the search to embeddings whose **root** (the first
+            matched query vertex) lies in this vertex set: the level-0
+            candidates are intersected with it before striding.  The
+            versioning subsystem passes the delta's dirty ball here.
+        base_result, delta:
+            Incremental re-matching across one version commit: ``self``
+            must be bound to the **child** graph, ``delta`` is the
+            commit's :class:`~repro.versioning.EdgeDelta` and
+            ``base_result`` the full result (or bare count) previously
+            computed on the parent under the same config.  Only roots
+            inside the delta's dirty ball are re-matched; the retained
+            share is merged in arithmetically (count-only; see
+            :func:`repro.versioning.incremental_match`).
 
         Raises
         ------
@@ -178,6 +195,26 @@ class CuTSMatcher:
         SearchTimeout
             See ``time_limit_ms``.
         """
+        if (base_result is None) != (delta is None):
+            raise ValueError(
+                "incremental matching needs both base_result and delta"
+            )
+        if delta is not None:
+            if materialize or checkpoint_dir is not None or num_parts != 1:
+                raise ValueError(
+                    "incremental matching is count-only, whole-search, "
+                    "and not checkpointable"
+                )
+            # Lazy import: repro.versioning sits above the core engine
+            # (mirrors the checkpoint runner import below).
+            from ..versioning.incremental import incremental_match
+
+            assert base_result is not None
+            return incremental_match(
+                self, query,
+                base_result=base_result, delta=delta,  # type: ignore[arg-type]
+                wall_limit_s=wall_limit_s,
+            )
         if checkpoint_dir is not None:
             if materialize:
                 raise ValueError(
@@ -226,6 +263,10 @@ class CuTSMatcher:
             self.data, query, order.sequence[0], cost,
             neighborhood_filter=self.config.neighborhood_filter,
         )
+        if root_filter is not None:
+            roots = np.intersect1d(
+                roots, np.asarray(root_filter, dtype=np.int64)
+            )
         if num_parts > 1:
             roots = roots[part::num_parts]
         launch_kernel(

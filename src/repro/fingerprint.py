@@ -90,6 +90,11 @@ COUNT_IRRELEVANT_FIELDS = frozenset(
         "service_replication",
         "service_route_timeout_s",
         "service_heal_after_ticks",
+        # Versioning: retention depth decides which *versions* remain
+        # addressable, never what any one version enumerates; the
+        # incremental path is equivalence-gated against the full match.
+        "versioning_max_versions",
+        "versioning_incremental",
     }
 )
 """Config fields excluded from :func:`config_fingerprint`.

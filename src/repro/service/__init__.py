@@ -28,6 +28,17 @@ deterministic faults end-to-end for chaos testing; the client heals
 itself with :class:`RetryPolicy` backoff, idempotency keys, and a
 :class:`CircuitBreaker`.
 
+Versioned mutation (DESIGN.md §16): registered graphs are **mutable
+through immutable versions** — ``POST /graphs/<name>/edges`` commits an
+edge delta built by a non-mutating overlay splice, the name advances to
+the content-addressed child fingerprint, and retained ancestors stay
+servable (``as_of`` time travel, shadow ``/compare``).  Result-cache
+entries provably outside the commit's dirty ball are *promoted* to the
+child fingerprint instead of invalidated, and a post-commit miss whose
+parent entry survives is served by incremental re-matching
+(:mod:`repro.versioning`) — dirty-ball re-execution plus an arithmetic
+merge, equivalence-gated against the full match.
+
 Scale-out (DESIGN.md §15): :class:`ClusterService` replicates the
 service across N ranks behind a consistent-hash router
 (:class:`HashRing`) with R-way replication per graph shard — requests
@@ -55,7 +66,12 @@ from .faults import (
     ServiceFaultInjector,
     ServiceFaultPlan,
 )
-from .registry import GraphHandle, GraphRegistry
+from .registry import (
+    GraphHandle,
+    GraphRegistry,
+    VersionCommit,
+    VersionConflictError,
+)
 from .scheduler import AdmissionError, Request, Scheduler
 from .service import DeadlineExpired, Job, JobFailed, MatchingService
 from .state import ServiceState
@@ -84,4 +100,6 @@ __all__ = [
     "ServiceFaultInjector",
     "ServiceFaultPlan",
     "ServiceState",
+    "VersionCommit",
+    "VersionConflictError",
 ]

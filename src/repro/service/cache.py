@@ -16,6 +16,13 @@ count can be returned.  Re-registering a graph under the same name with
 different content **explicitly invalidates** that graph's entries (the
 registry drives this), covering the one remaining aliasing channel.
 
+The ``graph_fp`` axis doubles as the **version** axis: a version commit
+(:mod:`repro.versioning`) re-keys entries provably unaffected by the
+delta to the child fingerprint in one pass (:meth:`promote`) — a warm
+cache survives a small edge delta — while affected entries stay behind
+under the parent fingerprint, still exact for ``as_of`` time travel and
+still usable as the incremental re-match base.
+
 The cache is bounded by ``max_bytes`` and evicts least-recently-used;
 live bytes are reported to the caller (the service charges them against
 the :class:`~repro.core.governor.MemoryGovernor`).  All counters —
@@ -70,6 +77,8 @@ class LRUBytesCache:
         self.puts = 0
         self.evictions = 0
         self.invalidations = 0
+        self.promotions = 0
+        self.retained = 0
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> Any | None:
@@ -138,6 +147,44 @@ class LRUBytesCache:
             self._notify(total)
         return len(doomed)
 
+    def promote(
+        self,
+        old_fp: str,
+        new_fp: str,
+        should_promote: Callable[[CacheKey], bool],
+    ) -> tuple[int, int]:
+        """Version-commit re-keying: move every entry under ``old_fp``
+        whose predicate holds to the same key under ``new_fp``.
+
+        Entries the predicate rejects are **retained under the old
+        fingerprint**: content addressing keeps them exactly right for
+        the retired version (``as_of`` hits, and the dispatcher's
+        incremental probe uses them as its base), and they die with
+        that version when retention prunes it.  Returns ``(promoted,
+        retained)``.
+
+        The predicate runs *outside* the lock (it does degree-filter
+        scans); the move itself is one atomic pass that skips keys
+        evicted in between.
+        """
+        with self._lock:
+            affected = [k for k in self._entries if k[0] == old_fp]
+        decisions = [(key, bool(should_promote(key))) for key in affected]
+        promoted = retained = 0
+        with self._lock:
+            for key, promote in decisions:
+                if not promote:
+                    retained += 1
+                    continue
+                entry = self._entries.pop(key, None)
+                if entry is None:
+                    continue  # evicted while deciding; nothing to move
+                self._entries[(new_fp, key[1], key[2])] = entry
+                promoted += 1
+            self.promotions += promoted
+            self.retained += retained
+        return promoted, retained
+
     def clear(self) -> None:
         with self._lock:
             removed = len(self._entries)
@@ -163,6 +210,8 @@ class LRUBytesCache:
                 "puts": self.puts,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "promotions": self.promotions,
+                "retained": self.retained,
             }
 
     def _notify(self, total: int) -> None:

@@ -384,6 +384,66 @@ class ServiceClient:
         return str(self._request("POST", "/graphs", body)["fingerprint"])
 
     # ------------------------------------------------------------------
+    # Versioned mutation / time travel
+    # ------------------------------------------------------------------
+    def mutate_edges(
+        self,
+        name: str,
+        *,
+        insert: list[list[int]] | None = None,
+        delete: list[list[int]] | None = None,
+        directed: bool = True,
+    ) -> dict[str, Any]:
+        """Commit an edge delta against the named graph's head version;
+        returns the commit summary (child fingerprint, lineage depth,
+        cache promotion counts, pruned versions).
+
+        Safe to retry after an ambiguous failure: the server normalises
+        the delta against the *current* head, so replaying a commit
+        that already landed drops every already-present insert and
+        already-absent delete and reduces to a no-op commit
+        (``changed: false``) — it can never fork the chain or apply
+        twice.  A 409 means someone else committed concurrently; re-read
+        the head before deciding to retry.
+        """
+        body: dict[str, Any] = {"directed": directed}
+        if insert:
+            body["insert"] = insert
+        if delete:
+            body["delete"] = delete
+        return self._request("POST", f"/graphs/{name}/edges", body)
+
+    def versions(self, name: str) -> list[dict[str, Any]]:
+        """The retained version chain of a named graph, oldest first;
+        each entry carries ``fingerprint``, ``parent_fingerprint``,
+        ``lineage_depth``, ``retired``, and ``head``."""
+        return list(
+            self._request("GET", f"/graphs/{name}/versions")["versions"]
+        )
+
+    def compare(
+        self,
+        name: str,
+        query: CSRGraph | str | dict[str, Any],
+        *,
+        base: str | None = None,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """Shadow-compare ``query`` across a version boundary of the
+        named graph (base defaults to the head's parent); returns both
+        counts and their delta."""
+        body: dict[str, Any] = {
+            "query": (
+                graph_to_spec(query) if isinstance(query, CSRGraph) else query
+            ),
+        }
+        if base is not None:
+            body["base"] = base
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", f"/graphs/{name}/compare", body)
+
+    # ------------------------------------------------------------------
     def match(
         self,
         graph: CSRGraph | str | dict[str, Any],
@@ -397,9 +457,12 @@ class ServiceClient:
         timeout_s: float | None = None,
         idempotency_key: str | None = None,
         num_parts: int = 1,
+        as_of: str | None = None,
     ) -> dict[str, Any]:
         """Submit one match.  ``wait=True`` returns the finished job
         JSON; ``wait=False`` returns ``{"job_id": ...}`` immediately.
+        ``as_of`` time-travels the request to a retained past version
+        of the named graph (404 for pruned or foreign fingerprints).
 
         An ``idempotency_key`` is generated when not supplied and sent
         on every retry of this call, so the server deduplicates — a
@@ -429,6 +492,8 @@ class ServiceClient:
             # Against a cluster the router stripes the query across its
             # shard's replicas and resumes surviving parts on failure.
             body["num_parts"] = num_parts
+        if as_of is not None:
+            body["as_of"] = as_of
         return self._request("POST", "/match", body)
 
     def job(self, job_id: str) -> dict[str, Any]:

@@ -140,6 +140,7 @@ class DispatchOutcome:
     cancelled: bool = False
     expired: bool = False
     fallback: bool = False
+    incremental: bool = False
     stats: SearchStats | None = None
 
 
@@ -174,6 +175,8 @@ class Dispatcher:
         self.serial_fallbacks = 0
         self.pool_failures = 0
         self.corrupt_cache_drops = 0
+        self.incremental_matches = 0
+        self.incremental_rejects = 0
         # Per-stage expansion wall totals (anchor_gather / filter /
         # intersection / write_out), folded from every settled result's
         # SearchStats.  Empty unless the engine config has
@@ -230,6 +233,19 @@ class Dispatcher:
                     for req in members:
                         outcomes[id(req)].result = result
                         outcomes[id(req)].cached = True
+                    continue
+                # 2b. Incremental probe: a miss on a freshly committed
+                # version whose *parent* still has a verified cached
+                # count can be answered by re-matching only the dirty
+                # ball (repro.versioning) — the commit's delta plus an
+                # arithmetic merge, instead of a whole-graph pass.
+                incremental = self._incremental_probe(
+                    handle, members[0].query, query_fp
+                )
+                if incremental is not None:
+                    for req in members:
+                        outcomes[id(req)].incremental = True
+                    self._settle(handle, key, members, incremental, outcomes)
                     continue
             to_run.append((key, members))
 
@@ -288,6 +304,52 @@ class Dispatcher:
             self.result_cache.pop(key)
             return None
         return payload
+
+    def _incremental_probe(
+        self,
+        handle: GraphHandle,
+        query: object,
+        query_fp: str,
+    ) -> MatchResult | None:
+        """Serve a cache miss on a freshly committed version from the
+        parent's cached count plus the commit delta.
+
+        Returns ``None`` — and the miss falls through to an ordinary
+        full match — whenever the probe cannot run or cannot be trusted:
+        the ``versioning_incremental`` knob is off, the handle has no
+        delta lineage (root or whole-graph replacement), the parent's
+        entry is gone or fails checksum verification, the query shape
+        is unsupported (edgeless), or the incremental arithmetic
+        detects a mismatched base.  The probe runs on the handle's
+        serial engine: the dirty ball is small by construction, and the
+        serial matcher is the one that implements ``delta=``.
+        """
+        if not self.config.versioning_incremental:
+            return None
+        parent_fp, delta = handle.incremental_basis()
+        if parent_fp is None or delta is None:
+            return None
+        base = self.result_cache.get((parent_fp, query_fp, self.config_fp))
+        if base is None or not verify_payload(base):
+            return None
+        try:
+            with self._stats_lock:
+                self.matcher_invocations += 1
+            result = handle.fallback_matcher().match(
+                query,  # type: ignore[arg-type]
+                base_result=int(base["count"]),  # type: ignore[arg-type]
+                delta=delta,
+            )
+        except Exception:
+            # The probe is an optimisation; any failure — unsupported
+            # shape, mismatched base, engine error — must cost exactly
+            # the full match it was trying to save, never the batch.
+            with self._stats_lock:
+                self.incremental_rejects += 1
+            return None
+        with self._stats_lock:
+            self.incremental_matches += 1
+        return result
 
     # ------------------------------------------------------------------
     def _execute(
@@ -584,5 +646,7 @@ class Dispatcher:
                 "serial_fallbacks": self.serial_fallbacks,
                 "pool_failures": self.pool_failures,
                 "corrupt_cache_drops": self.corrupt_cache_drops,
+                "incremental_matches": self.incremental_matches,
+                "incremental_rejects": self.incremental_rejects,
                 "stage_wall_s": dict(self.stage_wall_s),
             }

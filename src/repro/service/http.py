@@ -12,18 +12,40 @@ Endpoints
 ``GET  /healthz``       liveness + queue depth (+ degraded flag)
 ``GET  /metrics``       every counter (scheduler, dispatcher, caches,
                         governor, faults, state dir) as one JSON object
-``GET  /graphs``        registered graphs
+``GET  /graphs``        registered graphs (with version fingerprint,
+                        lineage depth, and retired flag per entry)
 ``POST /graphs``        register a graph: ``{"graph": <spec>, "name"?}``
+``POST /graphs/<name>/edges``
+                        commit an edge delta against the head of the
+                        named graph's version chain:
+                        ``{"insert"?: [[u, v], ...],
+                        "delete"?: [[u, v], ...], "directed"?: true}``
+                        — returns the commit summary (new fingerprint,
+                        cache promotion counts, pruned versions);
+                        409 on a concurrent-commit conflict
+``GET  /graphs/<name>/versions``
+                        the retained version chain, oldest first
+``POST /graphs/<name>/compare``
+                        shadow-compare one query across a version
+                        boundary: ``{"query": <spec>, "base"?: <fp>}``
+                        — counts on base (default: the head's parent)
+                        and head plus their delta
 ``POST /match``         ``{"graph": <fp|name|spec>, "query": <spec>,
                         "wait"?: true, "priority"?, "deadline_ms"?,
                         "materialize"?, "time_limit_ms"?,
-                        "idempotency_key"?, "num_parts"?}`` —
+                        "idempotency_key"?, "num_parts"?, "as_of"?}`` —
                         202 + job id when ``wait`` is false,
                         429 + reason when admission rejects,
                         503 + ``Retry-After`` in degraded mode or
-                        when a cluster shard is below quorum
+                        when a cluster shard is below quorum;
+                        ``as_of`` runs against a retained past version
 ``GET  /jobs/<id>``     job state / result (cluster jobs also carry
                         the serving ``replica`` and failover count)
+
+The versioning endpoints (``/edges``, ``/versions``, ``/compare``,
+``as_of``) are a single-rank service surface; against a cluster router
+they answer 400 rather than mutating one replica's copy out from under
+the ring.
 
 Resilience guardrails (config-driven): each connection carries a socket
 timeout of ``service_request_timeout_s`` so a stalled peer cannot pin a
@@ -69,8 +91,10 @@ from ..graph.generators import (
     social_graph,
     star_graph,
 )
+from ..versioning.delta import DeltaError
 from .cluster import ClusterService
 from .faults import ServiceFaultPlan
+from .registry import VersionConflictError
 from .scheduler import AdmissionError
 from .service import MatchingService
 
@@ -228,10 +252,17 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.service.metrics())
             elif self.path == "/graphs":
                 self._send_json(200, {"graphs": self.service.graphs()})
+            elif self.path.startswith("/graphs/") and self.path.endswith(
+                "/versions"
+            ):
+                name = self.path[len("/graphs/"):-len("/versions")]
+                self._get_versions(name)
             elif self.path.startswith("/jobs/"):
                 self._get_job(self.path[len("/jobs/"):])
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}"})
+        except BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json(500, {"error": str(exc)})
 
@@ -242,6 +273,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_graph(body)
             elif self.path == "/match":
                 self._post_match(body)
+            elif self.path.startswith("/graphs/") and self.path.endswith(
+                "/edges"
+            ):
+                name = self.path[len("/graphs/"):-len("/edges")]
+                self._post_edges(name, body)
+            elif self.path.startswith("/graphs/") and self.path.endswith(
+                "/compare"
+            ):
+                name = self.path[len("/graphs/"):-len("/compare")]
+                self._post_compare(name, body)
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}"})
         except PayloadTooLarge as exc:
@@ -299,6 +340,85 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._send_json(200, self.service.graph_info(fp))
 
+    def _require_single(self) -> MatchingService:
+        """The single-rank backend, or 400: versioning endpoints must
+        not mutate one replica's copy out from under the cluster ring."""
+        if not isinstance(self.service, MatchingService):
+            raise BadRequest(
+                "graph versioning endpoints (/edges, /versions, /compare,"
+                " as_of) are served by a single-rank service, not the"
+                " cluster router"
+            )
+        return self.service
+
+    @staticmethod
+    def _edge_array(value: Any, field: str) -> np.ndarray:
+        if value is None:
+            value = []
+        if not isinstance(value, list):
+            raise BadRequest(f"'{field}' must be a list of [u, v] pairs")
+        try:
+            return (
+                np.asarray(value, dtype=np.int64).reshape(-1, 2)
+                if value
+                else np.zeros((0, 2), dtype=np.int64)
+            )
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(f"bad '{field}' edge list: {exc}")
+
+    def _post_edges(self, name: str, body: dict[str, Any]) -> None:
+        service = self._require_single()
+        inserts = self._edge_array(
+            body.get("insert", body.get("inserts")), "insert"
+        )
+        deletes = self._edge_array(
+            body.get("delete", body.get("deletes")), "delete"
+        )
+        try:
+            summary = service.mutate_graph(
+                name,
+                inserts=inserts,
+                deletes=deletes,
+                directed=bool(body.get("directed", True)),
+            )
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except (DeltaError, GraphFormatError, ValueError) as exc:
+            raise BadRequest(str(exc))
+        except VersionConflictError as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        self._send_json(200, summary)
+
+    def _get_versions(self, name: str) -> None:
+        service = self._require_single()
+        try:
+            versions = service.versions(name)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        self._send_json(200, {"graph": name, "versions": versions})
+
+    def _post_compare(self, name: str, body: dict[str, Any]) -> None:
+        service = self._require_single()
+        if "query" not in body:
+            raise BadRequest("body needs a 'query' spec")
+        query = parse_graph_spec(body["query"])
+        base = body.get("base")
+        timeout = body.get("timeout_s")
+        try:
+            summary = service.compare(
+                name,
+                query,
+                base=str(base) if base is not None else None,
+                timeout=float(timeout) if timeout is not None else None,
+            )
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        self._send_json(200, summary)
+
     def _resolve_graph_arg(self, spec: Any) -> str:
         """A /match 'graph' value: fingerprint, name, or inline spec."""
         if isinstance(spec, str):
@@ -341,20 +461,32 @@ class _Handler(BaseHTTPRequestHandler):
                     " router stripe the query"
                 )
             extra["part"] = int(body["part"])
-        job_id = self.service.submit(
-            graph_fp,
-            query,
-            priority=int(body.get("priority", 0)),
-            deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
-            materialize=bool(body.get("materialize", False)),
-            time_limit_ms=(
-                float(time_limit_ms) if time_limit_ms is not None else None
-            ),
-            idempotency_key=(
-                str(idempotency_key) if idempotency_key is not None else None
-            ),
-            **extra,
-        )
+        as_of = body.get("as_of")
+        if as_of is not None:
+            self._require_single()
+            extra["as_of"] = str(as_of)
+        try:
+            job_id = self.service.submit(
+                graph_fp,
+                query,
+                priority=int(body.get("priority", 0)),
+                deadline_ms=(
+                    float(deadline_ms) if deadline_ms is not None else None
+                ),
+                materialize=bool(body.get("materialize", False)),
+                time_limit_ms=(
+                    float(time_limit_ms) if time_limit_ms is not None else None
+                ),
+                idempotency_key=(
+                    str(idempotency_key) if idempotency_key is not None
+                    else None
+                ),
+                **extra,
+            )
+        except KeyError as exc:
+            # An unknown graph key or a pruned/foreign as_of version.
+            self._send_json(404, {"error": str(exc)})
+            return
         if not body.get("wait", True):
             self._send_json(202, {"job_id": job_id})
             return
@@ -446,6 +578,17 @@ def main(argv: list[str] | None = None) -> int:
         help="governor budget; admission rejects past it",
     )
     parser.add_argument(
+        "--max-versions", type=int, default=None, metavar="N",
+        help="retained versions per mutable graph (as_of targets); "
+        "commits past this depth prune the oldest version "
+        "(default: config versioning_max_versions)",
+    )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable incremental re-matching on version commits "
+        "(every post-commit cache miss runs a full match)",
+    )
+    parser.add_argument(
         "--preload", action="append", default=[], metavar="SPEC",
         help="register a graph at boot (pattern like K5, or "
         "generator:mesh:8,8); repeatable",
@@ -494,6 +637,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["service_replication"] = args.replication
     if args.route_timeout_s is not None:
         overrides["service_route_timeout_s"] = args.route_timeout_s
+    if args.max_versions is not None:
+        overrides["versioning_max_versions"] = args.max_versions
+    if args.no_incremental:
+        overrides["versioning_incremental"] = False
     config = CuTSConfig(**overrides)
 
     plan = (

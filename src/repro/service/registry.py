@@ -24,6 +24,7 @@ could otherwise alias a live name.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from ..analysis.sanitizer import make_rlock
@@ -32,8 +33,42 @@ from ..core.matcher import CuTSMatcher
 from ..fingerprint import graph_fingerprint
 from ..graph.csr import CSRGraph
 from ..parallel.matcher import ParallelMatcher
+from ..storage.overlay import spliced_graph
+from ..versioning.delta import EdgeDelta
 
-__all__ = ["GraphHandle", "GraphRegistry"]
+__all__ = [
+    "GraphHandle",
+    "GraphRegistry",
+    "VersionCommit",
+    "VersionConflictError",
+]
+
+
+class VersionConflictError(RuntimeError):
+    """A concurrent commit advanced the head between delta construction
+    and linking; the caller should re-read the head and retry."""
+
+
+@dataclass(frozen=True)
+class VersionCommit:
+    """Outcome of one :meth:`GraphRegistry.mutate_edges` call.
+
+    ``delta is None`` means the request reduced to a no-op (every
+    insert already present, every delete already absent): ``child`` is
+    ``parent`` and nothing changed.  ``pruned`` lists fingerprints of
+    versions the retention policy evicted — the service must drop their
+    cache entries.
+    """
+
+    name: str
+    parent: "GraphHandle"
+    child: "GraphHandle"
+    delta: EdgeDelta | None
+    pruned: tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return self.delta is not None
 
 
 def _graph_bytes(graph: CSRGraph) -> int:
@@ -60,6 +95,8 @@ class GraphHandle:
         config: CuTSConfig,
         workers: int,
         generation: int,
+        parent_fp: str | None = None,
+        lineage_depth: int = 0,
     ) -> None:
         self.graph = graph
         self.name = name
@@ -67,6 +104,15 @@ class GraphHandle:
         self.config = config
         self.workers = workers
         self.generation = generation
+        # Version lineage: fingerprint of the version this one was
+        # committed from (None for a root), this version's depth in its
+        # chain, whether a newer version has superseded it as the head,
+        # and the normalised delta that produced it (the dispatcher's
+        # incremental probe reads it; None for roots and replacements).
+        self.parent_fp = parent_fp
+        self.lineage_depth = lineage_depth
+        self.retired = False
+        self.commit_delta: EdgeDelta | None = None
         self.registered_at = time.time()
         self.resident_bytes = _graph_bytes(graph)
         self.queries_served = 0
@@ -135,10 +181,46 @@ class GraphHandle:
         with self._lock:
             self.queries_served += count
 
+    def relink(
+        self,
+        parent_fp: str | None,
+        lineage_depth: int,
+        delta: EdgeDelta | None,
+    ) -> None:
+        """Re-attach this handle into a chain as its new head.  Happens
+        when a delta cycles back to retained content (insert then
+        delete the same edge): content addressing means the *handle*
+        is the version, so it simply resumes as head."""
+        with self._lock:
+            self.parent_fp = parent_fp
+            self.lineage_depth = lineage_depth
+            self.commit_delta = delta
+            self.retired = False
+
+    def incremental_basis(self) -> tuple[str | None, "EdgeDelta | None"]:
+        """The ``(parent fingerprint, commit delta)`` pair this version
+        was committed from, read atomically — what the dispatcher's
+        incremental probe keys its parent-cache lookup on.  ``(None,
+        None)`` for roots and whole-graph replacements."""
+        with self._lock:
+            if self.commit_delta is None:
+                return None, None
+            return self.parent_fp, self.commit_delta
+
+    def mark_retired(self) -> None:
+        """A newer version superseded this one as the name's head; the
+        handle stays open and servable (``as_of`` time travel) until
+        retention prunes it."""
+        with self._lock:
+            self.retired = True
+
     def info(self) -> dict[str, object]:
         """JSON description for ``/graphs``."""
         with self._lock:
             served = self.queries_served
+            retired = self.retired
+            parent_fp = self.parent_fp
+            depth = self.lineage_depth
         return {
             "name": self.name,
             "fingerprint": self.fingerprint,
@@ -148,6 +230,9 @@ class GraphHandle:
             "generation": self.generation,
             "workers": self.workers,
             "queries_served": served,
+            "parent_fingerprint": parent_fp,
+            "lineage_depth": depth,
+            "retired": retired,
         }
 
 
@@ -170,6 +255,7 @@ class GraphRegistry:
         self._generation = 0
         self.registered = 0
         self.replaced = 0
+        self.commits = 0
 
     # ------------------------------------------------------------------
     def register(self, graph: CSRGraph, name: str | None = None) -> GraphHandle:
@@ -192,7 +278,11 @@ class GraphRegistry:
             same_content = self._by_fp.get(fp)
             if existing is not None:
                 # Name reuse with different content: the old entry (and
-                # everything cached under it) must die with it.
+                # everything cached under it) must die with it.  The
+                # replacement is recorded as a *lineage link* with no
+                # delta — a full replacement is the degenerate commit
+                # whose dirty ball is the whole graph, which is exactly
+                # why every cache entry under the old fingerprint goes.
                 self._unlink(existing)
                 to_close = existing
                 replaced_fp = existing.fingerprint
@@ -206,6 +296,10 @@ class GraphRegistry:
                 handle = GraphHandle(
                     graph, name, fp, self.config, self.workers,
                     self._generation,
+                    parent_fp=replaced_fp,
+                    lineage_depth=(
+                        0 if to_close is None else to_close.lineage_depth + 1
+                    ),
                 )
                 self._by_name[name] = handle
                 self._by_fp[fp] = handle
@@ -227,6 +321,148 @@ class GraphRegistry:
             n for n, h in self._by_name.items() if h is handle
         ]:
             self._by_name.pop(alias)
+
+    # ------------------------------------------------------------------
+    # Version commits
+    # ------------------------------------------------------------------
+    def mutate_edges(
+        self,
+        key: str,
+        *,
+        inserts: object = (),
+        deletes: object = (),
+        directed: bool = True,
+    ) -> VersionCommit:
+        """Commit an edge delta against the head of ``key``'s chain.
+
+        The delta is normalised against the current head, the child CSR
+        is built by the non-mutating overlay splice (the parent's
+        arrays are never written — live matches against it cannot be
+        torn), and the name advances to the child.  The parent handle
+        stays registered (retired) for ``as_of`` time travel until the
+        retention policy (``config.versioning_max_versions``) prunes
+        it.  A concurrent commit that advanced the head first raises
+        :class:`VersionConflictError`.
+        """
+        head = self.resolve(key)
+        name = head.name
+        delta = EdgeDelta.build(
+            inserts, deletes, parent=head.graph, directed=directed
+        )
+        if delta.is_empty:
+            return VersionCommit(name, head, head, None)
+        child_graph = spliced_graph(
+            head.graph, delta.inserts, delta.deletes, delta.num_vertices
+        )
+        fp = graph_fingerprint(child_graph)
+        depth = head.lineage_depth + 1
+        to_prune: list[GraphHandle] = []
+        with self._lock:
+            if self._by_name.get(name) is not head:
+                raise VersionConflictError(
+                    f"graph {name!r} was committed concurrently; "
+                    f"re-read the head and retry"
+                )
+            child = self._by_fp.get(fp)
+            if child is not None:
+                # The delta cycled back to retained content; that
+                # handle resumes as head.
+                child.relink(head.fingerprint, depth, delta)
+            else:
+                self._generation += 1
+                child = GraphHandle(
+                    child_graph, name, fp, self.config, self.workers,
+                    self._generation,
+                    parent_fp=head.fingerprint,
+                    lineage_depth=depth,
+                )
+                child.commit_delta = delta
+                self._by_fp[fp] = child
+                self.registered += 1
+            self._by_name[name] = child
+            self.commits += 1
+            # Retention: keep at most versioning_max_versions links of
+            # this chain registered; older ones are pruned unless some
+            # other *name* still aliases them.
+            chain = self._chain_locked(child)
+            named = set(map(id, self._by_name.values()))
+            for stale in chain[self.config.versioning_max_versions:]:
+                if id(stale) not in named:
+                    self._by_fp.pop(stale.fingerprint, None)
+                    to_prune.append(stale)
+        head.mark_retired()
+        # Engines shut down outside the lock (pool shutdown blocks and
+        # must not stall unrelated registrations — same rule as
+        # register()'s replacement path).
+        for stale in to_prune:
+            stale.close()
+        return VersionCommit(
+            name, head, child, delta,
+            pruned=tuple(h.fingerprint for h in to_prune),
+        )
+
+    def _chain_locked(self, head: GraphHandle) -> list[GraphHandle]:
+        """Retained chain from ``head`` back through parents (head
+        first).  Caller holds ``_lock``."""
+        chain = [head]
+        seen = {head.fingerprint}
+        cursor = head
+        while cursor.parent_fp is not None:
+            parent = self._by_fp.get(cursor.parent_fp)
+            if parent is None or parent.fingerprint in seen:
+                break
+            chain.append(parent)
+            seen.add(parent.fingerprint)
+            cursor = parent
+        return chain
+
+    def lineage(self, key: str) -> list[dict[str, object]]:
+        """The retained version chain of ``key``'s graph, oldest first
+        (the head is the last entry)."""
+        head = self.resolve(key)
+        with self._lock:
+            chain = self._chain_locked(head)
+        out = []
+        for handle in reversed(chain):
+            entry = handle.info()
+            entry["head"] = handle is head
+            out.append(entry)
+        return out
+
+    def adopt_version(
+        self,
+        graph: CSRGraph,
+        name: str,
+        *,
+        parent_fp: str | None,
+        lineage_depth: int,
+        head: bool,
+        delta: EdgeDelta | None = None,
+    ) -> GraphHandle:
+        """Install a recovered version (state-dir replay) with its
+        journaled lineage position.  Non-head versions come back
+        retired; the head also takes the name."""
+        if graph.num_vertices == 0:
+            raise ValueError("cannot adopt an empty data graph")
+        fp = graph_fingerprint(graph)
+        with self._lock:
+            handle = self._by_fp.get(fp)
+            if handle is None:
+                self._generation += 1
+                handle = GraphHandle(
+                    graph, name, fp, self.config, self.workers,
+                    self._generation,
+                    parent_fp=parent_fp,
+                    lineage_depth=lineage_depth,
+                )
+                self._by_fp[fp] = handle
+                self.registered += 1
+            handle.commit_delta = delta
+            if head:
+                self._by_name[name] = handle
+        if not head:
+            handle.mark_retired()
+        return handle
 
     def unregister(self, key: str) -> bool:
         """Remove a graph by name or fingerprint; fires ``on_replace``

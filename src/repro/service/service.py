@@ -50,7 +50,14 @@ from ..core.stats import SearchStats
 from ..fingerprint import config_fingerprint, graph_fingerprint
 from ..graph.csr import CSRGraph
 from ..parallel.matcher import resolve_workers
-from .cache import LRUBytesCache
+from ..versioning.incremental import dirty_region_for, promotion_safe
+from ..versioning.lineage import (
+    KIND_DELTA,
+    GraphVersion,
+    recover_chains,
+    version_record,
+)
+from .cache import CacheKey, LRUBytesCache
 from .dispatcher import (
     Dispatcher,
     payload_from_result,
@@ -58,7 +65,7 @@ from .dispatcher import (
     verify_payload,
 )
 from .faults import ServiceFaultInjector, ServiceFaultPlan
-from .registry import GraphHandle, GraphRegistry
+from .registry import GraphHandle, GraphRegistry, VersionCommit
 from .scheduler import AdmissionError, Request, Scheduler
 from .state import ServiceState, graph_from_record, graph_record
 
@@ -103,6 +110,7 @@ class Job:
     coalesced: bool = False
     plan_hit: bool = False
     fallback: bool = False
+    incremental: bool = False
     idempotency_key: str | None = None
     stats: SearchStats | None = None
     submitted_at: float = field(default_factory=time.time)
@@ -124,6 +132,8 @@ class Job:
         }
         if self.fallback:
             out["fallback"] = True
+        if self.incremental:
+            out["incremental"] = True
         if self.idempotency_key is not None:
             out["idempotency_key"] = self.idempotency_key
         if self.error is not None:
@@ -212,6 +222,15 @@ class MatchingService:
         self._jobs_lock = make_rlock("MatchingService._jobs_lock")
         self._job_seq = 0
         self._idempotency: dict[str, str] = {}
+        # Query index: query_fp -> query graph, fed by every submit.
+        # Cache promotion needs the query *shape* (its diameter and
+        # root set) to prove an entry unaffected by a delta; a cache
+        # key alone cannot reconstruct it.  Queries are tiny, and the
+        # index only ever holds shapes this service has actually seen.
+        self._queries: dict[str, CSRGraph] = {}
+        self.version_commits = 0
+        self.recovered_versions = 0
+        self.version_records_malformed = 0
         self._degraded = False
         self._killed = False
         self._pressure_strikes = 0
@@ -338,17 +357,53 @@ class MatchingService:
         assert self.state is not None
         graphs = self.state.load_graphs()
         named: set[str] = set()
-        # Names first, in their saved order, so each handle comes back
-        # under the same primary name it had before the crash (later
-        # names for the same content become aliases, as they were).
+        # Version lineage first: for every mutated name the journal
+        # decides the head — the latest record whose child graph made
+        # it to disk (the journal outranks the name map, see
+        # :mod:`repro.service.state`) — and retained ancestors come
+        # back retired, still addressable for ``as_of`` time travel.
+        chains, malformed = recover_chains(
+            self.state.load_versions(), set(graphs)
+        )
+        self.version_records_malformed += malformed
+        versioned: set[str] = set()
+        for name, chain in chains.items():
+            head_version = chain[-1]
+            for version in chain:
+                graph = graphs.get(version.fingerprint)
+                if graph is None:
+                    continue
+                self.registry.adopt_version(
+                    graph,
+                    name,
+                    parent_fp=version.parent,
+                    lineage_depth=version.depth,
+                    head=version is head_version,
+                    delta=version.delta,
+                )
+                versioned.add(version.fingerprint)
+                self.recovered_versions += 1
+            named.add(head_version.fingerprint)
+        # Then the name map, in its saved order, so each remaining
+        # handle comes back under the same primary name it had before
+        # the crash (later names for the same content become aliases,
+        # as they were).  Names the journal already decided are
+        # skipped: a crash between the lineage record and the map
+        # rewrite leaves the map one commit stale, and replaying it
+        # here would roll the head back.
         for name, fp in self.state.load_names().items():
+            if name in chains:
+                continue
             graph = graphs.get(fp)
             if graph is not None:
                 self.registry.register(graph, name)
                 named.add(fp)
         for fp, graph in graphs.items():
-            if fp not in named:
+            if fp not in named and fp not in versioned:
                 self.registry.register(graph)
+        if chains:
+            # Heal the name map so the next incarnation starts in sync.
+            self.state.save_names(self.registry.names())
         self._recharge()
         for record in self.state.load_jobs():
             self._recover_job(record)
@@ -435,6 +490,7 @@ class MatchingService:
             return
         with self._jobs_lock:
             self._jobs[job_id] = job
+            self._queries.setdefault(request.query_fp, query)
             if job.idempotency_key is not None and job.state != RETRYABLE:
                 self._idempotency[job.idempotency_key] = job_id
 
@@ -497,6 +553,205 @@ class MatchingService:
         return self.registry.resolve(graph)
 
     # ------------------------------------------------------------------
+    # Versioned mutation / time travel
+    # ------------------------------------------------------------------
+    def mutate_graph(
+        self,
+        key: str,
+        *,
+        inserts: object = (),
+        deletes: object = (),
+        directed: bool = True,
+    ) -> dict[str, object]:
+        """Commit an edge delta against the head of ``key``'s version
+        chain; returns the commit summary ``POST /graphs/<name>/edges``
+        serves.
+
+        The registry builds the child by non-mutating overlay splice
+        (live matches on the parent are never torn), durability follows
+        the commit order of :mod:`repro.service.state` (graph bytes →
+        lineage record → name map), and the result cache carries
+        provably-unaffected entries over to the child fingerprint
+        (:meth:`LRUBytesCache.promote` under the dirty-ball predicate).
+        A request that reduces to a no-op (all inserts present, all
+        deletes absent) changes nothing and says so.
+        """
+        if self._killed:
+            raise self.scheduler.reject(
+                "shutdown", "this service incarnation was killed"
+            )
+        if self._degraded:
+            raise self.scheduler.reject(
+                "degraded",
+                "service is in degraded read-only mode; graph mutation "
+                "is paused",
+            )
+        commit = self.registry.mutate_edges(
+            key, inserts=inserts, deletes=deletes, directed=directed
+        )
+        summary: dict[str, object] = {
+            "graph": commit.name,
+            "parent_fingerprint": commit.parent.fingerprint,
+            "fingerprint": commit.child.fingerprint,
+            "lineage_depth": commit.child.lineage_depth,
+            "changed": commit.changed,
+        }
+        if not commit.changed:
+            summary.update(
+                inserted=0, deleted=0, promoted=0, retained=0, pruned=[]
+            )
+            return summary
+        delta = commit.delta
+        assert delta is not None
+        self.version_commits += 1
+        if self.state is not None:
+            # Commit order (see repro.service.state): child graph
+            # bytes, then the lineage record, then the name map.  A
+            # crash between any two steps leaves a journal prefix that
+            # recovery reads as either "commit happened" or "never
+            # happened" — nothing in between.
+            self.state.save_graph(commit.child.graph, commit.child.fingerprint)
+            self.state.append_version(
+                version_record(
+                    GraphVersion(
+                        name=commit.name,
+                        fingerprint=commit.child.fingerprint,
+                        parent=commit.parent.fingerprint,
+                        depth=commit.child.lineage_depth,
+                        kind=KIND_DELTA,
+                        delta=delta,
+                    )
+                )
+            )
+            self.state.save_names(self.registry.names())
+        promoted, retained = self._promote_caches(commit)
+        for fp in commit.pruned:
+            self._invalidate_graph(fp)
+            if self.state is not None:
+                self.state.forget_graph(fp)
+        self._recharge()
+        summary.update(
+            inserted=len(delta.inserts),
+            deleted=len(delta.deletes),
+            touched=[int(v) for v in delta.touched()],
+            promoted=promoted,
+            retained=retained,
+            pruned=list(commit.pruned),
+        )
+        return summary
+
+    def _promote_caches(self, commit: VersionCommit) -> tuple[int, int]:
+        """Delta-aware cache carry-over for one commit.
+
+        A result entry is re-keyed to the child fingerprint only when
+        :func:`~repro.versioning.promotion_safe` proves both dirty
+        shares of its query zero (no root candidate of either version
+        inside the query's dirty ball).  Rejected entries stay behind
+        under the parent fingerprint — still exact for ``as_of`` time
+        travel and still the dispatcher's incremental base — and die
+        when retention prunes that version.  Plan entries promote
+        unconditionally: a plan is a performance hint (interval count,
+        ordering), not an answer — a stale hint can cost balance, never
+        a count.
+        """
+        delta = commit.delta
+        assert delta is not None
+        parent_graph = commit.parent.graph
+        child_graph = commit.child.graph
+        region = dirty_region_for(child_graph, delta)
+
+        def should_promote(cache_key: CacheKey) -> bool:
+            if cache_key[2] != self.config_fp:
+                # An entry written under a different config: its
+                # promotion proof would need that config's root
+                # filter, which we cannot reconstruct.  Retain it.
+                return False
+            query = self._query_for(cache_key[1])
+            if query is None:
+                # Unknown query shape (e.g. the index predates this
+                # entry's writer): no proof, no promotion.
+                return False
+            return promotion_safe(
+                query, parent_graph, child_graph, region, self.config
+            )
+
+        promoted, retained = self.result_cache.promote(
+            commit.parent.fingerprint, commit.child.fingerprint,
+            should_promote,
+        )
+        self.plan_cache.promote(
+            commit.parent.fingerprint, commit.child.fingerprint,
+            lambda _key: True,
+        )
+        return promoted, retained
+
+    def _query_for(self, query_fp: str) -> CSRGraph | None:
+        with self._jobs_lock:
+            return self._queries.get(query_fp)
+
+    def versions(self, key: str) -> list[dict[str, object]]:
+        """The retained version chain of ``key``'s graph, oldest first
+        (``GET /graphs/<name>/versions``)."""
+        return self.registry.lineage(key)
+
+    def _version_of(self, head: GraphHandle, as_of: str) -> GraphHandle:
+        """The retained member of ``head``'s chain whose fingerprint is
+        ``as_of`` — the time-travel target.  Raises ``KeyError`` for
+        fingerprints that are unknown, pruned, or from another lineage
+        (never silently serves the wrong version)."""
+        if as_of == head.fingerprint:
+            return head
+        target = self.registry.by_fingerprint(as_of)
+        if target is not None:
+            chain = {
+                entry["fingerprint"]
+                for entry in self.registry.lineage(head.fingerprint)
+            }
+            if as_of in chain:
+                return target
+        raise KeyError(
+            f"version {as_of!r} is not a retained version of graph "
+            f"{head.name!r} (unknown, pruned, or from another lineage)"
+        )
+
+    def compare(
+        self,
+        key: str,
+        query: CSRGraph,
+        *,
+        base: str | None = None,
+        timeout: float | None = None,
+    ) -> dict[str, object]:
+        """Shadow-compare: the same count-only query against two
+        retained versions of one graph (``POST /graphs/<name>/compare``).
+
+        ``base`` defaults to the head's parent, making the default call
+        "what did the last commit change for this query?".  Both sides
+        go through the ordinary submit path, so retained cache entries
+        and the incremental probe both apply.
+        """
+        head = self.registry.resolve(key)
+        base_fp = base if base is not None else head.parent_fp
+        if base_fp is None:
+            raise KeyError(
+                f"graph {head.name!r} has no parent version to compare "
+                f"against"
+            )
+        base_handle = self._version_of(head, base_fp)
+        base_result = self.match(
+            base_handle.fingerprint, query, timeout=timeout
+        )
+        head_result = self.match(head.fingerprint, query, timeout=timeout)
+        return {
+            "graph": head.name,
+            "base_fingerprint": base_handle.fingerprint,
+            "head_fingerprint": head.fingerprint,
+            "base_count": int(base_result.count),
+            "head_count": int(head_result.count),
+            "count_delta": int(head_result.count) - int(base_result.count),
+        }
+
+    # ------------------------------------------------------------------
     # Submission / results
     # ------------------------------------------------------------------
     def submit(
@@ -511,6 +766,7 @@ class MatchingService:
         idempotency_key: str | None = None,
         part: int = 0,
         num_parts: int = 1,
+        as_of: str | None = None,
     ) -> str:
         """Queue one match request; returns its job id.
 
@@ -526,6 +782,9 @@ class MatchingService:
         ``part``/``num_parts`` execute only that stride of the query's
         roots (the cluster router's unit of cross-replica splitting);
         summing the part counts over a full stride set is exact.
+        ``as_of`` time-travels: the request runs against that retained
+        version of the named graph's chain instead of its head
+        (``KeyError`` for pruned or foreign fingerprints).
         """
         if query.num_vertices == 0:
             raise ValueError("query graph must have at least one vertex")
@@ -546,7 +805,11 @@ class MatchingService:
                 if known is not None and known in self._jobs:
                     return known
         handle = self._resolve_graph(graph)
+        if as_of is not None:
+            handle = self._version_of(handle, as_of)
         query_fp = graph_fingerprint(query)
+        with self._jobs_lock:
+            self._queries.setdefault(query_fp, query)
         if self._degraded:
             if num_parts != 1:
                 raise self.scheduler.reject(
@@ -716,6 +979,7 @@ class MatchingService:
         idempotency_key: str | None = None,
         part: int = 0,
         num_parts: int = 1,
+        as_of: str | None = None,
         timeout: float | None = None,
     ) -> MatchResult:
         """Submit and wait: the one-call serving equivalent of
@@ -730,6 +994,7 @@ class MatchingService:
             idempotency_key=idempotency_key,
             part=part,
             num_parts=num_parts,
+            as_of=as_of,
         )
         return self.result(job_id, timeout=timeout)
 
@@ -786,6 +1051,12 @@ class MatchingService:
             "dispatcher": self.dispatcher.snapshot(),
             "result_cache": self.result_cache.snapshot(),
             "plan_cache": self.plan_cache.snapshot(),
+            "versioning": {
+                "commits": self.version_commits,
+                "registry_commits": self.registry.commits,
+                "recovered_versions": self.recovered_versions,
+                "version_records_malformed": self.version_records_malformed,
+            },
         }
         if self.state is not None:
             out["state"] = dict(self.state.snapshot()) | {
@@ -967,6 +1238,7 @@ class MatchingService:
             job.coalesced = outcome.coalesced  # type: ignore[attr-defined]
             job.plan_hit = outcome.plan_hit  # type: ignore[attr-defined]
             job.fallback = outcome.fallback  # type: ignore[attr-defined]
+            job.incremental = outcome.incremental  # type: ignore[attr-defined]
             job.stats = outcome.stats  # type: ignore[attr-defined]
             payload: dict[str, object] | None = None
             if outcome.cancelled:  # type: ignore[attr-defined]

@@ -30,6 +30,16 @@ Layout::
       graphs.json         name -> fingerprint map
       graphs/<fp>.npz     CSR arrays (content-addressed)
       jobs/<job-id>.json  one journal record per job
+      versions.jsonl      append-only version-lineage journal
+
+**Version commits** (:mod:`repro.versioning`) persist in a strict
+order — child graph bytes, then the lineage record, then the name map —
+so that a crash at any instant leaves a recoverable prefix: an orphan
+graph with no record means the commit never happened; a record whose
+graph is on disk means it did, even if the name map never caught up
+(the journal outranks the name map at recovery).  The journal is
+append-only with per-record fsync; a torn tail line (crash mid-append)
+is skipped on load, never fatal.
 """
 
 from __future__ import annotations
@@ -99,6 +109,8 @@ class ServiceState:
         os.makedirs(self.jobs_dir, exist_ok=True)
         self.jobs_journaled = 0
         self.graphs_saved = 0
+        self.versions_journaled = 0
+        self.version_records_torn = 0
         # Serialises journal writes: without it the submit thread's
         # "pending" record could land *after* the dispatch thread's
         # "done" record for the same job and roll the journal back.
@@ -199,6 +211,60 @@ class ServiceState:
         return graphs
 
     # ------------------------------------------------------------------
+    # Version lineage journal
+    # ------------------------------------------------------------------
+    def _versions_path(self) -> str:
+        return os.path.join(self.directory, "versions.jsonl")
+
+    def append_version(self, record: dict[str, object]) -> None:
+        """Append one lineage record (fsync'd before returning).
+
+        Single-line JSON: the append either lands whole or leaves a
+        torn final line that :meth:`load_versions` skips — the journal
+        is a valid prefix at every instant.  Called *after* the child
+        graph's bytes are on disk (:meth:`save_graph`), so a record in
+        the journal always names an available graph.
+        """
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            with open(self._versions_path(), "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self.versions_journaled += 1
+        fsync_dir(self.directory)
+
+    def load_versions(self) -> list[dict[str, object]]:
+        """Every parseable lineage record, in append order.  A torn
+        tail (crash mid-append) is counted and skipped — losing the
+        last commit's record is exactly the "commit never happened"
+        outcome the commit order guarantees is safe."""
+        path = self._versions_path()
+        if not os.path.exists(path):
+            return []
+        records: list[dict[str, object]] = []
+        with open(path, encoding="utf-8") as fh:
+            for raw in fh:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    self.version_records_torn += 1
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+                else:
+                    self.version_records_torn += 1
+        return records
+
+    def graph_available(self, fingerprint: str) -> bool:
+        """Whether the content-addressed graph file exists on disk —
+        the availability test version recovery filters the journal by."""
+        return os.path.exists(self._graph_path(fingerprint))
+
+    # ------------------------------------------------------------------
     # Job journal
     # ------------------------------------------------------------------
     def record_job(self, record: dict[str, object]) -> None:
@@ -248,4 +314,6 @@ class ServiceState:
             "directory": self.directory,
             "jobs_journaled": self.jobs_journaled,
             "graphs_saved": self.graphs_saved,
+            "versions_journaled": self.versions_journaled,
+            "version_records_torn": self.version_records_torn,
         }

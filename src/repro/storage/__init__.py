@@ -11,12 +11,15 @@ from .accounting import (
 )
 from .csf import CSFLevel, CSFStore
 from .naive import NaivePathStore
+from .overlay import splice_adjacency, spliced_graph
 from .serialize import deserialize_trie, serialize_trie, serialized_words
 from .trie import PathTrie, TrieLevel
 
 __all__ = [
     "PathTrie",
     "TrieLevel",
+    "splice_adjacency",
+    "spliced_graph",
     "NaivePathStore",
     "CSFStore",
     "CSFLevel",

@@ -1,0 +1,53 @@
+"""Versioned, mutable data graphs.
+
+This package turns the engine's immutable data graphs into
+content-addressed *version chains*: an edge delta applied to version N
+yields version N+1 with its own fingerprint, the parent stays servable
+(time travel via ``as_of``), and the commit carries enough structure —
+the normalised :class:`EdgeDelta` and its dirty BFS ball — to promote
+unaffected cached results across the commit and to re-match only the
+dirty region (:func:`incremental_match`), with the full re-match as the
+standing equivalence oracle.
+
+Layering: the raw CSR splice lives in :mod:`repro.storage.overlay`
+(a data-structure kernel); this package owns the *policy* — delta
+normalisation, lineage records, locality reasoning — and
+:mod:`repro.service` wires it to the registry, caches and HTTP surface.
+"""
+
+from .delta import DeltaError, EdgeDelta
+from .dirty import DirtyRegion, query_diameter, undirected_neighbors
+from .incremental import (
+    IncrementalMismatchError,
+    IncrementalUnsupported,
+    dirty_region_for,
+    incremental_match,
+    parent_graph_of,
+    promotion_safe,
+    union_graph_of,
+)
+from .lineage import (
+    GraphVersion,
+    recover_chains,
+    version_from_record,
+    version_record,
+)
+
+__all__ = [
+    "DeltaError",
+    "DirtyRegion",
+    "EdgeDelta",
+    "GraphVersion",
+    "IncrementalMismatchError",
+    "IncrementalUnsupported",
+    "dirty_region_for",
+    "incremental_match",
+    "parent_graph_of",
+    "promotion_safe",
+    "query_diameter",
+    "recover_chains",
+    "undirected_neighbors",
+    "union_graph_of",
+    "version_from_record",
+    "version_record",
+]

@@ -1,0 +1,174 @@
+"""Normalised edge deltas between graph versions.
+
+An :class:`EdgeDelta` is the *only* way content moves between two
+versions of a data graph: a set of directed edge insertions plus a set
+of directed edge deletions, normalised against the parent so that
+application is total — every delete names an edge the parent has, every
+insert an edge it lacks, the two sets are disjoint, and self-loops and
+duplicates are gone.  Normalisation happens once, in :meth:`build`;
+everything downstream (the overlay splice, the dirty-ball BFS, the
+journal codec) relies on it and fails loudly instead of re-checking.
+
+Deltas are content-addressed like graphs and configs: two mutation
+requests that reduce to the same normalised edge sets have the same
+:meth:`fingerprint`, which is what the version journal records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, INDEX_DTYPE
+
+__all__ = ["DeltaError", "EdgeDelta"]
+
+
+class DeltaError(ValueError):
+    """An edge delta failed normalisation (bad ids, insert/delete clash)."""
+
+
+def _as_edge_array(edges: object) -> np.ndarray:
+    arr = np.asarray(
+        list(edges) if not isinstance(edges, np.ndarray) else edges
+    )
+    if arr.size == 0:
+        return np.zeros((0, 2), dtype=INDEX_DTYPE)
+    try:
+        arr = arr.reshape(-1, 2).astype(INDEX_DTYPE, copy=False)
+    except (ValueError, TypeError) as exc:
+        raise DeltaError(f"edges must be (u, v) pairs: {exc}") from exc
+    if arr.min() < 0:
+        raise DeltaError(
+            f"vertex ids must be non-negative, got {int(arr.min())}"
+        )
+    arr = arr[arr[:, 0] != arr[:, 1]]  # self-loops can never match
+    if arr.size == 0:
+        return np.zeros((0, 2), dtype=INDEX_DTYPE)
+    return np.unique(arr, axis=0)
+
+
+def _existing_mask(graph: CSRGraph, edges: np.ndarray) -> np.ndarray:
+    """Which of ``edges`` are present in ``graph`` (out of range = absent)."""
+    if len(edges) == 0:
+        return np.zeros(0, dtype=bool)
+    in_range = (edges[:, 0] < graph.num_vertices) & (
+        edges[:, 1] < graph.num_vertices
+    )
+    mask = np.zeros(len(edges), dtype=bool)
+    if in_range.any():
+        sub = edges[in_range]
+        mask[in_range] = graph.has_edges(sub[:, 0], sub[:, 1])
+    return mask
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """A normalised directed edge delta (see module docstring).
+
+    Attributes
+    ----------
+    inserts, deletes:
+        ``(K, 2)`` int64 arrays, lexicographically sorted, deduplicated,
+        loop-free, mutually disjoint; every delete exists in the parent,
+        every insert does not.
+    num_vertices:
+        Vertex count of the **child** graph: the parent's, grown to
+        cover any inserted endpoint beyond it.
+    """
+
+    inserts: np.ndarray = field(repr=False)
+    deletes: np.ndarray = field(repr=False)
+    num_vertices: int
+
+    @classmethod
+    def build(
+        cls,
+        inserts: object = (),
+        deletes: object = (),
+        *,
+        parent: CSRGraph,
+        directed: bool = True,
+    ) -> "EdgeDelta":
+        """Normalise raw insert/delete edge lists against ``parent``.
+
+        ``directed=False`` expands every pair ``(u, v)`` to both
+        orientations first (the §2.1 undirected convention the graph
+        builders use).  Inserts the parent already has and deletes it
+        lacks are dropped as no-ops; an edge named on **both** sides is
+        ambiguous and raises :class:`DeltaError`.
+        """
+        ins = _as_edge_array(inserts)
+        dels = _as_edge_array(deletes)
+        if not directed:
+            if len(ins):
+                ins = np.unique(
+                    np.concatenate([ins, ins[:, ::-1]], axis=0), axis=0
+                )
+            if len(dels):
+                dels = np.unique(
+                    np.concatenate([dels, dels[:, ::-1]], axis=0), axis=0
+                )
+        if len(ins) and len(dels):
+            width = np.int64(
+                max(parent.num_vertices, int(ins.max()) + 1, int(dels.max()) + 1)
+            )
+            clash = np.intersect1d(
+                ins[:, 0] * width + ins[:, 1],
+                dels[:, 0] * width + dels[:, 1],
+            )
+            if clash.size:
+                u, v = int(clash[0] // width), int(clash[0] % width)
+                raise DeltaError(
+                    f"edge ({u}, {v}) appears in both inserts and deletes"
+                )
+        if len(dels):
+            present = _existing_mask(parent, dels)
+            dels = dels[present]  # deleting a missing edge is a no-op
+        if len(ins):
+            ins = ins[~_existing_mask(parent, ins)]  # re-insert is a no-op
+        n = parent.num_vertices
+        if len(ins):
+            n = max(n, int(ins.max()) + 1)
+        return cls(inserts=ins, deletes=dels, num_vertices=n)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return len(self.inserts) == 0 and len(self.deletes) == 0
+
+    def touched(self) -> np.ndarray:
+        """Sorted unique endpoints of every changed edge — the seeds of
+        the dirty-ball BFS."""
+        parts = [self.inserts.ravel(), self.deletes.ravel()]
+        return np.unique(np.concatenate(parts)).astype(INDEX_DTYPE)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the normalised edge sets (content address)."""
+        h = hashlib.sha256()
+        h.update(f"n={self.num_vertices};".encode("ascii"))
+        h.update(b"ins:")
+        h.update(np.ascontiguousarray(self.inserts, dtype=np.int64).tobytes())
+        h.update(b"del:")
+        h.update(np.ascontiguousarray(self.deletes, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict[str, object]:
+        """JSON-safe form for the version journal and the HTTP surface."""
+        return {
+            "inserts": self.inserts.tolist(),
+            "deletes": self.deletes.tolist(),
+            "num_vertices": self.num_vertices,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict[str, object]) -> "EdgeDelta":
+        ins = np.asarray(record["inserts"], dtype=INDEX_DTYPE).reshape(-1, 2)
+        dels = np.asarray(record["deletes"], dtype=INDEX_DTYPE).reshape(-1, 2)
+        return cls(
+            inserts=ins, deletes=dels,
+            num_vertices=int(record["num_vertices"]),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,126 @@
+"""Dirty-vertex neighbourhoods: the BFS ball around a delta.
+
+The whole incremental story rests on one locality lemma.  Let ``q`` be
+a query with undirected diameter ``d``, and let an embedding of ``q``
+map some query edge onto a *touched* data edge (inserted or deleted).
+Every query vertex is within query-distance ``d`` of the matching
+root, and an embedding maps adjacent query vertices to adjacent data
+vertices, so the embedding's root lies within **undirected data-graph
+distance ``d`` of a touched endpoint**.  Contrapositive: embeddings
+rooted outside the radius-``d`` ball around the touched endpoints use
+no touched edge — they are identical in version N and N+1.
+
+The ball is computed over the **union** graph (parent edges ∪ child
+edges): an old embedding walks deleted edges, a new one walks inserted
+edges, and the union covers both, so one BFS serves both directions of
+the count identity.
+
+:class:`DirtyRegion` memoises BFS layers: one commit serves many cached
+queries with different diameters, and each radius extends the frontier
+at most one more hop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph, INDEX_DTYPE
+
+__all__ = ["DirtyRegion", "query_diameter", "undirected_neighbors"]
+
+
+def _gather_segments(
+    indptr: np.ndarray, indices: np.ndarray, vertices: np.ndarray
+) -> np.ndarray:
+    """Concatenate the adjacency slices of ``vertices`` in one pass."""
+    starts = indptr[vertices]
+    counts = indptr[vertices + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=INDEX_DTYPE)
+    owner = np.repeat(np.arange(len(vertices), dtype=INDEX_DTYPE), counts)
+    cum = np.concatenate(
+        [np.zeros(1, dtype=INDEX_DTYPE), np.cumsum(counts)]
+    )
+    offsets = np.arange(total, dtype=INDEX_DTYPE) - cum[owner] + starts[owner]
+    return indices[offsets]
+
+
+def undirected_neighbors(graph: CSRGraph, vertices: np.ndarray) -> np.ndarray:
+    """Unique out- plus in-neighbours of ``vertices`` (one hop of the
+    underlying undirected graph)."""
+    vertices = np.asarray(vertices, dtype=INDEX_DTYPE)
+    if vertices.size == 0:
+        return np.zeros(0, dtype=INDEX_DTYPE)
+    children = _gather_segments(graph.indptr, graph.indices, vertices)
+    parents = _gather_segments(graph.rindptr, graph.rindices, vertices)
+    return np.unique(np.concatenate([children, parents]))
+
+
+def query_diameter(query: CSRGraph) -> int:
+    """Diameter of the query's underlying undirected graph.
+
+    Queries are tiny (admission caps their vertex count), so a BFS from
+    every vertex is cheap.  Unreachable pairs (a disconnected query —
+    the matcher handles them as cross products) fall back to the worst
+    sound radius, ``num_vertices - 1``.
+    """
+    n = query.num_vertices
+    if n <= 1:
+        return 0
+    worst = 0
+    for source in range(n):
+        dist = np.full(n, -1, dtype=INDEX_DTYPE)
+        dist[source] = 0
+        frontier = np.asarray([source], dtype=INDEX_DTYPE)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            nxt = undirected_neighbors(query, frontier)
+            nxt = nxt[dist[nxt] < 0]
+            if nxt.size == 0:
+                break
+            dist[nxt] = depth
+            frontier = nxt
+        ecc = int(dist.max()) if (dist >= 0).all() else n - 1
+        worst = max(worst, ecc)
+    return worst
+
+
+class DirtyRegion:
+    """Memoised layered BFS ball around a delta's touched vertices.
+
+    Built once per commit over the union graph; :meth:`ball` returns
+    the sorted unique vertex set within a given undirected distance of
+    any seed, extending the memoised layers only as far as the largest
+    radius ever asked for.
+    """
+
+    def __init__(self, graph: CSRGraph, seeds: np.ndarray) -> None:
+        self.graph = graph
+        seeds = np.unique(np.asarray(seeds, dtype=INDEX_DTYPE))
+        seeds = seeds[seeds < graph.num_vertices]
+        self._visited = np.zeros(graph.num_vertices, dtype=bool)
+        self._visited[seeds] = True
+        self._layers: list[np.ndarray] = [seeds]
+        self._frontier = seeds
+        self._balls: dict[int, np.ndarray] = {}
+
+    def ball(self, radius: int) -> np.ndarray:
+        """Sorted unique vertices within ``radius`` hops of a seed."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        cached = self._balls.get(radius)
+        if cached is not None:
+            return cached
+        while len(self._layers) - 1 < radius and self._frontier.size:
+            nxt = undirected_neighbors(self.graph, self._frontier)
+            nxt = nxt[~self._visited[nxt]]
+            self._visited[nxt] = True
+            self._layers.append(nxt)
+            self._frontier = nxt
+        out = np.unique(
+            np.concatenate(self._layers[: radius + 1])
+        ) if self._layers else np.zeros(0, dtype=INDEX_DTYPE)
+        self._balls[radius] = out
+        return out

@@ -1,0 +1,85 @@
+"""Seeded versioning-package violations: swallowed journal errors
+(RP008), commit/retention lock-order hazards (RP010), and overlay
+arena view aliasing (RP011)."""
+
+import threading
+import time
+
+
+class MatchResult:
+    def __init__(self, rows=None, count=0):
+        self.rows = rows
+        self.count = count
+
+
+def swallowed_replay(journal):
+    for record in journal:
+        try:
+            record.apply()
+        except ValueError:                    # line 19: continue drops it
+            continue
+    try:
+        journal.sync()
+    except OSError:                           # line 23: silent pass body
+        pass
+
+
+def counted_replay_is_fine(journal):
+    malformed = 0
+    for record in journal:
+        try:
+            record.apply()
+        except ValueError:
+            malformed += 1  # fine: torn record counted, not dropped
+    return malformed
+
+
+class CommitGate:
+    """Journal and chain locks taken in both orders (the bug)."""
+
+    def __init__(self):
+        self._journal = threading.Lock()
+        self._chain = threading.Lock()
+        self._head = threading.Lock()
+
+    def journal_then_chain(self):
+        with self._journal:
+            with self._chain:                 # line 47: cycle journal->chain
+                pass
+
+    def chain_then_journal(self):
+        with self._chain:
+            with self._journal:               # line 52: cycle chain->journal
+                pass
+
+    def fsync_pacing_under_head(self):
+        with self._head:
+            time.sleep(0.05)                  # line 57: blocks holding head
+
+    def nested_same_order_is_fine(self):
+        with self._head:
+            with self._chain:  # fine: single direction, no cycle
+                pass
+
+
+def overlay_double_take(arena, n):
+    base = arena.take("overlay", n)
+    patch = arena.take("overlay", n)          # line 67: retaken while live
+    return base[0] + patch[0]
+
+
+def splice_rows_escape(arena, n):
+    rows = arena.take("splice_rows", n)
+    return MatchResult(rows=rows)             # line 73: view escapes uncopied
+
+
+def copied_splice_is_fine(arena, n):
+    rows = arena.take("splice_rows", n)
+    return MatchResult(rows=rows.copy())  # fine: result owns its memory
+
+
+def suppressed_drain(journal):
+    try:
+        journal.drain()
+    except Exception:  # best-effort close. # repro: ignore[RP008]
+        pass

@@ -68,6 +68,8 @@ EXPECTED = {
     ("RP008", "repro/distributed/bad_recovery.py", 7),
     ("RP008", "repro/service/bad_cluster.py", 24),
     ("RP008", "repro/service/bad_cluster.py", 32),
+    ("RP008", "repro/versioning/bad_versions.py", 19),
+    ("RP008", "repro/versioning/bad_versions.py", 23),
     ("RP009", "repro/service/bad_locks.py", 32),
     ("RP010", "repro/service/bad_cluster.py", 37),
     ("RP010", "repro/service/bad_cluster.py", 41),
@@ -80,14 +82,20 @@ EXPECTED = {
     ("RP010", "repro/service/bad_service.py", 12),
     ("RP010", "repro/service/bad_service.py", 14),
     ("RP010", "repro/service/bad_service.py", 17),
+    ("RP010", "repro/versioning/bad_versions.py", 47),
+    ("RP010", "repro/versioning/bad_versions.py", 52),
+    ("RP010", "repro/versioning/bad_versions.py", 57),
     ("RP011", "repro/core/bad_arena.py", 12),
     ("RP011", "repro/core/bad_arena.py", 18),
     ("RP011", "repro/core/bad_arena.py", 24),
+    ("RP011", "repro/versioning/bad_versions.py", 67),
+    ("RP011", "repro/versioning/bad_versions.py", 73),
 }
 
 # One suppressed violation per concrete-behavior rule, plus a second
-# RP008 suppression in the cluster-router fixture.
-EXPECTED_SUPPRESSED = 10
+# RP008 suppression in the cluster-router fixture and a third in the
+# versioning fixture.
+EXPECTED_SUPPRESSED = 11
 
 
 @pytest.fixture(scope="module")
@@ -179,6 +187,9 @@ def test_clean_fixture_code_is_not_flagged(fixture_report):
         ("repro/core/bad_arena.py", 30),  # .copy() escapes safely
         ("repro/core/bad_arena.py", 36),  # rebind into the same name
         ("repro/core/bad_arena.py", 42),  # dynamic buffer name
+        ("repro/versioning/bad_versions.py", 33),  # torn record counted
+        ("repro/versioning/bad_versions.py", 61),  # consistent lock order
+        ("repro/versioning/bad_versions.py", 78),  # copied splice escape
     }
     assert not flagged & fine
 
@@ -198,6 +209,7 @@ def test_seeded_suppressions_are_honored(fixture_report):
         ("RP007", "repro/service/bad_service.py", 39),
         ("RP008", "repro/service/bad_handlers.py", 46),
         ("RP008", "repro/service/bad_cluster.py", 77),
+        ("RP008", "repro/versioning/bad_versions.py", 84),
         ("RP009", "repro/service/bad_locks.py", 49),
         ("RP010", "repro/service/bad_order.py", 61),
         ("RP011", "repro/core/bad_arena.py", 48),
